@@ -1,0 +1,23 @@
+.PHONY: all test bench bench-quick examples clean
+
+all:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+bench-quick:
+	dune exec bench/main.exe -- quick
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/exploratory_vs_dashboard.exe
+	dune exec examples/star_join.exe
+	dune exec examples/sql_hints.exe
+	dune exec examples/workload_prior.exe
+
+clean:
+	dune clean

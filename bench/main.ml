@@ -1,0 +1,500 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   analysis and evaluation sections (Figures 1-12 plus the Section-6.1
+   overhead table), and runs Bechamel micro-benchmarks for the estimation
+   hot paths.
+
+   Usage:
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- fig5 fig9 # a subset
+     dune exec bench/main.exe -- quick     # reduced repetitions (CI)
+   Every data series is printed as TSV with a FIGURE header line. *)
+
+open Rq_analysis
+open Rq_experiments
+
+let quick = ref false
+
+let header name description =
+  Printf.printf "\n=== %s — %s ===\n" name description
+
+let print_series ~x_label figure series_list =
+  List.iter
+    (fun { Figures.label; points } ->
+      Printf.printf "# %s series: %s\n" figure label;
+      Printf.printf "%s\tvalue\n" x_label;
+      List.iter (fun (x, y) -> Printf.printf "%.6g\t%.6g\n" x y) points)
+    series_list
+
+(* ------------------------------------------------------------------ *)
+(* Figures 1-8: analytical                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  header "Figure 1" "execution cost of two hypothetical plans vs. selectivity";
+  Printf.printf "crossover at selectivity where plans tie: ~26%%\n";
+  print_series ~x_label:"selectivity" "fig1" (Figures.fig1_cost_vs_selectivity ())
+
+let fig2 () =
+  header "Figure 2" "probability density of execution cost (k=50 of n=200)";
+  print_series ~x_label:"cost" "fig2" (Figures.fig2_cost_pdf ())
+
+let fig3 () =
+  header "Figure 3" "cumulative probability of execution cost";
+  List.iter
+    (fun t ->
+      let confidence = Rq_core.Confidence.of_percent t in
+      let plan = match Figures.fig3_preferred_plan confidence with
+        | `Plan1 -> "Plan 1"
+        | `Plan2 -> "Plan 2"
+      in
+      Printf.printf "preferred plan at T=%g%%: %s\n" t plan)
+    [ 50.0; 60.0; 64.0; 66.0; 70.0; 80.0 ];
+  print_series ~x_label:"cost" "fig3" (Figures.fig3_cost_cdf ())
+
+let fig4 () =
+  header "Figure 4" "sample size matters, prior doesn't (posterior densities)";
+  print_series ~x_label:"selectivity" "fig4" (Figures.fig4_prior_comparison ())
+
+let fig5 () =
+  header "Figure 5" "effect of the confidence threshold (n=1000, analytical)";
+  Printf.printf "crossover of the cost model: %.4f%%\n" (100.0 *. Model.crossover Model.paper_model);
+  print_series ~x_label:"selectivity" "fig5" (Figures.fig5_confidence_sweep ())
+
+let fig6 () =
+  header "Figure 6" "performance vs. predictability trade-off (analytical)";
+  Printf.printf "threshold%%\tavg_time\tstd_dev\n";
+  List.iter
+    (fun (t, summary) ->
+      Printf.printf "%g\t%.3f\t%.3f\n" t summary.Rq_math.Summary.mean
+        summary.Rq_math.Summary.std_dev)
+    (Figures.fig6_tradeoff ())
+
+let fig7 () =
+  header "Figure 7" "effect of sample size (T=50%, analytical)";
+  print_series ~x_label:"selectivity" "fig7" (Figures.fig7_sample_size_sweep ())
+
+let fig8 () =
+  header "Figure 8" "crossover at higher selectivity (~5.2%)";
+  Printf.printf "crossover of the perturbed model: %.2f%%\n"
+    (100.0 *. Model.crossover Model.high_crossover_model);
+  print_series ~x_label:"selectivity" "fig8" (Figures.fig8_high_crossover ())
+
+(* ------------------------------------------------------------------ *)
+(* Figures 9-12: empirical                                             *)
+(* ------------------------------------------------------------------ *)
+
+let print_rows rows = print_string (Report.rows_table rows)
+let print_plan_mix rows = print_string (Report.plan_mix rows)
+let print_tradeoff tradeoff = print_string (Report.tradeoff_table tradeoff)
+
+let fig9 () =
+  header "Figure 9" "Experiment 1: two-predicate lineitem query (empirical)";
+  let config =
+    if !quick then
+      { Exp_single_table.default_config with repetitions = 4; offsets = [ 30; 50; 65; 80; 90 ] }
+    else Exp_single_table.default_config
+  in
+  let rows = Exp_single_table.run ~config () in
+  Printf.printf "-- Figure 9(a): selectivity vs. time\n";
+  print_rows rows;
+  print_plan_mix rows;
+  Printf.printf "-- Figure 9(b): performance vs. predictability\n";
+  print_tradeoff (Exp_single_table.tradeoff rows)
+
+let fig10 () =
+  header "Figure 10" "Experiment 2: three-table join (empirical)";
+  let config =
+    if !quick then
+      { Exp_three_join.default_config with repetitions = 4; buckets = [ 0; 700; 850; 950; 999 ] }
+    else Exp_three_join.default_config
+  in
+  let rows = Exp_three_join.run ~config () in
+  Printf.printf "-- Figure 10(a): selectivity vs. time\n";
+  print_rows rows;
+  print_plan_mix rows;
+  Printf.printf "-- Figure 10(b): performance vs. predictability\n";
+  print_tradeoff (Exp_three_join.tradeoff rows)
+
+let fig11 () =
+  header "Figure 11" "Experiment 3: four-table star join (empirical)";
+  let config =
+    if !quick then
+      {
+        Exp_star_join.default_config with
+        repetitions = 4;
+        join_fractions = [ 0.0; 0.01; 0.04; 0.1 ];
+        fact_rows = 50_000;
+      }
+    else Exp_star_join.default_config
+  in
+  let rows = Exp_star_join.run ~config () in
+  Printf.printf "-- Figure 11(a): selectivity vs. time\n";
+  print_rows rows;
+  print_plan_mix rows;
+  Printf.printf "-- Figure 11(b): performance vs. predictability\n";
+  print_tradeoff (Exp_star_join.tradeoff rows)
+
+let fig12 () =
+  header "Figure 12" "Experiment 4: effect of sample size (empirical, T=50%)";
+  let config =
+    if !quick then
+      {
+        Exp_sample_size.default_config with
+        repetitions = 4;
+        sample_sizes = [ 50; 250; 1000 ];
+        offsets = [ 30; 50; 65; 80; 90 ];
+      }
+    else Exp_sample_size.default_config
+  in
+  let points = Exp_sample_size.run ~config () in
+  print_string (Report.sample_size_table points)
+
+(* ------------------------------------------------------------------ *)
+(* Section 6.1: estimation overhead                                    *)
+(* ------------------------------------------------------------------ *)
+
+let overhead () =
+  header "Table: estimation overhead (Sec. 6.1)"
+    "optimization time, histogram vs. robust sampling";
+  let config =
+    if !quick then { Overhead.default_config with iterations = 10 }
+    else Overhead.default_config
+  in
+  print_string (Report.overhead_table (Overhead.run ~config ()))
+
+(* ------------------------------------------------------------------ *)
+(* Ablations of the design choices called out in DESIGN.md             *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_prior () =
+  header "Ablation: prior choice" "Jeffreys vs. uniform estimates at tiny samples";
+  Printf.printf "k/n\tT%%\tJeffreys\tuniform\tdelta\n";
+  List.iter
+    (fun (k, n) ->
+      List.iter
+        (fun t ->
+          let confidence = Rq_core.Confidence.of_percent t in
+          let est prior =
+            Rq_core.Robust_estimator.estimate
+              (Rq_core.Robust_estimator.create ~prior ~confidence ())
+              ~successes:k ~trials:n
+          in
+          let j = est Rq_core.Prior.Jeffreys and u = est Rq_core.Prior.Uniform in
+          Printf.printf "%d/%d\t%g\t%.5f\t%.5f\t%.5f\n" k n t j u (Float.abs (j -. u)))
+        [ 50.0; 80.0 ])
+    [ (0, 10); (1, 10); (10, 100); (50, 500) ]
+
+let ablation_cost_transfer () =
+  header "Ablation: cost-transfer equivalence"
+    "g(quantile T) vs. percentile of the explicit cost distribution";
+  let posterior = Figures.example_posterior in
+  Printf.printf "plan\tT%%\tfast_path\texplicit\tabs_diff\n";
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun t ->
+          let confidence = Rq_core.Confidence.of_percent t in
+          let fast = Rq_core.Cost_transfer.cost_percentile ~cost_of_selectivity:g posterior confidence in
+          let explicit =
+            Rq_core.Cost_transfer.cost_cdf_inverse ~cost_of_selectivity:g posterior (t /. 100.0)
+          in
+          Printf.printf "%s\t%g\t%.4f\t%.4f\t%.2e\n" name t fast explicit
+            (Float.abs (fast -. explicit)))
+        [ 20.0; 50.0; 80.0; 95.0 ])
+    [ ("Plan1", Figures.example_plan_1); ("Plan2", Figures.example_plan_2) ]
+
+let ablation_estimate_kind () =
+  header "Ablation: percentile vs. posterior-mean vs. maximum-likelihood"
+    "single-value estimates from the same evidence";
+  Printf.printf "k/n\tML\tpost_mean\tT=50%%\tT=80%%\tT=95%%\n";
+  List.iter
+    (fun (k, n) ->
+      let q t =
+        Rq_core.Robust_estimator.estimate
+          (Rq_core.Robust_estimator.create ~confidence:(Rq_core.Confidence.of_percent t) ())
+          ~successes:k ~trials:n
+      in
+      Printf.printf "%d/%d\t%.5f\t%.5f\t%.5f\t%.5f\t%.5f\n" k n
+        (Rq_core.Robust_estimator.maximum_likelihood_estimate ~successes:k ~trials:n)
+        (Rq_core.Robust_estimator.expected_value_estimate ~successes:k ~trials:n ())
+        (q 50.0) (q 80.0) (q 95.0))
+    [ (0, 500); (1, 500); (5, 500); (50, 500) ]
+
+let fig1_empirical () =
+  header "Figure 1 (empirical)" "cost-vs-selectivity curves of the engine's own plans";
+  let rng = Rq_math.Rng.create 13 in
+  let catalog = Rq_workload.Tpch.generate (Rq_math.Rng.split rng) () in
+  let scale = Rq_workload.Tpch.cost_scale catalog in
+  let pred = Rq_workload.Tpch.exp1_query ~offset:60 in
+  let refs = pred.Rq_optimizer.Logical.tables in
+  let table_ref = List.hd refs in
+  let plans =
+    Rq_optimizer.Enumerate.access_paths catalog table_ref
+  in
+  let selectivities = List.init 21 (fun i -> float_of_int i /. 2000.0) in
+  List.iter
+    (fun plan ->
+      Printf.printf "# plan: %s\n" (Rq_exec.Plan.describe plan);
+      Printf.printf "selectivity\tcost\n";
+      List.iter
+        (fun (s, c) -> Printf.printf "%.5f\t%.3f\n" s c)
+        (Rq_optimizer.Costing.cost_curve catalog ~scale ~selectivities plan))
+    plans;
+  let find_plan p = List.find_opt p plans in
+  (match
+     ( find_plan (function
+         | Rq_exec.Plan.Scan { access = Rq_exec.Plan.Seq_scan; _ } -> true
+         | _ -> false),
+       find_plan (function
+         | Rq_exec.Plan.Scan { access = Rq_exec.Plan.Index_intersect _; _ } -> true
+         | _ -> false) )
+   with
+  | Some scan, Some isect ->
+      let crossings = Rq_optimizer.Costing.crossover_points catalog ~scale ~grid:4000 scan isect in
+      Printf.printf "crossover(s) between %s and %s: %s (analytical model: 0.143%%)\n"
+        (Rq_exec.Plan.describe scan) (Rq_exec.Plan.describe isect)
+        (String.concat ", " (List.map (fun s -> Printf.sprintf "%.4f%%" (100.0 *. s)) crossings))
+  | _ -> ())
+
+let ablation_lec () =
+  header "Ablation: estimation rule vs. the Figure-6 frontier"
+    "confidence thresholds vs. posterior-mean (least-expected-cost) vs. max-likelihood";
+  let selectivities = Figures.default_workload_selectivities in
+  let line label rule =
+    let s =
+      Model.cost_over_workload_rule Model.paper_model ~sample_size:1000 ~rule ~selectivities
+    in
+    Printf.printf "%-24s %10.3f %10.3f\n" label s.Rq_math.Summary.mean s.Rq_math.Summary.std_dev
+  in
+  Printf.printf "%-24s %10s %10s\n" "rule" "avg_time" "std_dev";
+  List.iter
+    (fun t -> line (Printf.sprintf "T=%g%%" t) (Model.At_confidence (Rq_core.Confidence.of_percent t)))
+    [ 5.0; 20.0; 50.0; 80.0; 95.0 ];
+  line "posterior-mean (LEC)" Model.Posterior_mean;
+  line "maximum-likelihood" Model.Maximum_likelihood
+
+let ablation_partial_stats () =
+  header "Ablation: degraded statistics (Sec. 3.5)"
+    "three-join estimates under full synopses / single-table samples / no statistics";
+  let config =
+    if !quick then { Exp_partial_stats.default_config with scale_factor = 0.003 }
+    else Exp_partial_stats.default_config
+  in
+  print_string (Report.partial_stats_table (Exp_partial_stats.run ~config ()))
+
+let ablation_synopses () =
+  header "Ablation: join synopses vs. per-table samples with AVI"
+    "three-join cardinality estimates against the truth (mean over 10 sample draws)";
+  let rng = Rq_math.Rng.create 7 in
+  let catalog = Rq_workload.Tpch.generate (Rq_math.Rng.split rng) () in
+  let estimator =
+    Rq_core.Robust_estimator.create ~confidence:Rq_core.Confidence.median ()
+  in
+  let draws = 10 in
+  let estimator_pairs =
+    List.init draws (fun _ ->
+        let stats = Rq_stats.Stats_store.update_statistics (Rq_math.Rng.split rng) catalog in
+        ( Rq_optimizer.Cardinality.robust stats estimator,
+          Rq_optimizer.Cardinality.sample_avi stats estimator,
+          Rq_optimizer.Cardinality.histogram_avi stats ))
+  in
+  Printf.printf "p_bucket\ttrue_rows\trobust\tsample_avi\thistogram_avi\n";
+  List.iter
+    (fun bucket ->
+      let refs = (Rq_workload.Tpch.exp2_query ~bucket).Rq_optimizer.Logical.tables in
+      let truth = Rq_optimizer.Naive.cardinality catalog refs in
+      let mean select =
+        List.fold_left
+          (fun acc triple ->
+            acc +. (select triple).Rq_optimizer.Cardinality.expression_cardinality refs)
+          0.0 estimator_pairs
+        /. float_of_int draws
+      in
+      Printf.printf "%d\t%d\t%.1f\t%.1f\t%.1f\n" bucket truth
+        (mean (fun (r, _, _) -> r))
+        (mean (fun (_, a, _) -> a))
+        (mean (fun (_, _, h) -> h)))
+    [ 0; 700; 900; 975; 999 ]
+
+let ablation_ml_empirical () =
+  header "Ablation: Bayesian interpretation vs. maximum likelihood (empirical)"
+    "Experiment-1 sweep with 50-tuple synopses: robust T=50% self-adjusts, k/n gambles";
+  let rng = Rq_math.Rng.create 19 in
+  let catalog = Rq_workload.Tpch.generate (Rq_math.Rng.split rng) () in
+  let scale = Rq_workload.Tpch.cost_scale catalog in
+  let cache = Exp_common.make_cache catalog ~scale in
+  (* 50-tuple samples: the posterior is too wide to clear the crossover, so
+     the robust estimator refuses the risky plan (the paper's Fig.-12
+     anomaly); maximum likelihood sees k = 0 as certainty and gambles. *)
+  let stats_of_draw = Exp_common.make_stats_of_draw rng ~sample_size:50 catalog in
+  let repetitions = if !quick then 4 else 12 in
+  let offsets = if !quick then [ 30; 65; 90 ] else [ 30; 50; 65; 75; 85; 90 ] in
+  let rows =
+    List.map
+      (fun offset ->
+        let query = Rq_workload.Tpch.exp1_query ~offset in
+        let robust_series =
+          Exp_common.run_robust_series ~cache ~stats_of_draw ~repetitions
+            ~thresholds:[ 50.0 ] ~scale query
+        in
+        let ml_cell =
+          Exp_common.run_estimator_series ~cache ~stats_of_draw ~repetitions ~label:"sample-ML"
+            ~make:Rq_optimizer.Cardinality.sample_ml ~scale query
+        in
+        {
+          Exp_common.parameter = float_of_int offset;
+          selectivity = Rq_workload.Tpch.exp1_selectivity catalog ~offset;
+          series = robust_series @ [ ml_cell ];
+        })
+      offsets
+  in
+  print_string (Report.rows_table rows);
+  print_string (Report.tradeoff_table (Exp_common.summarize_series rows))
+
+let ablation_staleness () =
+  header "Ablation: statistics staleness (Sec. 3.2 maintenance)"
+    "drifting part popularity under never-refresh vs. threshold-triggered refresh";
+  let rng = Rq_math.Rng.create 17 in
+  let params = { Rq_workload.Tpch.default_params with scale_factor = 0.005 } in
+  let catalog = Rq_workload.Tpch.generate (Rq_math.Rng.split rng) ~params () in
+  let maintained =
+    Rq_stats.Maintenance.create ~refresh_fraction:0.15 (Rq_math.Rng.split rng) catalog
+  in
+  let stale_stats = Rq_stats.Maintenance.stats maintained in
+  let estimator = Rq_core.Robust_estimator.create ~confidence:Rq_core.Confidence.median () in
+  let refs = (Rq_workload.Tpch.exp2_query ~bucket:999).Rq_optimizer.Logical.tables in
+  let estimate stats =
+    (Rq_optimizer.Cardinality.robust stats estimator).Rq_optimizer.Cardinality.expression_cardinality
+      refs
+  in
+  let buckets = Rq_workload.Tpch.default_params.Rq_workload.Tpch.part_buckets in
+  let drift_rng = Rq_math.Rng.split rng in
+  Printf.printf "batch\ttrue_rows\tnever_refreshed\tmaintained\trefreshed?\n";
+  for batch = 1 to 6 do
+    (* Each batch repoints 10%% of lineitems at bucket-999 parts: the hot
+       set concentrates, drifting the joint distribution the initial
+       sample captured. *)
+    Rq_stats.Maintenance.apply_update maintained ~table:"lineitem" (fun rows ->
+        Array.map
+          (fun tup ->
+            if Rq_math.Rng.float drift_rng 1.0 < 0.1 then begin
+              let parts_per_bucket =
+                Rq_storage.Relation.row_count (Rq_storage.Catalog.find_table catalog "part")
+                / buckets
+              in
+              let hot = 999 + (buckets * Rq_math.Rng.int drift_rng parts_per_bucket) in
+              let updated = Array.copy tup in
+              updated.(2) <- Rq_storage.Value.Int hot;
+              updated
+            end
+            else tup)
+          rows);
+    let refreshed = Rq_stats.Maintenance.maybe_refresh maintained in
+    let truth = Rq_optimizer.Naive.cardinality catalog refs in
+    Printf.printf "%d\t%d\t%.1f\t%.1f\t%s\n" batch truth (estimate stale_stats)
+      (estimate (Rq_stats.Maintenance.stats maintained))
+      (if refreshed then "yes" else "no")
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  header "Micro-benchmarks" "estimation hot paths (Bechamel, OLS ns/run)";
+  let open Bechamel in
+  let open Toolkit in
+  let rng = Rq_math.Rng.create 11 in
+  let catalog = Rq_workload.Tpch.generate (Rq_math.Rng.split rng) () in
+  let stats = Rq_stats.Stats_store.update_statistics (Rq_math.Rng.split rng) catalog in
+  let scale = Rq_workload.Tpch.cost_scale catalog in
+  let robust_opt = Rq_optimizer.Optimizer.robust ~scale stats in
+  let baseline_opt = Rq_optimizer.Optimizer.baseline ~scale stats in
+  let query = Rq_workload.Tpch.exp1_query ~offset:60 in
+  let join_query = Rq_workload.Tpch.exp2_query ~bucket:99 in
+  let posterior_quantile () =
+    Rq_core.Posterior.quantile (Rq_core.Posterior.infer ~successes:37 ~trials:500 ()) 0.8
+  in
+  let synopsis_evidence () =
+    match Rq_stats.Stats_store.synopsis stats ~root:"lineitem" with
+    | Some syn ->
+        Rq_stats.Join_synopsis.evidence syn
+          (Rq_exec.Pred.rename_columns (fun c -> "lineitem." ^ c)
+             (Rq_workload.Tpch.exp1_query ~offset:60
+              |> fun q -> (List.hd q.Rq_optimizer.Logical.tables).Rq_optimizer.Logical.pred))
+    | None -> (0, 0)
+  in
+  let tests =
+    Test.make_grouped ~name:"estimation"
+      [
+        Test.make ~name:"posterior-quantile" (Staged.stage posterior_quantile);
+        Test.make ~name:"synopsis-evidence-500" (Staged.stage synopsis_evidence);
+        Test.make ~name:"optimize-exp1-robust"
+          (Staged.stage (fun () -> Rq_optimizer.Optimizer.optimize_exn robust_opt query));
+        Test.make ~name:"optimize-exp1-histogram"
+          (Staged.stage (fun () -> Rq_optimizer.Optimizer.optimize_exn baseline_opt query));
+        Test.make ~name:"optimize-exp2-robust"
+          (Staged.stage (fun () -> Rq_optimizer.Optimizer.optimize_exn robust_opt join_query));
+        Test.make ~name:"optimize-exp2-histogram"
+          (Staged.stage (fun () -> Rq_optimizer.Optimizer.optimize_exn baseline_opt join_query));
+      ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let quota = Time.second (if !quick then 0.25 else 1.0) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> Printf.printf "%-45s %12.1f ns/run\n" name est
+      | _ -> Printf.printf "%-45s (no estimate)\n" name)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let all_benches =
+  [
+    ("fig1", fig1); ("fig1-empirical", fig1_empirical);
+    ("fig2", fig2); ("fig3", fig3); ("fig4", fig4);
+    ("fig5", fig5); ("fig6", fig6); ("fig7", fig7); ("fig8", fig8);
+    ("fig9", fig9); ("fig10", fig10); ("fig11", fig11); ("fig12", fig12);
+    ("overhead", overhead);
+    ("ablation-prior", ablation_prior);
+    ("ablation-lec", ablation_lec);
+    ("ablation-partial-stats", ablation_partial_stats);
+    ("ablation-staleness", ablation_staleness);
+    ("ablation-ml-empirical", ablation_ml_empirical);
+    ("ablation-cost-transfer", ablation_cost_transfer);
+    ("ablation-estimate-kind", ablation_estimate_kind);
+    ("ablation-synopses", ablation_synopses);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "quick" then begin
+          quick := true;
+          false
+        end
+        else true)
+      args
+  in
+  let selected =
+    match args with
+    | [] -> all_benches
+    | names ->
+        List.map
+          (fun name ->
+            match List.assoc_opt name all_benches with
+            | Some f -> (name, f)
+            | None ->
+                Printf.eprintf "unknown bench %S; available: %s\n" name
+                  (String.concat ", " (List.map fst all_benches));
+                exit 2)
+          names
+  in
+  List.iter (fun (_, f) -> f ()) selected

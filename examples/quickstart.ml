@@ -1,0 +1,93 @@
+(* Quickstart: the robust estimation pipeline on a toy table.
+
+   1. Build a small catalog with one table and two indexed columns whose
+      values are correlated.
+   2. UPDATE STATISTICS: draw a precomputed sample and build histograms.
+   3. Ask both estimators for the selectivity of a conjunctive predicate —
+      the histogram baseline multiplies marginals (AVI) and misses the
+      correlation; the robust estimator reads it off the sample and also
+      exposes its uncertainty as a posterior distribution.
+   4. Let the optimizer pick plans at different confidence thresholds.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Rq_storage
+open Rq_exec
+open Rq_optimizer
+
+let () =
+  let rng = Rq_math.Rng.create 7 in
+  (* A 50k-row table of web requests: latency_ms and bytes_sent are highly
+     correlated (slow requests send more data). *)
+  let schema =
+    Schema.create
+      [
+        { Schema.name = "request_id"; ty = Value.T_int };
+        { Schema.name = "latency_ms"; ty = Value.T_int };
+        { Schema.name = "bytes_sent"; ty = Value.T_int };
+      ]
+  in
+  let rows =
+    Array.init 50_000 (fun i ->
+        let latency = 1 + Rq_math.Rng.int rng 1000 in
+        let bytes = (latency * 900) + Rq_math.Rng.int rng 100_000 in
+        [| Value.Int i; Value.Int latency; Value.Int bytes |])
+  in
+  let catalog = Catalog.create () in
+  Catalog.add_table catalog ~primary_key:"request_id"
+    (Relation.create ~name:"requests" ~schema rows);
+  Catalog.build_index catalog ~table:"requests" ~column:"latency_ms";
+  Catalog.build_index catalog ~table:"requests" ~column:"bytes_sent";
+
+  (* Precomputation phase: samples + histograms. *)
+  let stats = Rq_stats.Stats_store.update_statistics (Rq_math.Rng.split rng) catalog in
+
+  (* The query: slow AND large — the two predicates are nearly redundant,
+     so the true joint selectivity is ~10x what AVI predicts. *)
+  let pred =
+    Pred.conj
+      [
+        Pred.ge (Expr.col "latency_ms") (Expr.int 900);
+        Pred.ge (Expr.col "bytes_sent") (Expr.int 810_000);
+      ]
+  in
+  let query = Logical.query [ Logical.scan ~pred "requests" ] in
+
+  let truth = Naive.selectivity catalog query.Logical.tables in
+  Printf.printf "true selectivity:            %.3f%%\n" (100.0 *. truth);
+
+  let hist = Cardinality.histogram_avi stats in
+  Printf.printf "histogram + AVI estimate:    %.3f%%\n"
+    (100.0 *. Cardinality.expression_selectivity catalog hist query.Logical.tables);
+
+  (* The robust estimator: evidence -> posterior -> quantile. *)
+  let syn = Option.get (Rq_stats.Stats_store.synopsis stats ~root:"requests") in
+  let k, n =
+    Rq_stats.Join_synopsis.evidence syn
+      (Pred.rename_columns (fun c -> "requests." ^ c) pred)
+  in
+  Printf.printf "sample evidence:             %d of %d tuples match\n" k n;
+  let posterior = Rq_core.Posterior.infer ~successes:k ~trials:n () in
+  Printf.printf "posterior:                   %s\n"
+    (Format.asprintf "%a" Rq_core.Posterior.pp posterior);
+  let lo, hi = Rq_core.Posterior.credible_interval posterior 0.9 in
+  Printf.printf "90%% credible interval:       [%.3f%%, %.3f%%]\n" (100.0 *. lo) (100.0 *. hi);
+  List.iter
+    (fun t ->
+      Printf.printf "estimate at T=%2g%%:           %.3f%%\n" t
+        (100.0 *. Rq_core.Posterior.quantile posterior (t /. 100.0)))
+    [ 20.0; 50.0; 80.0; 95.0 ];
+
+  (* Plan choice at two ends of the performance/predictability spectrum. *)
+  print_newline ();
+  List.iter
+    (fun policy ->
+      let confidence = Rq_core.Confidence.of_policy policy in
+      let opt = Optimizer.robust ~confidence stats in
+      let decision = Optimizer.optimize_exn opt query in
+      Printf.printf "%-13s (T=%2.0f%%) picks: %s (estimated %.3f s)\n"
+        (Rq_core.Confidence.policy_to_string policy)
+        (Rq_core.Confidence.to_percent confidence)
+        (Plan.describe decision.Optimizer.plan)
+        decision.Optimizer.estimated_cost)
+    [ Rq_core.Confidence.Aggressive; Rq_core.Confidence.Moderate; Rq_core.Confidence.Conservative ]

@@ -1,0 +1,43 @@
+(* The two-level robustness configuration surface (paper Sec. 6.2.5):
+   a system-wide policy, overridable per query with an embedded hint.
+
+   Run with: dune exec examples/sql_hints.exe *)
+
+open Rq_optimizer
+open Rq_workload
+
+let explain_sql catalog stats scale setting sql =
+  match Rq_sql.Binder.compile catalog sql with
+  | Error msg -> Printf.printf "error: %s\n" msg
+  | Ok bound ->
+      let confidence =
+        Rq_core.Confidence.resolve ?query_hint:bound.Rq_sql.Binder.confidence_hint setting
+      in
+      let opt = Optimizer.robust ~scale ~confidence stats in
+      let decision = Optimizer.optimize_exn opt bound.Rq_sql.Binder.query in
+      Printf.printf "  T=%3.0f%% -> %s (estimated %.1f s)\n"
+        (Rq_core.Confidence.to_percent confidence)
+        (Rq_exec.Plan.describe decision.Optimizer.plan)
+        decision.Optimizer.estimated_cost
+
+let () =
+  let rng = Rq_math.Rng.create 5 in
+  let catalog = Tpch.generate (Rq_math.Rng.split rng) () in
+  let scale = Tpch.cost_scale catalog in
+  let stats = Rq_stats.Stats_store.update_statistics (Rq_math.Rng.split rng) catalog in
+  let base_query =
+    "SELECT SUM(l_extendedprice) FROM lineitem \
+     WHERE l_shipdate BETWEEN '07/01/97' AND '07/30/97' \
+     AND l_receiptdate BETWEEN '09/04/97' AND '10/03/97'"
+  in
+  (* System-wide: conservative (95%), the "no surprises" configuration. *)
+  let setting =
+    { Rq_core.Confidence.system_default = Rq_core.Confidence.of_policy Rq_core.Confidence.Conservative }
+  in
+  Printf.printf "system policy: conservative (95%%)\n\n";
+  Printf.printf "plain query inherits the system policy:\n";
+  explain_sql catalog stats scale setting base_query;
+  Printf.printf "\nan exploratory session overrides it per query:\n";
+  explain_sql catalog stats scale setting ("/*+ CONFIDENCE(20) */ " ^ base_query);
+  Printf.printf "\nnamed policy levels work as hints too:\n";
+  explain_sql catalog stats scale setting ("/*+ ROBUSTNESS(moderate) */ " ^ base_query)

@@ -1,0 +1,44 @@
+(* Workload-informed priors (paper Sec. 3.3).
+
+   The Jeffreys prior is the right default when nothing is known about the
+   workload.  But a system that has already served similar queries knows
+   something: their selectivities.  Fitting a Beta prior to that history
+   (method of moments) concentrates the posterior where queries actually
+   live, which tightens estimates at small sample sizes — and washes out,
+   exactly as it should, once the sample is large.
+
+   Run with: dune exec examples/workload_prior.exe *)
+
+open Rq_core
+
+let () =
+  (* A history of observed selectivities from "similar" past queries:
+     clustered around ~2%. *)
+  let history = [ 0.013; 0.022; 0.018; 0.025; 0.016; 0.030; 0.021; 0.019; 0.024; 0.015 ] in
+  let fitted =
+    match Prior.fit_from_selectivities history with
+    | Ok prior -> prior
+    | Error msg -> failwith msg
+  in
+  Printf.printf "fitted prior: %s\n\n" (Format.asprintf "%a" Prior.pp fitted);
+  (* A new query whose true selectivity is 2%: compare the estimates the
+     default and fitted priors produce as evidence accumulates. *)
+  let truth = 0.02 in
+  Printf.printf "%-10s %-8s %12s %12s %12s\n" "sample n" "hits k" "Jeffreys" "fitted" "truth";
+  List.iter
+    (fun n ->
+      let k = int_of_float (Float.round (truth *. float_of_int n)) in
+      let estimate prior =
+        Posterior.quantile (Posterior.infer ~prior ~successes:k ~trials:n ()) 0.5
+      in
+      Printf.printf "%-10d %-8d %11.3f%% %11.3f%% %11.3f%%\n" n k
+        (100.0 *. estimate Prior.Jeffreys)
+        (100.0 *. estimate fitted)
+        (100.0 *. truth))
+    [ 10; 50; 200; 1000 ];
+  print_newline ();
+  Printf.printf
+    "With 10 sample tuples the Jeffreys posterior can barely see a 2%% predicate\n\
+     (k is 0); the fitted prior supplies the missing context.  By n = 1000 the\n\
+     evidence dominates and the two agree — the prior can help but never hurts\n\
+     for long, which is why the paper can afford its non-informative default.\n"

@@ -1,0 +1,133 @@
+open Rq_core
+
+type series = { label : string; points : (float * float) list }
+
+(* The running example of Sections 2.1/3.1: linear plan costs fitted to the
+   numbers the paper quotes — crossover at 26% selectivity; with the
+   50-of-200 posterior, medians 30.2 / 31.5, 80th percentiles 33.5 / 31.9,
+   and cdf curves crossing at ~65%. *)
+let example_plan_1 s = -0.85 +. (124.0 *. s)
+let example_plan_2 s = 27.74 +. (15.0 *. s)
+
+let example_posterior = Posterior.infer ~successes:50 ~trials:200 ()
+
+let grid ~lo ~hi ~steps =
+  List.init (steps + 1) (fun i ->
+      lo +. (float_of_int i *. (hi -. lo) /. float_of_int steps))
+
+let fig1_cost_vs_selectivity () =
+  let xs = grid ~lo:0.0 ~hi:1.0 ~steps:50 in
+  [
+    { label = "Plan 1"; points = List.map (fun s -> (s, example_plan_1 s)) xs };
+    { label = "Plan 2"; points = List.map (fun s -> (s, example_plan_2 s)) xs };
+  ]
+
+let fig2_cost_pdf () =
+  let series_for label cost_fn =
+    let costs = grid ~lo:20.0 ~hi:45.0 ~steps:100 in
+    {
+      label;
+      points =
+        List.map
+          (fun c -> (c, Cost_transfer.cost_pdf ~cost_of_selectivity:cost_fn example_posterior c))
+          costs;
+    }
+  in
+  [ series_for "Plan 1" example_plan_1; series_for "Plan 2" example_plan_2 ]
+
+let fig3_cost_cdf () =
+  let series_for label cost_fn =
+    let costs = grid ~lo:20.0 ~hi:40.0 ~steps:100 in
+    {
+      label;
+      points =
+        List.map
+          (fun c -> (c, Cost_transfer.cost_cdf ~cost_of_selectivity:cost_fn example_posterior c))
+          costs;
+    }
+  in
+  [ series_for "Plan 1" example_plan_1; series_for "Plan 2" example_plan_2 ]
+
+let fig3_preferred_plan confidence =
+  let estimate f = Cost_transfer.cost_percentile ~cost_of_selectivity:f example_posterior confidence in
+  if estimate example_plan_1 <= estimate example_plan_2 then `Plan1 else `Plan2
+
+let fig4_prior_comparison () =
+  let xs = grid ~lo:0.001 ~hi:0.25 ~steps:120 in
+  let series_for label prior k n =
+    let posterior = Posterior.infer ~prior ~successes:k ~trials:n () in
+    { label; points = List.map (fun s -> (s, Posterior.pdf posterior s)) xs }
+  in
+  [
+    series_for "uniform 10/100" Prior.Uniform 10 100;
+    series_for "Jeffreys 10/100" Prior.Jeffreys 10 100;
+    series_for "uniform 50/500" Prior.Uniform 50 500;
+    series_for "Jeffreys 50/500" Prior.Jeffreys 50 500;
+  ]
+
+let default_workload_selectivities = grid ~lo:0.0 ~hi:0.01 ~steps:20
+
+let fig5_thresholds = [ 5.0; 20.0; 50.0; 80.0; 95.0 ]
+
+let fig5_confidence_sweep () =
+  List.map
+    (fun t ->
+      let confidence = Confidence.of_percent t in
+      {
+        label = Printf.sprintf "T=%g%%" t;
+        points =
+          List.map
+            (fun p ->
+              ( p,
+                Model.expected_cost Model.paper_model ~sample_size:1000 ~confidence
+                  ~selectivity:p ))
+            default_workload_selectivities;
+      })
+    fig5_thresholds
+
+let fig6_tradeoff () =
+  List.map
+    (fun t ->
+      let confidence = Confidence.of_percent t in
+      ( t,
+        Model.cost_over_workload Model.paper_model ~sample_size:1000 ~confidence
+          ~selectivities:default_workload_selectivities ))
+    fig5_thresholds
+
+let fig7_sample_size_sweep () =
+  List.map
+    (fun n ->
+      {
+        label = Printf.sprintf "n=%d" n;
+        points =
+          List.map
+            (fun p ->
+              ( p,
+                Model.expected_cost Model.paper_model ~sample_size:n
+                  ~confidence:Confidence.median ~selectivity:p ))
+            default_workload_selectivities;
+      })
+    [ 50; 100; 250; 500; 1000 ]
+
+let fig8_high_crossover () =
+  let xs = grid ~lo:0.0 ~hi:0.20 ~steps:40 in
+  let model = Model.high_crossover_model in
+  let threshold_series t =
+    let confidence = Confidence.of_percent t in
+    {
+      label = Printf.sprintf "T=%g%%" t;
+      points =
+        List.map
+          (fun p -> (p, Model.expected_cost model ~sample_size:1000 ~confidence ~selectivity:p))
+          xs;
+    }
+  in
+  let plan_series label plan =
+    {
+      label;
+      points = List.map (fun p -> (p, Model.plan_execution_cost model plan ~selectivity:p)) xs;
+    }
+  in
+  List.map threshold_series [ 5.0; 50.0; 95.0 ]
+  @ [ plan_series "Plan P1 (stable)" model.Model.stable;
+      plan_series "Plan P2 (risky)" model.Model.risky ]

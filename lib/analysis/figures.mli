@@ -1,0 +1,58 @@
+(** Data series for the paper's analytical figures (Figures 1–8).
+
+    Each function returns labelled (x, y) series ready for tabulation; the
+    bench harness prints them.  Constants are chosen to match every number
+    the paper quotes for these figures: the 26% cost crossover (Fig. 1),
+    median costs 30.2/31.5 and 80th-percentile costs 33.5/31.9 for the
+    k=50-of-200 posterior (Sec. 3.1), the 65% confidence-threshold
+    crossover (Fig. 3), and the Section-5 cost-model parameters. *)
+
+open Rq_math
+open Rq_core
+
+type series = { label : string; points : (float * float) list }
+
+val example_plan_1 : float -> float
+(** Execution cost of the running example's risky Plan 1 as a function of
+    selectivity. *)
+
+val example_plan_2 : float -> float
+(** The stable Plan 2. *)
+
+val example_posterior : Posterior.t
+(** Beta(50.5, 150.5): the 50-of-200 evidence of Section 3.1. *)
+
+val fig1_cost_vs_selectivity : unit -> series list
+(** Cost of both plans over selectivity 0–100%. *)
+
+val fig2_cost_pdf : unit -> series list
+(** Probability density of each plan's execution cost. *)
+
+val fig3_cost_cdf : unit -> series list
+(** Cumulative probability of each plan's execution cost; the curves cross
+    at T ~ 65%. *)
+
+val fig3_preferred_plan : Confidence.t -> [ `Plan1 | `Plan2 ]
+(** Which plan has the lower cost estimate at a given threshold. *)
+
+val fig4_prior_comparison : unit -> series list
+(** Posterior densities for (uniform | Jeffreys) x (10/100 | 50/500). *)
+
+val fig5_confidence_sweep : unit -> series list
+(** Expected execution time vs. selectivity (0–1%), one series per
+    threshold in {5, 20, 50, 80, 95}%, n = 1000 (paper Figure 5). *)
+
+val fig6_tradeoff : unit -> (float * Summary.t) list
+(** Per threshold: (threshold percent, workload cost summary) — the
+    mean/stddev trade-off frontier (paper Figure 6). *)
+
+val fig7_sample_size_sweep : unit -> series list
+(** Expected time vs. selectivity at T = 50%, one series per sample size
+    in {50, 100, 250, 500, 1000} (paper Figure 7). *)
+
+val fig8_high_crossover : unit -> series list
+(** The perturbed model with crossover ~5.2%: thresholds {5, 50, 95}% plus
+    the two pure plans, selectivity 0–20% (paper Figure 8). *)
+
+val default_workload_selectivities : float list
+(** 0%..1% in steps of 0.05% — the Figure-5/6 workload. *)

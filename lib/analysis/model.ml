@@ -1,0 +1,113 @@
+open Rq_math
+open Rq_core
+
+type plan_cost = { fixed : float; per_row : float }
+
+type t = { rows : float; stable : plan_cost; risky : plan_cost }
+
+let paper_model =
+  {
+    rows = 6_000_000.0;
+    stable = { fixed = 35.0; per_row = 3.5e-6 };
+    risky = { fixed = 5.0; per_row = 3.5e-3 };
+  }
+
+let high_crossover_model =
+  {
+    rows = 6_000_000.0;
+    stable = { fixed = 35.0; per_row = 3.5e-6 };
+    risky = { fixed = 19.0; per_row = 5.4e-5 };
+  }
+
+let plan_execution_cost t plan ~selectivity =
+  plan.fixed +. (plan.per_row *. selectivity *. t.rows)
+
+let crossover t =
+  (t.stable.fixed -. t.risky.fixed)
+  /. (t.rows *. (t.risky.per_row -. t.stable.per_row))
+
+let oracle_cost t ~selectivity =
+  Float.min
+    (plan_execution_cost t t.stable ~selectivity)
+    (plan_execution_cost t t.risky ~selectivity)
+
+type choice = Stable | Risky
+
+type estimate_rule =
+  | At_confidence of Confidence.t
+  | Posterior_mean
+  | Maximum_likelihood
+
+let estimate_under_rule ~prior ~rule ~sample_size k =
+  match rule with
+  | At_confidence confidence ->
+      let posterior = Posterior.infer ~prior ~successes:k ~trials:sample_size () in
+      Posterior.quantile posterior (Confidence.to_fraction confidence)
+  | Posterior_mean ->
+      Posterior.mean (Posterior.infer ~prior ~successes:k ~trials:sample_size ())
+  | Maximum_likelihood -> float_of_int k /. float_of_int sample_size
+
+let choice_table_rule ?(prior = Prior.default) t ~sample_size ~rule =
+  let pc = crossover t in
+  Array.init (sample_size + 1) (fun k ->
+      let estimate = estimate_under_rule ~prior ~rule ~sample_size k in
+      if estimate <= pc then Risky else Stable)
+
+let choice_table ?prior t ~sample_size ~confidence =
+  choice_table_rule ?prior t ~sample_size ~rule:(At_confidence confidence)
+
+let executed_cost t choices ~selectivity k =
+  match choices.(k) with
+  | Stable -> plan_execution_cost t t.stable ~selectivity
+  | Risky -> plan_execution_cost t t.risky ~selectivity
+
+let expected_cost ?prior t ~sample_size ~confidence ~selectivity =
+  let choices = choice_table ?prior t ~sample_size ~confidence in
+  Binomial.expectation ~n:sample_size ~p:selectivity
+    (executed_cost t choices ~selectivity)
+
+let risky_probability ?prior t ~sample_size ~confidence ~selectivity =
+  let choices = choice_table ?prior t ~sample_size ~confidence in
+  Binomial.expectation ~n:sample_size ~p:selectivity (fun k ->
+      match choices.(k) with Risky -> 1.0 | Stable -> 0.0)
+
+let cost_over_workload_choices t ~sample_size ~choices ~selectivities =
+  if selectivities = [] then invalid_arg "Model.cost_over_workload: empty workload";
+  (* Exact first and second moments of the cost under the mixture
+     (p uniform over the workload, k ~ Binomial(n, p)). *)
+  let m1 = ref 0.0 and m2 = ref 0.0 in
+  let mn = ref infinity and mx = ref neg_infinity in
+  List.iter
+    (fun p ->
+      let c1 =
+        Binomial.expectation ~n:sample_size ~p (executed_cost t choices ~selectivity:p)
+      in
+      let c2 =
+        Binomial.expectation ~n:sample_size ~p (fun k ->
+            let c = executed_cost t choices ~selectivity:p k in
+            c *. c)
+      in
+      m1 := !m1 +. c1;
+      m2 := !m2 +. c2;
+      mn := Float.min !mn c1;
+      mx := Float.max !mx c1)
+    selectivities;
+  let count = float_of_int (List.length selectivities) in
+  let mean = !m1 /. count in
+  let variance = Float.max 0.0 ((!m2 /. count) -. (mean *. mean)) in
+  {
+    Summary.count = List.length selectivities;
+    mean;
+    variance;
+    std_dev = sqrt variance;
+    min = !mn;
+    max = !mx;
+  }
+
+let cost_over_workload ?prior t ~sample_size ~confidence ~selectivities =
+  let choices = choice_table ?prior t ~sample_size ~confidence in
+  cost_over_workload_choices t ~sample_size ~choices ~selectivities
+
+let cost_over_workload_rule ?prior t ~sample_size ~rule ~selectivities =
+  let choices = choice_table_rule ?prior t ~sample_size ~rule in
+  cost_over_workload_choices t ~sample_size ~choices ~selectivities

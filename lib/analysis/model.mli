@@ -1,0 +1,86 @@
+(** The Section-5 analytical model.
+
+    A single-table query against an N-row table chooses between two linear
+    plans: a stable one (sequential scan: high fixed cost, negligible
+    per-row cost) and a risky one (index intersection: low fixed cost,
+    high per-row cost).  Selectivity is estimated from an n-tuple sample at
+    confidence threshold T; the number of sample hits k is
+    Binomial(n, p), so every expectation below is an exact sum over k —
+    no simulation. *)
+
+open Rq_math
+open Rq_core
+
+type plan_cost = { fixed : float; per_row : float }
+(** cost(p) = fixed + per_row · p · N. *)
+
+type t = {
+  rows : float;       (** N *)
+  stable : plan_cost; (** optimal above the crossover (paper's P1) *)
+  risky : plan_cost;  (** optimal below the crossover (paper's P2) *)
+}
+
+val paper_model : t
+(** N = 6,000,000; stable f=35, v=3.5e-6; risky f=5, v=3.5e-3 —
+    crossover ~0.143% (Sec. 5.1). *)
+
+val high_crossover_model : t
+(** The Figure-8 perturbation: same stable plan, risky v=5.4e-5 with
+    f=19, moving the crossover to ~5.2%. *)
+
+val plan_execution_cost : t -> plan_cost -> selectivity:float -> float
+
+val crossover : t -> float
+(** The selectivity at which the two plans cost the same. *)
+
+val oracle_cost : t -> selectivity:float -> float
+(** Cost when the cheaper plan is always chosen (perfect estimation). *)
+
+type choice = Stable | Risky
+
+type estimate_rule =
+  | At_confidence of Confidence.t
+      (** the paper's rule: posterior quantile at the threshold *)
+  | Posterior_mean
+      (** collapse to E[s]; with linear plan costs this selects the
+          least-expected-cost plan (Chu, Halpern & Gehrke), so it doubles
+          as the LEC comparison point in the ablation bench *)
+  | Maximum_likelihood
+      (** the frequentist k/n of Acharya et al. (the estimate is 0 when
+          k = 0, so this rule always gambles on empty evidence) *)
+
+val choice_table :
+  ?prior:Prior.t -> t -> sample_size:int -> confidence:Confidence.t -> choice array
+(** Index k (0..n): the plan chosen when k of n sample tuples match.  The
+    risky plan is chosen iff the estimated selectivity is below the
+    crossover. *)
+
+val choice_table_rule :
+  ?prior:Prior.t -> t -> sample_size:int -> rule:estimate_rule -> choice array
+(** As {!choice_table} but under any single-value estimation rule. *)
+
+val cost_over_workload_rule :
+  ?prior:Prior.t -> t -> sample_size:int -> rule:estimate_rule ->
+  selectivities:float list -> Summary.t
+(** The Figure-6 coordinates for an arbitrary rule; lets the ablation
+    bench place posterior-mean (LEC) and maximum-likelihood points on the
+    same mean/stddev plane as the confidence-threshold frontier. *)
+
+val expected_cost :
+  ?prior:Prior.t -> t -> sample_size:int -> confidence:Confidence.t ->
+  selectivity:float -> float
+(** E over the sample of the executed plan's cost at the true selectivity
+    (the Figure-5/7/8 quantity). *)
+
+val risky_probability :
+  ?prior:Prior.t -> t -> sample_size:int -> confidence:Confidence.t ->
+  selectivity:float -> float
+(** Probability the optimizer picks the risky plan. *)
+
+val cost_over_workload :
+  ?prior:Prior.t -> t -> sample_size:int -> confidence:Confidence.t ->
+  selectivities:float list -> Summary.t
+(** Mean and standard deviation of execution cost when the query
+    selectivity is drawn uniformly from [selectivities] and the sample is
+    redrawn per query — the Figure-6 trade-off coordinates.  Exact (sums
+    binomial weights over every selectivity). *)

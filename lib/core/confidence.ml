@@ -1,0 +1,41 @@
+type t = float
+
+let of_fraction f =
+  if not (f > 0.0 && f < 1.0) then
+    invalid_arg "Confidence.of_fraction: must be strictly between 0 and 1";
+  f
+
+let of_percent p = of_fraction (p /. 100.0)
+let to_fraction t = t
+let to_percent t = t *. 100.0
+let median = 0.5
+
+type policy = Conservative | Moderate | Aggressive
+
+let of_policy = function
+  | Conservative -> 0.95
+  | Moderate -> 0.80
+  | Aggressive -> 0.50
+
+let policy_of_string s =
+  match String.lowercase_ascii s with
+  | "conservative" -> Ok Conservative
+  | "moderate" -> Ok Moderate
+  | "aggressive" -> Ok Aggressive
+  | other -> Error (Printf.sprintf "unknown robustness policy %S" other)
+
+let policy_to_string = function
+  | Conservative -> "conservative"
+  | Moderate -> "moderate"
+  | Aggressive -> "aggressive"
+
+type setting = { system_default : t } [@@unboxed]
+
+let default_setting = { system_default = of_policy Moderate }
+
+let resolve ?query_hint setting =
+  match query_hint with Some t -> t | None -> setting.system_default
+
+let equal = Float.equal
+let compare = Float.compare
+let pp fmt t = Format.fprintf fmt "%g%%" (to_percent t)

@@ -1,0 +1,47 @@
+(** Confidence thresholds: the paper's single tuning knob for the
+    performance/predictability trade-off (Sec. 3.1).
+
+    At threshold T, plan costs are estimated at the T-th percentile of
+    their distribution, so the optimizer is "T% confident" the actual cost
+    will not exceed its estimate.  Raising T makes plan choice conservative
+    (predictable); lowering it makes it aggressive.
+
+    The paper proposes two configuration levels (Sec. 6.2.5): a system-wide
+    robustness setting — conservative (95%), moderate (80%), aggressive
+    (50%) — and a per-query hint that overrides it. *)
+
+type t
+(** A threshold, strictly between 0 and 1. *)
+
+val of_percent : float -> t
+(** [of_percent 80.0]; raises [Invalid_argument] outside (0, 100). *)
+
+val of_fraction : float -> t
+(** Raises [Invalid_argument] outside (0, 1). *)
+
+val to_fraction : t -> float
+val to_percent : t -> float
+
+val median : t
+(** 50%: ranks plans by the median of their cost distributions. *)
+
+type policy = Conservative | Moderate | Aggressive
+
+val of_policy : policy -> t
+(** 95%, 80%, 50% respectively (the paper's recommended mapping). *)
+
+val policy_of_string : string -> (policy, string) result
+val policy_to_string : policy -> string
+
+type setting = { system_default : t } [@@unboxed]
+(** System-wide configuration. *)
+
+val default_setting : setting
+(** Moderate (80%), the paper's recommended general-purpose baseline. *)
+
+val resolve : ?query_hint:t -> setting -> t
+(** Query hint wins over the system default. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+let cost_percentile ~cost_of_selectivity posterior confidence =
+  cost_of_selectivity (Posterior.quantile posterior (Confidence.to_fraction confidence))
+
+(* Largest selectivity s in [0,1] with g(s) <= c, by bisection; relies on g
+   monotone non-decreasing. *)
+let invert_cost ~cost_of_selectivity c =
+  if cost_of_selectivity 0.0 > c then None
+  else if cost_of_selectivity 1.0 <= c then Some 1.0
+  else begin
+    let lo = ref 0.0 and hi = ref 1.0 in
+    for _ = 1 to 100 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if cost_of_selectivity mid <= c then lo := mid else hi := mid
+    done;
+    Some !lo
+  end
+
+let cost_cdf ~cost_of_selectivity posterior c =
+  match invert_cost ~cost_of_selectivity c with
+  | None -> 0.0
+  | Some s -> Posterior.cdf posterior s
+
+let cost_cdf_inverse ~cost_of_selectivity posterior p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Cost_transfer.cost_cdf_inverse: p outside [0,1]";
+  let c_lo = ref (cost_of_selectivity 0.0) and c_hi = ref (cost_of_selectivity 1.0) in
+  for _ = 1 to 100 do
+    let mid = 0.5 *. (!c_lo +. !c_hi) in
+    if cost_cdf ~cost_of_selectivity posterior mid < p then c_lo := mid else c_hi := mid
+  done;
+  0.5 *. (!c_lo +. !c_hi)
+
+let cost_pdf ~cost_of_selectivity posterior c =
+  let span = Float.abs (cost_of_selectivity 1.0 -. cost_of_selectivity 0.0) in
+  let h = Float.max 1e-9 (1e-5 *. Float.max span 1.0) in
+  (cost_cdf ~cost_of_selectivity posterior (c +. h)
+  -. cost_cdf ~cost_of_selectivity posterior (c -. h))
+  /. (2.0 *. h)
+
+let expected_cost ?(intervals = 2048) ~cost_of_selectivity posterior =
+  if intervals <= 0 || intervals mod 2 <> 0 then
+    invalid_arg "Cost_transfer.expected_cost: intervals must be positive and even";
+  (* Composite Simpson on f(s) = pdf(s) * g(s).  The Jeffreys-posterior pdf
+     can be singular at 0 and 1 (when k = 0 or k = n), so integrate on a
+     slightly clipped domain; the omitted mass is negligible for the
+     integrand g * pdf since g is bounded. *)
+  let eps = 1e-9 in
+  let a = eps and b = 1.0 -. eps in
+  let h = (b -. a) /. float_of_int intervals in
+  let f s = Posterior.pdf posterior s *. cost_of_selectivity s in
+  let acc = ref (f a +. f b) in
+  for i = 1 to intervals - 1 do
+    let s = a +. (float_of_int i *. h) in
+    acc := !acc +. ((if i mod 2 = 1 then 4.0 else 2.0) *. f s)
+  done;
+  !acc *. h /. 3.0

@@ -1,0 +1,40 @@
+(** Transferring the selectivity distribution to a cost distribution
+    (paper Sec. 3.1.1).
+
+    If a plan's execution cost g(s) increases monotonically in the
+    selectivity s, then the T-th percentile of the cost distribution equals
+    g applied to the T-th percentile of the selectivity distribution:
+    cdf_cost{^-1}(T) = g(cdf_sel{^-1}(T)).  So the estimator can invert the
+    *selectivity* cdf once and invoke the cost model once — no explicit
+    cost distribution is ever built, and the change stays confined to the
+    cardinality estimation module.
+
+    The explicit-distribution route is also implemented here (numerically),
+    both to draw the paper's Figures 2 and 3 and to *verify* the
+    equivalence in tests and the ablation bench. *)
+
+val cost_percentile :
+  cost_of_selectivity:(float -> float) -> Posterior.t -> Confidence.t -> float
+(** The fast path: [g (quantile T)]. *)
+
+val cost_cdf :
+  cost_of_selectivity:(float -> float) -> Posterior.t -> float -> float
+(** [cost_cdf ~cost_of_selectivity dist c] = Pr[g(s) <= c], computed by
+    bisection-inverting the monotone g over [0, 1] — the roundabout route
+    the fast path avoids. *)
+
+val cost_cdf_inverse :
+  cost_of_selectivity:(float -> float) -> Posterior.t -> float -> float
+(** Percentile of the explicit cost distribution; equals [cost_percentile]
+    for monotone costs (tested). *)
+
+val cost_pdf :
+  cost_of_selectivity:(float -> float) -> Posterior.t -> float -> float
+(** Numerical density of the cost distribution (central difference of
+    [cost_cdf]); used to reproduce Figure 2. *)
+
+val expected_cost :
+  ?intervals:int -> cost_of_selectivity:(float -> float) -> Posterior.t -> float
+(** E[g(s)] by composite Simpson quadrature over the selectivity
+    distribution (the least-expected-cost objective of Chu et al., used as
+    an ablation baseline). *)

@@ -1,0 +1,24 @@
+open Rq_math
+
+type t = { dist : Beta.t; evidence : (int * int) option }
+
+let infer ?(prior = Prior.default) ~successes ~trials () =
+  {
+    dist = Beta.posterior ~prior:(Prior.to_beta prior) ~successes ~trials;
+    evidence = Some (successes, trials);
+  }
+
+let of_distribution dist = { dist; evidence = None }
+let distribution t = t.dist
+let evidence t = t.evidence
+let mean t = Beta.mean t.dist
+let std_dev t = Beta.std_dev t.dist
+let quantile t f = Beta.quantile t.dist f
+let cdf t x = Beta.cdf t.dist x
+let pdf t x = Beta.pdf t.dist x
+let credible_interval t mass = Beta.credible_interval t.dist mass
+
+let pp fmt t =
+  match t.evidence with
+  | Some (k, n) -> Format.fprintf fmt "Posterior(%a | k=%d, n=%d)" Beta.pp t.dist k n
+  | None -> Format.fprintf fmt "Posterior(%a)" Beta.pp t.dist

@@ -1,0 +1,38 @@
+(** Posterior selectivity distributions inferred from sample evidence
+    (paper Sec. 3.3, Equation 2).
+
+    Observing that [k] of [n] uniformly-sampled tuples satisfy a predicate,
+    the tuples are i.i.d. Bernoulli(p) in the true selectivity p, so under a
+    Beta prior the posterior is Beta(k + a, n - k + b) — with the Jeffreys
+    prior, Beta(k + 1/2, n - k + 1/2). *)
+
+open Rq_math
+
+type t
+
+val infer : ?prior:Prior.t -> successes:int -> trials:int -> unit -> t
+(** Bayes's rule for binomial evidence; prior defaults to Jeffreys.
+    Requires [0 <= successes <= trials]. *)
+
+val of_distribution : Beta.t -> t
+(** Wrap an externally-derived selectivity distribution (the estimation
+    procedure is orthogonal to how the distribution was produced —
+    Sec. 3.2's closing remark). *)
+
+val distribution : t -> Beta.t
+val evidence : t -> (int * int) option
+(** [(k, n)] when built via [infer]. *)
+
+val mean : t -> float
+val std_dev : t -> float
+
+val quantile : t -> float -> float
+(** [quantile t f] is the selectivity s with Pr[p <= s] = f — the value the
+    estimator returns at confidence threshold f. *)
+
+val cdf : t -> float -> float
+val pdf : t -> float -> float
+
+val credible_interval : t -> float -> float * float
+
+val pp : Format.formatter -> t -> unit

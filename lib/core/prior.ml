@@ -1,0 +1,41 @@
+open Rq_math
+
+type t = Jeffreys | Uniform | Informed of Beta.t
+
+let default = Jeffreys
+
+let to_beta = function
+  | Jeffreys -> Beta.create ~alpha:0.5 ~beta:0.5
+  | Uniform -> Beta.create ~alpha:1.0 ~beta:1.0
+  | Informed b -> b
+
+let of_mean_strength ~mean ~strength =
+  if not (mean > 0.0 && mean < 1.0) then
+    invalid_arg "Prior.of_mean_strength: mean must be in (0,1)";
+  if strength <= 0.0 then invalid_arg "Prior.of_mean_strength: strength must be positive";
+  Informed (Beta.create ~alpha:(mean *. strength) ~beta:((1.0 -. mean) *. strength))
+
+let fit_from_selectivities selectivities =
+  let usable = List.filter (fun s -> s > 0.0 && s < 1.0) selectivities in
+  let n = List.length usable in
+  if n < 2 then Error "need at least two selectivities strictly inside (0, 1)"
+  else begin
+    let nf = float_of_int n in
+    let mean = List.fold_left ( +. ) 0.0 usable /. nf in
+    let variance =
+      List.fold_left (fun acc s -> acc +. ((s -. mean) ** 2.0)) 0.0 usable /. nf
+    in
+    if variance <= 0.0 then Error "selectivities are all identical; no spread to fit"
+    else if variance >= mean *. (1.0 -. mean) then
+      Error "sample variance too large for a Beta fit (variance >= mean(1-mean))"
+    else begin
+      (* Method of moments: alpha + beta = mean(1-mean)/var - 1. *)
+      let strength = (mean *. (1.0 -. mean) /. variance) -. 1.0 in
+      Ok (of_mean_strength ~mean ~strength)
+    end
+  end
+
+let pp fmt = function
+  | Jeffreys -> Format.pp_print_string fmt "Jeffreys"
+  | Uniform -> Format.pp_print_string fmt "Uniform"
+  | Informed b -> Format.fprintf fmt "Informed %a" Beta.pp b

@@ -1,0 +1,34 @@
+(** Prior distributions over query selectivity (paper Sec. 3.3).
+
+    With no workload knowledge, the paper adopts the Jeffreys prior
+    Beta(1/2, 1/2) — the standard non-informative prior for a Bernoulli
+    parameter — noting that the choice has little impact (Fig. 4).  The
+    uniform prior Beta(1, 1) and arbitrary informed Beta priors are also
+    supported so the ablation bench can reproduce that figure. *)
+
+open Rq_math
+
+type t =
+  | Jeffreys        (** Beta(1/2, 1/2); the paper's default *)
+  | Uniform         (** Beta(1, 1): all selectivities equally likely *)
+  | Informed of Beta.t  (** workload-derived prior *)
+
+val default : t
+(** [Jeffreys]. *)
+
+val to_beta : t -> Beta.t
+
+val of_mean_strength : mean:float -> strength:float -> t
+(** Informed prior with the given mean and equivalent-sample-size
+    [strength]: Beta(mean·strength, (1-mean)·strength).  Requires
+    0 < mean < 1 and strength > 0. *)
+
+val fit_from_selectivities : float list -> (t, string) result
+(** Workload-informed prior (paper Sec. 3.3: "if we have some prior
+    knowledge about the query workload, we may be able to use that
+    knowledge"): fits a Beta distribution to observed historical query
+    selectivities by the method of moments.  Needs at least two distinct
+    values in (0, 1); degenerate inputs report an error rather than a
+    bogus prior. *)
+
+val pp : Format.formatter -> t -> unit

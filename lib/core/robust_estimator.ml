@@ -1,0 +1,29 @@
+open Rq_math
+
+type t = { prior : Prior.t; confidence : Confidence.t }
+
+let create ?(prior = Prior.default) ~confidence () = { prior; confidence }
+
+let default =
+  { prior = Prior.default; confidence = Confidence.of_policy Confidence.Moderate }
+
+let posterior t ~successes ~trials = Posterior.infer ~prior:t.prior ~successes ~trials ()
+
+let estimate t ~successes ~trials =
+  Posterior.quantile (posterior t ~successes ~trials) (Confidence.to_fraction t.confidence)
+
+let estimate_from_distribution t dist =
+  Beta.quantile dist (Confidence.to_fraction t.confidence)
+
+let magic_distribution = Beta.create ~alpha:1.0 ~beta:9.0
+
+let estimate_no_statistics t = estimate_from_distribution t magic_distribution
+
+let magic_selectivity = 0.10
+
+let expected_value_estimate ~successes ~trials ?(prior = Prior.default) () =
+  Beta.mean (Beta.posterior ~prior:(Prior.to_beta prior) ~successes ~trials)
+
+let maximum_likelihood_estimate ~successes ~trials =
+  if trials <= 0 then invalid_arg "maximum_likelihood_estimate: trials must be positive";
+  float_of_int successes /. float_of_int trials

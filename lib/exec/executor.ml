@@ -1,0 +1,433 @@
+open Rq_storage
+
+type result = { schema : Schema.t; tuples : Relation.tuple array }
+
+let qualified_schema catalog table =
+  Schema.qualify table (Relation.schema (Catalog.find_table catalog table))
+
+(* Pages of index leaf level touched when [entries] of [total] entries are
+   read: the matching entries are contiguous in key order. *)
+let leaf_pages_touched idx entries =
+  let total = Index.entry_count idx in
+  if total = 0 || entries = 0 then 0
+  else
+    let pages = Index.leaf_page_count idx in
+    max 1 (int_of_float (ceil (float_of_int entries /. float_of_int total *. float_of_int pages)))
+
+let find_index_exn catalog ~table ~column =
+  match Catalog.find_index catalog ~table ~column with
+  | Some idx -> idx
+  | None -> invalid_arg (Printf.sprintf "Executor: no index on %s.%s" table column)
+
+(* Fetch heap rows by RID, charging one random page read per row (the paper's
+   index-intersection cost model: each qualifying record needs a random disk
+   read). *)
+let fetch_rids meter rel rids =
+  Cost.charge_random_pages meter (Rid_set.cardinality rids);
+  Cost.charge_cpu_tuples meter (Rid_set.cardinality rids);
+  let out = Array.make (Rid_set.cardinality rids) [||] in
+  let i = ref 0 in
+  Rid_set.iter
+    (fun rid ->
+      out.(!i) <- Relation.get rel rid;
+      incr i)
+    rids;
+  out
+
+let probe_index meter idx { Plan.column = _; lo; hi } =
+  Cost.charge_index_probes meter 1;
+  let count = Index.probe_range_count idx ~lo ~hi in
+  Cost.charge_index_entries meter count;
+  Cost.charge_seq_pages meter (leaf_pages_touched idx count);
+  Index.probe_range idx ~lo ~hi
+
+let exec_scan catalog meter ~table ~access ~pred =
+  let rel = Catalog.find_table catalog table in
+  let check = Pred.compile (Relation.schema rel) pred in
+  let matching =
+    match access with
+    | Plan.Seq_scan ->
+        Cost.charge_seq_pages meter (Relation.page_count rel);
+        Cost.charge_cpu_tuples meter (Relation.row_count rel);
+        let acc = ref [] in
+        Relation.iter (fun _ tup -> if check tup then acc := tup :: !acc) rel;
+        Array.of_list (List.rev !acc)
+    | Plan.Index_range probe ->
+        let idx = find_index_exn catalog ~table ~column:probe.Plan.column in
+        let rids = probe_index meter idx probe in
+        let fetched = fetch_rids meter rel rids in
+        Array.of_seq (Seq.filter check (Array.to_seq fetched))
+    | Plan.Index_intersect probes ->
+        (match probes with
+        | [] | [ _ ] -> invalid_arg "Executor: Index_intersect needs >= 2 probes"
+        | first :: rest ->
+            let idx0 = find_index_exn catalog ~table ~column:first.Plan.column in
+            let acc = ref (probe_index meter idx0 first) in
+            List.iter
+              (fun probe ->
+                let idx = find_index_exn catalog ~table ~column:probe.Plan.column in
+                let rids = probe_index meter idx probe in
+                Cost.charge_cpu_tuples meter
+                  (Rid_set.cardinality !acc + Rid_set.cardinality rids);
+                acc := Rid_set.inter !acc rids)
+              rest;
+            let fetched = fetch_rids meter rel !acc in
+            Array.of_seq (Seq.filter check (Array.to_seq fetched)))
+  in
+  { schema = qualified_schema catalog table; tuples = matching }
+
+(* The physical order a plan's output arrives in, if it is a clustered-key
+   order the merge join can rely on.  Seq scans emit heap order; index
+   fetches emit RID order, which is also heap order. *)
+let output_sorted_on catalog = function
+  | Plan.Scan { table; _ } -> (
+      match Catalog.clustered_by catalog table with
+      | Some col -> Some (table ^ "." ^ col)
+      | None -> None)
+  | _ -> None
+
+let concat_tuples a b =
+  let out = Array.make (Array.length a + Array.length b) Value.Null in
+  Array.blit a 0 out 0 (Array.length a);
+  Array.blit b 0 out (Array.length a) (Array.length b);
+  out
+
+let rec exec catalog meter plan =
+  match plan with
+  | Plan.Scan { table; access; pred } -> exec_scan catalog meter ~table ~access ~pred
+  | Plan.Hash_join { build; probe; build_key; probe_key } ->
+      let build_res = exec catalog meter build in
+      let probe_res = exec catalog meter probe in
+      let bpos = Schema.index_of build_res.schema build_key in
+      let ppos = Schema.index_of probe_res.schema probe_key in
+      let table = Hashtbl.create (max 16 (Array.length build_res.tuples)) in
+      Array.iter
+        (fun tup ->
+          let key = tup.(bpos) in
+          if not (Value.is_null key) then Hashtbl.add table key tup)
+        build_res.tuples;
+      Cost.charge_hash_build meter (Array.length build_res.tuples);
+      Cost.charge_hash_probe meter (Array.length probe_res.tuples);
+      let out = ref [] in
+      Array.iter
+        (fun ptup ->
+          let key = ptup.(ppos) in
+          if not (Value.is_null key) then
+            List.iter
+              (fun btup -> out := concat_tuples btup ptup :: !out)
+              (Hashtbl.find_all table key))
+        probe_res.tuples;
+      let tuples = Array.of_list (List.rev !out) in
+      Cost.charge_output_tuples meter (Array.length tuples);
+      { schema = Schema.concat build_res.schema probe_res.schema; tuples }
+  | Plan.Merge_join { left; right; left_key; right_key } ->
+      let sorted_left = output_sorted_on catalog left in
+      let sorted_right = output_sorted_on catalog right in
+      let left_res = exec catalog meter left in
+      let right_res = exec catalog meter right in
+      let lpos = Schema.index_of left_res.schema left_key in
+      let rpos = Schema.index_of right_res.schema right_key in
+      let ensure_sorted res pos already =
+        if already then res.tuples
+        else begin
+          Cost.charge_sort meter (Array.length res.tuples);
+          let copy = Array.copy res.tuples in
+          Array.sort (fun a b -> Value.compare a.(pos) b.(pos)) copy;
+          copy
+        end
+      in
+      let ltups = ensure_sorted left_res lpos (sorted_left = Some left_key) in
+      let rtups = ensure_sorted right_res rpos (sorted_right = Some right_key) in
+      Cost.charge_merge_tuples meter (Array.length ltups + Array.length rtups);
+      let out = ref [] in
+      let nl = Array.length ltups and nr = Array.length rtups in
+      let i = ref 0 and j = ref 0 in
+      while !i < nl && !j < nr do
+        let kv = ltups.(!i).(lpos) and rv = rtups.(!j).(rpos) in
+        if Value.is_null kv then incr i
+        else if Value.is_null rv then incr j
+        else
+          let c = Value.compare kv rv in
+          if c < 0 then incr i
+          else if c > 0 then incr j
+          else begin
+            (* Emit the cross product of the equal-key runs. *)
+            let i_end = ref !i in
+            while !i_end < nl && Value.compare ltups.(!i_end).(lpos) kv = 0 do
+              incr i_end
+            done;
+            let j_end = ref !j in
+            while !j_end < nr && Value.compare rtups.(!j_end).(rpos) rv = 0 do
+              incr j_end
+            done;
+            for a = !i to !i_end - 1 do
+              for b = !j to !j_end - 1 do
+                out := concat_tuples ltups.(a) rtups.(b) :: !out
+              done
+            done;
+            i := !i_end;
+            j := !j_end
+          end
+      done;
+      let tuples = Array.of_list (List.rev !out) in
+      Cost.charge_output_tuples meter (Array.length tuples);
+      { schema = Schema.concat left_res.schema right_res.schema; tuples }
+  | Plan.Indexed_nl_join { outer; outer_key; inner_table; inner_key; inner_pred } ->
+      let outer_res = exec catalog meter outer in
+      let opos = Schema.index_of outer_res.schema outer_key in
+      let inner_rel = Catalog.find_table catalog inner_table in
+      let idx = find_index_exn catalog ~table:inner_table ~column:inner_key in
+      let check = Pred.compile (Relation.schema inner_rel) inner_pred in
+      let out = ref [] in
+      Array.iter
+        (fun otup ->
+          let key = otup.(opos) in
+          if not (Value.is_null key) then begin
+            Cost.charge_index_probes meter 1;
+            let rids = Index.probe_eq idx key in
+            Cost.charge_index_entries meter (Rid_set.cardinality rids);
+            let fetched = fetch_rids meter inner_rel rids in
+            Array.iter
+              (fun itup -> if check itup then out := concat_tuples otup itup :: !out)
+              fetched
+          end)
+        outer_res.tuples;
+      let tuples = Array.of_list (List.rev !out) in
+      Cost.charge_output_tuples meter (Array.length tuples);
+      {
+        schema = Schema.concat outer_res.schema (qualified_schema catalog inner_table);
+        tuples;
+      }
+  | Plan.Star_semijoin { fact; fact_pred; dims } ->
+      exec_star_semijoin catalog meter ~fact ~fact_pred ~dims
+  | Plan.Filter (input, pred) ->
+      let res = exec catalog meter input in
+      let check = Pred.compile res.schema pred in
+      Cost.charge_cpu_tuples meter (Array.length res.tuples);
+      { res with tuples = Array.of_seq (Seq.filter check (Array.to_seq res.tuples)) }
+  | Plan.Project (input, cols) ->
+      let res = exec catalog meter input in
+      let positions = List.map (Schema.index_of res.schema) cols in
+      Cost.charge_cpu_tuples meter (Array.length res.tuples);
+      {
+        schema = Schema.project res.schema cols;
+        tuples =
+          Array.map (fun tup -> Array.of_list (List.map (fun p -> tup.(p)) positions)) res.tuples;
+      }
+  | Plan.Sort { input; keys } ->
+      let res = exec catalog meter input in
+      let positions =
+        List.map
+          (fun { Plan.sort_column; descending } ->
+            (Schema.index_of res.schema sort_column, descending))
+          keys
+      in
+      Cost.charge_sort meter (Array.length res.tuples);
+      let compare_rows a b =
+        let rec go = function
+          | [] -> 0
+          | (pos, descending) :: rest ->
+              let c = Value.compare a.(pos) b.(pos) in
+              if c <> 0 then if descending then -c else c else go rest
+        in
+        go positions
+      in
+      let sorted = Array.copy res.tuples in
+      (* Stable, so ties keep the input order (deterministic output). *)
+      let indexed = Array.mapi (fun i tup -> (i, tup)) sorted in
+      Array.sort
+        (fun (i, a) (j, b) ->
+          let c = compare_rows a b in
+          if c <> 0 then c else Int.compare i j)
+        indexed;
+      { res with tuples = Array.map snd indexed }
+  | Plan.Limit (input, n) ->
+      let res = exec catalog meter input in
+      let keep = max 0 (min n (Array.length res.tuples)) in
+      Cost.charge_cpu_tuples meter keep;
+      { res with tuples = Array.sub res.tuples 0 keep }
+  | Plan.Aggregate { input; group_by; aggs } -> exec_aggregate catalog meter ~input ~group_by ~aggs
+
+and exec_star_semijoin catalog meter ~fact ~fact_pred ~dims =
+  let fact_rel = Catalog.find_table catalog fact in
+  (* Phase 1: per dimension, scan it, collect qualifying keys, and semijoin
+     the fact table through its FK index. *)
+  let dim_results =
+    List.map
+      (fun { Plan.dim_table; dim_pred; fact_fk } ->
+        let dim_rel = Catalog.find_table catalog dim_table in
+        Cost.charge_seq_pages meter (Relation.page_count dim_rel);
+        Cost.charge_cpu_tuples meter (Relation.row_count dim_rel);
+        let check = Pred.compile (Relation.schema dim_rel) dim_pred in
+        let pk =
+          match Catalog.primary_key catalog dim_table with
+          | Some pk -> pk
+          | None -> invalid_arg (Printf.sprintf "Executor: dim %s has no primary key" dim_table)
+        in
+        let pk_pos = Schema.index_of (Relation.schema dim_rel) pk in
+        let lookup = Hashtbl.create 64 in
+        let keys = ref [] in
+        Relation.iter
+          (fun _ tup ->
+            if check tup then begin
+              Hashtbl.replace lookup tup.(pk_pos) tup;
+              keys := tup.(pk_pos) :: !keys
+            end)
+          dim_rel;
+        Cost.charge_hash_build meter (Hashtbl.length lookup);
+        let idx = find_index_exn catalog ~table:fact ~column:fact_fk in
+        let rid_chunks =
+          List.map
+            (fun key ->
+              Cost.charge_index_probes meter 1;
+              let rids = Index.probe_eq idx key in
+              Cost.charge_index_entries meter (Rid_set.cardinality rids);
+              Rid_set.to_array rids)
+            !keys
+        in
+        let semijoin_rids = Rid_set.of_unsorted (Array.concat rid_chunks) in
+        (fact_fk, lookup, semijoin_rids))
+      dims
+  in
+  (* Phase 2: intersect the per-dimension RID sets. *)
+  let surviving =
+    match dim_results with
+    | [] -> invalid_arg "Executor: Star_semijoin with no dimensions"
+    | (_, _, first) :: rest ->
+        List.fold_left
+          (fun acc (_, _, rids) ->
+            Cost.charge_cpu_tuples meter (Rid_set.cardinality acc + Rid_set.cardinality rids);
+            Rid_set.inter acc rids)
+          first rest
+  in
+  (* Phase 3: fetch qualifying fact rows once, apply the fact predicate and
+     stitch the dimension tuples back on. *)
+  let fact_schema = Relation.schema fact_rel in
+  let check_fact = Pred.compile fact_schema fact_pred in
+  let fetched = fetch_rids meter fact_rel surviving in
+  let fk_positions =
+    List.map (fun (fact_fk, lookup, _) -> (Schema.index_of fact_schema fact_fk, lookup)) dim_results
+  in
+  let out = ref [] in
+  Array.iter
+    (fun ftup ->
+      if check_fact ftup then begin
+        Cost.charge_hash_probe meter (List.length fk_positions);
+        let dim_tuples =
+          List.map (fun (pos, lookup) -> Hashtbl.find_opt lookup ftup.(pos)) fk_positions
+        in
+        if List.for_all Option.is_some dim_tuples then
+          let row =
+            List.fold_left
+              (fun acc d -> concat_tuples acc (Option.get d))
+              ftup dim_tuples
+          in
+          out := row :: !out
+      end)
+    fetched;
+  let tuples = Array.of_list (List.rev !out) in
+  Cost.charge_output_tuples meter (Array.length tuples);
+  let schema =
+    List.fold_left
+      (fun acc { Plan.dim_table; _ } -> Schema.concat acc (qualified_schema catalog dim_table))
+      (qualified_schema catalog fact)
+      dims
+  in
+  { schema; tuples }
+
+and exec_aggregate catalog meter ~input ~group_by ~aggs =
+  let res = exec catalog meter input in
+  let group_positions = List.map (Schema.index_of res.schema) group_by in
+  let agg_fns =
+    List.map
+      (fun { Plan.fn; _ } ->
+        match fn with
+        | Plan.Count_star -> `Count
+        | Plan.Count e -> `Count_expr (Expr.compile res.schema e)
+        | Plan.Sum e -> `Sum (Expr.compile res.schema e)
+        | Plan.Avg e -> `Avg (Expr.compile res.schema e)
+        | Plan.Min e -> `Min (Expr.compile res.schema e)
+        | Plan.Max e -> `Max (Expr.compile res.schema e))
+      aggs
+  in
+  (* Per-group accumulators: count, sum, min, max per aggregate slot. *)
+  let module State = struct
+    type t = { mutable count : int; mutable sum : float; mutable min_v : Value.t; mutable max_v : Value.t }
+
+    let create () = { count = 0; sum = 0.0; min_v = Value.Null; max_v = Value.Null }
+  end in
+  let groups : (Value.t list, State.t array) Hashtbl.t = Hashtbl.create 64 in
+  let touch key =
+    match Hashtbl.find_opt groups key with
+    | Some states -> states
+    | None ->
+        let states = Array.init (List.length agg_fns) (fun _ -> State.create ()) in
+        Hashtbl.add groups key states;
+        states
+  in
+  Cost.charge_hash_build meter (Array.length res.tuples);
+  Array.iter
+    (fun tup ->
+      let key = List.map (fun p -> tup.(p)) group_positions in
+      let states = touch key in
+      List.iteri
+        (fun i fn ->
+          let st = states.(i) in
+          match fn with
+          | `Count -> st.State.count <- st.State.count + 1
+          | `Count_expr f -> (
+              match f tup with
+              | Value.Null -> ()
+              | _ -> st.State.count <- st.State.count + 1)
+          | `Sum f | `Avg f -> (
+              match f tup with
+              | Value.Null -> ()
+              | v ->
+                  st.State.count <- st.State.count + 1;
+                  st.State.sum <- st.State.sum +. Value.to_float v)
+          | `Min f -> (
+              match f tup with
+              | Value.Null -> ()
+              | v ->
+                  if Value.is_null st.State.min_v || Value.compare v st.State.min_v < 0 then
+                    st.State.min_v <- v)
+          | `Max f -> (
+              match f tup with
+              | Value.Null -> ()
+              | v ->
+                  if Value.is_null st.State.max_v || Value.compare v st.State.max_v > 0 then
+                    st.State.max_v <- v))
+        agg_fns)
+    res.tuples;
+  (* SQL semantics: grand-total aggregation yields one row even on empty
+     input. *)
+  if group_by = [] && Hashtbl.length groups = 0 then ignore (touch []);
+  let finalize states =
+    List.mapi
+      (fun i fn ->
+        let st = states.(i) in
+        match fn with
+        | `Count | `Count_expr _ -> Value.Int st.State.count
+        | `Sum _ -> if st.State.count = 0 then Value.Null else Value.Float st.State.sum
+        | `Avg _ ->
+            if st.State.count = 0 then Value.Null
+            else Value.Float (st.State.sum /. float_of_int st.State.count)
+        | `Min _ -> st.State.min_v
+        | `Max _ -> st.State.max_v)
+      agg_fns
+  in
+  let rows =
+    Hashtbl.fold (fun key states acc -> Array.of_list (key @ finalize states) :: acc) groups []
+  in
+  Cost.charge_output_tuples meter (List.length rows);
+  let schema = Plan.schema_of catalog (Plan.Aggregate { input; group_by; aggs }) in
+  { schema; tuples = Array.of_list rows }
+
+let run catalog meter plan = exec catalog meter plan
+
+let run_timed catalog ?constants ?scale plan =
+  let meter = Cost.create ?constants ?scale () in
+  let res = run catalog meter plan in
+  (res, Cost.snapshot meter)
+
+let result_to_relation ~name { schema; tuples } = Relation.create ~name ~schema tuples

@@ -1,0 +1,19 @@
+(** Volcano-style plan execution with cost accounting.
+
+    [run] materializes the plan's result and charges every page read, index
+    probe and per-tuple operation to the supplied cost meter; the meter's
+    accumulated simulated seconds are the "query execution time" that the
+    experiments report. *)
+
+open Rq_storage
+
+type result = { schema : Schema.t; tuples : Relation.tuple array }
+
+val run : Catalog.t -> Cost.t -> Plan.t -> result
+(** Raises [Invalid_argument] on ill-formed plans (missing index, key out of
+    scope); run [Plan.validate] first for a friendly error. *)
+
+val run_timed : Catalog.t -> ?constants:Cost.constants -> ?scale:float -> Plan.t -> result * Cost.snapshot
+(** Convenience: fresh meter, run, snapshot. *)
+
+val result_to_relation : name:string -> result -> Relation.t

@@ -1,0 +1,91 @@
+(** Physical query plans.
+
+    The plan algebra covers exactly the plan families the paper's
+    experiments exercise: sequential scans; single-index range scans; the
+    risky index-intersection access method (Sec. 2.1); hash, merge and
+    indexed-nested-loop joins (Exp. 2); the semijoin-intersection star-join
+    strategy and its hybrid with hash joins (Exp. 3); and group-by
+    aggregation.
+
+    Naming convention: a scan of table [t] outputs columns qualified as
+    ["t.column"]; predicates *inside* access paths use unqualified base
+    column names, predicates above scans use qualified names. *)
+
+open Rq_storage
+
+type probe = { column : string; lo : Value.t option; hi : Value.t option }
+(** One index range probe: [lo <= column <= hi], [None] = open. *)
+
+type access =
+  | Seq_scan
+  | Index_range of probe
+      (** probe one index, fetch matching rows by RID *)
+  | Index_intersect of probe list
+      (** probe several indexes, intersect RID sets, fetch survivors;
+          requires at least two probes *)
+
+type agg_fn =
+  | Count_star             (** count of all rows *)
+  | Count of Expr.t        (** count of rows where the expression is not NULL *)
+  | Sum of Expr.t
+  | Avg of Expr.t
+  | Min of Expr.t
+  | Max of Expr.t
+
+type agg = { fn : agg_fn; output_name : string }
+
+type sort_key = { sort_column : string; descending : bool }
+
+type star_dim = {
+  dim_table : string;
+  dim_pred : Pred.t;   (** on the dimension's base schema *)
+  fact_fk : string;    (** fact column with an FK to the dimension *)
+}
+
+type t =
+  | Scan of { table : string; access : access; pred : Pred.t }
+      (** [pred] is the full base-table predicate (unqualified names); it is
+          re-checked on fetched rows, so access paths may cover it only
+          partially *)
+  | Hash_join of { build : t; probe : t; build_key : string; probe_key : string }
+      (** keys are qualified output column names *)
+  | Merge_join of { left : t; right : t; left_key : string; right_key : string }
+      (** inputs are sorted on the keys if not already (sorting is charged
+          unless the input is a scan clustered on the key) *)
+  | Indexed_nl_join of {
+      outer : t;
+      outer_key : string;       (** qualified column of the outer plan *)
+      inner_table : string;
+      inner_key : string;       (** indexed base column of the inner table *)
+      inner_pred : Pred.t;      (** residual on the inner base schema *)
+    }
+  | Star_semijoin of { fact : string; fact_pred : Pred.t; dims : star_dim list }
+      (** Exp.-3 strategy: semijoin the fact table with each filtered
+          dimension via the fact's FK indexes, intersect the RID sets, fetch
+          qualifying fact rows once, then stitch dimension columns back on *)
+  | Filter of t * Pred.t
+  | Project of t * string list
+  | Aggregate of { input : t; group_by : string list; aggs : agg list }
+  | Sort of { input : t; keys : sort_key list }
+      (** stable sort on qualified output columns; always charges a sort *)
+  | Limit of t * int
+      (** first n rows of the input's order *)
+
+val schema_of : Catalog.t -> t -> Schema.t
+(** Output schema (qualified names).  Raises if the plan is ill-formed
+    (unknown tables/columns). *)
+
+val base_tables : t -> string list
+(** Tables referenced, without duplicates, in first-appearance order. *)
+
+val validate : Catalog.t -> t -> (unit, string) result
+(** Structural checks: indexes exist for every probe, intersect has >= 2
+    probes, FK edges exist for star dims, keys are in scope. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line EXPLAIN-style rendering. *)
+
+val describe : t -> string
+(** One-line plan shape, e.g. ["IdxIsect(lineitem)"] or
+    ["Hash(Hash(INL(part,lineitem)),orders)"]; used to label which plan the
+    optimizer picked in experiment output. *)

@@ -1,0 +1,48 @@
+(** Boolean predicates over tuples (conjunctions, comparisons, BETWEEN,
+    substring match).
+
+    Predicates are evaluated both by the executor (to produce query results)
+    and by the estimators (on histogram buckets or sample tuples). *)
+
+open Rq_storage
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | False
+  | Cmp of cmp * Expr.t * Expr.t
+  | Between of Expr.t * Expr.t * Expr.t  (** [Between (e, lo, hi)] = lo <= e <= hi *)
+  | Contains of Expr.t * string          (** substring match *)
+  | And of t list
+  | Or of t list
+  | Not of t
+
+val eq : Expr.t -> Expr.t -> t
+val lt : Expr.t -> Expr.t -> t
+val le : Expr.t -> Expr.t -> t
+val gt : Expr.t -> Expr.t -> t
+val ge : Expr.t -> Expr.t -> t
+val between : Expr.t -> Expr.t -> Expr.t -> t
+val conj : t list -> t
+(** Conjunction, flattening nested [And]s and dropping [True]. *)
+
+val columns : t -> string list
+(** Referenced column names, deduplicated. *)
+
+val conjuncts : t -> t list
+(** Top-level conjuncts ([t] itself when not a conjunction). *)
+
+type compiled = Relation.tuple -> bool
+
+val compile : Schema.t -> t -> compiled
+(** Comparisons involving Null are false (SQL three-valued logic collapsed
+    to WHERE semantics: only TRUE qualifies). *)
+
+val eval : Schema.t -> t -> Relation.tuple -> bool
+
+val rename_columns : (string -> string) -> t -> t
+(** Rewrites every column reference (used to qualify base-table predicates as
+    ["table.column"] above joins). *)
+
+val pp : Format.formatter -> t -> unit

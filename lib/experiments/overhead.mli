@@ -1,0 +1,20 @@
+(** Estimation overhead (paper Sec. 6.1).
+
+    The paper reports 30–40% more optimization time with sample-based
+    estimation than with histograms.  This module measures wall-clock
+    optimization time for both estimators over the three experiment
+    templates (the Bechamel micro-benchmarks in bench/ cover the same
+    comparison with proper statistical machinery). *)
+
+type measurement = {
+  query : string;
+  histogram_ms : float;   (** mean per-optimization time, milliseconds *)
+  robust_ms : float;
+  ratio : float;          (** robust / histogram *)
+}
+
+type config = { seed : int; iterations : int; scale_factor : float; sample_size : int }
+
+val default_config : config
+
+val run : ?config:config -> unit -> measurement list

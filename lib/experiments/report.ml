@@ -1,0 +1,97 @@
+let buffered f =
+  let buf = Buffer.create 512 in
+  f buf;
+  Buffer.contents buf
+
+let rows_table rows =
+  buffered (fun buf ->
+      match rows with
+      | [] -> ()
+      | first :: _ ->
+          let labels = List.map fst first.Exp_common.series in
+          Buffer.add_string buf "parameter\tselectivity%\t";
+          Buffer.add_string buf
+            (String.concat "\t" (List.map (fun l -> l ^ "_mean\t" ^ l ^ "_std") labels));
+          Buffer.add_char buf '\n';
+          List.iter
+            (fun row ->
+              Buffer.add_string buf
+                (Printf.sprintf "%g\t%.4f" row.Exp_common.parameter
+                   (100.0 *. row.Exp_common.selectivity));
+              List.iter
+                (fun label ->
+                  let cell = List.assoc label row.Exp_common.series in
+                  Buffer.add_string buf
+                    (Printf.sprintf "\t%.3f\t%.3f" (Exp_common.cell_mean cell)
+                       (Exp_common.cell_std cell)))
+                labels;
+              Buffer.add_char buf '\n')
+            rows)
+
+let plan_mix rows =
+  buffered (fun buf ->
+      Buffer.add_string buf "# plans chosen (parameter -> series -> plan:count)\n";
+      List.iter
+        (fun row ->
+          List.iter
+            (fun (label, cell) ->
+              let mix =
+                String.concat ", "
+                  (List.map
+                     (fun (p, c) -> Printf.sprintf "%s:%d" p c)
+                     cell.Exp_common.plans)
+              in
+              Buffer.add_string buf
+                (Printf.sprintf "#   %g\t%s\t%s\n" row.Exp_common.parameter label mix))
+            row.Exp_common.series)
+        rows)
+
+let tradeoff_table tradeoff =
+  buffered (fun buf ->
+      Buffer.add_string buf "series\tavg_time\tstd_dev\n";
+      List.iter
+        (fun (label, s) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s\t%.3f\t%.3f\n" label s.Rq_math.Summary.mean
+               s.Rq_math.Summary.std_dev))
+        tradeoff)
+
+let sample_size_table points =
+  buffered (fun buf ->
+      Buffer.add_string buf "sample_size\tavg_time\tstd_dev\tplans\n";
+      List.iter
+        (fun { Exp_sample_size.sample_size; summary; plans } ->
+          let mix =
+            String.concat ", " (List.map (fun (p, c) -> Printf.sprintf "%s:%d" p c) plans)
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%d\t%.3f\t%.3f\t%s\n" sample_size summary.Rq_math.Summary.mean
+               summary.Rq_math.Summary.std_dev mix))
+        points)
+
+let overhead_table measurements =
+  buffered (fun buf ->
+      Buffer.add_string buf "query\thistogram_ms\trobust_ms\tratio\n";
+      List.iter
+        (fun { Overhead.query; histogram_ms; robust_ms; ratio } ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s\t%.3f\t%.3f\t%.2fx\n" query histogram_ms robust_ms ratio))
+        measurements)
+
+let partial_stats_table rows =
+  buffered (fun buf ->
+      match rows with
+      | [] -> ()
+      | first :: _ ->
+          let labels = List.map fst first.Exp_partial_stats.estimates in
+          Buffer.add_string buf ("p_bucket\ttrue_rows\t" ^ String.concat "\t" labels ^ "\n");
+          List.iter
+            (fun row ->
+              Buffer.add_string buf
+                (Printf.sprintf "%d\t%d" row.Exp_partial_stats.bucket
+                   row.Exp_partial_stats.true_rows);
+              List.iter
+                (fun (_, est) -> Buffer.add_string buf (Printf.sprintf "\t%.1f" est))
+                row.Exp_partial_stats.estimates;
+              Buffer.add_char buf '\n')
+            rows)

@@ -1,0 +1,107 @@
+open Rq_exec
+open Rq_optimizer
+
+type query_report = {
+  sql : string;
+  plan : string;
+  threshold_percent : float;
+  estimated_seconds : float;
+  simulated_seconds : float;
+  oracle_seconds : float;
+  rows : int;
+}
+
+type report = {
+  queries : query_report list;
+  total_seconds : float;
+  mean_seconds : float;
+  std_dev_seconds : float;
+  worst_regret : float;
+}
+
+let ( let* ) = Result.bind
+
+let run ?(setting = Rq_core.Confidence.default_setting) ?(sample_size = 500) ?(seed = 42)
+    ?(scale = 1.0) catalog sqls =
+  let rng = Rq_math.Rng.create seed in
+  let stats =
+    Rq_stats.Stats_store.update_statistics (Rq_math.Rng.split rng)
+      ~config:{ Rq_stats.Stats_store.default_config with sample_size }
+      catalog
+  in
+  let oracle_optimizer = Optimizer.create ~scale stats (Cardinality.oracle catalog) in
+  let measure plan =
+    let meter = Cost.create ~scale () in
+    let result = Executor.run catalog meter plan in
+    ((Cost.snapshot meter).Cost.seconds, Array.length result.Executor.tuples)
+  in
+  let run_one sql =
+    let* bound = Rq_sql.Binder.compile catalog sql in
+    let confidence =
+      Rq_core.Confidence.resolve ?query_hint:bound.Rq_sql.Binder.confidence_hint setting
+    in
+    let opt = Optimizer.robust ~scale ~confidence stats in
+    let* decision =
+      Result.map_error (fun e -> Printf.sprintf "%S: %s" sql e)
+        (Optimizer.optimize opt bound.Rq_sql.Binder.query)
+    in
+    let simulated_seconds, rows = measure decision.Optimizer.plan in
+    let oracle_seconds =
+      match Optimizer.optimize oracle_optimizer bound.Rq_sql.Binder.query with
+      | Ok oracle_decision -> fst (measure oracle_decision.Optimizer.plan)
+      | Error _ -> simulated_seconds
+    in
+    Ok
+      {
+        sql;
+        plan = Plan.describe decision.Optimizer.plan;
+        threshold_percent = Rq_core.Confidence.to_percent confidence;
+        estimated_seconds = decision.Optimizer.estimated_cost;
+        simulated_seconds;
+        oracle_seconds;
+        rows;
+      }
+  in
+  let rec run_all acc = function
+    | [] -> Ok (List.rev acc)
+    | sql :: rest ->
+        let* report = run_one sql in
+        run_all (report :: acc) rest
+  in
+  let* queries = run_all [] sqls in
+  if queries = [] then Error "empty workload"
+  else begin
+    let times = Array.of_list (List.map (fun q -> q.simulated_seconds) queries) in
+    let summary = Rq_math.Summary.of_array times in
+    let worst_regret =
+      List.fold_left
+        (fun acc q -> Float.max acc (q.simulated_seconds /. Float.max q.oracle_seconds 1e-9))
+        1.0 queries
+    in
+    Ok
+      {
+        queries;
+        total_seconds = Array.fold_left ( +. ) 0.0 times;
+        mean_seconds = summary.Rq_math.Summary.mean;
+        std_dev_seconds = summary.Rq_math.Summary.std_dev;
+        worst_regret;
+      }
+  end
+
+let render report =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-4s %-44s %6s %10s %10s %10s %8s\n" "#" "plan" "T%" "est_s" "sim_s"
+       "oracle_s" "rows");
+  List.iteri
+    (fun i q ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-4d %-44s %6.0f %10.2f %10.2f %10.2f %8d\n" (i + 1) q.plan
+           q.threshold_percent q.estimated_seconds q.simulated_seconds q.oracle_seconds q.rows))
+    report.queries;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "total %.2f s over %d queries; mean %.2f s; stddev %.2f s; worst regret %.2fx\n"
+       report.total_seconds (List.length report.queries) report.mean_seconds
+       report.std_dev_seconds report.worst_regret);
+  Buffer.contents buf

@@ -1,0 +1,42 @@
+(** Batch workload evaluation: run a list of SQL queries under a
+    robustness policy and report per-query and aggregate behaviour.
+
+    This is the operational loop the paper's introduction motivates — a
+    DBA asking "how predictable is my workload under this setting?" —
+    packaged as a library call (and the CLI's [batch] command).  Each
+    query is parsed, bound (hints honored), optimized, and executed on
+    the cost-accounting engine; the report includes the oracle plan's
+    time so regret is visible per query. *)
+
+open Rq_storage
+
+type query_report = {
+  sql : string;
+  plan : string;                  (** chosen plan, [Plan.describe] form *)
+  threshold_percent : float;      (** after hint resolution *)
+  estimated_seconds : float;
+  simulated_seconds : float;
+  oracle_seconds : float;         (** the exact-cardinality plan's time *)
+  rows : int;
+}
+
+type report = {
+  queries : query_report list;
+  total_seconds : float;
+  mean_seconds : float;
+  std_dev_seconds : float;
+  worst_regret : float;           (** max over queries of simulated/oracle *)
+}
+
+val run :
+  ?setting:Rq_core.Confidence.setting ->
+  ?sample_size:int ->
+  ?seed:int ->
+  ?scale:float ->
+  Catalog.t ->
+  string list ->
+  (report, string) result
+(** Statistics are built once (one draw) and shared by all queries, as a
+    live system would.  The first SQL error aborts with its message. *)
+
+val render : report -> string

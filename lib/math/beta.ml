@@ -1,0 +1,49 @@
+type t = { alpha : float; beta : float }
+
+let create ~alpha ~beta =
+  let ok x = Float.is_finite x && x > 0.0 in
+  if not (ok alpha && ok beta) then
+    invalid_arg "Beta.create: shapes must be positive and finite";
+  { alpha; beta }
+
+let posterior ~prior ~successes ~trials =
+  if successes < 0 || successes > trials then
+    invalid_arg "Beta.posterior: need 0 <= successes <= trials";
+  create
+    ~alpha:(prior.alpha +. float_of_int successes)
+    ~beta:(prior.beta +. float_of_int (trials - successes))
+
+let mean { alpha; beta } = alpha /. (alpha +. beta)
+
+let variance { alpha; beta } =
+  let s = alpha +. beta in
+  alpha *. beta /. (s *. s *. (s +. 1.0))
+
+let std_dev t = sqrt (variance t)
+
+let mode { alpha; beta } =
+  if alpha > 1.0 && beta > 1.0 then Some ((alpha -. 1.0) /. (alpha +. beta -. 2.0))
+  else None
+
+let log_pdf { alpha; beta } x =
+  if x < 0.0 || x > 1.0 then neg_infinity
+  else if x = 0.0 then (if alpha < 1.0 then infinity else if alpha = 1.0 then (beta -. 1.0) *. log 1.0 -. Special.log_beta alpha beta else neg_infinity)
+  else if x = 1.0 then (if beta < 1.0 then infinity else if beta = 1.0 then (alpha -. 1.0) *. log 1.0 -. Special.log_beta alpha beta else neg_infinity)
+  else
+    ((alpha -. 1.0) *. log x)
+    +. ((beta -. 1.0) *. log (1.0 -. x))
+    -. Special.log_beta alpha beta
+
+let pdf t x = exp (log_pdf t x)
+
+let cdf { alpha; beta } x =
+  if x <= 0.0 then 0.0 else if x >= 1.0 then 1.0 else Special.betainc ~alpha ~beta x
+
+let quantile { alpha; beta } p = Special.betainc_inv ~alpha ~beta p
+
+let credible_interval t mass =
+  if mass < 0.0 || mass > 1.0 then invalid_arg "Beta.credible_interval";
+  let tail = (1.0 -. mass) /. 2.0 in
+  (quantile t tail, quantile t (1.0 -. tail))
+
+let pp fmt { alpha; beta } = Format.fprintf fmt "Beta(%g, %g)" alpha beta

@@ -1,0 +1,65 @@
+let check ~n ~p =
+  if n < 0 then invalid_arg "Binomial: n < 0";
+  if p < 0.0 || p > 1.0 then invalid_arg "Binomial: p outside [0,1]"
+
+let log_pmf ~n ~p k =
+  check ~n ~p;
+  if k < 0 || k > n then invalid_arg "Binomial.log_pmf: k outside support";
+  if p = 0.0 then (if k = 0 then 0.0 else neg_infinity)
+  else if p = 1.0 then (if k = n then 0.0 else neg_infinity)
+  else
+    Special.log_choose n k
+    +. (float_of_int k *. log p)
+    +. (float_of_int (n - k) *. log (1.0 -. p))
+
+let pmf ~n ~p k = exp (log_pmf ~n ~p k)
+
+let cdf ~n ~p k =
+  check ~n ~p;
+  if k < 0 then 0.0
+  else if k >= n then 1.0
+  else
+    (* Pr[K <= k] = I_{1-p}(n-k, k+1). *)
+    Special.betainc ~alpha:(float_of_int (n - k)) ~beta:(float_of_int (k + 1)) (1.0 -. p)
+
+let mean ~n ~p =
+  check ~n ~p;
+  float_of_int n *. p
+
+let variance ~n ~p =
+  check ~n ~p;
+  float_of_int n *. p *. (1.0 -. p)
+
+let fold_support ~n ~p ~init ~f =
+  check ~n ~p;
+  let negligible = 1e-18 in
+  (* Walk outward from the mode so we can stop once each tail has decayed. *)
+  let mode = int_of_float (Float.round (float_of_int n *. p)) in
+  let mode = max 0 (min n mode) in
+  let acc = ref init in
+  (* Upward from the mode (inclusive). *)
+  let k = ref mode in
+  let continue = ref true in
+  while !continue && !k <= n do
+    let w = pmf ~n ~p !k in
+    if w < negligible && !k > mode then continue := false
+    else begin
+      acc := f !acc !k w;
+      incr k
+    end
+  done;
+  (* Downward from mode - 1. *)
+  let k = ref (mode - 1) in
+  let continue = ref true in
+  while !continue && !k >= 0 do
+    let w = pmf ~n ~p !k in
+    if w < negligible then continue := false
+    else begin
+      acc := f !acc !k w;
+      decr k
+    end
+  done;
+  !acc
+
+let expectation ~n ~p g =
+  fold_support ~n ~p ~init:0.0 ~f:(fun acc k w -> acc +. (w *. g k))

@@ -1,0 +1,26 @@
+(** The binomial distribution.
+
+    The Section-5 analytical model computes expected plan outcomes exactly by
+    summing over the binomially-distributed number of sample tuples that
+    satisfy the query predicate. *)
+
+val log_pmf : n:int -> p:float -> int -> float
+(** [log_pmf ~n ~p k] is log Pr[K = k] for K ~ Binomial(n, p).
+    Requires [0 <= k <= n] and [p] in [0,1]. *)
+
+val pmf : n:int -> p:float -> int -> float
+
+val cdf : n:int -> p:float -> int -> float
+(** Pr[K <= k], via the regularized incomplete beta identity. *)
+
+val mean : n:int -> p:float -> float
+val variance : n:int -> p:float -> float
+
+val fold_support : n:int -> p:float -> init:'a -> f:('a -> int -> float -> 'a) -> 'a
+(** [fold_support ~n ~p ~init ~f] folds [f acc k (pmf k)] over k = 0..n,
+    skipping terms with negligible probability (< 1e-18) once both tails are
+    passed, so sweeps with n in the thousands stay cheap while the retained
+    mass is 1 - O(1e-15). *)
+
+val expectation : n:int -> p:float -> (int -> float) -> float
+(** [expectation ~n ~p g] = E[g(K)]. *)

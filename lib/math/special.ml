@@ -1,0 +1,119 @@
+(* Lanczos approximation with g = 7, n = 9 coefficients (Boost/GSL choice). *)
+let lanczos_coefficients =
+  [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+     771.32342877765313; -176.61502916214059; 12.507343278686905;
+     -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
+
+let rec log_gamma x =
+  if x <= 0.0 then invalid_arg "Special.log_gamma: non-positive argument"
+  else if x < 0.5 then
+    (* Reflection keeps the Lanczos sum in its accurate range. *)
+    log (Float.pi /. sin (Float.pi *. x)) -. log_gamma (1.0 -. x)
+  else begin
+    let x = x -. 1.0 in
+    let acc = ref lanczos_coefficients.(0) in
+    for i = 1 to 8 do
+      acc := !acc +. (lanczos_coefficients.(i) /. (x +. float_of_int i))
+    done;
+    let t = x +. 7.5 in
+    (0.5 *. log (2.0 *. Float.pi)) +. ((x +. 0.5) *. log t) -. t +. log !acc
+  end
+
+let log_beta a b = log_gamma a +. log_gamma b -. log_gamma (a +. b)
+
+let log_choose n k =
+  if k < 0 || k > n then invalid_arg "Special.log_choose"
+  else
+    log_gamma (float_of_int (n + 1))
+    -. log_gamma (float_of_int (k + 1))
+    -. log_gamma (float_of_int (n - k + 1))
+
+(* Continued fraction for the incomplete beta function (Lentz's method), as
+   in Numerical Recipes betacf.  Converges fast for x < (a+1)/(a+b+2). *)
+let beta_continued_fraction ~alpha:a ~beta:b x =
+  let max_iterations = 300 in
+  let epsilon = 3e-16 in
+  let tiny = 1e-300 in
+  let qab = a +. b and qap = a +. 1.0 and qam = a -. 1.0 in
+  let c = ref 1.0 in
+  let d = ref (1.0 -. (qab *. x /. qap)) in
+  if Float.abs !d < tiny then d := tiny;
+  d := 1.0 /. !d;
+  let h = ref !d in
+  let m = ref 1 in
+  let converged = ref false in
+  while (not !converged) && !m <= max_iterations do
+    let mf = float_of_int !m in
+    let m2 = 2.0 *. mf in
+    (* Even step. *)
+    let aa = mf *. (b -. mf) *. x /. ((qam +. m2) *. (a +. m2)) in
+    d := 1.0 +. (aa *. !d);
+    if Float.abs !d < tiny then d := tiny;
+    c := 1.0 +. (aa /. !c);
+    if Float.abs !c < tiny then c := tiny;
+    d := 1.0 /. !d;
+    h := !h *. !d *. !c;
+    (* Odd step. *)
+    let aa = -.(a +. mf) *. (qab +. mf) *. x /. ((a +. m2) *. (qap +. m2)) in
+    d := 1.0 +. (aa *. !d);
+    if Float.abs !d < tiny then d := tiny;
+    c := 1.0 +. (aa /. !c);
+    if Float.abs !c < tiny then c := tiny;
+    d := 1.0 /. !d;
+    let delta = !d *. !c in
+    h := !h *. delta;
+    if Float.abs (delta -. 1.0) < epsilon then converged := true;
+    incr m
+  done;
+  !h
+
+let betainc ~alpha ~beta x =
+  if alpha <= 0.0 || beta <= 0.0 then invalid_arg "Special.betainc: shape <= 0";
+  if x <= 0.0 then 0.0
+  else if x >= 1.0 then 1.0
+  else begin
+    let log_front =
+      (alpha *. log x) +. (beta *. log (1.0 -. x)) -. log_beta alpha beta
+    in
+    let front = exp log_front in
+    if x < (alpha +. 1.0) /. (alpha +. beta +. 2.0) then
+      front *. beta_continued_fraction ~alpha ~beta x /. alpha
+    else
+      1.0 -. (front *. beta_continued_fraction ~alpha:beta ~beta:alpha (1.0 -. x) /. beta)
+  end
+
+let betainc_inv ~alpha ~beta p =
+  if alpha <= 0.0 || beta <= 0.0 then invalid_arg "Special.betainc_inv: shape <= 0";
+  if p < 0.0 || p > 1.0 then invalid_arg "Special.betainc_inv: p outside [0,1]";
+  if p = 0.0 then 0.0
+  else if p = 1.0 then 1.0
+  else begin
+    (* Newton iteration on F(x) - p with bisection bracketing for safety. *)
+    let lo = ref 0.0 and hi = ref 1.0 in
+    let x = ref (alpha /. (alpha +. beta)) in
+    let log_beta_ab = log_beta alpha beta in
+    let pdf x =
+      if x <= 0.0 || x >= 1.0 then 0.0
+      else exp (((alpha -. 1.0) *. log x) +. ((beta -. 1.0) *. log (1.0 -. x)) -. log_beta_ab)
+    in
+    (try
+       for _ = 1 to 200 do
+         let f = betainc ~alpha ~beta !x -. p in
+         if f > 0.0 then hi := !x else lo := !x;
+         if Float.abs f < 1e-14 then raise Exit;
+         let d = pdf !x in
+         let next = if d > 0.0 then !x -. (f /. d) else nan in
+         let next =
+           if Float.is_nan next || next <= !lo || next >= !hi then
+             0.5 *. (!lo +. !hi)
+           else next
+         in
+         if Float.abs (next -. !x) < 1e-15 *. (Float.abs !x +. 1e-15) then begin
+           x := next;
+           raise Exit
+         end;
+         x := next
+       done
+     with Exit -> ());
+    !x
+  end

@@ -1,0 +1,25 @@
+(** Special functions needed for Bayesian selectivity inference.
+
+    All functions operate in log space where overflow is a concern, so they
+    stay accurate for the sample sizes the estimator uses (tens to a few
+    thousand tuples) and far beyond. *)
+
+val log_gamma : float -> float
+(** Natural log of the gamma function, for positive arguments.
+    Lanczos approximation, |relative error| < 1e-13 over [0.5, 1e6]. *)
+
+val log_beta : float -> float -> float
+(** [log_beta a b] = log B(a,b) = log_gamma a + log_gamma b - log_gamma (a+b). *)
+
+val log_choose : int -> int -> float
+(** [log_choose n k] = log (n choose k).  Requires [0 <= k <= n]. *)
+
+val betainc : alpha:float -> beta:float -> float -> float
+(** [betainc ~alpha ~beta x] is the regularized incomplete beta function
+    I_x(alpha, beta) for [x] in [0,1] — the cdf of the Beta(alpha, beta)
+    distribution.  Continued-fraction evaluation (Lentz). *)
+
+val betainc_inv : alpha:float -> beta:float -> float -> float
+(** [betainc_inv ~alpha ~beta p] returns x such that I_x(alpha,beta) = p,
+    for [p] in [0,1].  Newton iteration with bisection safeguarding;
+    accurate to ~1e-12. *)

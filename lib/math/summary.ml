@@ -1,0 +1,66 @@
+type t = {
+  count : int;
+  mean : float;
+  variance : float;
+  std_dev : float;
+  min : float;
+  max : float;
+}
+
+let of_array xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Summary.of_array: empty";
+  (* Welford's online algorithm. *)
+  let mean = ref 0.0 and m2 = ref 0.0 in
+  let mn = ref xs.(0) and mx = ref xs.(0) in
+  Array.iteri
+    (fun i x ->
+      let delta = x -. !mean in
+      mean := !mean +. (delta /. float_of_int (i + 1));
+      m2 := !m2 +. (delta *. (x -. !mean));
+      if x < !mn then mn := x;
+      if x > !mx then mx := x)
+    xs;
+  let variance = !m2 /. float_of_int n in
+  { count = n; mean = !mean; variance; std_dev = sqrt variance; min = !mn; max = !mx }
+
+let of_list xs = of_array (Array.of_list xs)
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Summary.percentile: empty";
+  if p < 0.0 || p > 1.0 then invalid_arg "Summary.percentile: p outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let h = p *. float_of_int (n - 1) in
+  let lo = max 0 (min (n - 1) (int_of_float h)) in
+  let hi = min (n - 1) (lo + 1) in
+  let frac = h -. float_of_int lo in
+  sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let weighted pairs =
+  let total_weight = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 pairs in
+  if total_weight <= 0.0 then invalid_arg "Summary.weighted: weights must sum > 0";
+  List.iter (fun (_, w) -> if w < 0.0 then invalid_arg "Summary.weighted: negative weight") pairs;
+  let mean =
+    List.fold_left (fun acc (x, w) -> acc +. (x *. w)) 0.0 pairs /. total_weight
+  in
+  let variance =
+    List.fold_left (fun acc (x, w) -> acc +. (w *. (x -. mean) *. (x -. mean))) 0.0 pairs
+    /. total_weight
+  in
+  let values = List.map fst pairs in
+  let mn = List.fold_left Float.min infinity values in
+  let mx = List.fold_left Float.max neg_infinity values in
+  {
+    count = List.length pairs;
+    mean;
+    variance;
+    std_dev = sqrt variance;
+    min = mn;
+    max = mx;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "{n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g}" t.count t.mean
+    t.std_dev t.min t.max

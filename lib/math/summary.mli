@@ -1,0 +1,32 @@
+(** Summary statistics over samples of floats.
+
+    Used by the experiment harness to report the paper's two evaluation
+    metrics: average query execution time and its standard deviation across
+    the queries of a scenario (paper Sec. 5.2). *)
+
+type t = {
+  count : int;
+  mean : float;
+  variance : float;  (** population variance (divides by n) *)
+  std_dev : float;
+  min : float;
+  max : float;
+}
+
+val of_array : float array -> t
+(** Raises [Invalid_argument] on an empty array.  Single-pass Welford
+    accumulation, numerically stable. *)
+
+val of_list : float list -> t
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [0,1]: linear interpolation between order
+    statistics (type-7 quantile).  Does not mutate the input. *)
+
+val weighted : (float * float) list -> t
+(** [weighted pairs] where each pair is [(value, weight)]; weights must be
+    non-negative and sum to a positive total.  [count] reports the number of
+    pairs.  Used by the analytical model, which mixes plan costs with
+    binomial weights. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,264 @@
+open Rq_storage
+open Rq_exec
+open Rq_stats
+open Rq_core
+
+type t = {
+  name : string;
+  expression_cardinality : Logical.table_ref list -> float;
+  table_selectivity : table:string -> Pred.t -> float;
+  group_count : Logical.table_ref list -> string list -> float;
+}
+
+let names_of refs = List.map (fun (r : Logical.table_ref) -> r.Logical.table) refs
+
+let root_of catalog refs =
+  match names_of refs with
+  | [ single ] -> Some single
+  | names -> Stats_store.root_of_expression catalog names
+
+let root_size catalog refs =
+  match root_of catalog refs with
+  | Some root -> float_of_int (Relation.row_count (Catalog.find_table catalog root))
+  | None ->
+      (* Disconnected or rootless expressions do not arise from validated
+         queries; degrade to the largest table. *)
+      List.fold_left
+        (fun acc name ->
+          Float.max acc (float_of_int (Relation.row_count (Catalog.find_table catalog name))))
+        0.0 (names_of refs)
+
+let expression_selectivity catalog t refs =
+  let size = root_size catalog refs in
+  if size <= 0.0 then 0.0 else t.expression_cardinality refs /. size
+
+let qualified_pred (r : Logical.table_ref) =
+  Pred.rename_columns (fun c -> r.Logical.table ^ "." ^ c) r.Logical.pred
+
+(* ------------------------------------------------------------------ *)
+(* Robust (the paper's estimator)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let robust stats estimator =
+  let catalog = Stats_store.catalog stats in
+  (* Optimization repeatedly asks for the same (synopsis, predicate)
+     evidence — once per access path, once per DP subset visit.  Sample
+     contents are fixed for the life of the store, so the counts are
+     memoized on the predicate's rendering (Sec. 6.1 points at exactly this
+     optimization). *)
+  let evidence_cache : (string, int * int) Hashtbl.t = Hashtbl.create 64 in
+  (* Quantile inversion costs microseconds; the distinct (k, n) pairs seen
+     during one optimization are few. *)
+  let quantile_cache : (int * int, float) Hashtbl.t = Hashtbl.create 32 in
+  let cached_estimate ~successes ~trials =
+    match Hashtbl.find_opt quantile_cache (successes, trials) with
+    | Some s -> s
+    | None ->
+        let s = Robust_estimator.estimate estimator ~successes ~trials in
+        Hashtbl.replace quantile_cache (successes, trials) s;
+        s
+  in
+  let cached_evidence syn pred =
+    (* Conjunct order varies with plan shape but not the predicate's
+       meaning; normalize so every ordering hits the same entry. *)
+    let rendered =
+      Pred.conjuncts pred
+      |> List.map (Format.asprintf "%a" Pred.pp)
+      |> List.sort String.compare
+      |> String.concat " AND "
+    in
+    let key = Join_synopsis.root syn ^ "|" ^ rendered in
+    match Hashtbl.find_opt evidence_cache key with
+    | Some counts -> counts
+    | None ->
+        let counts = Join_synopsis.evidence syn pred in
+        Hashtbl.replace evidence_cache key counts;
+        counts
+  in
+  let table_selectivity ~table pred =
+    match Stats_store.synopsis stats ~root:table with
+    | Some syn ->
+        let qualified = Pred.rename_columns (fun c -> table ^ "." ^ c) pred in
+        let k, n = cached_evidence syn qualified in
+        cached_estimate ~successes:k ~trials:n
+    | None -> Robust_estimator.estimate_no_statistics estimator
+  in
+  let expression_cardinality refs =
+    let names = names_of refs in
+    match Stats_store.synopsis_for stats names with
+    | Some syn ->
+        let pred = Pred.conj (List.map qualified_pred refs) in
+        let k, n = cached_evidence syn pred in
+        cached_estimate ~successes:k ~trials:n *. float_of_int (Join_synopsis.root_size syn)
+    | None ->
+        (* Sec.-3.5 fallback: no covering synopsis.  Estimate each table's
+           predicate from its own sample (robustly) and combine under AVI +
+           containment; the error is confined to this expression. *)
+        let sel =
+          List.fold_left
+            (fun acc (r : Logical.table_ref) ->
+              acc *. table_selectivity ~table:r.Logical.table r.Logical.pred)
+            1.0 refs
+        in
+        sel *. root_size catalog refs
+  in
+  let group_count refs group_by =
+    let names = names_of refs in
+    match Stats_store.synopsis_for stats names with
+    | Some syn ->
+        let pred = Pred.conj (List.map qualified_pred refs) in
+        let sample = Sample.rows (Join_synopsis.sample syn) in
+        let check = Pred.compile (Relation.schema sample) pred in
+        let matching =
+          Array.of_seq (Seq.filter check (Relation.to_seq sample))
+        in
+        if Array.length matching = 0 then 1.0
+        else
+          let matching_rel =
+            Relation.create ~name:"group_sample" ~schema:(Relation.schema sample) matching
+          in
+          let population = int_of_float (Float.max 1.0 (expression_cardinality refs)) in
+          Distinct.estimate_groups ~sample:matching_rel ~columns:group_by
+            ~population_size:population
+    | None -> Float.max 1.0 (expression_cardinality refs *. 0.1)
+  in
+  { name = "robust-sampling"; expression_cardinality; table_selectivity; group_count }
+
+(* ------------------------------------------------------------------ *)
+(* Histogram + AVI (the baseline)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let histogram_avi stats =
+  let catalog = Stats_store.catalog stats in
+  let table_selectivity ~table pred = Stats_store.histogram_selectivity stats ~table pred in
+  let expression_cardinality refs =
+    let sel =
+      List.fold_left
+        (fun acc (r : Logical.table_ref) ->
+          acc *. table_selectivity ~table:r.Logical.table r.Logical.pred)
+        1.0 refs
+    in
+    sel *. root_size catalog refs
+  in
+  let group_count refs group_by =
+    (* Product of per-column distinct counts, capped by the expression's
+       own cardinality — the conventional estimate. *)
+    let card = expression_cardinality refs in
+    let distinct_product =
+      List.fold_left
+        (fun acc qualified_col ->
+          match String.index_opt qualified_col '.' with
+          | None -> acc
+          | Some i ->
+              let table = String.sub qualified_col 0 i in
+              let column =
+                String.sub qualified_col (i + 1) (String.length qualified_col - i - 1)
+              in
+              (match Stats_store.histogram stats ~table ~column with
+              | Some h -> acc *. float_of_int (max 1 (Histogram.estimated_distinct h))
+              | None -> acc *. 10.0))
+        1.0 group_by
+    in
+    Float.max 1.0 (Float.min card distinct_product)
+  in
+  { name = "histogram-avi"; expression_cardinality; table_selectivity; group_count }
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: robust per-table samples, AVI across tables               *)
+(* ------------------------------------------------------------------ *)
+
+let sample_avi stats estimator =
+  let catalog = Stats_store.catalog stats in
+  let robust_est = robust stats estimator in
+  let table_selectivity = robust_est.table_selectivity in
+  let expression_cardinality refs =
+    let sel =
+      List.fold_left
+        (fun acc (r : Logical.table_ref) ->
+          acc *. table_selectivity ~table:r.Logical.table r.Logical.pred)
+        1.0 refs
+    in
+    sel *. root_size catalog refs
+  in
+  {
+    name = "sample-avi";
+    expression_cardinality;
+    table_selectivity;
+    group_count = robust_est.group_count;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: join synopses with maximum-likelihood interpretation      *)
+(* ------------------------------------------------------------------ *)
+
+let sample_ml stats =
+  let catalog = Stats_store.catalog stats in
+  let ml_of_evidence (k, n) =
+    if n <= 0 then Robust_estimator.magic_selectivity
+    else Robust_estimator.maximum_likelihood_estimate ~successes:k ~trials:n
+  in
+  let table_selectivity ~table pred =
+    match Stats_store.synopsis stats ~root:table with
+    | Some syn ->
+        ml_of_evidence
+          (Join_synopsis.evidence syn (Pred.rename_columns (fun c -> table ^ "." ^ c) pred))
+    | None -> Robust_estimator.magic_selectivity
+  in
+  let expression_cardinality refs =
+    let names = names_of refs in
+    match Stats_store.synopsis_for stats names with
+    | Some syn ->
+        let pred = Pred.conj (List.map qualified_pred refs) in
+        ml_of_evidence (Join_synopsis.evidence syn pred)
+        *. float_of_int (Join_synopsis.root_size syn)
+    | None ->
+        List.fold_left
+          (fun acc (r : Logical.table_ref) ->
+            acc *. table_selectivity ~table:r.Logical.table r.Logical.pred)
+          1.0 refs
+        *. root_size catalog refs
+  in
+  let group_count refs _ = Float.max 1.0 (expression_cardinality refs *. 0.1) in
+  { name = "sample-ml"; expression_cardinality; table_selectivity; group_count }
+
+(* ------------------------------------------------------------------ *)
+(* Oracle                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fixed_selectivity catalog sel =
+  if sel < 0.0 || sel > 1.0 then invalid_arg "Cardinality.fixed_selectivity: outside [0,1]";
+  let expression_cardinality refs =
+    (* Unpredicated expressions keep their true size (FK joins preserve the
+       root); the constant only stands in for predicate selectivity. *)
+    let has_predicate =
+      List.exists (fun (r : Logical.table_ref) -> r.Logical.pred <> Pred.True) refs
+    in
+    if has_predicate then sel *. root_size catalog refs else root_size catalog refs
+  in
+  {
+    name = Printf.sprintf "fixed-selectivity(%g)" sel;
+    expression_cardinality;
+    table_selectivity = (fun ~table:_ pred -> if pred = Pred.True then 1.0 else sel);
+    group_count = (fun refs _ -> Float.max 1.0 (0.1 *. expression_cardinality refs));
+  }
+
+let oracle catalog =
+  let expression_cardinality refs = float_of_int (Naive.cardinality catalog refs) in
+  let table_selectivity ~table pred =
+    let rel = Catalog.find_table catalog table in
+    let rows = Relation.row_count rel in
+    if rows = 0 then 0.0
+    else
+      float_of_int (Relation.filter_count rel (Pred.compile (Relation.schema rel) pred))
+      /. float_of_int rows
+  in
+  let group_count refs group_by =
+    let result = Naive.evaluate catalog refs in
+    let positions = List.map (Schema.index_of result.Executor.schema) group_by in
+    let seen = Hashtbl.create 64 in
+    Array.iter
+      (fun tup -> Hashtbl.replace seen (List.map (fun p -> tup.(p)) positions) ())
+      result.Executor.tuples;
+    float_of_int (max 1 (Hashtbl.length seen))
+  in
+  { name = "oracle"; expression_cardinality; table_selectivity; group_count }

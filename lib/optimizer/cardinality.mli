@@ -1,0 +1,59 @@
+(** Pluggable cardinality estimation (the module boundary the paper keeps:
+    everything else in the optimizer is estimator-agnostic).
+
+    Two production estimators are provided — the paper's robust
+    sampling-based procedure and the conventional histogram + attribute
+    value independence baseline — plus an exact oracle for tests, and an
+    AVI-over-samples hybrid for the ablation that isolates the value of
+    join synopses. *)
+
+open Rq_storage
+open Rq_exec
+
+type t = {
+  name : string;
+  expression_cardinality : Logical.table_ref list -> float;
+      (** estimated row count of an SPJ expression *)
+  table_selectivity : table:string -> Pred.t -> float;
+      (** estimated selectivity of a predicate over one table (used to cost
+          index probes and dimension filters) *)
+  group_count : Logical.table_ref list -> string list -> float;
+      (** estimated number of GROUP BY groups over qualified columns *)
+}
+
+val expression_selectivity : Catalog.t -> t -> Logical.table_ref list -> float
+(** [expression_cardinality] divided by the root relation's size. *)
+
+val robust : Rq_stats.Stats_store.t -> Rq_core.Robust_estimator.t -> t
+(** The paper's estimator: evidence from the covering join synopsis,
+    Bayesian posterior, quantile at the estimator's confidence threshold.
+    Fallbacks (Sec. 3.5): per-table synopses combined under AVI when no
+    covering synopsis exists; the magic distribution when a table has no
+    statistics at all.  Group counts use GEE over the synopsis. *)
+
+val histogram_avi : Rq_stats.Stats_store.t -> t
+(** The baseline: per-column equi-depth histograms combined under the AVI
+    and containment assumptions (FK joins are cardinality-preserving, so an
+    expression's cardinality is the root size times the product of
+    per-table selectivities). *)
+
+val sample_avi : Rq_stats.Stats_store.t -> Rq_core.Robust_estimator.t -> t
+(** Ablation estimator: per-table samples interpreted robustly, but
+    combined across tables with AVI (i.e. join synopses disabled). *)
+
+val sample_ml : Rq_stats.Stats_store.t -> t
+(** Ablation estimator: the same join synopses, interpreted with the
+    maximum-likelihood k/n of Acharya et al. [1] instead of a posterior
+    quantile — isolating the value of the Bayesian interpretation from
+    the value of sampling.  At k = 0 it estimates exactly zero, so it
+    always gambles on empty evidence. *)
+
+val oracle : Catalog.t -> t
+(** Exact answers via {!Naive}; for tests and error measurement only. *)
+
+val fixed_selectivity : Catalog.t -> float -> t
+(** An estimator that answers every selectivity question with the given
+    constant.  Costing a plan under a sweep of these traces out its cost
+    as a function of assumed selectivity — the engine-level analogue of
+    the paper's Figure-1 curves, used to locate real plan crossover
+    points (see {!Costing} and the [profile] CLI command). *)

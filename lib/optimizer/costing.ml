@@ -1,0 +1,278 @@
+open Rq_storage
+open Rq_exec
+
+type estimate = { cost : float; card : float }
+
+let pred_of_probe { Plan.column; lo; hi } =
+  match (lo, hi) with
+  | Some l, Some h -> Pred.between (Expr.col column) (Expr.Const l) (Expr.Const h)
+  | Some l, None -> Pred.ge (Expr.col column) (Expr.Const l)
+  | None, Some h -> Pred.le (Expr.col column) (Expr.Const h)
+  | None, None -> Pred.True
+
+(* Logical table refs covered by a subplan, for expression-cardinality
+   queries.  Filter conjuncts that mention a single table are folded into
+   that table's predicate. *)
+let rec refs_of plan : Logical.table_ref list =
+  match plan with
+  | Plan.Scan { table; pred; _ } -> [ { Logical.table; pred } ]
+  | Plan.Hash_join { build; probe; _ } -> refs_of build @ refs_of probe
+  | Plan.Merge_join { left; right; _ } -> refs_of left @ refs_of right
+  | Plan.Indexed_nl_join { outer; inner_table; inner_pred; _ } ->
+      refs_of outer @ [ { Logical.table = inner_table; pred = inner_pred } ]
+  | Plan.Star_semijoin { fact; fact_pred; dims } ->
+      { Logical.table = fact; pred = fact_pred }
+      :: List.map
+           (fun { Plan.dim_table; dim_pred; _ } -> { Logical.table = dim_table; pred = dim_pred })
+           dims
+  | Plan.Filter (input, pred) ->
+      let refs = refs_of input in
+      let strip_prefix table c =
+        let prefix = table ^ "." in
+        let pl = String.length prefix in
+        if String.length c > pl && String.sub c 0 pl = prefix then
+          String.sub c pl (String.length c - pl)
+        else c
+      in
+      let merge_conjunct refs conjunct =
+        let cols = Pred.columns conjunct in
+        let owner_of c = match String.index_opt c '.' with
+          | Some i -> Some (String.sub c 0 i)
+          | None -> None
+        in
+        match List.filter_map owner_of cols with
+        | owner :: rest when List.for_all (String.equal owner) rest ->
+            List.map
+              (fun (r : Logical.table_ref) ->
+                if String.equal r.Logical.table owner then
+                  {
+                    r with
+                    Logical.pred =
+                      Pred.conj
+                        [ r.Logical.pred;
+                          Pred.rename_columns (strip_prefix owner) conjunct ];
+                  }
+                else r)
+              refs
+        | _ -> refs
+      in
+      List.fold_left merge_conjunct refs (Pred.conjuncts pred)
+  | Plan.Project (input, _) -> refs_of input
+  | Plan.Sort { input; _ } | Plan.Limit (input, _) -> refs_of input
+  | Plan.Aggregate { input; _ } -> refs_of input
+
+let estimate catalog ?(constants = Cost.default_constants) ?(scale = 1.0) est plan =
+  let c = constants in
+  let card_of refs = Float.max 0.0 (est.Cardinality.expression_cardinality refs) in
+  let table_sel table pred =
+    Float.max 0.0 (Float.min 1.0 (est.Cardinality.table_selectivity ~table pred))
+  in
+  let seq_pages n = float_of_int n *. c.Cost.seq_page_read_s in
+  let rand_fetch rows = rows *. (c.Cost.random_page_read_s +. c.Cost.cpu_tuple_s) in
+  let leaf_pages_cost idx entries =
+    let total = float_of_int (Index.entry_count idx) in
+    if total <= 0.0 || entries <= 0.0 then 0.0
+    else
+      let pages = float_of_int (Index.leaf_page_count idx) in
+      Float.max 1.0 (ceil (entries /. total *. pages)) *. c.Cost.seq_page_read_s
+  in
+  let index_of table column =
+    match Catalog.find_index catalog ~table ~column with
+    | Some idx -> idx
+    | None -> invalid_arg (Printf.sprintf "Costing: no index on %s.%s" table column)
+  in
+  let probe_cost table probe =
+    let idx = index_of table probe.Plan.column in
+    let rel = Catalog.find_table catalog table in
+    let entries =
+      float_of_int (Relation.row_count rel) *. table_sel table (pred_of_probe probe)
+    in
+    let cost =
+      c.Cost.index_probe_s
+      +. (entries *. c.Cost.cpu_index_entry_s)
+      +. leaf_pages_cost idx entries
+    in
+    (cost, entries)
+  in
+  let rec go plan =
+    match plan with
+    | Plan.Scan { table; access; pred } -> (
+        let rel = Catalog.find_table catalog table in
+        let rows = float_of_int (Relation.row_count rel) in
+        let card = card_of [ { Logical.table; pred } ] in
+        match access with
+        | Plan.Seq_scan ->
+            {
+              cost = seq_pages (Relation.page_count rel) +. (rows *. c.Cost.cpu_tuple_s);
+              card;
+            }
+        | Plan.Index_range probe ->
+            let pcost, entries = probe_cost table probe in
+            { cost = pcost +. rand_fetch entries; card }
+        | Plan.Index_intersect probes ->
+            let pcosts = List.map (probe_cost table) probes in
+            let probes_cost = List.fold_left (fun acc (pc, _) -> acc +. pc) 0.0 pcosts in
+            let total_entries = List.fold_left (fun acc (_, e) -> acc +. e) 0.0 pcosts in
+            (* Joint selectivity of all probe conditions together: the
+               estimate where AVI and sampling part ways. *)
+            let joint = table_sel table (Pred.conj (List.map pred_of_probe probes)) in
+            let surviving = rows *. joint in
+            {
+              cost =
+                probes_cost
+                +. (total_entries *. c.Cost.cpu_tuple_s)
+                +. rand_fetch surviving;
+              card;
+            })
+    | Plan.Hash_join { build; probe; _ } ->
+        let b = go build and p = go probe in
+        let card = card_of (refs_of plan) in
+        {
+          cost =
+            b.cost +. p.cost
+            +. (b.card *. c.Cost.hash_build_s)
+            +. (p.card *. c.Cost.hash_probe_s)
+            +. (card *. c.Cost.output_tuple_s);
+          card;
+        }
+    | Plan.Merge_join { left; right; left_key; right_key } ->
+        let l = go left and r = go right in
+        let sorted_on sub =
+          match sub with
+          | Plan.Scan { table; _ } -> (
+              match Catalog.clustered_by catalog table with
+              | Some col -> Some (table ^ "." ^ col)
+              | None -> None)
+          | _ -> None
+        in
+        let sort_cost sub (e : estimate) key =
+          if sorted_on sub = Some key then 0.0
+          else e.card *. (log (Float.max 2.0 e.card) /. log 2.0) *. c.Cost.sort_tuple_s
+        in
+        let card = card_of (refs_of plan) in
+        {
+          cost =
+            l.cost +. r.cost
+            +. sort_cost left l left_key
+            +. sort_cost right r right_key
+            +. ((l.card +. r.card) *. c.Cost.merge_tuple_s)
+            +. (card *. c.Cost.output_tuple_s);
+          card;
+        }
+    | Plan.Indexed_nl_join { outer; inner_table; inner_pred; _ } ->
+        let o = go outer in
+        let fetched =
+          card_of (refs_of outer @ [ { Logical.table = inner_table; pred = Pred.True } ])
+        in
+        let card =
+          card_of (refs_of outer @ [ { Logical.table = inner_table; pred = inner_pred } ])
+        in
+        {
+          cost =
+            o.cost
+            +. (o.card *. c.Cost.index_probe_s)
+            +. (fetched *. c.Cost.cpu_index_entry_s)
+            +. rand_fetch fetched
+            +. (card *. c.Cost.output_tuple_s);
+          card;
+        }
+    | Plan.Star_semijoin { fact; fact_pred = _; dims } ->
+        let dim_cost =
+          List.fold_left
+            (fun acc { Plan.dim_table; dim_pred; _ } ->
+              let dim_rel = Catalog.find_table catalog dim_table in
+              let dim_rows = float_of_int (Relation.row_count dim_rel) in
+              let qualifying = dim_rows *. table_sel dim_table dim_pred in
+              (* The per-dimension semijoin: probe the fact FK index once per
+                 qualifying dimension key; total entries returned is the size
+                 of fact >< dim_i. *)
+              let semijoin_entries =
+                card_of
+                  [ { Logical.table = fact; pred = Pred.True };
+                    { Logical.table = dim_table; pred = dim_pred } ]
+              in
+              acc
+              +. seq_pages (Relation.page_count dim_rel)
+              +. (dim_rows *. c.Cost.cpu_tuple_s)
+              +. (qualifying *. c.Cost.hash_build_s)
+              +. (qualifying *. c.Cost.index_probe_s)
+              +. (semijoin_entries *. c.Cost.cpu_index_entry_s)
+              +. (semijoin_entries *. c.Cost.cpu_tuple_s))
+            0.0 dims
+        in
+        let fetched =
+          card_of
+            ({ Logical.table = fact; pred = Pred.True }
+            :: List.map
+                 (fun { Plan.dim_table; dim_pred; _ } ->
+                   { Logical.table = dim_table; pred = dim_pred })
+                 dims)
+        in
+        let card = card_of (refs_of plan) in
+        {
+          cost =
+            dim_cost +. rand_fetch fetched
+            +. (card *. float_of_int (List.length dims) *. c.Cost.hash_probe_s)
+            +. (card *. c.Cost.output_tuple_s);
+          card;
+        }
+    | Plan.Filter (input, _) ->
+        let i = go input in
+        let card = card_of (refs_of plan) in
+        { cost = i.cost +. (i.card *. c.Cost.cpu_tuple_s); card }
+    | Plan.Project (input, _) ->
+        let i = go input in
+        { cost = i.cost +. (i.card *. c.Cost.cpu_tuple_s); card = i.card }
+    | Plan.Sort { input; _ } ->
+        let i = go input in
+        {
+          cost =
+            i.cost
+            +. (i.card *. (log (Float.max 2.0 i.card) /. log 2.0) *. c.Cost.sort_tuple_s);
+          card = i.card;
+        }
+    | Plan.Limit (input, n) ->
+        let i = go input in
+        let card = Float.min i.card (float_of_int n) in
+        { cost = i.cost +. (card *. c.Cost.cpu_tuple_s); card }
+    | Plan.Aggregate { input; group_by; _ } ->
+        let i = go input in
+        let groups =
+          if group_by = [] then 1.0
+          else Float.max 1.0 (est.Cardinality.group_count (refs_of input) group_by)
+        in
+        {
+          cost =
+            i.cost +. (i.card *. c.Cost.hash_build_s) +. (groups *. c.Cost.output_tuple_s);
+          card = groups;
+        }
+  in
+  let e = go plan in
+  { e with cost = e.cost *. scale }
+
+let plan_cost catalog ?constants ?scale est plan =
+  (estimate catalog ?constants ?scale est plan).cost
+
+let cost_curve catalog ?constants ?scale ~selectivities plan =
+  List.map
+    (fun sel ->
+      (sel, plan_cost catalog ?constants ?scale (Cardinality.fixed_selectivity catalog sel) plan))
+    selectivities
+
+let crossover_points catalog ?constants ?scale ?(grid = 400) plan_a plan_b =
+  let point i = float_of_int i /. float_of_int grid in
+  let sign i =
+    let sel = point i in
+    let est = Cardinality.fixed_selectivity catalog sel in
+    compare
+      (plan_cost catalog ?constants ?scale est plan_a)
+      (plan_cost catalog ?constants ?scale est plan_b)
+  in
+  let crossings = ref [] in
+  let previous = ref (sign 0) in
+  for i = 1 to grid do
+    let s = sign i in
+    if s <> 0 && !previous <> 0 && s <> !previous then crossings := point i :: !crossings;
+    if s <> 0 then previous := s
+  done;
+  List.rev !crossings

@@ -1,0 +1,41 @@
+(** Plan cost estimation.
+
+    Mirrors the executor's cost accounting, with estimated cardinalities in
+    place of observed ones.  Every operator's estimated cost is monotone
+    non-decreasing in the cardinalities of its inputs — the assumption
+    (paper Sec. 3.1.1, footnote 2) under which percentile-of-selectivity
+    transfers to percentile-of-cost.
+
+    Costing consults the cardinality estimator for three kinds of numbers:
+    per-table predicate selectivities (access-path sizing), SPJ expression
+    cardinalities (join sizing — where AVI and robust estimates diverge),
+    and group counts. *)
+
+open Rq_storage
+open Rq_exec
+
+type estimate = { cost : float; card : float }
+(** Simulated seconds and output rows. *)
+
+val estimate :
+  Catalog.t -> ?constants:Cost.constants -> ?scale:float -> Cardinality.t -> Plan.t ->
+  estimate
+(** [scale] is the same logical-size multiplier the executor uses. *)
+
+val plan_cost :
+  Catalog.t -> ?constants:Cost.constants -> ?scale:float -> Cardinality.t -> Plan.t ->
+  float
+
+val cost_curve :
+  Catalog.t -> ?constants:Cost.constants -> ?scale:float ->
+  selectivities:float list -> Plan.t -> (float * float) list
+(** [(assumed selectivity, estimated cost)] points for one plan, using
+    {!Cardinality.fixed_selectivity} — the engine-level Figure-1 curve. *)
+
+val crossover_points :
+  Catalog.t -> ?constants:Cost.constants -> ?scale:float -> ?grid:int ->
+  Plan.t -> Plan.t -> float list
+(** Assumed selectivities (on a uniform grid of [grid] cells over [0,1],
+    default 400) at which the cheaper of the two plans flips — the
+    engine's own crossover points, the quantities the confidence
+    threshold is calibrated against. *)

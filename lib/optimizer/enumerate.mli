@@ -1,0 +1,35 @@
+(** Candidate physical-plan generation.
+
+    Single tables get every access path the physical design supports (seq
+    scan, single-index range, index intersection).  Joins are enumerated
+    with a System-R-style dynamic program over connected subsets of the FK
+    join graph, combining hash, merge and indexed-nested-loop joins; pure
+    star queries additionally get the semijoin-intersection strategies of
+    Experiment 3, including hybrids that semijoin a subset of the
+    dimensions and hash-join the rest.
+
+    The DP keeps the cheapest plan per subset under the supplied cost
+    function, so the estimator being evaluated drives every choice — which
+    is precisely the paper's experimental setup. *)
+
+open Rq_storage
+open Rq_exec
+
+val sargable_ranges : Pred.t -> (string * Value.t option * Value.t option) list
+(** Per-column closed ranges implied by the predicate's top-level
+    conjuncts (equality becomes a degenerate range); multiple conjuncts on
+    one column are intersected.  Only constant-foldable bounds qualify. *)
+
+val access_paths : Catalog.t -> Logical.table_ref -> Plan.t list
+(** All access paths for one table: always a seq scan; an index-range scan
+    per indexed sargable column; an index intersection per subset (size >=
+    2) of indexed sargable columns. *)
+
+val join_plans :
+  Catalog.t -> cost_fn:(Plan.t -> float) -> Logical.t -> Plan.t list
+(** Complete join plans (no aggregation/projection on top): the DP winner
+    plus, for star-shaped queries, every semijoin/hybrid alternative.
+    Singleton queries return all access paths. *)
+
+val wrap_top : Logical.t -> Plan.t -> Plan.t
+(** Adds the query's aggregation and projection above a join plan. *)

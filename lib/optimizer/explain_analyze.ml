@@ -1,0 +1,83 @@
+open Rq_exec
+
+type node = {
+  depth : int;
+  label : string;
+  estimated_rows : float;
+  actual_rows : int;
+  q_error : float;
+}
+
+let node_label = function
+  | Plan.Scan { table; access; _ } -> (
+      match access with
+      | Plan.Seq_scan -> Printf.sprintf "SeqScan(%s)" table
+      | Plan.Index_range p -> Printf.sprintf "IndexRange(%s.%s)" table p.Plan.column
+      | Plan.Index_intersect ps ->
+          Printf.sprintf "IndexIntersect(%s: %s)" table
+            (String.concat "," (List.map (fun p -> p.Plan.column) ps)))
+  | Plan.Hash_join { build_key; probe_key; _ } ->
+      Printf.sprintf "HashJoin(%s = %s)" build_key probe_key
+  | Plan.Merge_join { left_key; right_key; _ } ->
+      Printf.sprintf "MergeJoin(%s = %s)" left_key right_key
+  | Plan.Indexed_nl_join { outer_key; inner_table; inner_key; _ } ->
+      Printf.sprintf "IndexedNLJoin(%s = %s.%s)" outer_key inner_table inner_key
+  | Plan.Star_semijoin { fact; dims; _ } ->
+      Printf.sprintf "StarSemijoin(%s; %s)" fact
+        (String.concat "," (List.map (fun d -> d.Plan.dim_table) dims))
+  | Plan.Filter _ -> "Filter"
+  | Plan.Project _ -> "Project"
+  | Plan.Sort _ -> "Sort"
+  | Plan.Limit (_, n) -> Printf.sprintf "Limit(%d)" n
+  | Plan.Aggregate _ -> "Aggregate"
+
+let children = function
+  | Plan.Scan _ | Plan.Star_semijoin _ -> []
+  | Plan.Hash_join { build; probe; _ } -> [ build; probe ]
+  | Plan.Merge_join { left; right; _ } -> [ left; right ]
+  | Plan.Indexed_nl_join { outer; _ } -> [ outer ]
+  | Plan.Filter (input, _)
+  | Plan.Project (input, _)
+  | Plan.Sort { input; _ }
+  | Plan.Limit (input, _)
+  | Plan.Aggregate { input; _ } -> [ input ]
+
+let q_error ~estimated ~actual =
+  let est = Float.max estimated 0.5 and act = Float.max (float_of_int actual) 0.5 in
+  Float.max (est /. act) (act /. est)
+
+let collect catalog ?constants ?scale estimator plan =
+  let rec go depth plan =
+    let estimated =
+      (Costing.estimate catalog ?constants ?scale estimator plan).Costing.card
+    in
+    let meter = Cost.create ?constants ?scale () in
+    let actual = Array.length (Executor.run catalog meter plan).Executor.tuples in
+    {
+      depth;
+      label = node_label plan;
+      estimated_rows = estimated;
+      actual_rows = actual;
+      q_error = q_error ~estimated ~actual;
+    }
+    :: List.concat_map (go (depth + 1)) (children plan)
+  in
+  go 0 plan
+
+let render catalog ?constants ?scale estimator plan =
+  let nodes = collect catalog ?constants ?scale estimator plan in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-52s %12s %12s %8s\n" "operator" "est_rows" "actual_rows" "q_error");
+  List.iter
+    (fun n ->
+      let indent = String.make (2 * n.depth) ' ' in
+      Buffer.add_string buf
+        (Printf.sprintf "%-52s %12.1f %12d %8.2f\n" (indent ^ n.label) n.estimated_rows
+           n.actual_rows n.q_error))
+    nodes;
+  let meter = Cost.create ?constants ?scale () in
+  ignore (Executor.run catalog meter plan);
+  Buffer.add_string buf
+    (Printf.sprintf "total simulated execution: %.3f s\n" (Cost.snapshot meter).Cost.seconds);
+  Buffer.contents buf

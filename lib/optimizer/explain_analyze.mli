@@ -1,0 +1,28 @@
+(** EXPLAIN ANALYZE: per-node estimated vs. actual cardinalities.
+
+    Walks a physical plan, costing each sub-plan with the active estimator
+    and executing it to get the true row count, and renders the tree with
+    the q-error (max(est/actual, actual/est)) per node — the standard way
+    to see exactly where an estimator's assumptions break.  Execution is
+    re-run per node, which is fine at the scales this engine targets. *)
+
+open Rq_storage
+open Rq_exec
+
+type node = {
+  depth : int;
+  label : string;           (** one-line operator description *)
+  estimated_rows : float;
+  actual_rows : int;
+  q_error : float;          (** >= 1; 1 = perfect *)
+}
+
+val collect :
+  Catalog.t -> ?constants:Cost.constants -> ?scale:float -> Cardinality.t ->
+  Plan.t -> node list
+(** Pre-order traversal. *)
+
+val render :
+  Catalog.t -> ?constants:Cost.constants -> ?scale:float -> Cardinality.t ->
+  Plan.t -> string
+(** The report, one line per node, plus total simulated execution time. *)

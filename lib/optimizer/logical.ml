@@ -1,0 +1,123 @@
+open Rq_storage
+open Rq_exec
+
+type table_ref = { table : string; pred : Pred.t }
+
+type t = {
+  tables : table_ref list;
+  group_by : string list;
+  aggs : Plan.agg list;
+  projection : string list option;
+  order_by : Plan.sort_key list;
+  limit : int option;
+}
+
+let scan ?(pred = Pred.True) table = { table; pred }
+
+let query ?(group_by = []) ?(aggs = []) ?projection ?(order_by = []) ?limit tables =
+  { tables; group_by; aggs; projection; order_by; limit }
+
+let table_names t = List.map (fun r -> r.table) t.tables
+
+let join_edges catalog t =
+  let names = table_names t in
+  List.filter
+    (fun (fk : Catalog.foreign_key) ->
+      List.mem fk.from_table names && List.mem fk.to_table names)
+    (Catalog.all_foreign_keys catalog)
+
+let root catalog t =
+  Rq_stats.Stats_store.root_of_expression catalog (table_names t)
+
+let is_connected catalog names =
+  match names with
+  | [] -> false
+  | first :: _ ->
+      let edges =
+        List.filter
+          (fun (fk : Catalog.foreign_key) ->
+            List.mem fk.from_table names && List.mem fk.to_table names)
+          (Catalog.all_foreign_keys catalog)
+      in
+      let visited = Hashtbl.create 8 in
+      let rec visit name =
+        if not (Hashtbl.mem visited name) then begin
+          Hashtbl.add visited name ();
+          List.iter
+            (fun (fk : Catalog.foreign_key) ->
+              if String.equal fk.from_table name then visit fk.to_table;
+              if String.equal fk.to_table name then visit fk.from_table)
+            edges
+        end
+      in
+      visit first;
+      List.for_all (Hashtbl.mem visited) names
+
+let validate catalog t =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if t.tables = [] then fail "query references no tables"
+  else begin
+    let names = table_names t in
+    let dup =
+      List.exists
+        (fun n -> List.length (List.filter (String.equal n) names) > 1)
+        names
+    in
+    if dup then fail "self-joins are not supported (duplicate table reference)"
+    else begin
+      let missing =
+        List.find_opt (fun n -> Catalog.find_table_opt catalog n = None) names
+      in
+      match missing with
+      | Some n -> fail "unknown table %s" n
+      | None -> (
+          let bad_pred =
+            List.find_opt
+              (fun { table; pred } ->
+                let schema = Relation.schema (Catalog.find_table catalog table) in
+                List.exists (fun c -> not (Schema.mem schema c)) (Pred.columns pred))
+              t.tables
+          in
+          match bad_pred with
+          | Some { table; _ } -> fail "predicate on %s references unknown columns" table
+          | None ->
+              if not (is_connected catalog names) then
+                fail "join graph is not connected"
+              else if List.length names > 1 && root catalog t = None then
+                fail "join graph has no unique root relation"
+              else Ok ())
+    end
+  end
+
+let combined_predicate t =
+  Pred.conj
+    (List.map
+       (fun { table; pred } -> Pred.rename_columns (fun c -> table ^ "." ^ c) pred)
+       t.tables)
+
+let connected_subsets catalog t =
+  let names = Array.of_list (table_names t) in
+  let n = Array.length names in
+  let subsets = ref [] in
+  (* n is small (paper queries join at most 4 tables), so enumerate all
+     bitmasks. *)
+  for mask = 1 to (1 lsl n) - 1 do
+    let subset = ref [] in
+    for i = n - 1 downto 0 do
+      if mask land (1 lsl i) <> 0 then subset := names.(i) :: !subset
+    done;
+    if is_connected catalog !subset then
+      subsets := List.sort String.compare !subset :: !subsets
+  done;
+  List.sort
+    (fun a b ->
+      let c = Int.compare (List.length a) (List.length b) in
+      if c <> 0 then c else compare a b)
+    !subsets
+
+let pp fmt t =
+  Format.fprintf fmt "SPJ{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " JOIN ")
+       (fun fmt { table; pred } -> Format.fprintf fmt "%s[%a]" table Pred.pp pred))
+    t.tables

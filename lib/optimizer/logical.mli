@@ -1,0 +1,53 @@
+(** Logical queries: select-project-join expressions over foreign-key joins,
+    optionally topped by a GROUP BY aggregate — the query class the paper's
+    estimator covers (Sec. 3.2).
+
+    Per-table predicates use the table's own (unqualified) column names;
+    grouping/projection columns and aggregate expressions use qualified
+    ["table.column"] names. *)
+
+open Rq_storage
+open Rq_exec
+
+type table_ref = { table : string; pred : Pred.t }
+
+type t = {
+  tables : table_ref list;
+      (** joined pairwise along the catalog's FK edges; must be connected *)
+  group_by : string list;
+  aggs : Plan.agg list;   (** empty = no aggregation *)
+  projection : string list option;  (** [None] = all columns *)
+  order_by : Plan.sort_key list;    (** applied to the final output *)
+  limit : int option;
+}
+
+val scan : ?pred:Pred.t -> string -> table_ref
+
+val query :
+  ?group_by:string list -> ?aggs:Plan.agg list -> ?projection:string list ->
+  ?order_by:Plan.sort_key list -> ?limit:int ->
+  table_ref list -> t
+
+val table_names : t -> string list
+
+val validate : Catalog.t -> t -> (unit, string) result
+(** Tables exist, predicates reference existing columns, the join graph
+    restricted to the query's tables is connected and has a unique root. *)
+
+val root : Catalog.t -> t -> string option
+(** The root relation: the table whose primary key is not joined to by
+    another query table (paper Sec. 3.2). *)
+
+val join_edges : Catalog.t -> t -> Catalog.foreign_key list
+(** FK edges with both endpoints in the query. *)
+
+val combined_predicate : t -> Pred.t
+(** Conjunction of all per-table predicates with columns qualified — the
+    predicate evaluated against a join synopsis. *)
+
+val connected_subsets : Catalog.t -> t -> string list list
+(** All non-empty subsets of the query's tables that are connected in the
+    join graph, sorted by size (the DP enumeration order).  Table lists are
+    sorted lexicographically. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+(** Brute-force reference evaluation of logical queries.
+
+    Joins are computed by primary-key lookup from the root outward, with no
+    indexes, no cost model and no cleverness — the oracle that executor and
+    optimizer tests compare against, and the source of exact cardinalities
+    for estimation-error measurements. *)
+
+open Rq_storage
+open Rq_exec
+
+val evaluate : Catalog.t -> Logical.table_ref list -> Executor.result
+(** The SPJ join of the given tables with their predicates applied; output
+    columns are qualified.  The tables must form a connected FK subgraph
+    with a unique root. *)
+
+val cardinality : Catalog.t -> Logical.table_ref list -> int
+
+val selectivity : Catalog.t -> Logical.table_ref list -> float
+(** Cardinality over root-relation size: the true selectivity the
+    estimators are trying to recover. *)
+
+val evaluate_query : Catalog.t -> Logical.t -> Executor.result
+(** Full query evaluation including grouping, aggregation and projection
+    (aggregation is delegated to the executor over the materialized join,
+    which the aggregate-specific unit tests cover independently). *)

@@ -1,0 +1,92 @@
+open Rq_exec
+
+type t = {
+  stats : Rq_stats.Stats_store.t;
+  estimator : Cardinality.t;
+  constants : Cost.constants;
+  scale : float;
+}
+
+let create ?(constants = Cost.default_constants) ?(scale = 1.0) stats estimator =
+  { stats; estimator; constants; scale }
+
+let robust ?constants ?scale ?confidence ?prior stats =
+  let confidence =
+    match confidence with
+    | Some c -> c
+    | None -> Rq_core.Confidence.(resolve default_setting)
+  in
+  let est = Rq_core.Robust_estimator.create ?prior ~confidence () in
+  create ?constants ?scale stats (Cardinality.robust stats est)
+
+let baseline ?constants ?scale stats =
+  create ?constants ?scale stats (Cardinality.histogram_avi stats)
+
+let estimator t = t.estimator
+let scale t = t.scale
+let constants t = t.constants
+
+type decision = {
+  plan : Plan.t;
+  estimated_cost : float;
+  estimated_card : float;
+  alternatives : (string * float) list;
+}
+
+let optimize t query =
+  let catalog = Rq_stats.Stats_store.catalog t.stats in
+  match Logical.validate catalog query with
+  | Error _ as e -> e
+  | Ok () ->
+      let cost_fn plan =
+        Costing.plan_cost catalog ~constants:t.constants ~scale:t.scale t.estimator plan
+      in
+      (* Candidates are complete join plans; aggregation cost is identical
+         across them (same input cardinality), so ranking before or after
+         wrapping agrees — we rank the wrapped plans to keep the invariant
+         obvious. *)
+      let wrapped =
+        List.map (Enumerate.wrap_top query) (Enumerate.join_plans catalog ~cost_fn query)
+      in
+      (match wrapped with
+      | [] -> Error "no candidate plans (missing indexes or disconnected join graph?)"
+      | first :: rest ->
+          let best =
+            List.fold_left (fun acc p -> if cost_fn p < cost_fn acc then p else acc) first rest
+          in
+          let estimate =
+            Costing.estimate catalog ~constants:t.constants ~scale:t.scale t.estimator best
+          in
+          let alternatives =
+            List.map (fun p -> (Plan.describe p, cost_fn p)) wrapped
+            |> List.sort (fun (_, a) (_, b) -> Float.compare a b)
+          in
+          Ok
+            {
+              plan = best;
+              estimated_cost = estimate.Costing.cost;
+              estimated_card = estimate.Costing.card;
+              alternatives;
+            })
+
+let optimize_exn t query =
+  match optimize t query with
+  | Ok d -> d
+  | Error msg -> invalid_arg ("Optimizer.optimize_exn: " ^ msg)
+
+let explain t query =
+  match optimize t query with
+  | Error _ as e -> e
+  | Ok d ->
+      let buf = Buffer.create 256 in
+      let fmt = Format.formatter_of_buffer buf in
+      Format.fprintf fmt "estimator: %s@." t.estimator.Cardinality.name;
+      Format.fprintf fmt "estimated cost: %.3f s, estimated rows: %.1f@." d.estimated_cost
+        d.estimated_card;
+      Format.fprintf fmt "plan:@.%a" Plan.pp d.plan;
+      Format.fprintf fmt "alternatives:@.";
+      List.iter
+        (fun (label, cost) -> Format.fprintf fmt "  %-40s %.3f s@." label cost)
+        d.alternatives;
+      Format.pp_print_flush fmt ();
+      Ok (Buffer.contents buf)

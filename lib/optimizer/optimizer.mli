@@ -1,0 +1,49 @@
+(** The query optimizer: enumerate, estimate, pick the cheapest plan.
+
+    The estimator is a plug-in ({!Cardinality.t}); everything else —
+    enumeration, costing, search — is shared between the robust and
+    baseline configurations, mirroring the paper's claim that the robust
+    procedure drops into an existing optimizer by changing only the
+    cardinality estimation module. *)
+
+open Rq_exec
+
+type t
+
+val create :
+  ?constants:Cost.constants -> ?scale:float -> Rq_stats.Stats_store.t ->
+  Cardinality.t -> t
+
+val robust :
+  ?constants:Cost.constants -> ?scale:float ->
+  ?confidence:Rq_core.Confidence.t -> ?prior:Rq_core.Prior.t ->
+  Rq_stats.Stats_store.t -> t
+(** Robust-sampling configuration; confidence defaults to the system-wide
+    moderate (80%) setting. *)
+
+val baseline :
+  ?constants:Cost.constants -> ?scale:float -> Rq_stats.Stats_store.t -> t
+(** Histogram + AVI configuration. *)
+
+val estimator : t -> Cardinality.t
+val scale : t -> float
+val constants : t -> Cost.constants
+
+type decision = {
+  plan : Plan.t;          (** the chosen complete plan (incl. aggregation) *)
+  estimated_cost : float; (** simulated seconds, at the active estimator *)
+  estimated_card : float; (** estimated output rows *)
+  alternatives : (string * float) list;
+      (** every top-level join-plan candidate with its estimated cost,
+          cheapest first ([Plan.describe] labels) *)
+}
+
+val optimize : t -> Logical.t -> (decision, string) result
+(** Validates, enumerates, costs, picks.  [Error] reports validation
+    failures. *)
+
+val optimize_exn : t -> Logical.t -> decision
+
+val explain : t -> Logical.t -> (string, string) result
+(** Human-readable report: chosen plan tree, estimated cost/cardinality,
+    and the rejected alternatives. *)

@@ -1,0 +1,76 @@
+type column = { table : string option; name : string }
+
+type expr =
+  | Column of column
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Date_lit of int * int * int
+  | Binop of binop * expr * expr
+
+and binop = Add | Sub | Mul | Div
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type condition =
+  | Cmp of cmp * expr * expr
+  | Between of expr * expr * expr
+  | Like of expr * string
+  | And of condition list
+  | Or of condition list
+  | Not of condition
+
+type agg_kind = Count_star | Sum | Avg | Min | Max
+
+type select_item =
+  | Star
+  | Expr_item of expr * string option
+  | Agg_item of agg_kind * expr option * string option
+
+type order_item = { order_column : column; desc : bool }
+
+type statement = {
+  select : select_item list;
+  from : string list;
+  where : condition option;
+  group_by : column list;
+  order_by : order_item list;
+  limit : int option;
+  hints : string list;
+}
+
+let pp_column fmt { table; name } =
+  match table with
+  | Some t -> Format.fprintf fmt "%s.%s" t name
+  | None -> Format.pp_print_string fmt name
+
+let binop_symbol = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let rec pp_expr fmt = function
+  | Column c -> pp_column fmt c
+  | Int_lit i -> Format.pp_print_int fmt i
+  | Float_lit f -> Format.fprintf fmt "%g" f
+  | String_lit s -> Format.fprintf fmt "'%s'" s
+  | Date_lit (y, m, d) -> Format.fprintf fmt "DATE '%04d-%02d-%02d'" y m d
+  | Binop (op, a, b) -> Format.fprintf fmt "(%a %s %a)" pp_expr a (binop_symbol op) pp_expr b
+
+let cmp_symbol = function Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let rec pp_condition fmt = function
+  | Cmp (op, a, b) -> Format.fprintf fmt "%a %s %a" pp_expr a (cmp_symbol op) pp_expr b
+  | Between (e, lo, hi) ->
+      Format.fprintf fmt "%a BETWEEN %a AND %a" pp_expr e pp_expr lo pp_expr hi
+  | Like (e, pattern) -> Format.fprintf fmt "%a LIKE '%s'" pp_expr e pattern
+  | And cs ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " AND ")
+           pp_condition)
+        cs
+  | Or cs ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " OR ")
+           pp_condition)
+        cs
+  | Not c -> Format.fprintf fmt "NOT %a" pp_condition c

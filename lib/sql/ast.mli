@@ -1,0 +1,48 @@
+(** Abstract syntax for the supported SQL subset: single-block
+    SELECT-FROM-WHERE-GROUP BY with aggregates, conjunctive/disjunctive
+    predicates, BETWEEN, LIKE, arithmetic, date literals, and optimizer
+    hints. *)
+
+type column = { table : string option; name : string }
+
+type expr =
+  | Column of column
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Date_lit of int * int * int  (** year, month, day *)
+  | Binop of binop * expr * expr
+
+and binop = Add | Sub | Mul | Div
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type condition =
+  | Cmp of cmp * expr * expr
+  | Between of expr * expr * expr
+  | Like of expr * string  (** pattern with optional leading/trailing %% *)
+  | And of condition list
+  | Or of condition list
+  | Not of condition
+
+type agg_kind = Count_star | Sum | Avg | Min | Max
+
+type select_item =
+  | Star
+  | Expr_item of expr * string option          (** expression, alias *)
+  | Agg_item of agg_kind * expr option * string option
+
+type order_item = { order_column : column; desc : bool }
+
+type statement = {
+  select : select_item list;
+  from : string list;
+  where : condition option;
+  group_by : column list;
+  order_by : order_item list;
+  limit : int option;
+  hints : string list;  (** raw hint comment bodies, in source order *)
+}
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_condition : Format.formatter -> condition -> unit

@@ -1,0 +1,328 @@
+open Rq_storage
+open Rq_exec
+open Rq_optimizer
+
+type bound = { query : Logical.t; confidence_hint : Rq_core.Confidence.t option }
+
+exception Bind_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Bind_error s)) fmt
+
+let column_type catalog table column =
+  let schema = Relation.schema (Catalog.find_table catalog table) in
+  match Schema.find schema column with
+  | Some { Schema.ty; _ } -> ty
+  | None -> fail "column %s.%s does not exist" table column
+
+(* Resolve an AST column to its owning table. *)
+let resolve_column catalog tables { Ast.table; name } =
+  match table with
+  | Some t ->
+      if not (List.mem t tables) then fail "table %s is not in FROM" t;
+      ignore (column_type catalog t name);
+      (t, name)
+  | None -> (
+      let owners =
+        List.filter
+          (fun t ->
+            Schema.mem (Relation.schema (Catalog.find_table catalog t)) name)
+          tables
+      in
+      match owners with
+      | [ t ] -> (t, name)
+      | [] -> fail "column %s not found in any FROM table" name
+      | _ -> fail "column %s is ambiguous" name)
+
+let date_value s =
+  match Parser.parse_date_string s with
+  | Some (year, month, day) -> Some (Value.date_of_ymd ~year ~month ~day)
+  | None -> None
+
+(* Convert an AST expression to an executable expression over qualified
+   column names.  [want_date] requests date coercion of string literals and
+   turns integer addition/subtraction into day arithmetic. *)
+let rec convert_expr catalog tables ~want_date expr =
+  match expr with
+  | Ast.Column c ->
+      let t, name = resolve_column catalog tables c in
+      Expr.col (t ^ "." ^ name)
+  | Ast.Int_lit i -> Expr.int i
+  | Ast.Float_lit f -> Expr.float f
+  | Ast.String_lit s -> (
+      if want_date then
+        match date_value s with
+        | Some v -> Expr.Const v
+        | None -> fail "expected a date literal, got '%s'" s
+      else
+        match date_value s with
+        | Some v -> Expr.Const v  (* dates are never useful as raw strings *)
+        | None -> Expr.str s)
+  | Ast.Date_lit (year, month, day) -> Expr.date ~year ~month ~day
+  | Ast.Binop (op, a, b) -> (
+      match (op, want_date) with
+      | Ast.Add, true -> (
+          match (a, b) with
+          | e, Ast.Int_lit days | Ast.Int_lit days, e ->
+              Expr.Add_days (convert_expr catalog tables ~want_date:true e, days)
+          | _ -> fail "date arithmetic must add an integer number of days")
+      | Ast.Sub, true -> (
+          match b with
+          | Ast.Int_lit days ->
+              Expr.Add_days (convert_expr catalog tables ~want_date:true a, -days)
+          | _ -> fail "date arithmetic must subtract an integer number of days")
+      | _ ->
+          let f = convert_expr catalog tables ~want_date:false in
+          let a = f a and b = f b in
+          (match op with
+          | Ast.Add -> Expr.Add (a, b)
+          | Ast.Sub -> Expr.Sub (a, b)
+          | Ast.Mul -> Expr.Mul (a, b)
+          | Ast.Div -> Expr.Div (a, b)))
+
+(* Whether an AST expression's column side is a date column: drives
+   coercion of the opposite side. *)
+let rec expr_is_date catalog tables = function
+  | Ast.Column c ->
+      let t, name = resolve_column catalog tables c in
+      column_type catalog t name = Value.T_date
+  | Ast.Date_lit _ -> true
+  | Ast.Binop ((Ast.Add | Ast.Sub), a, b) ->
+      expr_is_date catalog tables a || expr_is_date catalog tables b
+  | Ast.String_lit s -> date_value s <> None
+  | _ -> false
+
+let convert_cmp = function
+  | Ast.Eq -> Pred.Eq
+  | Ast.Ne -> Pred.Ne
+  | Ast.Lt -> Pred.Lt
+  | Ast.Le -> Pred.Le
+  | Ast.Gt -> Pred.Gt
+  | Ast.Ge -> Pred.Ge
+
+(* LIKE with leading/trailing % becomes a substring match; other patterns
+   with % or _ in the middle are not supported. *)
+let convert_like catalog tables e pattern =
+  let stripped =
+    let s = pattern in
+    let s = if String.length s > 0 && s.[0] = '%' then String.sub s 1 (String.length s - 1) else s in
+    if String.length s > 0 && s.[String.length s - 1] = '%' then String.sub s 0 (String.length s - 1)
+    else s
+  in
+  if String.contains stripped '%' || String.contains stripped '_' then
+    fail "only substring LIKE patterns ('%%text%%') are supported";
+  let had_wildcards = not (String.equal stripped pattern) in
+  let converted = convert_expr catalog tables ~want_date:false e in
+  if had_wildcards then Pred.Contains (converted, stripped)
+  else Pred.eq converted (Expr.str stripped)
+
+let rec convert_condition catalog tables = function
+  | Ast.Cmp (op, a, b) ->
+      let want_date = expr_is_date catalog tables a || expr_is_date catalog tables b in
+      Pred.Cmp
+        ( convert_cmp op,
+          convert_expr catalog tables ~want_date a,
+          convert_expr catalog tables ~want_date b )
+  | Ast.Between (e, lo, hi) ->
+      let want_date = expr_is_date catalog tables e in
+      Pred.Between
+        ( convert_expr catalog tables ~want_date e,
+          convert_expr catalog tables ~want_date lo,
+          convert_expr catalog tables ~want_date hi )
+  | Ast.Like (e, pattern) -> convert_like catalog tables e pattern
+  | Ast.And cs -> Pred.conj (List.map (convert_condition catalog tables) cs)
+  | Ast.Or cs -> Pred.Or (List.map (convert_condition catalog tables) cs)
+  | Ast.Not c -> Pred.Not (convert_condition catalog tables c)
+
+let owner_of_qualified c =
+  match String.index_opt c '.' with
+  | Some i -> String.sub c 0 i
+  | None -> fail "internal: unqualified column %s escaped binding" c
+
+let strip_qualifier table c =
+  let prefix = table ^ "." in
+  if String.length c > String.length prefix && String.sub c 0 (String.length prefix) = prefix
+  then String.sub c (String.length prefix) (String.length c - String.length prefix)
+  else c
+
+(* An equality conjunct between two tables is accepted iff it matches a
+   declared FK edge (the join is then implied; the conjunct is dropped). *)
+let is_fk_join_conjunct catalog conjunct =
+  match conjunct with
+  | Pred.Cmp (Pred.Eq, Expr.Col a, Expr.Col b) -> (
+      let ta = owner_of_qualified a and tb = owner_of_qualified b in
+      let matches x tx y ty =
+        match Catalog.fk_edge catalog ~from_table:tx ~to_table:ty with
+        | Some fk ->
+            String.equal (strip_qualifier tx x) fk.Catalog.from_column
+            && String.equal (strip_qualifier ty y) fk.Catalog.to_column
+        | None -> false
+      in
+      (not (String.equal ta tb)) && (matches a ta b tb || matches b tb a ta))
+  | _ -> false
+
+let split_where catalog tables pred =
+  let per_table = Hashtbl.create 8 in
+  List.iter (fun t -> Hashtbl.replace per_table t []) tables;
+  List.iter
+    (fun conjunct ->
+      if not (is_fk_join_conjunct catalog conjunct) then begin
+        let owners =
+          List.sort_uniq String.compare (List.map owner_of_qualified (Pred.columns conjunct))
+        in
+        match owners with
+        | [] ->
+            (* Constant conjunct: attach to the first table. *)
+            let t = List.hd tables in
+            Hashtbl.replace per_table t (conjunct :: Hashtbl.find per_table t)
+        | [ t ] ->
+            let local = Pred.rename_columns (strip_qualifier t) conjunct in
+            Hashtbl.replace per_table t (local :: Hashtbl.find per_table t)
+        | _ ->
+            fail "predicate %s spans multiple tables and is not a foreign-key join"
+              (Format.asprintf "%a" Pred.pp conjunct)
+      end)
+    (Pred.conjuncts pred);
+  List.map
+    (fun t -> { Logical.table = t; pred = Pred.conj (List.rev (Hashtbl.find per_table t)) })
+    tables
+
+let convert_agg catalog tables index (kind, arg, alias) =
+  let output_name =
+    match alias with
+    | Some a -> a
+    | None -> Printf.sprintf "agg_%d" index
+  in
+  let conv e = convert_expr catalog tables ~want_date:false e in
+  let fn =
+    match (kind, arg) with
+    | Ast.Count_star, None -> Rq_exec.Plan.Count_star
+    | Ast.Count_star, Some e -> Rq_exec.Plan.Count (conv e)
+    | Ast.Sum, Some e -> Rq_exec.Plan.Sum (conv e)
+    | Ast.Avg, Some e -> Rq_exec.Plan.Avg (conv e)
+    | Ast.Min, Some e -> Rq_exec.Plan.Min (conv e)
+    | Ast.Max, Some e -> Rq_exec.Plan.Max (conv e)
+    | _, None -> fail "aggregate requires an argument"
+  in
+  { Rq_exec.Plan.fn; output_name }
+
+let bind catalog (statement : Ast.statement) =
+  try
+    let tables = statement.Ast.from in
+    List.iter
+      (fun t ->
+        if Catalog.find_table_opt catalog t = None then fail "unknown table %s" t)
+      tables;
+    let where =
+      match statement.Ast.where with
+      | None -> Pred.True
+      | Some c -> convert_condition catalog tables c
+    in
+    let refs = split_where catalog tables where in
+    let group_by =
+      List.map
+        (fun c ->
+          let t, name = resolve_column catalog tables c in
+          t ^ "." ^ name)
+        statement.Ast.group_by
+    in
+    let aggs, projection =
+      let agg_items =
+        List.filter_map
+          (function Ast.Agg_item (k, e, a) -> Some (k, e, a) | _ -> None)
+          statement.Ast.select
+      in
+      let plain_columns =
+        List.filter_map
+          (function
+            | Ast.Expr_item (Ast.Column c, _) ->
+                let t, name = resolve_column catalog tables c in
+                Some (t ^ "." ^ name)
+            | Ast.Expr_item _ -> fail "non-column, non-aggregate SELECT items are not supported"
+            | _ -> None)
+          statement.Ast.select
+      in
+      if agg_items <> [] then begin
+        List.iter
+          (fun c ->
+            if not (List.mem c group_by) then
+              fail "SELECT column %s must appear in GROUP BY alongside aggregates" c)
+          plain_columns;
+        (List.mapi (fun i item -> convert_agg catalog tables i item) agg_items, None)
+      end
+      else if group_by <> [] then fail "GROUP BY without aggregates is not supported"
+      else if List.mem Ast.Star statement.Ast.select then ([], None)
+      else ([], Some plain_columns)
+    in
+    let output_columns =
+      (* Names ORDER BY may reference: aggregate aliases, grouping columns,
+         and (without aggregation) any qualified column of the join. *)
+      match aggs with
+      | [] -> None (* resolve against base tables *)
+      | _ -> Some (group_by @ List.map (fun a -> a.Rq_exec.Plan.output_name) aggs)
+    in
+    let order_by =
+      List.map
+        (fun { Ast.order_column; desc } ->
+          let sort_column =
+            match output_columns with
+            | None ->
+                let t, name = resolve_column catalog tables order_column in
+                t ^ "." ^ name
+            | Some available -> (
+                let bare = order_column.Ast.name in
+                let qualified =
+                  match order_column.Ast.table with
+                  | Some t -> t ^ "." ^ bare
+                  | None -> bare
+                in
+                if List.mem qualified available then qualified
+                else
+                  (* A grouping column may be referenced unqualified. *)
+                  match
+                    List.find_opt
+                      (fun c ->
+                        match String.index_opt c '.' with
+                        | Some i ->
+                            String.sub c (i + 1) (String.length c - i - 1) = bare
+                        | None -> String.equal c bare)
+                      available
+                  with
+                  | Some c -> c
+                  | None -> fail "ORDER BY column %s is not in the output" qualified)
+          in
+          { Rq_exec.Plan.sort_column; descending = desc })
+        statement.Ast.order_by
+    in
+    (match statement.Ast.limit with
+    | Some n when n < 0 -> fail "LIMIT must be non-negative"
+    | _ -> ());
+    let query =
+      Logical.query ~group_by ~aggs ?projection ~order_by ?limit:statement.Ast.limit refs
+    in
+    (match Logical.validate catalog query with
+    | Ok () -> ()
+    | Error msg -> fail "%s" msg);
+    let confidence_hint =
+      match
+        Hint.resolve ~hints:statement.Ast.hints
+          ~setting:{ Rq_core.Confidence.system_default = Rq_core.Confidence.median }
+      with
+      | Ok _ -> (
+          (* resolve validated the hints; recover the raw override *)
+          let rec last acc = function
+            | [] -> acc
+            | h :: rest -> (
+                match Hint.parse h with
+                | Ok (Some c) -> last (Some c) rest
+                | _ -> last acc rest)
+          in
+          last None statement.Ast.hints)
+      | Error msg -> fail "%s" msg
+    in
+    Ok { query; confidence_hint }
+  with Bind_error msg -> Error msg
+
+let compile catalog input =
+  match Parser.parse input with
+  | Error _ as e -> e
+  | Ok statement -> bind catalog statement

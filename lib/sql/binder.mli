@@ -1,0 +1,22 @@
+(** Semantic analysis: resolve a parsed statement against the catalog into
+    a logical query plus the per-query confidence hint.
+
+    Restrictions enforced here mirror the paper's query model (Sec. 3.2):
+    joins must follow declared foreign-key edges (explicit equi-join
+    predicates that match an FK edge are accepted and absorbed; any other
+    cross-table predicate is rejected), and every WHERE conjunct must
+    reference a single table.  String literals compared with date columns
+    are coerced to dates ('YYYY-MM-DD' or 'MM/DD/YY'). *)
+
+open Rq_storage
+open Rq_optimizer
+
+type bound = {
+  query : Logical.t;
+  confidence_hint : Rq_core.Confidence.t option;
+}
+
+val bind : Catalog.t -> Ast.statement -> (bound, string) result
+
+val compile : Catalog.t -> string -> (bound, string) result
+(** Parse then bind. *)

@@ -1,0 +1,197 @@
+open Rq_storage
+
+type column_def = { name : string; ty : Value.ty; primary_key : bool }
+
+type table_def = {
+  table_name : string;
+  columns : column_def list;
+  foreign_keys : (string * string * string) list;
+  clustered_by : string option;
+}
+
+type statement =
+  | Create_table of table_def
+  | Create_index of { table : string; column : string }
+
+exception Ddl_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Ddl_error s)) fmt
+
+type state = { tokens : Token.t array; mutable pos : int }
+
+let peek state = state.tokens.(state.pos)
+let advance state = state.pos <- state.pos + 1
+
+let accept_keyword state kw =
+  if Token.is_keyword (peek state) kw then begin
+    advance state;
+    true
+  end
+  else false
+
+let expect_keyword state kw =
+  if not (accept_keyword state kw) then
+    fail "expected %s, found %s" kw (Format.asprintf "%a" Token.pp (peek state))
+
+let accept_symbol state s =
+  match peek state with
+  | Token.Symbol s' when String.equal s s' ->
+      advance state;
+      true
+  | _ -> false
+
+let expect_symbol state s =
+  if not (accept_symbol state s) then
+    fail "expected %S, found %s" s (Format.asprintf "%a" Token.pp (peek state))
+
+let expect_ident state what =
+  match peek state with
+  | Token.Ident name ->
+      advance state;
+      name
+  | t -> fail "expected %s, found %s" what (Format.asprintf "%a" Token.pp t)
+
+let type_of_name name =
+  match String.lowercase_ascii name with
+  | "int" | "integer" | "bigint" -> Some Value.T_int
+  | "float" | "double" | "real" | "decimal" -> Some Value.T_float
+  | "text" | "varchar" | "char" | "string" -> Some Value.T_string
+  | "date" -> Some Value.T_date
+  | "bool" | "boolean" -> Some Value.T_bool
+  | _ -> None
+
+let parse_create_table state =
+  let table_name = expect_ident state "table name" in
+  expect_symbol state "(";
+  let columns = ref [] in
+  let foreign_keys = ref [] in
+  let continue = ref true in
+  while !continue do
+    if accept_keyword state "foreign" then begin
+      expect_keyword state "key";
+      expect_symbol state "(";
+      let local = expect_ident state "foreign-key column" in
+      expect_symbol state ")";
+      expect_keyword state "references";
+      let target_table = expect_ident state "referenced table" in
+      expect_symbol state "(";
+      let target_column = expect_ident state "referenced column" in
+      expect_symbol state ")";
+      foreign_keys := (local, target_table, target_column) :: !foreign_keys
+    end
+    else begin
+      let name = expect_ident state "column name" in
+      let type_name = expect_ident state "column type" in
+      let ty =
+        match type_of_name type_name with
+        | Some ty -> ty
+        | None -> fail "unknown type %s for column %s" type_name name
+      in
+      let primary_key =
+        if accept_keyword state "primary" then begin
+          expect_keyword state "key";
+          true
+        end
+        else false
+      in
+      columns := { name; ty; primary_key } :: !columns
+    end;
+    if not (accept_symbol state ",") then begin
+      expect_symbol state ")";
+      continue := false
+    end
+  done;
+  let clustered_by =
+    if accept_keyword state "clustered" then begin
+      expect_keyword state "by";
+      expect_symbol state "(";
+      let c = expect_ident state "clustering column" in
+      expect_symbol state ")";
+      Some c
+    end
+    else None
+  in
+  let columns = List.rev !columns in
+  if columns = [] then fail "table %s has no columns" table_name;
+  (match List.filter (fun c -> c.primary_key) columns with
+  | [] | [ _ ] -> ()
+  | _ -> fail "table %s declares more than one primary key" table_name);
+  Create_table
+    { table_name; columns; foreign_keys = List.rev !foreign_keys; clustered_by }
+
+let parse_create_index state =
+  expect_keyword state "on";
+  let table = expect_ident state "table name" in
+  expect_symbol state "(";
+  let column = expect_ident state "indexed column" in
+  expect_symbol state ")";
+  Create_index { table; column }
+
+let parse_script input =
+  match Lexer.tokenize input with
+  | Error msg -> Error ("lex error: " ^ msg)
+  | Ok tokens -> (
+      let state = { tokens = Array.of_list tokens; pos = 0 } in
+      try
+        let statements = ref [] in
+        while not (Token.equal (peek state) Token.Eof) do
+          expect_keyword state "create";
+          let statement =
+            if accept_keyword state "table" then parse_create_table state
+            else if accept_keyword state "index" then parse_create_index state
+            else fail "expected TABLE or INDEX after CREATE"
+          in
+          statements := statement :: !statements;
+          (* Statements are ;-separated; the last one may omit it. *)
+          if not (accept_symbol state ";") then
+            if not (Token.equal (peek state) Token.Eof) then
+              fail "expected ';' between statements"
+        done;
+        Ok (List.rev !statements)
+      with Ddl_error msg -> Error ("DDL error: " ^ msg))
+
+let schema_of_def def =
+  Schema.create (List.map (fun { name; ty; _ } -> { Schema.name; ty }) def.columns)
+
+let build_catalog ~statements ~rows_for =
+  try
+    let catalog = Catalog.create () in
+    let tables =
+      List.filter_map (function Create_table d -> Some d | Create_index _ -> None) statements
+    in
+    List.iter
+      (fun def ->
+        let schema = schema_of_def def in
+        let rows =
+          match rows_for ~table_name:def.table_name ~schema with
+          | Ok rows -> rows
+          | Error msg -> fail "loading %s: %s" def.table_name msg
+        in
+        let primary_key =
+          List.find_opt (fun c -> c.primary_key) def.columns |> Option.map (fun c -> c.name)
+        in
+        Catalog.add_table catalog ?primary_key ?clustered_by:def.clustered_by
+          (Relation.create ~name:def.table_name ~schema rows))
+      tables;
+    List.iter
+      (fun def ->
+        List.iter
+          (fun (local, target_table, target_column) ->
+            Catalog.add_foreign_key catalog
+              {
+                from_table = def.table_name;
+                from_column = local;
+                to_table = target_table;
+                to_column = target_column;
+              })
+          def.foreign_keys)
+      tables;
+    List.iter
+      (function
+        | Create_index { table; column } -> Catalog.build_index catalog ~table ~column
+        | Create_table _ -> ())
+      statements;
+    Ok catalog
+  with
+  | Ddl_error msg -> Error msg
+  | Invalid_argument msg -> Error msg

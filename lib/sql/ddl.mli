@@ -1,0 +1,44 @@
+(** Data definition: a small DDL dialect for building catalogs from text.
+
+    Supported statements (semicolon-separated; case-insensitive keywords):
+    {v
+    CREATE TABLE part (
+      p_partkey INT PRIMARY KEY,
+      p_brand   TEXT,
+      p_price   FLOAT,
+      added_on  DATE,
+      active    BOOL
+    );
+    CREATE TABLE lineitem (
+      l_rowid    INT PRIMARY KEY,
+      l_partkey  INT,
+      FOREIGN KEY (l_partkey) REFERENCES part (p_partkey)
+    ) CLUSTERED BY (l_orderkey);
+    CREATE INDEX ON lineitem (l_shipdate);
+    v} *)
+
+open Rq_storage
+
+type column_def = { name : string; ty : Value.ty; primary_key : bool }
+
+type table_def = {
+  table_name : string;
+  columns : column_def list;
+  foreign_keys : (string * string * string) list;
+      (** (local column, referenced table, referenced column) *)
+  clustered_by : string option;
+}
+
+type statement =
+  | Create_table of table_def
+  | Create_index of { table : string; column : string }
+
+val parse_script : string -> (statement list, string) result
+
+val build_catalog :
+  statements:statement list ->
+  rows_for:(table_name:string -> schema:Schema.t -> (Relation.tuple array, string) result) ->
+  (Catalog.t, string) result
+(** Creates tables (fetching each table's rows through [rows_for]), then
+    declares foreign keys, then builds indexes — so FK targets exist
+    regardless of statement order among CREATE TABLEs. *)

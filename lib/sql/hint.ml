@@ -1,0 +1,41 @@
+let strip s = String.trim s
+
+(* Match NAME(ARG) case-insensitively against the hint body. *)
+let directive body =
+  let body = strip body in
+  match String.index_opt body '(' with
+  | None -> None
+  | Some open_paren -> (
+      match String.rindex_opt body ')' with
+      | None -> None
+      | Some close_paren when close_paren > open_paren ->
+          let name = strip (String.sub body 0 open_paren) in
+          let arg = strip (String.sub body (open_paren + 1) (close_paren - open_paren - 1)) in
+          Some (String.lowercase_ascii name, arg)
+      | Some _ -> None)
+
+let parse body =
+  match directive body with
+  | Some ("confidence", arg) -> (
+      match float_of_string_opt arg with
+      | Some pct when pct > 0.0 && pct < 100.0 -> Ok (Some (Rq_core.Confidence.of_percent pct))
+      | Some _ -> Error (Printf.sprintf "CONFIDENCE(%s): must be strictly between 0 and 100" arg)
+      | None -> Error (Printf.sprintf "CONFIDENCE(%s): not a number" arg))
+  | Some ("robustness", arg) -> (
+      match Rq_core.Confidence.policy_of_string arg with
+      | Ok policy -> Ok (Some (Rq_core.Confidence.of_policy policy))
+      | Error msg -> Error msg)
+  | _ -> Ok None
+
+let resolve ~hints ~setting =
+  let rec last_confidence acc = function
+    | [] -> Ok acc
+    | h :: rest -> (
+        match parse h with
+        | Ok (Some c) -> last_confidence (Some c) rest
+        | Ok None -> last_confidence acc rest
+        | Error _ as e -> e)
+  in
+  match last_confidence None hints with
+  | Ok query_hint -> Ok (Rq_core.Confidence.resolve ?query_hint setting)
+  | Error msg -> Error msg

@@ -1,0 +1,15 @@
+(** Optimizer hints: the paper's per-query override channel (Sec. 6.2.5).
+
+    Two spellings are accepted inside [/*+ ... */]:
+    - [CONFIDENCE(80)] — an explicit confidence-threshold percentage;
+    - [ROBUSTNESS(conservative|moderate|aggressive)] — the named policy
+      levels (95/80/50%). *)
+
+val parse : string -> (Rq_core.Confidence.t option, string) result
+(** [Ok None] when the hint body contains no recognized directive (hints
+    for other subsystems are ignored, as commercial optimizers do). *)
+
+val resolve :
+  hints:string list -> setting:Rq_core.Confidence.setting ->
+  (Rq_core.Confidence.t, string) result
+(** Applies the last confidence-bearing hint over the system setting. *)

@@ -1,0 +1,112 @@
+open Rq_storage
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let n = in_channel_length ic in
+      let contents = really_input_string ic n in
+      close_in ic;
+      Ok contents
+
+let write_file path contents =
+  match open_out_bin path with
+  | exception Sys_error msg -> Error msg
+  | oc ->
+      output_string oc contents;
+      close_out oc;
+      Ok ()
+
+let ( let* ) = Result.bind
+
+let rows_of_csv ~table_name ~schema contents =
+  let* rows = Csv.parse contents in
+  match rows with
+  | [] -> Error (Printf.sprintf "%s.csv is empty (a header row is required)" table_name)
+  | header :: data ->
+      let expected = List.map (fun c -> c.Schema.name) (Schema.columns schema) in
+      if header <> expected then
+        Error
+          (Printf.sprintf "%s.csv header mismatch: expected [%s], got [%s]" table_name
+             (String.concat "; " expected) (String.concat "; " header))
+      else begin
+        let tuples = Array.make (List.length data) [||] in
+        let rec fill i = function
+          | [] -> Ok tuples
+          | fields :: rest -> (
+              match Csv.tuple_of_fields schema fields with
+              | Ok tuple ->
+                  tuples.(i) <- tuple;
+                  fill (i + 1) rest
+              | Error msg -> Error (Printf.sprintf "%s.csv row %d: %s" table_name (i + 2) msg))
+        in
+        fill 0 data
+      end
+
+let load_directory dir =
+  let* schema_text = read_file (Filename.concat dir "schema.sql") in
+  let* statements = Ddl.parse_script schema_text in
+  Ddl.build_catalog ~statements ~rows_for:(fun ~table_name ~schema ->
+      let* contents = read_file (Filename.concat dir (table_name ^ ".csv")) in
+      rows_of_csv ~table_name ~schema contents)
+
+let type_name = function
+  | Value.T_int -> "INT"
+  | Value.T_float -> "FLOAT"
+  | Value.T_string -> "TEXT"
+  | Value.T_date -> "DATE"
+  | Value.T_bool -> "BOOL"
+
+let schema_sql catalog =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun table ->
+      let rel = Catalog.find_table catalog table in
+      let pk = Catalog.primary_key catalog table in
+      Buffer.add_string buf (Printf.sprintf "CREATE TABLE %s (\n" table);
+      let columns = Schema.columns (Relation.schema rel) in
+      List.iteri
+        (fun i { Schema.name; ty } ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s %s%s%s\n" name (type_name ty)
+               (if pk = Some name then " PRIMARY KEY" else "")
+               (if i < List.length columns - 1 || Catalog.foreign_keys_from catalog table <> []
+                then ","
+                else "")))
+        columns;
+      List.iteri
+        (fun i (fk : Catalog.foreign_key) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  FOREIGN KEY (%s) REFERENCES %s (%s)%s\n" fk.from_column
+               fk.to_table fk.to_column
+               (if i < List.length (Catalog.foreign_keys_from catalog table) - 1 then ","
+                else "")))
+        (Catalog.foreign_keys_from catalog table);
+      (match Catalog.clustered_by catalog table with
+      | Some c when Catalog.primary_key catalog table <> Some c ->
+          Buffer.add_string buf (Printf.sprintf ") CLUSTERED BY (%s);\n" c)
+      | _ -> Buffer.add_string buf ");\n");
+      List.iter
+        (fun idx ->
+          Buffer.add_string buf
+            (Printf.sprintf "CREATE INDEX ON %s (%s);\n" table (Index.column idx)))
+        (Catalog.indexes_on catalog table))
+    (Catalog.table_names catalog);
+  Buffer.contents buf
+
+let export_directory catalog dir =
+  let* () = write_file (Filename.concat dir "schema.sql") (schema_sql catalog) in
+  let rec export_tables = function
+    | [] -> Ok ()
+    | table :: rest ->
+        let rel = Catalog.find_table catalog table in
+        let header = List.map (fun c -> c.Schema.name) (Schema.columns (Relation.schema rel)) in
+        let rows =
+          Relation.fold (fun acc _ tup -> Csv.fields_of_tuple tup :: acc) [] rel |> List.rev
+        in
+        let* () =
+          write_file (Filename.concat dir (table ^ ".csv")) (Csv.render (header :: rows))
+        in
+        export_tables rest
+  in
+  export_tables (Catalog.table_names catalog)

@@ -1,0 +1,17 @@
+(** Loading a database from disk, and exporting one back.
+
+    A data directory holds one [schema.sql] (the {!Ddl} dialect) plus one
+    [<table>.csv] per declared table, with a header row naming the columns
+    in schema order.  This is what lets the CLI run the optimizer against a
+    user's own data rather than the built-in generators. *)
+
+open Rq_storage
+
+val load_directory : string -> (Catalog.t, string) result
+(** Reads [dir/schema.sql], then each table's CSV; validates headers,
+    types, primary-key/foreign-key declarations. *)
+
+val export_directory : Catalog.t -> string -> (unit, string) result
+(** Writes [schema.sql] and one CSV per table, such that
+    [load_directory] reproduces the catalog (tables, keys, clustering,
+    indexes, data). *)

@@ -1,0 +1,9 @@
+(** Recursive-descent parser for the SQL subset. *)
+
+val parse : string -> (Ast.statement, string) result
+(** Lexes and parses one SELECT statement; an optional trailing semicolon
+    is accepted.  Errors carry the unexpected token. *)
+
+val parse_date_string : string -> (int * int * int) option
+(** ['YYYY-MM-DD'] or ['MM/DD/YY[YY]'] (two-digit years pivot at 70) to
+    (year, month, day); shared with the binder's date coercion. *)

@@ -1,0 +1,31 @@
+type t =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Symbol of string
+  | Hint of string
+  | Eof
+
+let equal a b =
+  match (a, b) with
+  | Ident x, Ident y -> String.equal (String.lowercase_ascii x) (String.lowercase_ascii y)
+  | Int_lit x, Int_lit y -> Int.equal x y
+  | Float_lit x, Float_lit y -> Float.equal x y
+  | String_lit x, String_lit y | Symbol x, Symbol y | Hint x, Hint y -> String.equal x y
+  | Eof, Eof -> true
+  | _ -> false
+
+let pp fmt = function
+  | Ident s -> Format.fprintf fmt "identifier %s" s
+  | Int_lit i -> Format.fprintf fmt "integer %d" i
+  | Float_lit f -> Format.fprintf fmt "float %g" f
+  | String_lit s -> Format.fprintf fmt "string '%s'" s
+  | Symbol s -> Format.fprintf fmt "symbol %s" s
+  | Hint s -> Format.fprintf fmt "hint /*+%s*/" s
+  | Eof -> Format.pp_print_string fmt "end of input"
+
+let is_keyword t kw =
+  match t with
+  | Ident s -> String.equal (String.lowercase_ascii s) (String.lowercase_ascii kw)
+  | _ -> false

@@ -1,0 +1,16 @@
+(** SQL tokens. *)
+
+type t =
+  | Ident of string          (** identifier or keyword, original case *)
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string     (** contents of '...' *)
+  | Symbol of string         (** punctuation and operators: ( ) , . * = <> < <= > >= + - / *)
+  | Hint of string           (** contents of a /*+ ... *\/ comment *)
+  | Eof
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val is_keyword : t -> string -> bool
+(** Case-insensitive keyword test on [Ident]. *)

@@ -1,0 +1,55 @@
+open Rq_storage
+
+let frequency_profile values =
+  let counts = Hashtbl.create (Array.length values) in
+  Array.iter
+    (fun v ->
+      let key = Value.to_string v in
+      Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+    values;
+  let freq_of_freq = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ c ->
+      Hashtbl.replace freq_of_freq c
+        (1 + Option.value ~default:0 (Hashtbl.find_opt freq_of_freq c)))
+    counts;
+  Hashtbl.fold (fun j f acc -> (j, f) :: acc) freq_of_freq []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let observed_distinct profile = List.fold_left (fun acc (_, f) -> acc + f) 0 profile
+
+let clamp ~d ~population_size x =
+  Float.max (float_of_int d) (Float.min (float_of_int population_size) x)
+
+let gee ~sample ~population_size =
+  let n = Array.length sample in
+  if n = 0 then 0.0
+  else begin
+    let profile = frequency_profile sample in
+    let d = observed_distinct profile in
+    let f1 = Option.value ~default:0 (List.assoc_opt 1 profile) in
+    let rest = d - f1 in
+    let scale = sqrt (float_of_int population_size /. float_of_int n) in
+    clamp ~d ~population_size ((scale *. float_of_int f1) +. float_of_int rest)
+  end
+
+let scale_up ~sample ~population_size =
+  let n = Array.length sample in
+  if n = 0 then 0.0
+  else begin
+    let d = observed_distinct (frequency_profile sample) in
+    clamp ~d ~population_size
+      (float_of_int d *. float_of_int population_size /. float_of_int n)
+  end
+
+let estimate_groups ~sample ~columns ~population_size =
+  let schema = Relation.schema sample in
+  let positions = List.map (Schema.index_of schema) columns in
+  let combined =
+    Array.init (Relation.row_count sample) (fun rid ->
+        let tup = Relation.get sample rid in
+        (* Encode the composite key as a single string value. *)
+        Value.String
+          (String.concat "\x00" (List.map (fun p -> Value.to_string tup.(p)) positions)))
+  in
+  gee ~sample:combined ~population_size

@@ -1,0 +1,39 @@
+(** One-dimensional equi-depth histograms — the conventional estimator the
+    paper uses as its baseline (250 buckets by default, matching the
+    commercial system described in Sec. 6.1).
+
+    A histogram keeps only per-bucket summaries (bounds, row count, distinct
+    count), so estimates inside a bucket interpolate under a uniformity
+    assumption; combining histograms across columns requires the attribute
+    value independence assumption.  Both are exactly the error sources the
+    paper's sampling approach removes. *)
+
+open Rq_storage
+
+type bucket = { lo : Value.t; hi : Value.t; rows : int; distinct : int }
+
+type t
+
+val default_bucket_count : int
+(** 250. *)
+
+val build : ?buckets:int -> Relation.t -> string -> t
+(** Equi-depth over the non-null values of the column. *)
+
+val table : t -> string
+val column : t -> string
+val buckets : t -> bucket list
+val total_rows : t -> int
+val null_rows : t -> int
+
+val selectivity_eq : t -> Value.t -> float
+(** Uniform-within-bucket: rows/distinct of the containing bucket, over
+    total rows. *)
+
+val selectivity_range : t -> lo:Value.t option -> hi:Value.t option -> float
+(** Closed range [lo, hi]; [None] = open end.  Linear interpolation within
+    partially-covered buckets (0.5 coverage when the bound type cannot be
+    interpolated numerically). *)
+
+val estimated_distinct : t -> int
+(** Sum of per-bucket distinct counts. *)

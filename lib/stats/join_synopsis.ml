@@ -1,0 +1,106 @@
+open Rq_storage
+
+type t = { root : string; tables : string list; sample : Sample.t; root_size : int }
+
+(* Traversal order and the FK edge used to reach each non-root table.  The
+   paper assumes acyclic FK graphs; we additionally require tree-shaped
+   closures (each table reachable by exactly one FK path), which covers the
+   TPC-H and star schemas and keeps the maximal join well-defined. *)
+let closure catalog root =
+  let visited = Hashtbl.create 8 in
+  let order = ref [] in
+  let rec visit table =
+    Hashtbl.add visited table ();
+    order := table :: !order;
+    List.iter
+      (fun (fk : Catalog.foreign_key) ->
+        if Hashtbl.mem visited fk.to_table then
+          invalid_arg
+            (Printf.sprintf
+               "Join_synopsis.build: table %s reachable via multiple FK paths from %s"
+               fk.to_table root)
+        else visit fk.to_table)
+      (Catalog.foreign_keys_from catalog table)
+  in
+  visit root;
+  List.rev !order
+
+let build ?(with_replacement = true) ?(follow_fks = true) rng catalog ~size ~root =
+  let root_rel =
+    match Catalog.find_table_opt catalog root with
+    | Some rel -> rel
+    | None -> invalid_arg (Printf.sprintf "Join_synopsis.build: unknown table %s" root)
+  in
+  let tables = if follow_fks then closure catalog root else [ root ] in
+  (* Primary-key lookup per referenced table. *)
+  let pk_lookup = Hashtbl.create 8 in
+  List.iter
+    (fun table ->
+      if not (String.equal table root) then begin
+        let rel = Catalog.find_table catalog table in
+        let pk =
+          match Catalog.primary_key catalog table with
+          | Some pk -> pk
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Join_synopsis.build: referenced table %s has no primary key"
+                   table)
+        in
+        let pos = Schema.index_of (Relation.schema rel) pk in
+        let lookup = Hashtbl.create (Relation.row_count rel) in
+        Relation.iter (fun _ tup -> Hashtbl.replace lookup tup.(pos) tup) rel;
+        Hashtbl.replace pk_lookup table (rel, lookup)
+      end)
+    tables;
+  let base_sample = Sample.of_relation rng ~with_replacement ~size root_rel in
+  (* Expand one root-sample tuple into the full joined row by following every
+     FK edge in traversal order. *)
+  let joined_schema =
+    List.fold_left
+      (fun acc table ->
+        let s = Schema.qualify table (Relation.schema (Catalog.find_table catalog table)) in
+        match acc with None -> Some s | Some a -> Some (Schema.concat a s))
+      None tables
+    |> Option.get
+  in
+  let expand root_tuple =
+    let parts = Hashtbl.create 8 in
+    Hashtbl.replace parts root root_tuple;
+    let rec follow table tuple =
+      let schema = Relation.schema (Catalog.find_table catalog table) in
+      List.iter
+        (fun (fk : Catalog.foreign_key) ->
+          let key = tuple.(Schema.index_of schema fk.from_column) in
+          let _, lookup = Hashtbl.find pk_lookup fk.to_table in
+          match Hashtbl.find_opt lookup key with
+          | Some child ->
+              Hashtbl.replace parts fk.to_table child;
+              follow fk.to_table child
+          | None ->
+              invalid_arg
+                (Printf.sprintf
+                   "Join_synopsis.build: dangling FK %s.%s = %s (no match in %s)" table
+                   fk.from_column (Value.to_string key) fk.to_table))
+        (Catalog.foreign_keys_from catalog table)
+    in
+    if follow_fks then follow root root_tuple;
+    Array.concat (List.map (fun table -> Hashtbl.find parts table) tables)
+  in
+  let rows =
+    Array.map expand
+      (Array.of_seq (Relation.to_seq (Sample.rows base_sample)))
+  in
+  let sample =
+    Sample.of_rows ~rows ~schema:joined_schema
+      ~population_size:(Relation.row_count root_rel)
+      ~name:(root ^ "__synopsis")
+  in
+  { root; tables; sample; root_size = Relation.row_count root_rel }
+
+let root t = t.root
+let tables t = t.tables
+let covers t needed = List.for_all (fun table -> List.mem table t.tables) needed
+let sample t = t.sample
+let size t = Sample.size t.sample
+let root_size t = t.root_size
+let evidence t pred = Sample.evidence t.sample pred

@@ -1,0 +1,48 @@
+(** Join synopses (Acharya et al. [1], as used in paper Sec. 3.2).
+
+    The join synopsis for relation R is a uniform random sample of the
+    "maximal" foreign-key join rooted at R: sample R, join each sample tuple
+    with the full relations R references, recursively.  Because each R-tuple
+    matches exactly one tuple in each referenced table (FK integrity), the
+    result is a uniform sample of that join, and projecting it onto any
+    sub-join rooted at R gives a uniform sample of *that* join.  This is
+    what lets the estimator evaluate a multi-table predicate on a single
+    sample with no independence assumption and no error build-up.
+
+    Columns in a synopsis are qualified as ["table.column"]. *)
+
+open Rq_storage
+open Rq_exec
+
+type t
+
+val build :
+  ?with_replacement:bool -> ?follow_fks:bool -> Rq_math.Rng.t -> Catalog.t ->
+  size:int -> root:string -> t
+(** Samples the root and follows every outgoing FK edge transitively.
+    With [~follow_fks:false] the synopsis degenerates to a plain
+    single-table sample (covering only the root) — the Sec.-3.5 situation
+    where join synopses are unavailable but per-table samples exist.
+    Raises [Invalid_argument] if an FK value has no match (broken
+    referential integrity) or the root is unknown. *)
+
+val root : t -> string
+
+val tables : t -> string list
+(** Root first, then every table reachable from it via FK edges. *)
+
+val covers : t -> string list -> bool
+(** Whether all the given tables appear in this synopsis. *)
+
+val sample : t -> Sample.t
+(** The synopsis rows (schema: concatenation of the qualified schemas of
+    [tables t]). *)
+
+val size : t -> int
+
+val root_size : t -> int
+(** Rows in the root relation; any FK-join expression rooted at R has true
+    cardinality selectivity · root_size. *)
+
+val evidence : t -> Pred.t -> int * int
+(** [(k, n)] for a predicate over qualified columns of covered tables. *)

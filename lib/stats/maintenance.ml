@@ -1,0 +1,67 @@
+open Rq_storage
+
+type t = {
+  rng : Rq_math.Rng.t;
+  config : Stats_store.config;
+  refresh_fraction : float;
+  catalog : Catalog.t;
+  mutable stats : Stats_store.t;
+  modified : (string, int) Hashtbl.t;
+}
+
+let create ?(config = Stats_store.default_config) ?(refresh_fraction = 0.2) rng catalog =
+  if refresh_fraction <= 0.0 then
+    invalid_arg "Maintenance.create: refresh_fraction must be positive";
+  {
+    rng;
+    config;
+    refresh_fraction;
+    catalog;
+    stats = Stats_store.update_statistics (Rq_math.Rng.split rng) ~config catalog;
+    modified = Hashtbl.create 8;
+  }
+
+let catalog t = t.catalog
+let stats t = t.stats
+
+let modifications_since_refresh t ~table =
+  Option.value ~default:0 (Hashtbl.find_opt t.modified table)
+
+let record_modifications t ~table count =
+  if count < 0 then invalid_arg "Maintenance.record_modifications: negative count";
+  Hashtbl.replace t.modified table (modifications_since_refresh t ~table + count)
+
+let is_stale t =
+  List.exists
+    (fun table ->
+      let rows = Relation.row_count (Catalog.find_table t.catalog table) in
+      float_of_int (modifications_since_refresh t ~table)
+      >= t.refresh_fraction *. float_of_int (max 1 rows))
+    (Catalog.table_names t.catalog)
+
+let apply_update t ~table f =
+  let rel = Catalog.find_table t.catalog table in
+  let old_rows = Relation.fold (fun acc _ tup -> tup :: acc) [] rel |> List.rev in
+  let old_rows = Array.of_list old_rows in
+  let new_rows = f old_rows in
+  Catalog.replace_table t.catalog
+    (Relation.create ~name:table ~schema:(Relation.schema rel) new_rows);
+  (* Modification count: positionally-changed rows (physical inequality —
+     an updated row is a fresh array) plus net growth or shrinkage. *)
+  let common = min (Array.length old_rows) (Array.length new_rows) in
+  let changed = ref (max (Array.length old_rows) (Array.length new_rows) - common) in
+  for i = 0 to common - 1 do
+    if not (old_rows.(i) == new_rows.(i)) then incr changed
+  done;
+  record_modifications t ~table !changed
+
+let refresh t =
+  t.stats <- Stats_store.update_statistics (Rq_math.Rng.split t.rng) ~config:t.config t.catalog;
+  Hashtbl.reset t.modified
+
+let maybe_refresh t =
+  if is_stale t then begin
+    refresh t;
+    true
+  end
+  else false

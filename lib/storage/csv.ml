@@ -1,0 +1,150 @@
+let parse input =
+  let n = String.length input in
+  let rows = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let error = ref None in
+  let fail i msg = error := Some (Printf.sprintf "offset %d: %s" i msg) in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !fields :: !rows;
+    fields := []
+  in
+  let i = ref 0 in
+  (* Tracks whether the current (possibly empty) field has consumed any
+     character yet — needed to drop a trailing newline without emitting a
+     phantom empty row. *)
+  let row_started = ref false in
+  while !error = None && !i < n do
+    let c = input.[!i] in
+    if c = '"' then begin
+      if Buffer.length buf > 0 then fail !i "quote inside unquoted field"
+      else begin
+        (* Quoted field: scan to the closing quote, honoring "" escapes. *)
+        incr i;
+        let closed = ref false in
+        while (not !closed) && !error = None do
+          if !i >= n then fail !i "unterminated quoted field"
+          else if input.[!i] = '"' then
+            if !i + 1 < n && input.[!i + 1] = '"' then begin
+              Buffer.add_char buf '"';
+              i := !i + 2
+            end
+            else begin
+              closed := true;
+              incr i
+            end
+          else begin
+            Buffer.add_char buf input.[!i];
+            incr i
+          end
+        done;
+        row_started := true
+      end
+    end
+    else if c = ',' then begin
+      flush_field ();
+      row_started := true;
+      incr i
+    end
+    else if c = '\n' || c = '\r' then begin
+      if !row_started || Buffer.length buf > 0 then flush_row ();
+      row_started := false;
+      (* Swallow a CRLF pair. *)
+      if c = '\r' && !i + 1 < n && input.[!i + 1] = '\n' then i := !i + 2 else incr i
+    end
+    else begin
+      Buffer.add_char buf c;
+      row_started := true;
+      incr i
+    end
+  done;
+  if !error = None && (!row_started || Buffer.length buf > 0) then flush_row ();
+  match !error with Some msg -> Error msg | None -> Ok (List.rev !rows)
+
+let needs_quoting field =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') field
+
+let render rows =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun fields ->
+      List.iteri
+        (fun i field ->
+          if i > 0 then Buffer.add_char buf ',';
+          if needs_quoting field then begin
+            Buffer.add_char buf '"';
+            String.iter
+              (fun c ->
+                if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+              field;
+            Buffer.add_char buf '"'
+          end
+          else Buffer.add_string buf field)
+        fields;
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let parse_date s =
+  match String.split_on_char '-' s with
+  | [ y; m; d ] -> (
+      match (int_of_string_opt y, int_of_string_opt m, int_of_string_opt d) with
+      | Some year, Some month, Some day -> Some (Value.date_of_ymd ~year ~month ~day)
+      | _ -> None)
+  | _ -> None
+
+let tuple_of_fields schema fields =
+  let columns = Schema.columns schema in
+  if List.length fields <> List.length columns then
+    Error
+      (Printf.sprintf "expected %d fields, got %d" (List.length columns)
+         (List.length fields))
+  else begin
+    let converted =
+      List.map2
+        (fun { Schema.name; ty } field ->
+          if String.equal field "" then Ok Value.Null
+          else
+            match ty with
+            | Value.T_int -> (
+                match int_of_string_opt field with
+                | Some i -> Ok (Value.Int i)
+                | None -> Error (Printf.sprintf "column %s: %S is not an integer" name field))
+            | Value.T_float -> (
+                match float_of_string_opt field with
+                | Some f -> Ok (Value.Float f)
+                | None -> Error (Printf.sprintf "column %s: %S is not a float" name field))
+            | Value.T_bool -> (
+                match String.lowercase_ascii field with
+                | "true" | "t" | "1" -> Ok (Value.Bool true)
+                | "false" | "f" | "0" -> Ok (Value.Bool false)
+                | _ -> Error (Printf.sprintf "column %s: %S is not a boolean" name field))
+            | Value.T_date -> (
+                match parse_date field with
+                | Some d -> Ok d
+                | None ->
+                    Error (Printf.sprintf "column %s: %S is not a YYYY-MM-DD date" name field))
+            | Value.T_string -> Ok (Value.String field))
+        columns fields
+    in
+    match List.find_opt Result.is_error converted with
+    | Some (Error msg) -> Error msg
+    | _ -> Ok (Array.of_list (List.map Result.get_ok converted))
+  end
+
+let fields_of_tuple tuple =
+  Array.to_list
+    (Array.map
+       (function
+         | Value.Null -> ""
+         | Value.String s -> s
+         | Value.Bool b -> string_of_bool b
+         | Value.Int i -> string_of_int i
+         | Value.Float f -> Printf.sprintf "%.17g" f
+         | Value.Date _ as d -> Value.to_string d)
+       tuple)

@@ -1,0 +1,23 @@
+(** RFC-4180-style CSV reading and writing (no external dependency).
+
+    Supports quoted fields with embedded commas, newlines and doubled-quote
+    escapes; both LF and CRLF row separators.  Used by the loader that
+    populates a catalog from files on disk. *)
+
+val parse : string -> (string list list, string) result
+(** Rows of fields.  A trailing newline does not produce an empty row.
+    Errors report the offset of the offending character (e.g. a stray
+    quote inside an unquoted field). *)
+
+val render : string list list -> string
+(** Inverse of [parse]: fields containing commas, quotes or newlines are
+    quoted; everything round-trips. *)
+
+val tuple_of_fields :
+  Schema.t -> string list -> (Relation.tuple, string) result
+(** Convert one CSV row to a typed tuple: [""] becomes NULL; integers,
+    floats, booleans ([true]/[false]) and ISO dates ([YYYY-MM-DD]) are
+    parsed per the schema's column types. *)
+
+val fields_of_tuple : Relation.tuple -> string list
+(** Inverse conversion (NULL becomes the empty field; dates print ISO). *)

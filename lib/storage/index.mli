@@ -1,0 +1,32 @@
+(** Nonclustered secondary indexes.
+
+    An index over column [c] of relation [r] is a (key, RID) array sorted by
+    key.  Probes return RID sets without touching the heap; fetching the rows
+    afterwards costs one random page read per row, which is what makes
+    index-intersection plans risky at high selectivity. *)
+
+type t
+
+val build : Relation.t -> string -> t
+(** [build rel column].  Null keys are indexed and ordered first. *)
+
+val relation_name : t -> string
+val column : t -> string
+val entry_count : t -> int
+
+val leaf_page_count : t -> int
+(** Pages occupied by (key, RID) entries; an index range scan reads the
+    touched fraction of these sequentially. *)
+
+val probe_eq : t -> Value.t -> Rid_set.t
+(** RIDs whose key equals the probe value. *)
+
+val probe_range : t -> lo:Value.t option -> hi:Value.t option -> Rid_set.t
+(** RIDs with [lo <= key <= hi]; [None] leaves the bound open.  Null keys
+    never match a range. *)
+
+val probe_range_count : t -> lo:Value.t option -> hi:Value.t option -> int
+(** Cardinality of [probe_range] without materializing it. *)
+
+val min_key : t -> Value.t option
+val max_key : t -> Value.t option

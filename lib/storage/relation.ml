@@ -1,0 +1,54 @@
+type tuple = Value.t array
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  tuples : tuple array;
+  rows_per_page : int;
+}
+
+let page_size_bytes = 8192
+
+let create ~name ~schema tuples =
+  let arity = Schema.arity schema in
+  Array.iteri
+    (fun i tup ->
+      if Array.length tup <> arity then
+        invalid_arg
+          (Printf.sprintf "Relation.create %s: tuple %d has arity %d, schema has %d"
+             name i (Array.length tup) arity))
+    tuples;
+  let rows_per_page = max 1 (page_size_bytes / max 1 (Schema.row_bytes schema)) in
+  { name; schema; tuples; rows_per_page }
+
+let name t = t.name
+let schema t = t.schema
+let row_count t = Array.length t.tuples
+let rows_per_page t = t.rows_per_page
+
+let page_count t =
+  let rows = row_count t in
+  if rows = 0 then 0 else ((rows - 1) / t.rows_per_page) + 1
+
+let get t rid =
+  if rid < 0 || rid >= Array.length t.tuples then
+    invalid_arg (Printf.sprintf "Relation.get %s: rid %d out of range" t.name rid);
+  t.tuples.(rid)
+
+let column_value t rid col = (get t rid).(Schema.index_of t.schema col)
+
+let iter f t = Array.iteri f t.tuples
+
+let fold f init t =
+  let acc = ref init in
+  Array.iteri (fun rid tup -> acc := f !acc rid tup) t.tuples;
+  !acc
+
+let to_seq t = Array.to_seq t.tuples
+
+let filter_count t pred =
+  Array.fold_left (fun acc tup -> if pred tup then acc + 1 else acc) 0 t.tuples
+
+let pp_brief fmt t =
+  Format.fprintf fmt "%s[%d rows, %d pages] %a" t.name (row_count t) (page_count t)
+    Schema.pp t.schema

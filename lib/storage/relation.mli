@@ -1,0 +1,43 @@
+(** In-memory relations (heap tables).
+
+    A relation is an immutable array of tuples plus page geometry used by the
+    cost-accounting executor: rows are laid out in fixed-size pages so that a
+    sequential scan costs [page_count] sequential reads while fetching one
+    row by RID costs one random read (paper Sec. 2.1's seq-scan vs.
+    index-intersection asymmetry). *)
+
+type tuple = Value.t array
+
+type t
+
+val page_size_bytes : int
+(** 8192, a conventional DBMS page size. *)
+
+val create : name:string -> schema:Schema.t -> tuple array -> t
+(** Validates tuple arity (not per-value types, which generators guarantee).
+    The tuple array is owned by the relation afterwards. *)
+
+val name : t -> string
+val schema : t -> Schema.t
+val row_count : t -> int
+val page_count : t -> int
+
+val rows_per_page : t -> int
+(** At least 1 even for very wide rows. *)
+
+val get : t -> int -> tuple
+(** Tuple by RID (0-based); raises [Invalid_argument] out of range. *)
+
+val column_value : t -> int -> string -> Value.t
+(** [column_value t rid col]. *)
+
+val iter : (int -> tuple -> unit) -> t -> unit
+val fold : ('a -> int -> tuple -> 'a) -> 'a -> t -> 'a
+
+val to_seq : t -> tuple Seq.t
+
+val filter_count : t -> (tuple -> bool) -> int
+(** Number of tuples satisfying a predicate (used on samples, where the
+    relation is small). *)
+
+val pp_brief : Format.formatter -> t -> unit

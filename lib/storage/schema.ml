@@ -1,0 +1,51 @@
+type column = { name : string; ty : Value.ty }
+
+type t = { cols : column array; positions : (string, int) Hashtbl.t }
+
+let create cols =
+  if cols = [] then invalid_arg "Schema.create: empty column list";
+  let arr = Array.of_list cols in
+  let positions = Hashtbl.create (Array.length arr) in
+  Array.iteri
+    (fun i { name; _ } ->
+      if Hashtbl.mem positions name then
+        invalid_arg (Printf.sprintf "Schema.create: duplicate column %S" name);
+      Hashtbl.add positions name i)
+    arr;
+  { cols = arr; positions }
+
+let columns t = Array.to_list t.cols
+let arity t = Array.length t.cols
+
+let index_of t name =
+  match Hashtbl.find_opt t.positions name with
+  | Some i -> i
+  | None -> raise Not_found
+
+let find t name =
+  match Hashtbl.find_opt t.positions name with
+  | Some i -> Some t.cols.(i)
+  | None -> None
+
+let mem t name = Hashtbl.mem t.positions name
+let column_at t i = t.cols.(i)
+
+let row_bytes t =
+  Array.fold_left (fun acc { ty; _ } -> acc + Value.byte_width ty) 0 t.cols
+
+let project t names = create (List.map (fun n -> t.cols.(index_of t n)) names)
+
+let concat a b = create (columns a @ columns b)
+
+let qualify prefix t =
+  let rename c =
+    if String.contains c.name '.' then c else { c with name = prefix ^ "." ^ c.name }
+  in
+  create (List.map rename (columns t))
+
+let pp fmt t =
+  Format.fprintf fmt "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       (fun fmt { name; ty } -> Format.fprintf fmt "%s:%a" name Value.pp_ty ty))
+    (columns t)

@@ -1,0 +1,35 @@
+(** Relation schemas: ordered, named, typed columns. *)
+
+type column = { name : string; ty : Value.ty }
+
+type t
+
+val create : column list -> t
+(** Raises [Invalid_argument] on duplicate column names or an empty list. *)
+
+val columns : t -> column list
+val arity : t -> int
+
+val index_of : t -> string -> int
+(** Position of a column by name; raises [Not_found]. *)
+
+val find : t -> string -> column option
+val mem : t -> string -> bool
+val column_at : t -> int -> column
+
+val row_bytes : t -> int
+(** Sum of column byte widths; drives page geometry. *)
+
+val project : t -> string list -> t
+(** Sub-schema with the given columns, in the given order. *)
+
+val concat : t -> t -> t
+(** Schema of a join result.  Column names are expected to be globally unique
+    (we qualify them as ["table.column"] at catalog level); raises
+    [Invalid_argument] on collision. *)
+
+val qualify : string -> t -> t
+(** [qualify prefix s] renames every column [c] to ["prefix.c"], for columns
+    not already qualified. *)
+
+val pp : Format.formatter -> t -> unit

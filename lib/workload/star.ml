@@ -1,0 +1,114 @@
+open Rq_storage
+open Rq_exec
+open Rq_optimizer
+
+type params = { fact_rows : int; dim_rows : int; join_fraction : float }
+
+let default_params = { fact_rows = 100_000; dim_rows = 1000; join_fraction = 0.01 }
+
+let paper_fact_rows = 10_000_000
+
+let filter_values = 10
+
+let dim_schema =
+  Schema.create
+    [
+      { Schema.name = "d_key"; ty = Value.T_int };
+      { Schema.name = "d_filter"; ty = Value.T_int };
+      { Schema.name = "d_payload"; ty = Value.T_float };
+    ]
+
+let fact_schema =
+  Schema.create
+    [
+      { Schema.name = "f_id"; ty = Value.T_int };
+      { Schema.name = "f_dim1"; ty = Value.T_int };
+      { Schema.name = "f_dim2"; ty = Value.T_int };
+      { Schema.name = "f_dim3"; ty = Value.T_int };
+      { Schema.name = "f_m1"; ty = Value.T_float };
+      { Schema.name = "f_m2"; ty = Value.T_float };
+    ]
+
+(* Draw the filter values (a1, a2, a3) of a fact row's three dimension
+   targets.  Mixture with uniform marginals over 0..9 and
+   Pr[a1 = a2 = a3 = 0] = join_fraction exactly:
+     w.p. j           -> (0, 0, 0)
+     w.p. (0.1 - j)x3 -> one coordinate 0, the others uniform in 1..9
+     otherwise        -> all coordinates uniform in 1..9. *)
+let draw_filters rng j =
+  let nz () = 1 + Rq_math.Rng.int rng (filter_values - 1) in
+  let u = Rq_math.Rng.float rng 1.0 in
+  let solo = 0.1 -. j in
+  if u < j then (0, 0, 0)
+  else if u < j +. solo then (0, nz (), nz ())
+  else if u < j +. (2.0 *. solo) then (nz (), 0, nz ())
+  else if u < j +. (3.0 *. solo) then (nz (), nz (), 0)
+  else (nz (), nz (), nz ())
+
+let generate rng ?(params = default_params) () =
+  if params.join_fraction < 0.0 || params.join_fraction > 0.1 then
+    invalid_arg "Star.generate: join_fraction must be in [0, 0.1]";
+  if params.dim_rows mod filter_values <> 0 then
+    invalid_arg "Star.generate: dim_rows must be a multiple of 10";
+  let catalog = Catalog.create () in
+  let make_dim name =
+    (* d_filter = d_key mod 10: exactly 10% of rows per filter value. *)
+    let tuples =
+      Array.init params.dim_rows (fun k ->
+          [| Value.Int k; Value.Int (k mod filter_values); Value.Float (Rq_math.Rng.float rng 100.0) |])
+    in
+    Catalog.add_table catalog ~primary_key:"d_key"
+      (Relation.create ~name ~schema:dim_schema tuples)
+  in
+  make_dim "dim1";
+  make_dim "dim2";
+  make_dim "dim3";
+  (* A dimension key with filter value a: a + 10*u for uniform u. *)
+  let key_with_filter a = a + (filter_values * Rq_math.Rng.int rng (params.dim_rows / filter_values)) in
+  let fact_tuples =
+    Array.init params.fact_rows (fun k ->
+        let a1, a2, a3 = draw_filters rng params.join_fraction in
+        [|
+          Value.Int k;
+          Value.Int (key_with_filter a1);
+          Value.Int (key_with_filter a2);
+          Value.Int (key_with_filter a3);
+          Value.Float (Rq_math.Rng.float rng 1000.0);
+          Value.Float (Rq_math.Rng.float rng 10.0);
+        |])
+  in
+  Catalog.add_table catalog ~primary_key:"f_id"
+    (Relation.create ~name:"fact" ~schema:fact_schema fact_tuples);
+  List.iter
+    (fun (column, dim) ->
+      Catalog.add_foreign_key catalog
+        { from_table = "fact"; from_column = column; to_table = dim; to_column = "d_key" };
+      Catalog.build_index catalog ~table:"fact" ~column)
+    [ ("f_dim1", "dim1"); ("f_dim2", "dim2"); ("f_dim3", "dim3") ];
+  catalog
+
+let cost_scale catalog =
+  let rows = Relation.row_count (Catalog.find_table catalog "fact") in
+  float_of_int paper_fact_rows /. float_of_int (max 1 rows)
+
+let dim_pred value = Pred.eq (Expr.col "d_filter") (Expr.int value)
+
+let refs ?(filter_value = 0) () =
+  [
+    Logical.scan "fact";
+    Logical.scan ~pred:(dim_pred filter_value) "dim1";
+    Logical.scan ~pred:(dim_pred filter_value) "dim2";
+    Logical.scan ~pred:(dim_pred filter_value) "dim3";
+  ]
+
+let query ?filter_value () =
+  Logical.query
+    ~aggs:
+      [
+        { Plan.fn = Plan.Sum (Expr.col "fact.f_m1"); output_name = "total_m1" };
+        { Plan.fn = Plan.Avg (Expr.col "fact.f_m2"); output_name = "avg_m2" };
+        { Plan.fn = Plan.Count_star; output_name = "n" };
+      ]
+    (refs ?filter_value ())
+
+let true_selectivity catalog = Naive.selectivity catalog (refs ())

@@ -1,0 +1,220 @@
+open Rq_storage
+open Rq_exec
+open Rq_optimizer
+
+type params = {
+  scale_factor : float;
+  lineitems_per_order : int;
+  receipt_delay_days : int;
+  part_buckets : int;
+  popularity_contrast : float;
+}
+
+let default_params =
+  {
+    scale_factor = 0.01;
+    lineitems_per_order = 4;
+    receipt_delay_days = 60;
+    part_buckets = 1000;
+    popularity_contrast = 80.0;
+  }
+
+let paper_lineitem_rows = 6_000_000
+
+let day_of ~year ~month ~day =
+  match Value.date_of_ymd ~year ~month ~day with Value.Date d -> d | _ -> assert false
+
+let date_range_start = day_of ~year:1992 ~month:1 ~day:1
+let date_range_end = day_of ~year:1998 ~month:8 ~day:2
+
+let ship_window =
+  ( Value.date_of_ymd ~year:1997 ~month:7 ~day:1,
+    Value.date_of_ymd ~year:1997 ~month:7 ~day:30 )
+
+let part_schema =
+  Schema.create
+    [
+      { Schema.name = "p_partkey"; ty = Value.T_int };
+      { Schema.name = "p_bucket"; ty = Value.T_int };
+      { Schema.name = "p_size"; ty = Value.T_int };
+      { Schema.name = "p_retailprice"; ty = Value.T_float };
+      { Schema.name = "p_brand"; ty = Value.T_string };
+    ]
+
+let orders_schema =
+  Schema.create
+    [
+      { Schema.name = "o_orderkey"; ty = Value.T_int };
+      { Schema.name = "o_custkey"; ty = Value.T_int };
+      { Schema.name = "o_orderdate"; ty = Value.T_date };
+      { Schema.name = "o_totalprice"; ty = Value.T_float };
+    ]
+
+let lineitem_schema =
+  Schema.create
+    [
+      { Schema.name = "l_rowid"; ty = Value.T_int };
+      { Schema.name = "l_orderkey"; ty = Value.T_int };
+      { Schema.name = "l_partkey"; ty = Value.T_int };
+      { Schema.name = "l_quantity"; ty = Value.T_float };
+      { Schema.name = "l_extendedprice"; ty = Value.T_float };
+      { Schema.name = "l_shipdate"; ty = Value.T_date };
+      { Schema.name = "l_receiptdate"; ty = Value.T_date };
+    ]
+
+(* Popularity weight of a part bucket: buckets are equally sized, but parts
+   in the hottest bucket appear on popularity_contrast-times as many
+   lineitems as parts in bucket 0 — the handcrafted correlation of
+   Experiment 2.  The eighth-power ramp keeps the average weight low, so
+   the hottest buckets account for up to ~8x the average — while the
+   histogram baseline, blind to popularity, always estimates the average. *)
+let bucket_weight params b =
+  let x = float_of_int b /. float_of_int (params.part_buckets - 1) in
+  1.0 +. ((params.popularity_contrast -. 1.0) *. (x ** 8.0))
+
+let generate rng ?(params = default_params) () =
+  if params.scale_factor <= 0.0 then invalid_arg "Tpch.generate: scale_factor <= 0";
+  if params.part_buckets < 2 then invalid_arg "Tpch.generate: need >= 2 part buckets";
+  let lineitem_rows =
+    max 1000 (int_of_float (params.scale_factor *. float_of_int paper_lineitem_rows))
+  in
+  let order_rows = max 1 (lineitem_rows / params.lineitems_per_order) in
+  let buckets = params.part_buckets in
+  let parts_per_bucket =
+    max 2 (int_of_float (params.scale_factor *. 200_000.0) / buckets)
+  in
+  let part_rows = buckets * parts_per_bucket in
+  (* part: key k lives in bucket (k mod buckets). *)
+  let brands = [| "Brand#11"; "Brand#23"; "Brand#32"; "Brand#44"; "Brand#55" |] in
+  let part_tuples =
+    Array.init part_rows (fun k ->
+        [|
+          Value.Int k;
+          Value.Int (k mod buckets);
+          Value.Int (1 + Rq_math.Rng.int rng 50);
+          Value.Float (900.0 +. Rq_math.Rng.float rng 1200.0);
+          Value.String (Rq_math.Rng.pick rng brands);
+        |])
+  in
+  (* Cumulative bucket weights for popularity-biased part sampling. *)
+  let cumulative = Array.make buckets 0.0 in
+  let total_weight = ref 0.0 in
+  for b = 0 to buckets - 1 do
+    total_weight := !total_weight +. bucket_weight { params with part_buckets = buckets } b;
+    cumulative.(b) <- !total_weight
+  done;
+  let sample_part () =
+    let u = Rq_math.Rng.float rng !total_weight in
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cumulative.(mid) <= u then search (mid + 1) hi else search lo mid
+    in
+    let bucket = search 0 (buckets - 1) in
+    bucket + (buckets * Rq_math.Rng.int rng parts_per_bucket)
+  in
+  let orders_tuples =
+    Array.init order_rows (fun k ->
+        [|
+          Value.Int k;
+          Value.Int (Rq_math.Rng.int rng (max 1 (order_rows / 10)));
+          Value.Date (date_range_start + Rq_math.Rng.int rng (date_range_end - date_range_start));
+          Value.Float (1000.0 +. Rq_math.Rng.float rng 300_000.0);
+        |])
+  in
+  (* lineitem rows are emitted in order-key order, so the heap is clustered
+     on l_orderkey (the paper's physical design) while l_rowid stays a
+     simple unique key. *)
+  let lineitem_buf = ref [] in
+  let rowid = ref 0 in
+  let order_index = ref 0 in
+  while !rowid < lineitem_rows do
+    (* Never wrap past the last order: wrapping would break the physical
+       sort on l_orderkey that merge joins depend on.  Any surplus rows are
+       absorbed by the final order. *)
+    let orderkey = min !order_index (order_rows - 1) in
+    incr order_index;
+    let in_order =
+      if orderkey = order_rows - 1 then lineitem_rows - !rowid
+      else 1 + Rq_math.Rng.int rng ((2 * params.lineitems_per_order) - 1)
+    in
+    let count = min in_order (lineitem_rows - !rowid) in
+    for _ = 1 to count do
+      let ship = date_range_start + Rq_math.Rng.int rng (date_range_end - date_range_start - 100) in
+      let receipt = ship + 1 + Rq_math.Rng.int rng params.receipt_delay_days in
+      lineitem_buf :=
+        [|
+          Value.Int !rowid;
+          Value.Int orderkey;
+          Value.Int (sample_part ());
+          Value.Float (1.0 +. float_of_int (Rq_math.Rng.int rng 50));
+          Value.Float (900.0 +. Rq_math.Rng.float rng 100_000.0);
+          Value.Date ship;
+          Value.Date receipt;
+        |]
+        :: !lineitem_buf;
+      incr rowid
+    done
+  done;
+  let lineitem_tuples = Array.of_list (List.rev !lineitem_buf) in
+  let catalog = Catalog.create () in
+  Catalog.add_table catalog ~primary_key:"p_partkey"
+    (Relation.create ~name:"part" ~schema:part_schema part_tuples);
+  Catalog.add_table catalog ~primary_key:"o_orderkey"
+    (Relation.create ~name:"orders" ~schema:orders_schema orders_tuples);
+  Catalog.add_table catalog ~primary_key:"l_rowid" ~clustered_by:"l_orderkey"
+    (Relation.create ~name:"lineitem" ~schema:lineitem_schema lineitem_tuples);
+  Catalog.add_foreign_key catalog
+    { from_table = "lineitem"; from_column = "l_orderkey"; to_table = "orders"; to_column = "o_orderkey" };
+  Catalog.add_foreign_key catalog
+    { from_table = "lineitem"; from_column = "l_partkey"; to_table = "part"; to_column = "p_partkey" };
+  List.iter
+    (fun (table, column) -> Catalog.build_index catalog ~table ~column)
+    [
+      ("lineitem", "l_shipdate");
+      ("lineitem", "l_receiptdate");
+      ("lineitem", "l_partkey");
+      ("lineitem", "l_orderkey");
+      ("orders", "o_orderkey");
+      ("part", "p_partkey");
+    ];
+  catalog
+
+let cost_scale catalog =
+  let rows = Relation.row_count (Catalog.find_table catalog "lineitem") in
+  float_of_int paper_lineitem_rows /. float_of_int (max 1 rows)
+
+let exp1_pred ~offset =
+  let w0, w1 = ship_window in
+  Pred.conj
+    [
+      Pred.between (Expr.col "l_shipdate") (Expr.Const w0) (Expr.Const w1);
+      Pred.between (Expr.col "l_receiptdate")
+        (Expr.Add_days (Expr.Const w0, offset))
+        (Expr.Add_days (Expr.Const w1, offset));
+    ]
+
+let exp1_query ~offset =
+  Logical.query
+    ~aggs:[ { Plan.fn = Plan.Sum (Expr.col "lineitem.l_extendedprice"); output_name = "revenue" } ]
+    [ Logical.scan ~pred:(exp1_pred ~offset) "lineitem" ]
+
+let exp1_selectivity catalog ~offset =
+  let rel = Catalog.find_table catalog "lineitem" in
+  let check = Pred.compile (Relation.schema rel) (exp1_pred ~offset) in
+  float_of_int (Relation.filter_count rel check) /. float_of_int (Relation.row_count rel)
+
+let exp2_refs ~bucket =
+  [
+    Logical.scan "lineitem";
+    Logical.scan "orders";
+    Logical.scan ~pred:(Pred.eq (Expr.col "p_bucket") (Expr.int bucket)) "part";
+  ]
+
+let exp2_query ~bucket =
+  Logical.query
+    ~aggs:[ { Plan.fn = Plan.Sum (Expr.col "lineitem.l_extendedprice"); output_name = "revenue" } ]
+    (exp2_refs ~bucket)
+
+let exp2_selectivity catalog ~bucket = Naive.selectivity catalog (exp2_refs ~bucket)

@@ -1,0 +1,72 @@
+(** TPC-H-lite: the lineitem/orders/part subset used by the paper's
+    Experiments 1 and 2 (Sec. 6.2.1–6.2.2), with the correlation structure
+    that defeats AVI built in.
+
+    Correlations:
+    - [l_receiptdate] is [l_shipdate] plus a small uniform delay, so the
+      two date predicates of the Experiment-1 template are strongly
+      correlated: their joint selectivity swings with the template offset
+      while each marginal stays constant.
+    - [part] carries a [p_bucket] column (the paper's "modified part
+      table"): every bucket holds the same number of parts (constant
+      marginal selectivity), but parts in higher buckets are proportionally
+      more popular in [lineitem], so the fraction of lineitem rows joining
+      a bucket's parts — the quantity that picks the join strategy —
+      varies by ~20x across buckets.  One-dimensional histograms cannot
+      see either effect.
+
+    Scale: [scale_factor 1.0] means the paper's 6M-row lineitem.  The
+    default for experiments is 0.01 (60k rows); [cost_scale] returns the
+    multiplier that makes the cost-accounting executor report
+    6M-row-equivalent times, so plan crossovers appear at the paper's
+    selectivities regardless of generated size. *)
+
+open Rq_storage
+open Rq_optimizer
+
+type params = {
+  scale_factor : float;        (** 1.0 = 6M lineitem rows *)
+  lineitems_per_order : int;   (** average; default 4 *)
+  receipt_delay_days : int;    (** receipt = ship + U[1, delay]; default 60 *)
+  part_buckets : int;          (** distinct p_bucket values; default 1000 *)
+  popularity_contrast : float; (** hottest/coldest bucket popularity ratio; default 80 *)
+}
+
+val default_params : params
+(** scale_factor 0.01. *)
+
+val paper_lineitem_rows : int
+(** 6_000_000. *)
+
+val generate : Rq_math.Rng.t -> ?params:params -> unit -> Catalog.t
+(** Builds lineitem, orders and part with primary keys, clustering, FK
+    edges and the experiments' physical design: nonclustered indexes on
+    l_shipdate, l_receiptdate, l_partkey, l_orderkey, o_orderkey and
+    p_partkey. *)
+
+val cost_scale : Catalog.t -> float
+(** paper_lineitem_rows / generated lineitem rows. *)
+
+val ship_window : Value.t * Value.t
+(** The Experiment-1 base shipdate window (1997-07-01 .. 1997-07-30;
+    shortened from the paper's 92-day window so that, under this
+    generator's delay structure, the achievable joint selectivity spans
+    the paper's reported 0–0.6% range). *)
+
+val exp1_query : offset:int -> Logical.t
+(** The Experiment-1 template:
+    SELECT SUM(l_extendedprice) FROM lineitem
+    WHERE l_shipdate BETWEEN w0 AND w1
+      AND l_receiptdate BETWEEN w0+offset AND w1+offset.
+    [offset] is the template's "?" free parameter. *)
+
+val exp1_selectivity : Catalog.t -> offset:int -> float
+(** True joint selectivity of the Experiment-1 predicates at this offset. *)
+
+val exp2_query : bucket:int -> Logical.t
+(** The Experiment-2 template: lineitem |><| orders |><| part with the
+    selection [p_bucket = bucket]; higher buckets select more popular
+    parts. *)
+
+val exp2_selectivity : Catalog.t -> bucket:int -> float
+(** True fraction of lineitem rows in the three-way join at this bucket. *)

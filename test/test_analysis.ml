@@ -1,0 +1,255 @@
+(* Tests for rq_analysis: the Section-5 analytical model and the figure
+   generators must reproduce every number the paper states for them. *)
+
+open Rq_core
+open Rq_analysis
+
+let check_bool = Alcotest.(check bool)
+let check_close tolerance = Alcotest.(check (float tolerance))
+
+let confidence t = Confidence.of_percent t
+
+(* ------------------------------------------------------------------ *)
+(* Model                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_crossover () =
+  (* Sec. 5.1: pc = (f1 - f2)/((v2 - v1) N) ~ 0.14%. *)
+  check_close 1e-5 "paper crossover" 0.00143 (Model.crossover Model.paper_model);
+  check_bool "high-crossover variant ~5.2%" true
+    (let pc = Model.crossover Model.high_crossover_model in
+     pc > 0.045 && pc < 0.06)
+
+let test_plan_costs_linear () =
+  let m = Model.paper_model in
+  check_close 1e-9 "stable at 0" 35.0
+    (Model.plan_execution_cost m m.Model.stable ~selectivity:0.0);
+  check_close 1e-9 "risky at 0" 5.0 (Model.plan_execution_cost m m.Model.risky ~selectivity:0.0);
+  check_close 1e-6 "risky at 1%" (5.0 +. (3.5e-3 *. 0.01 *. 6e6))
+    (Model.plan_execution_cost m m.Model.risky ~selectivity:0.01)
+
+let test_oracle_cost () =
+  let m = Model.paper_model in
+  let pc = Model.crossover m in
+  check_close 1e-9 "below crossover: risky"
+    (Model.plan_execution_cost m m.Model.risky ~selectivity:(pc /. 2.0))
+    (Model.oracle_cost m ~selectivity:(pc /. 2.0));
+  check_close 1e-9 "above crossover: stable"
+    (Model.plan_execution_cost m m.Model.stable ~selectivity:(pc *. 3.0))
+    (Model.oracle_cost m ~selectivity:(pc *. 3.0))
+
+let test_choice_table_threshold_structure () =
+  (* For every threshold there is a cut k*: risky for k < k*, stable
+     after — because the estimate is monotone in k. *)
+  let choices = Model.choice_table Model.paper_model ~sample_size:1000 ~confidence:(confidence 50.0) in
+  let first_stable = ref (Array.length choices) in
+  Array.iteri (fun k c -> if c = Model.Stable && !first_stable > k then first_stable := k) choices;
+  Array.iteri
+    (fun k c ->
+      if k < !first_stable then check_bool "risky below the cut" true (c = Model.Risky)
+      else check_bool "stable above the cut" true (c = Model.Stable))
+    choices
+
+let test_t95_never_risky () =
+  (* Sec. 5.2.1: at T=95% with n=1000, even k=0 cannot clear the bar, so
+     the optimizer never selects the risky plan. *)
+  let choices = Model.choice_table Model.paper_model ~sample_size:1000 ~confidence:(confidence 95.0) in
+  Array.iter (fun c -> check_bool "always stable" true (c = Model.Stable)) choices;
+  check_close 1e-12 "probability of risky is 0" 0.0
+    (Model.risky_probability Model.paper_model ~sample_size:1000 ~confidence:(confidence 95.0)
+       ~selectivity:0.0005)
+
+let test_expected_cost_limits () =
+  let m = Model.paper_model in
+  (* At p = 0 and T = 50%, a 1000-tuple sample almost surely shows k = 0,
+     the estimate is far below the crossover, and the risky plan runs at
+     its fixed cost of 5. *)
+  check_close 0.01 "fast at zero selectivity" 5.0
+    (Model.expected_cost m ~sample_size:1000 ~confidence:(confidence 50.0) ~selectivity:0.0);
+  (* At T = 95% the stable plan's cost is paid regardless. *)
+  check_close 0.01 "flat at T=95" 35.0
+    (Model.expected_cost m ~sample_size:1000 ~confidence:(confidence 95.0) ~selectivity:0.0)
+
+let test_low_threshold_overestimates_risk () =
+  (* Figure 5's message: at high selectivity (1%), low thresholds keep
+     gambling on the risky plan and pay for it. *)
+  let m = Model.paper_model in
+  let cost t = Model.expected_cost m ~sample_size:1000 ~confidence:(confidence t) ~selectivity:0.01 in
+  check_bool "T=5% much worse than T=95% at 1%" true (cost 5.0 > cost 95.0 +. 1.0)
+
+let test_risky_probability_monotone_in_threshold () =
+  let m = Model.paper_model in
+  let risky t =
+    Model.risky_probability m ~sample_size:1000 ~confidence:(confidence t) ~selectivity:0.0015
+  in
+  check_bool "raising T reduces risk-taking" true
+    (risky 5.0 >= risky 50.0 && risky 50.0 >= risky 95.0)
+
+let test_workload_tradeoff_shape () =
+  (* Figure 6: stddev strictly decreasing in T; mean minimized at a
+     moderate threshold (the paper finds 80%). *)
+  let selectivities = Figures.default_workload_selectivities in
+  let summary t =
+    Model.cost_over_workload Model.paper_model ~sample_size:1000 ~confidence:(confidence t)
+      ~selectivities
+  in
+  let s5 = summary 5.0 and s20 = summary 20.0 and s50 = summary 50.0 in
+  let s80 = summary 80.0 and s95 = summary 95.0 in
+  let sds = List.map (fun s -> s.Rq_math.Summary.std_dev) [ s5; s20; s50; s80; s95 ] in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a > b && decreasing rest
+    | _ -> true
+  in
+  check_bool "stddev decreases with T" true (decreasing sds);
+  check_bool "T=80 beats the extremes on mean" true
+    (s80.Rq_math.Summary.mean < s5.Rq_math.Summary.mean
+    && s80.Rq_math.Summary.mean < s95.Rq_math.Summary.mean);
+  check_bool "T=80 is the paper's winner" true
+    (List.for_all
+       (fun s -> s80.Rq_math.Summary.mean <= s.Rq_math.Summary.mean +. 1e-9)
+       [ s5; s20; s50; s95 ])
+
+let test_sample_size_improves_cost () =
+  (* Figures 7/12: tiny samples (50, 100) have so spread-out a posterior
+     that the risky plan is never chosen — flat, safe, mediocre (the
+     paper's "self-adjusting" behaviour).  From 250 tuples up, both the
+     mean and the variability improve monotonically with sample size. *)
+  let summary n =
+    Model.cost_over_workload Model.paper_model ~sample_size:n ~confidence:Confidence.median
+      ~selectivities:Figures.default_workload_selectivities
+  in
+  let tiny = summary 50 in
+  check_bool "n=50 never gambles: negligible variance" true (tiny.Rq_math.Summary.std_dev < 0.5);
+  Array.iter
+    (fun c -> check_bool "n=50 always stable" true (c = Model.Stable))
+    (Model.choice_table Model.paper_model ~sample_size:50 ~confidence:Confidence.median);
+  let m250 = summary 250 and m500 = summary 500 and m1000 = summary 1000 in
+  let m2500 = summary 2500 in
+  check_bool "mean improves 250 -> 500 -> 1000 -> 2500" true
+    (m250.Rq_math.Summary.mean > m500.Rq_math.Summary.mean
+    && m500.Rq_math.Summary.mean > m1000.Rq_math.Summary.mean
+    && m1000.Rq_math.Summary.mean > m2500.Rq_math.Summary.mean);
+  check_bool "stddev improves too" true
+    (m250.Rq_math.Summary.std_dev > m500.Rq_math.Summary.std_dev
+    && m500.Rq_math.Summary.std_dev > m1000.Rq_math.Summary.std_dev)
+
+let test_high_crossover_insensitive_to_threshold () =
+  (* Figure 8: with the crossover at ~5.2%, all thresholds perform about
+     the same. *)
+  let m = Model.high_crossover_model in
+  let cost t s = Model.expected_cost m ~sample_size:1000 ~confidence:(confidence t) ~selectivity:s in
+  List.iter
+    (fun s ->
+      let spread =
+        List.fold_left
+          (fun (lo, hi) t ->
+            let c = cost t s in
+            (Float.min lo c, Float.max hi c))
+          (infinity, neg_infinity) [ 5.0; 50.0; 95.0 ]
+      in
+      let lo, hi = spread in
+      check_bool
+        (Printf.sprintf "spread at %.0f%% below 20%%" (100.0 *. s))
+        true
+        (hi -. lo < 0.2 *. lo))
+    [ 0.01; 0.10; 0.15 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figures                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_estimation_rules () =
+  (* ML with k=0 estimates exactly 0, so it always gambles on empty
+     evidence; the posterior rules never estimate 0. *)
+  let ml = Model.choice_table_rule Model.paper_model ~sample_size:200 ~rule:Model.Maximum_likelihood in
+  check_bool "ML gambles at k=0" true (ml.(0) = Model.Risky);
+  let rule_summary rule =
+    Model.cost_over_workload_rule Model.paper_model ~sample_size:1000 ~rule
+      ~selectivities:Figures.default_workload_selectivities
+  in
+  (* Each fixed rule lands on a single point; the threshold family spans a
+     frontier that weakly dominates it on the stddev axis at equal means. *)
+  let lec = rule_summary Model.Posterior_mean in
+  let matching_threshold =
+    rule_summary (Model.At_confidence (Rq_core.Confidence.of_percent 80.0))
+  in
+  check_bool "LEC coincides with a frontier point (T=80 here)" true
+    (Float.abs (lec.Rq_math.Summary.mean -. matching_threshold.Rq_math.Summary.mean) < 0.5
+    && Float.abs (lec.Rq_math.Summary.std_dev -. matching_threshold.Rq_math.Summary.std_dev) < 0.5)
+
+let test_fig1_crossover_at_26 () =
+  (* The running example's plans tie at ~26% selectivity (Fig. 1). *)
+  let diff s = Figures.example_plan_1 s -. Figures.example_plan_2 s in
+  check_bool "plan 1 cheaper below" true (diff 0.20 < 0.0);
+  check_bool "plan 2 cheaper above" true (diff 0.32 > 0.0);
+  check_bool "tie near 26%" true (Float.abs (diff 0.262) < 0.5)
+
+let test_fig3_confidence_crossover_at_65 () =
+  (* Fig. 3: Plan 1 preferred below T~65%, Plan 2 above. *)
+  check_bool "T=50 prefers plan 1" true (Figures.fig3_preferred_plan (confidence 50.0) = `Plan1);
+  check_bool "T=60 prefers plan 1" true (Figures.fig3_preferred_plan (confidence 60.0) = `Plan1);
+  check_bool "T=70 prefers plan 2" true (Figures.fig3_preferred_plan (confidence 70.0) = `Plan2);
+  check_bool "T=80 prefers plan 2" true (Figures.fig3_preferred_plan (confidence 80.0) = `Plan2)
+
+let test_fig2_densities_shape () =
+  (* Plan 2's cost density is much more concentrated than Plan 1's: its
+     peak density is higher. *)
+  let peak series =
+    List.fold_left (fun acc (_, y) -> Float.max acc y) 0.0 series.Figures.points
+  in
+  match Figures.fig2_cost_pdf () with
+  | [ p1; p2 ] -> check_bool "plan 2 more peaked" true (peak p2 > 2.0 *. peak p1)
+  | _ -> Alcotest.fail "expected two series"
+
+let test_fig4_series_present () =
+  let series = Figures.fig4_prior_comparison () in
+  Alcotest.(check int) "four posterior curves" 4 (List.length series);
+  (* Same-evidence curves with different priors nearly coincide; the
+     n=500 curves are more peaked than the n=100 ones. *)
+  let peak s = List.fold_left (fun acc (_, y) -> Float.max acc y) 0.0 s.Figures.points in
+  match series with
+  | [ u100; j100; u500; j500 ] ->
+      check_bool "prior barely matters" true
+        (Float.abs (peak u100 -. peak j100) < 0.1 *. peak j100);
+      check_bool "sample size matters" true (peak j500 > 1.5 *. peak j100);
+      check_bool "and for uniform too" true (peak u500 > 1.5 *. peak u100)
+  | _ -> Alcotest.fail "series order"
+
+let test_figure_series_sizes () =
+  Alcotest.(check int) "fig5 has 5 thresholds" 5 (List.length (Figures.fig5_confidence_sweep ()));
+  Alcotest.(check int) "fig6 has 5 points" 5 (List.length (Figures.fig6_tradeoff ()));
+  Alcotest.(check int) "fig7 has 5 sample sizes" 5 (List.length (Figures.fig7_sample_size_sweep ()));
+  Alcotest.(check int) "fig8 has 3 thresholds + 2 plans" 5
+    (List.length (Figures.fig8_high_crossover ()))
+
+let () =
+  Alcotest.run "rq_analysis"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "crossover points" `Quick test_crossover;
+          Alcotest.test_case "linear plan costs" `Quick test_plan_costs_linear;
+          Alcotest.test_case "oracle cost" `Quick test_oracle_cost;
+          Alcotest.test_case "choice table structure" `Quick test_choice_table_threshold_structure;
+          Alcotest.test_case "T=95% never picks the risky plan" `Quick test_t95_never_risky;
+          Alcotest.test_case "expected-cost limits" `Quick test_expected_cost_limits;
+          Alcotest.test_case "low thresholds pay at high selectivity" `Quick
+            test_low_threshold_overestimates_risk;
+          Alcotest.test_case "risk-taking monotone in T" `Quick
+            test_risky_probability_monotone_in_threshold;
+          Alcotest.test_case "Figure-6 trade-off shape" `Quick test_workload_tradeoff_shape;
+          Alcotest.test_case "Figure-7 sample-size effect" `Quick test_sample_size_improves_cost;
+          Alcotest.test_case "Figure-8 threshold insensitivity" `Quick
+            test_high_crossover_insensitive_to_threshold;
+          Alcotest.test_case "estimation rules (LEC / ML)" `Quick test_estimation_rules;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "Fig 1: 26% crossover" `Quick test_fig1_crossover_at_26;
+          Alcotest.test_case "Fig 3: 65% threshold crossover" `Quick
+            test_fig3_confidence_crossover_at_65;
+          Alcotest.test_case "Fig 2: density shapes" `Quick test_fig2_densities_shape;
+          Alcotest.test_case "Fig 4: prior vs sample size" `Quick test_fig4_series_present;
+          Alcotest.test_case "series inventories" `Quick test_figure_series_sizes;
+        ] );
+    ]

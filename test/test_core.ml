@@ -1,0 +1,305 @@
+(* Tests for rq_core: priors, posteriors, confidence thresholds, the robust
+   estimator, and the monotone cost-transfer machinery. *)
+
+open Rq_core
+open Rq_math
+
+let check_bool = Alcotest.(check bool)
+let check_close tolerance = Alcotest.(check (float tolerance))
+
+(* ------------------------------------------------------------------ *)
+(* Prior                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_prior_shapes () =
+  let j = Prior.to_beta Prior.Jeffreys in
+  check_close 1e-12 "Jeffreys alpha" 0.5 j.Beta.alpha;
+  check_close 1e-12 "Jeffreys beta" 0.5 j.Beta.beta;
+  let u = Prior.to_beta Prior.Uniform in
+  check_close 1e-12 "uniform alpha" 1.0 u.Beta.alpha;
+  check_close 1e-12 "uniform beta" 1.0 u.Beta.beta;
+  check_bool "default is Jeffreys" true (Prior.default = Prior.Jeffreys)
+
+let test_prior_informed () =
+  match Prior.of_mean_strength ~mean:0.2 ~strength:10.0 with
+  | Prior.Informed b ->
+      check_close 1e-12 "alpha" 2.0 b.Beta.alpha;
+      check_close 1e-12 "beta" 8.0 b.Beta.beta;
+      check_close 1e-12 "mean preserved" 0.2 (Beta.mean b)
+  | _ -> Alcotest.fail "expected Informed"
+
+let test_prior_fit_from_selectivities () =
+  (* Recover a known Beta(2, 8) from its own moments. *)
+  let target = Beta.create ~alpha:2.0 ~beta:8.0 in
+  let mean = Beta.mean target and variance = Beta.variance target in
+  (* Two points carrying exactly those moments. *)
+  let sd = sqrt variance in
+  match Prior.fit_from_selectivities [ mean -. sd; mean +. sd ] with
+  | Ok (Prior.Informed fitted) ->
+      check_close 1e-6 "alpha recovered" 2.0 fitted.Beta.alpha;
+      check_close 1e-6 "beta recovered" 8.0 fitted.Beta.beta
+  | Ok _ -> Alcotest.fail "expected an informed prior"
+  | Error e -> Alcotest.fail e
+
+let test_prior_fit_degenerate () =
+  check_bool "too few values" true (Result.is_error (Prior.fit_from_selectivities [ 0.5 ]));
+  check_bool "identical values" true
+    (Result.is_error (Prior.fit_from_selectivities [ 0.3; 0.3; 0.3 ]));
+  check_bool "boundary values filtered" true
+    (Result.is_error (Prior.fit_from_selectivities [ 0.0; 1.0; 0.5 ]));
+  (* Near-boundary pairs fit to an extremely weak prior but stay valid
+     (variance < mean(1-mean) is automatic for points inside (0,1)). *)
+  match Prior.fit_from_selectivities [ 0.001; 0.999 ] with
+  | Ok (Prior.Informed b) -> check_bool "weak prior" true (b.Beta.alpha +. b.Beta.beta < 0.1)
+  | _ -> Alcotest.fail "expected a (weak) informed prior"
+
+let test_prior_informed_invalid () =
+  Alcotest.check_raises "mean out of range"
+    (Invalid_argument "Prior.of_mean_strength: mean must be in (0,1)") (fun () ->
+      ignore (Prior.of_mean_strength ~mean:1.0 ~strength:2.0))
+
+(* ------------------------------------------------------------------ *)
+(* Posterior                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_posterior_paper_example () =
+  (* Paper Sec. 3.4: 10 of 100, Jeffreys. *)
+  let p = Posterior.infer ~successes:10 ~trials:100 () in
+  check_close 5e-4 "T=20%" 0.078 (Posterior.quantile p 0.20);
+  check_close 5e-4 "T=50%" 0.101 (Posterior.quantile p 0.50);
+  check_close 5e-4 "T=80%" 0.128 (Posterior.quantile p 0.80);
+  Alcotest.(check (option (pair int int))) "evidence recorded" (Some (10, 100))
+    (Posterior.evidence p)
+
+let test_posterior_prior_insensitivity () =
+  (* Figure 4's message: at realistic sample sizes the prior hardly
+     matters. *)
+  let diff n k =
+    let j = Posterior.infer ~prior:Prior.Jeffreys ~successes:k ~trials:n () in
+    let u = Posterior.infer ~prior:Prior.Uniform ~successes:k ~trials:n () in
+    Float.abs (Posterior.quantile j 0.5 -. Posterior.quantile u 0.5)
+  in
+  check_bool "n=100 within half a point" true (diff 100 10 < 0.005);
+  check_bool "n=500 within a tenth of a point" true (diff 500 50 < 0.001);
+  check_bool "sample size matters more than prior" true (diff 100 10 > diff 500 50)
+
+let test_posterior_spread_shrinks_with_n () =
+  let sd n k = Posterior.std_dev (Posterior.infer ~successes:k ~trials:n ()) in
+  check_bool "n=500 tighter than n=100" true (sd 500 50 < sd 100 10)
+
+let test_posterior_of_distribution () =
+  let p = Posterior.of_distribution (Beta.create ~alpha:2.0 ~beta:2.0) in
+  check_bool "no evidence" true (Posterior.evidence p = None);
+  check_close 1e-9 "symmetric median" 0.5 (Posterior.quantile p 0.5)
+
+(* ------------------------------------------------------------------ *)
+(* Confidence                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_confidence_construction () =
+  check_close 1e-12 "percent roundtrip" 80.0
+    (Confidence.to_percent (Confidence.of_percent 80.0));
+  check_close 1e-12 "fraction roundtrip" 0.35
+    (Confidence.to_fraction (Confidence.of_fraction 0.35));
+  Alcotest.check_raises "0 rejected"
+    (Invalid_argument "Confidence.of_fraction: must be strictly between 0 and 1") (fun () ->
+      ignore (Confidence.of_percent 0.0));
+  Alcotest.check_raises "100 rejected"
+    (Invalid_argument "Confidence.of_fraction: must be strictly between 0 and 1") (fun () ->
+      ignore (Confidence.of_percent 100.0))
+
+let test_confidence_policies () =
+  check_close 1e-12 "conservative" 95.0
+    (Confidence.to_percent (Confidence.of_policy Confidence.Conservative));
+  check_close 1e-12 "moderate" 80.0
+    (Confidence.to_percent (Confidence.of_policy Confidence.Moderate));
+  check_close 1e-12 "aggressive" 50.0
+    (Confidence.to_percent (Confidence.of_policy Confidence.Aggressive));
+  check_bool "string roundtrip" true
+    (Confidence.policy_of_string "Conservative" = Ok Confidence.Conservative);
+  check_bool "unknown policy" true (Result.is_error (Confidence.policy_of_string "yolo"))
+
+let test_confidence_resolution () =
+  let setting = { Confidence.system_default = Confidence.of_percent 95.0 } in
+  check_close 1e-12 "system default applies" 95.0
+    (Confidence.to_percent (Confidence.resolve setting));
+  check_close 1e-12 "hint overrides" 20.0
+    (Confidence.to_percent (Confidence.resolve ~query_hint:(Confidence.of_percent 20.0) setting));
+  check_close 1e-12 "shipped default is moderate" 80.0
+    (Confidence.to_percent (Confidence.resolve Confidence.default_setting))
+
+(* ------------------------------------------------------------------ *)
+(* Robust estimator                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let estimator_at percent =
+  Robust_estimator.create ~confidence:(Confidence.of_percent percent) ()
+
+let test_estimator_basics () =
+  let e = estimator_at 80.0 in
+  let est = Robust_estimator.estimate e ~successes:10 ~trials:100 in
+  check_close 5e-4 "matches posterior quantile" 0.128 est;
+  check_close 1e-9 "ML baseline" 0.1
+    (Robust_estimator.maximum_likelihood_estimate ~successes:10 ~trials:100);
+  check_close 1e-9 "posterior-mean baseline" (10.5 /. 101.0)
+    (Robust_estimator.expected_value_estimate ~successes:10 ~trials:100 ())
+
+let test_estimator_zero_hits_still_positive () =
+  (* k = 0 must not produce a zero estimate: the posterior keeps mass on
+     positive selectivities (the behaviour behind the paper's
+     "self-adjusting" small-sample effect). *)
+  let est = Robust_estimator.estimate (estimator_at 50.0) ~successes:0 ~trials:50 in
+  check_bool "strictly positive" true (est > 0.0);
+  let tighter = Robust_estimator.estimate (estimator_at 50.0) ~successes:0 ~trials:1000 in
+  check_bool "more evidence, smaller estimate" true (tighter < est)
+
+let prop_estimate_monotone_in_threshold =
+  QCheck.Test.make ~name:"estimate monotone in confidence threshold" ~count:200
+    QCheck.(triple (int_range 1 1000) (float_range 0.02 0.98) (float_range 0.02 0.98))
+    (fun (n, t1, t2) ->
+      let k = n / 3 in
+      let est t = Robust_estimator.estimate (estimator_at (100.0 *. t)) ~successes:k ~trials:n in
+      let lo = Float.min t1 t2 and hi = Float.max t1 t2 in
+      est lo <= est hi +. 1e-12)
+
+let prop_estimate_monotone_in_evidence =
+  QCheck.Test.make ~name:"estimate monotone in observed hits" ~count:50
+    QCheck.(pair (int_range 2 200) (float_range 0.05 0.95))
+    (fun (n, t) ->
+      let est k = Robust_estimator.estimate (estimator_at (100.0 *. t)) ~successes:k ~trials:n in
+      let increasing = ref true in
+      for k = 1 to n - 1 do
+        if est k < est (k - 1) -. 1e-12 then increasing := false
+      done;
+      !increasing)
+
+let prop_estimate_within_unit_interval =
+  QCheck.Test.make ~name:"estimate lands in [0,1]" ~count:300
+    QCheck.(triple (int_range 1 300) (float_range 0.01 0.99) (float_range 0.0 1.0))
+    (fun (n, t, kf) ->
+      let k = int_of_float (kf *. float_of_int n) in
+      let est = Robust_estimator.estimate (estimator_at (100.0 *. t)) ~successes:k ~trials:n in
+      est >= 0.0 && est <= 1.0)
+
+let test_magic_distribution () =
+  check_close 1e-9 "magic mean is the classic 10%" 0.1
+    (Beta.mean Robust_estimator.magic_distribution);
+  let conservative = Robust_estimator.estimate_no_statistics (estimator_at 95.0) in
+  let aggressive = Robust_estimator.estimate_no_statistics (estimator_at 20.0) in
+  check_bool "magic number moves with the threshold" true (conservative > aggressive);
+  check_close 1e-9 "plain magic constant" 0.1 Robust_estimator.magic_selectivity
+
+(* ------------------------------------------------------------------ *)
+(* Cost transfer                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let linear_cost ~fixed ~slope s = fixed +. (slope *. s)
+
+let test_cost_transfer_paper_numbers () =
+  (* Sec. 3.1: k=50 of n=200; Plan 1 median 30.2, 80th pct 33.5; Plan 2
+     median 31.5, 80th pct 31.9. *)
+  let posterior = Posterior.infer ~successes:50 ~trials:200 () in
+  let plan1 = linear_cost ~fixed:(-0.85) ~slope:124.0 in
+  let plan2 = linear_cost ~fixed:27.74 ~slope:15.0 in
+  let at plan t =
+    Cost_transfer.cost_percentile ~cost_of_selectivity:plan posterior
+      (Confidence.of_percent t)
+  in
+  check_close 0.1 "plan1 median" 30.2 (at plan1 50.0);
+  check_close 0.1 "plan1 80th" 33.5 (at plan1 80.0);
+  check_close 0.1 "plan2 median" 31.5 (at plan2 50.0);
+  check_close 0.1 "plan2 80th" 31.9 (at plan2 80.0)
+
+let prop_cost_transfer_equivalence =
+  (* The Section-3.1.1 lemma: inverting the selectivity cdf then costing
+     once equals inverting the explicit cost cdf. *)
+  QCheck.Test.make ~name:"fast path equals explicit cost-cdf inversion" ~count:100
+    QCheck.(quad (int_range 1 300) (int_range 0 300) (float_range 0.05 0.95)
+              (pair (float_range 0.0 50.0) (float_range 0.1 200.0)))
+    (fun (n, k_raw, t, (fixed, slope)) ->
+      let k = min k_raw n in
+      let posterior = Posterior.infer ~successes:k ~trials:n () in
+      let g = linear_cost ~fixed ~slope in
+      let fast =
+        Cost_transfer.cost_percentile ~cost_of_selectivity:g posterior
+          (Confidence.of_percent (100.0 *. t))
+      in
+      let explicit = Cost_transfer.cost_cdf_inverse ~cost_of_selectivity:g posterior t in
+      Float.abs (fast -. explicit) < 1e-4 *. Float.max 1.0 (Float.abs fast))
+
+let test_cost_cdf_monotone () =
+  let posterior = Posterior.infer ~successes:20 ~trials:100 () in
+  let g = linear_cost ~fixed:5.0 ~slope:100.0 in
+  let prev = ref (-1.0) in
+  for i = 0 to 50 do
+    let c = 5.0 +. (2.0 *. float_of_int i) in
+    let v = Cost_transfer.cost_cdf ~cost_of_selectivity:g posterior c in
+    check_bool "non-decreasing" true (v >= !prev -. 1e-12);
+    prev := v
+  done
+
+let test_expected_cost_linear () =
+  (* For linear g, E[g(s)] = g(E[s]) exactly. *)
+  let posterior = Posterior.infer ~successes:30 ~trials:100 () in
+  let fixed = 7.0 and slope = 40.0 in
+  let expected = fixed +. (slope *. Posterior.mean posterior) in
+  check_close 1e-3 "linearity of expectation" expected
+    (Cost_transfer.expected_cost ~cost_of_selectivity:(linear_cost ~fixed ~slope) posterior)
+
+let test_expected_cost_jensen () =
+  (* For convex g, E[g(s)] >= g(E[s]): the gap the least-expected-cost
+     papers exploit. *)
+  let posterior = Posterior.infer ~successes:30 ~trials:100 () in
+  let g s = s *. s *. 100.0 in
+  let at_mean = g (Posterior.mean posterior) in
+  let expectation = Cost_transfer.expected_cost ~cost_of_selectivity:g posterior in
+  check_bool "Jensen gap" true (expectation > at_mean)
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "rq_core"
+    [
+      ( "prior",
+        [
+          Alcotest.test_case "shapes" `Quick test_prior_shapes;
+          Alcotest.test_case "informed prior" `Quick test_prior_informed;
+          Alcotest.test_case "informed validation" `Quick test_prior_informed_invalid;
+          Alcotest.test_case "fit from workload" `Quick test_prior_fit_from_selectivities;
+          Alcotest.test_case "fit degenerate inputs" `Quick test_prior_fit_degenerate;
+        ] );
+      ( "posterior",
+        [
+          Alcotest.test_case "paper example (Sec. 3.4)" `Quick test_posterior_paper_example;
+          Alcotest.test_case "prior insensitivity (Fig. 4)" `Quick
+            test_posterior_prior_insensitivity;
+          Alcotest.test_case "spread shrinks with n" `Quick test_posterior_spread_shrinks_with_n;
+          Alcotest.test_case "external distribution" `Quick test_posterior_of_distribution;
+        ] );
+      ( "confidence",
+        [
+          Alcotest.test_case "construction" `Quick test_confidence_construction;
+          Alcotest.test_case "policies" `Quick test_confidence_policies;
+          Alcotest.test_case "resolution" `Quick test_confidence_resolution;
+        ] );
+      ( "robust_estimator",
+        [
+          Alcotest.test_case "basics" `Quick test_estimator_basics;
+          Alcotest.test_case "zero hits stay positive" `Quick
+            test_estimator_zero_hits_still_positive;
+          Alcotest.test_case "magic distribution" `Quick test_magic_distribution;
+        ]
+        @ qcheck
+            [
+              prop_estimate_monotone_in_threshold;
+              prop_estimate_monotone_in_evidence;
+              prop_estimate_within_unit_interval;
+            ] );
+      ( "cost_transfer",
+        [
+          Alcotest.test_case "paper numbers (Sec. 3.1)" `Quick test_cost_transfer_paper_numbers;
+          Alcotest.test_case "cost cdf monotone" `Quick test_cost_cdf_monotone;
+          Alcotest.test_case "expected cost of linear g" `Quick test_expected_cost_linear;
+          Alcotest.test_case "Jensen gap for convex g" `Quick test_expected_cost_jensen;
+        ]
+        @ qcheck [ prop_cost_transfer_equivalence ] );
+    ]

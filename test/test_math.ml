@@ -1,0 +1,369 @@
+(* Unit and property tests for rq_math: PRNG, special functions, Beta and
+   binomial distributions, summary statistics. *)
+
+open Rq_math
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close tolerance = Alcotest.(check (float tolerance))
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same seed, same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Rng.bits64 a) (Rng.bits64 b)) then differs := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !differs
+
+let test_rng_split_independent () =
+  let parent = Rng.create 7 in
+  let child = Rng.split parent in
+  let c1 = Rng.bits64 child and p1 = Rng.bits64 parent in
+  Alcotest.(check bool) "child differs from parent" false (Int64.equal c1 p1)
+
+let test_rng_copy () =
+  let a = Rng.create 9 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_int_invalid () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_without_replacement () =
+  let rng = Rng.create 11 in
+  let sample = Rng.sample_without_replacement rng 50 100 in
+  Alcotest.(check int) "size" 50 (Array.length sample);
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "in range" true (v >= 0 && v < 100);
+      Alcotest.(check bool) "distinct" false (Hashtbl.mem seen v);
+      Hashtbl.replace seen v ())
+    sample
+
+let test_rng_without_replacement_full () =
+  let rng = Rng.create 12 in
+  let sample = Rng.sample_without_replacement rng 20 20 in
+  let sorted = Array.copy sample in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "k = n yields a permutation" (Array.init 20 Fun.id) sorted
+
+let test_rng_shuffle_preserves_multiset () =
+  let rng = Rng.create 13 in
+  let arr = Array.init 40 (fun i -> i mod 7) in
+  let shuffled = Array.copy arr in
+  Rng.shuffle_in_place rng shuffled;
+  let sort a = let c = Array.copy a in Array.sort compare c; c in
+  Alcotest.(check (array int)) "same elements" (sort arr) (sort shuffled)
+
+let test_rng_pick () =
+  let rng = Rng.create 14 in
+  Alcotest.(check int) "singleton pick" 42 (Rng.pick rng [| 42 |]);
+  Alcotest.check_raises "empty pick" (Invalid_argument "Rng.pick: empty array") (fun () ->
+      ignore (Rng.pick rng ([||] : int array)))
+
+let test_rng_uniformity () =
+  (* A very loose frequency check: 10 buckets over 20k draws should each
+     hold 2000 +- 25%. *)
+  let rng = Rng.create 15 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 20_000 do
+    let v = Rng.int rng 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "bucket roughly uniform" true (c > 1500 && c < 2500))
+    counts
+
+let prop_rng_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int stays within bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_rng_float_in_bounds =
+  QCheck.Test.make ~name:"Rng.float stays within bounds" ~count:500
+    QCheck.(pair small_int (float_range 0.001 1e6))
+    (fun (seed, x) ->
+      let rng = Rng.create seed in
+      let v = Rng.float rng x in
+      v >= 0.0 && v < x)
+
+(* ------------------------------------------------------------------ *)
+(* Special functions                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_log_gamma_known () =
+  check_float "log_gamma 1" 0.0 (Special.log_gamma 1.0);
+  check_float "log_gamma 2" 0.0 (Special.log_gamma 2.0);
+  check_close 1e-10 "log_gamma 0.5" (0.5 *. log Float.pi) (Special.log_gamma 0.5);
+  check_close 1e-8 "log_gamma 10 = log 9!" (log 362880.0) (Special.log_gamma 10.0);
+  check_close 1e-8 "log_gamma 5 = log 24" (log 24.0) (Special.log_gamma 5.0)
+
+let test_log_gamma_invalid () =
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Special.log_gamma: non-positive argument") (fun () ->
+      ignore (Special.log_gamma 0.0))
+
+let test_log_choose () =
+  check_close 1e-9 "C(5,2)" (log 10.0) (Special.log_choose 5 2);
+  check_close 1e-9 "C(10,0)" 0.0 (Special.log_choose 10 0);
+  check_close 1e-9 "C(10,10)" 0.0 (Special.log_choose 10 10);
+  check_close 1e-7 "C(52,5)" (log 2598960.0) (Special.log_choose 52 5)
+
+let test_betainc_known () =
+  (* I_x(1,1) = x. *)
+  check_close 1e-12 "uniform cdf" 0.3 (Special.betainc ~alpha:1.0 ~beta:1.0 0.3);
+  (* I_x(2,3) has closed form 6x^2/2 - ... : F(x) = x^2(6 - 8x + 3x^2). *)
+  let f x = x *. x *. (6.0 -. (8.0 *. x) +. (3.0 *. x *. x)) in
+  List.iter
+    (fun x -> check_close 1e-10 "Beta(2,3) cdf" (f x) (Special.betainc ~alpha:2.0 ~beta:3.0 x))
+    [ 0.1; 0.25; 0.5; 0.75; 0.9 ];
+  check_float "x=0" 0.0 (Special.betainc ~alpha:2.0 ~beta:3.0 0.0);
+  check_float "x=1" 1.0 (Special.betainc ~alpha:2.0 ~beta:3.0 1.0)
+
+let shape_gen = QCheck.Gen.map (fun x -> 0.25 +. (x *. 50.0)) (QCheck.Gen.float_bound_exclusive 1.0)
+
+let prop_betainc_symmetry =
+  QCheck.Test.make ~name:"betainc symmetry I_x(a,b) = 1 - I_(1-x)(b,a)" ~count:300
+    QCheck.(triple (make shape_gen) (make shape_gen) (float_range 0.001 0.999))
+    (fun (a, b, x) ->
+      let lhs = Special.betainc ~alpha:a ~beta:b x in
+      let rhs = 1.0 -. Special.betainc ~alpha:b ~beta:a (1.0 -. x) in
+      Float.abs (lhs -. rhs) < 1e-9)
+
+let prop_betainc_monotone =
+  QCheck.Test.make ~name:"betainc is monotone in x" ~count:300
+    QCheck.(triple (make shape_gen) (make shape_gen) (pair (float_range 0.001 0.999) (float_range 0.001 0.999)))
+    (fun (a, b, (x1, x2)) ->
+      let lo = Float.min x1 x2 and hi = Float.max x1 x2 in
+      Special.betainc ~alpha:a ~beta:b lo <= Special.betainc ~alpha:a ~beta:b hi +. 1e-12)
+
+let prop_betainc_inv_roundtrip =
+  QCheck.Test.make ~name:"betainc_inv inverts betainc" ~count:300
+    QCheck.(triple (make shape_gen) (make shape_gen) (float_range 0.01 0.99))
+    (fun (a, b, p) ->
+      let x = Special.betainc_inv ~alpha:a ~beta:b p in
+      Float.abs (Special.betainc ~alpha:a ~beta:b x -. p) < 1e-8)
+
+(* ------------------------------------------------------------------ *)
+(* Beta distribution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_beta_create_invalid () =
+  List.iter
+    (fun (alpha, beta) ->
+      Alcotest.check_raises "bad shapes"
+        (Invalid_argument "Beta.create: shapes must be positive and finite") (fun () ->
+          ignore (Beta.create ~alpha ~beta)))
+    [ (0.0, 1.0); (1.0, 0.0); (-1.0, 2.0); (nan, 1.0); (infinity, 1.0) ]
+
+let test_beta_moments () =
+  let b = Beta.create ~alpha:2.0 ~beta:6.0 in
+  check_close 1e-12 "mean" 0.25 (Beta.mean b);
+  check_close 1e-12 "variance" (2.0 *. 6.0 /. (64.0 *. 9.0)) (Beta.variance b);
+  Alcotest.(check (option (float 1e-12))) "mode" (Some (1.0 /. 6.0)) (Beta.mode b);
+  Alcotest.(check (option (float 1e-12))) "no interior mode" None
+    (Beta.mode (Beta.create ~alpha:0.5 ~beta:0.5))
+
+let test_beta_posterior () =
+  let prior = Beta.create ~alpha:0.5 ~beta:0.5 in
+  let post = Beta.posterior ~prior ~successes:10 ~trials:100 in
+  check_close 1e-12 "alpha" 10.5 post.Beta.alpha;
+  check_close 1e-12 "beta" 90.5 post.Beta.beta;
+  Alcotest.check_raises "bad evidence"
+    (Invalid_argument "Beta.posterior: need 0 <= successes <= trials") (fun () ->
+      ignore (Beta.posterior ~prior ~successes:5 ~trials:4))
+
+let test_beta_paper_quantiles () =
+  (* Paper Sec. 3.4: 10 of 100 under Jeffreys -> 7.8%, 10.1%, 12.8%. *)
+  let b = Beta.create ~alpha:10.5 ~beta:90.5 in
+  check_close 5e-4 "T=20%" 0.078 (Beta.quantile b 0.20);
+  check_close 5e-4 "T=50%" 0.101 (Beta.quantile b 0.50);
+  check_close 5e-4 "T=80%" 0.128 (Beta.quantile b 0.80)
+
+let test_beta_pdf_integrates_to_one () =
+  let b = Beta.create ~alpha:3.0 ~beta:5.0 in
+  let steps = 10_000 in
+  let h = 1.0 /. float_of_int steps in
+  let acc = ref 0.0 in
+  for i = 0 to steps - 1 do
+    let x = (float_of_int i +. 0.5) *. h in
+    acc := !acc +. (Beta.pdf b x *. h)
+  done;
+  check_close 1e-5 "unit mass" 1.0 !acc
+
+let test_beta_credible_interval () =
+  let b = Beta.create ~alpha:50.5 ~beta:150.5 in
+  let lo, hi = Beta.credible_interval b 0.9 in
+  Alcotest.(check bool) "contains the median" true
+    (lo < Beta.quantile b 0.5 && Beta.quantile b 0.5 < hi);
+  check_close 1e-9 "mass is 0.9" 0.9 (Beta.cdf b hi -. Beta.cdf b lo)
+
+let prop_beta_quantile_roundtrip =
+  QCheck.Test.make ~name:"Beta quantile/cdf roundtrip" ~count:200
+    QCheck.(triple (make shape_gen) (make shape_gen) (float_range 0.01 0.99))
+    (fun (a, b, p) ->
+      let dist = Beta.create ~alpha:a ~beta:b in
+      Float.abs (Beta.cdf dist (Beta.quantile dist p) -. p) < 1e-7)
+
+let prop_beta_quantile_monotone =
+  QCheck.Test.make ~name:"Beta quantile monotone in p" ~count:200
+    QCheck.(triple (make shape_gen) (make shape_gen) (pair (float_range 0.01 0.99) (float_range 0.01 0.99)))
+    (fun (a, b, (p1, p2)) ->
+      let dist = Beta.create ~alpha:a ~beta:b in
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Beta.quantile dist lo <= Beta.quantile dist hi +. 1e-12)
+
+(* ------------------------------------------------------------------ *)
+(* Binomial                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_binomial_pmf_known () =
+  check_close 1e-12 "C(4,2)/16" 0.375 (Binomial.pmf ~n:4 ~p:0.5 2);
+  check_close 1e-12 "p=0, k=0" 1.0 (Binomial.pmf ~n:10 ~p:0.0 0);
+  check_close 1e-12 "p=0, k=1" 0.0 (Binomial.pmf ~n:10 ~p:0.0 1);
+  check_close 1e-12 "p=1, k=n" 1.0 (Binomial.pmf ~n:10 ~p:1.0 10)
+
+let test_binomial_cdf_vs_sum () =
+  let n = 30 and p = 0.137 in
+  let acc = ref 0.0 in
+  for k = 0 to n do
+    acc := !acc +. Binomial.pmf ~n ~p k;
+    check_close 1e-9 (Printf.sprintf "cdf at %d" k) !acc (Binomial.cdf ~n ~p k)
+  done
+
+let test_binomial_moments () =
+  check_float "mean" 4.5 (Binomial.mean ~n:30 ~p:0.15);
+  check_close 1e-12 "variance" (30.0 *. 0.15 *. 0.85) (Binomial.variance ~n:30 ~p:0.15)
+
+let test_binomial_expectation () =
+  (* E[K] via fold_support must match n*p. *)
+  check_close 1e-6 "E[K]" 1.0 (Binomial.expectation ~n:1000 ~p:0.001 float_of_int);
+  check_close 1e-9 "E[const]" 7.0 (Binomial.expectation ~n:500 ~p:0.3 (fun _ -> 7.0))
+
+let prop_binomial_mass_sums_to_one =
+  QCheck.Test.make ~name:"binomial mass sums to ~1" ~count:100
+    QCheck.(pair (int_range 1 2000) (float_range 0.0001 0.9999))
+    (fun (n, p) ->
+      let total = Binomial.fold_support ~n ~p ~init:0.0 ~f:(fun acc _ w -> acc +. w) in
+      Float.abs (total -. 1.0) < 1e-9)
+
+let test_binomial_invalid () =
+  Alcotest.check_raises "k out of support"
+    (Invalid_argument "Binomial.log_pmf: k outside support") (fun () ->
+      ignore (Binomial.pmf ~n:5 ~p:0.5 6));
+  Alcotest.check_raises "bad p" (Invalid_argument "Binomial: p outside [0,1]") (fun () ->
+      ignore (Binomial.pmf ~n:5 ~p:1.5 2))
+
+(* ------------------------------------------------------------------ *)
+(* Summary                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_summary_basic () =
+  let s = Summary.of_array [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  check_float "mean" 5.0 s.Summary.mean;
+  check_float "population variance" 4.0 s.Summary.variance;
+  check_float "stddev" 2.0 s.Summary.std_dev;
+  check_float "min" 2.0 s.Summary.min;
+  check_float "max" 9.0 s.Summary.max;
+  Alcotest.(check int) "count" 8 s.Summary.count
+
+let test_summary_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Summary.of_array: empty") (fun () ->
+      ignore (Summary.of_array [||]))
+
+let test_summary_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check_float "median" 3.0 (Summary.percentile xs 0.5);
+  check_float "min" 1.0 (Summary.percentile xs 0.0);
+  check_float "max" 5.0 (Summary.percentile xs 1.0);
+  check_float "interpolated" 1.5 (Summary.percentile xs 0.125)
+
+let test_summary_weighted () =
+  let s = Summary.weighted [ (10.0, 1.0); (20.0, 3.0) ] in
+  check_float "weighted mean" 17.5 s.Summary.mean;
+  check_close 1e-9 "weighted variance" 18.75 s.Summary.variance;
+  Alcotest.check_raises "zero weights"
+    (Invalid_argument "Summary.weighted: weights must sum > 0") (fun () ->
+      ignore (Summary.weighted [ (1.0, 0.0) ]))
+
+let prop_summary_welford_matches_naive =
+  QCheck.Test.make ~name:"Welford matches two-pass variance" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-1e3) 1e3))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let s = Summary.of_array arr in
+      let n = float_of_int (Array.length arr) in
+      let mean = Array.fold_left ( +. ) 0.0 arr /. n in
+      let var = Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 arr /. n in
+      Float.abs (s.Summary.mean -. mean) < 1e-6 && Float.abs (s.Summary.variance -. var) < 1e-4)
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "rq_math"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "int invalid bound" `Quick test_rng_int_invalid;
+          Alcotest.test_case "sample without replacement" `Quick test_rng_without_replacement;
+          Alcotest.test_case "full-population sample" `Quick test_rng_without_replacement_full;
+          Alcotest.test_case "shuffle multiset" `Quick test_rng_shuffle_preserves_multiset;
+          Alcotest.test_case "pick" `Quick test_rng_pick;
+          Alcotest.test_case "rough uniformity" `Quick test_rng_uniformity;
+        ]
+        @ qcheck [ prop_rng_int_in_bounds; prop_rng_float_in_bounds ] );
+      ( "special",
+        [
+          Alcotest.test_case "log_gamma known values" `Quick test_log_gamma_known;
+          Alcotest.test_case "log_gamma invalid" `Quick test_log_gamma_invalid;
+          Alcotest.test_case "log_choose" `Quick test_log_choose;
+          Alcotest.test_case "betainc known values" `Quick test_betainc_known;
+        ]
+        @ qcheck [ prop_betainc_symmetry; prop_betainc_monotone; prop_betainc_inv_roundtrip ] );
+      ( "beta",
+        [
+          Alcotest.test_case "create validation" `Quick test_beta_create_invalid;
+          Alcotest.test_case "moments" `Quick test_beta_moments;
+          Alcotest.test_case "posterior update" `Quick test_beta_posterior;
+          Alcotest.test_case "paper quantiles (Sec. 3.4)" `Quick test_beta_paper_quantiles;
+          Alcotest.test_case "pdf integrates to 1" `Quick test_beta_pdf_integrates_to_one;
+          Alcotest.test_case "credible interval" `Quick test_beta_credible_interval;
+        ]
+        @ qcheck [ prop_beta_quantile_roundtrip; prop_beta_quantile_monotone ] );
+      ( "binomial",
+        [
+          Alcotest.test_case "pmf known values" `Quick test_binomial_pmf_known;
+          Alcotest.test_case "cdf matches partial sums" `Quick test_binomial_cdf_vs_sum;
+          Alcotest.test_case "moments" `Quick test_binomial_moments;
+          Alcotest.test_case "expectation" `Quick test_binomial_expectation;
+          Alcotest.test_case "invalid arguments" `Quick test_binomial_invalid;
+        ]
+        @ qcheck [ prop_binomial_mass_sums_to_one ] );
+      ( "summary",
+        [
+          Alcotest.test_case "basic statistics" `Quick test_summary_basic;
+          Alcotest.test_case "empty input" `Quick test_summary_empty;
+          Alcotest.test_case "percentile" `Quick test_summary_percentile;
+          Alcotest.test_case "weighted" `Quick test_summary_weighted;
+        ]
+        @ qcheck [ prop_summary_welford_matches_naive ] );
+    ]

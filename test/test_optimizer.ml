@@ -1,0 +1,598 @@
+(* Tests for rq_optimizer: logical queries, the naive oracle, cardinality
+   estimators, costing coherence, plan enumeration, and end-to-end plan
+   choice under correlated data. *)
+
+open Rq_storage
+open Rq_exec
+open Rq_optimizer
+
+let v_int i = Value.Int i
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_close tolerance = Alcotest.(check (float tolerance))
+
+(* Fixture: a "sensors" table with two perfectly correlated indexed
+   columns, plus a "sites" dimension. *)
+let fixture ?(rows = 5000) () =
+  let rng = Rq_math.Rng.create 61 in
+  let catalog = Catalog.create () in
+  let sites = 25 in
+  Catalog.add_table catalog ~primary_key:"site_id"
+    (Relation.create ~name:"sites"
+       ~schema:
+         (Schema.create
+            [ { Schema.name = "site_id"; ty = Value.T_int }; { Schema.name = "zone"; ty = Value.T_int } ])
+       (Array.init sites (fun i -> [| v_int i; v_int (i mod 5) |])));
+  let readings =
+    Array.init rows (fun i ->
+        (* temp and alert are strongly correlated: alert fires exactly when
+           temp is in the top 2%. *)
+        let temp = Rq_math.Rng.int rng 1000 in
+        [|
+          v_int i;
+          v_int (Rq_math.Rng.int rng sites);
+          v_int temp;
+          v_int (if temp >= 980 then 1 else 0);
+        |])
+  in
+  Catalog.add_table catalog ~primary_key:"r_id"
+    (Relation.create ~name:"readings"
+       ~schema:
+         (Schema.create
+            [
+              { Schema.name = "r_id"; ty = Value.T_int };
+              { Schema.name = "site"; ty = Value.T_int };
+              { Schema.name = "temp"; ty = Value.T_int };
+              { Schema.name = "alert"; ty = Value.T_int };
+            ])
+       readings);
+  Catalog.add_foreign_key catalog
+    { from_table = "readings"; from_column = "site"; to_table = "sites"; to_column = "site_id" };
+  List.iter
+    (fun (table, column) -> Catalog.build_index catalog ~table ~column)
+    [ ("readings", "temp"); ("readings", "alert"); ("readings", "site"); ("sites", "site_id") ];
+  catalog
+
+let correlated_pred =
+  Pred.conj
+    [ Pred.ge (Expr.col "temp") (Expr.int 980); Pred.eq (Expr.col "alert") (Expr.int 1) ]
+
+(* ------------------------------------------------------------------ *)
+(* Logical                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_logical_validate () =
+  let catalog = fixture () in
+  let ok = Logical.query [ Logical.scan "readings"; Logical.scan "sites" ] in
+  check_bool "valid join" true (Result.is_ok (Logical.validate catalog ok));
+  check_bool "unknown table" true
+    (Result.is_error (Logical.validate catalog (Logical.query [ Logical.scan "nope" ])));
+  check_bool "empty query" true (Result.is_error (Logical.validate catalog (Logical.query [])));
+  check_bool "duplicate table (self-join)" true
+    (Result.is_error
+       (Logical.validate catalog (Logical.query [ Logical.scan "sites"; Logical.scan "sites" ])));
+  let bad_pred = Logical.scan ~pred:(Pred.eq (Expr.col "zz") (Expr.int 1)) "sites" in
+  check_bool "unknown predicate column" true
+    (Result.is_error (Logical.validate catalog (Logical.query [ bad_pred ])))
+
+let test_logical_root () =
+  let catalog = fixture () in
+  Alcotest.(check (option string)) "join root" (Some "readings")
+    (Logical.root catalog (Logical.query [ Logical.scan "sites"; Logical.scan "readings" ]))
+
+let test_logical_connected_subsets () =
+  let catalog = fixture () in
+  let q = Logical.query [ Logical.scan "readings"; Logical.scan "sites" ] in
+  Alcotest.(check (list (list string)))
+    "singletons then the pair"
+    [ [ "readings" ]; [ "sites" ]; [ "readings"; "sites" ] ]
+    (Logical.connected_subsets catalog q)
+
+let test_logical_combined_predicate () =
+  let q =
+    Logical.query
+      [ Logical.scan ~pred:(Pred.eq (Expr.col "alert") (Expr.int 1)) "readings";
+        Logical.scan ~pred:(Pred.eq (Expr.col "zone") (Expr.int 2)) "sites" ]
+  in
+  Alcotest.(check (list string)) "qualified columns"
+    [ "readings.alert"; "sites.zone" ]
+    (Pred.columns (Logical.combined_predicate q))
+
+(* ------------------------------------------------------------------ *)
+(* Naive oracle                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_naive_single_table () =
+  let catalog = fixture ~rows:1000 () in
+  let refs = [ { Logical.table = "readings"; pred = correlated_pred } ] in
+  let rel = Catalog.find_table catalog "readings" in
+  let direct =
+    Relation.filter_count rel (Pred.compile (Relation.schema rel) correlated_pred)
+  in
+  check_int "matches direct filter" direct (Naive.cardinality catalog refs)
+
+let test_naive_join_cardinality () =
+  let catalog = fixture ~rows:1000 () in
+  (* FK integrity: the unfiltered join preserves the root's cardinality. *)
+  let refs = [ Logical.scan "readings"; Logical.scan "sites" ] in
+  check_int "join preserves root" 1000 (Naive.cardinality catalog refs);
+  check_close 1e-9 "selectivity 1" 1.0 (Naive.selectivity catalog refs)
+
+let test_naive_join_filtered () =
+  let catalog = fixture ~rows:1000 () in
+  let zone_pred = Pred.eq (Expr.col "zone") (Expr.int 2) in
+  let refs = [ Logical.scan "readings"; Logical.scan ~pred:zone_pred "sites" ] in
+  (* Cross-check by manual counting. *)
+  let sites = Catalog.find_table catalog "sites" in
+  let qualifying =
+    Relation.fold
+      (fun acc _ tup ->
+        if Pred.eval (Relation.schema sites) zone_pred tup then
+          match tup.(0) with Value.Int s -> s :: acc | _ -> acc
+        else acc)
+      [] sites
+  in
+  let readings = Catalog.find_table catalog "readings" in
+  let expected =
+    Relation.filter_count readings (fun tup ->
+        match tup.(1) with Value.Int s -> List.mem s qualifying | _ -> false)
+  in
+  check_int "filtered join" expected (Naive.cardinality catalog refs)
+
+(* ------------------------------------------------------------------ *)
+(* Cardinality estimators                                              *)
+(* ------------------------------------------------------------------ *)
+
+let build_stats ?(sample_size = 500) catalog seed =
+  Rq_stats.Stats_store.update_statistics (Rq_math.Rng.create seed)
+    ~config:{ Rq_stats.Stats_store.default_config with sample_size }
+    catalog
+
+let test_oracle_estimator_is_exact () =
+  let catalog = fixture ~rows:1000 () in
+  let oracle = Cardinality.oracle catalog in
+  let refs = [ { Logical.table = "readings"; pred = correlated_pred } ] in
+  check_close 1e-9 "exact cardinality"
+    (float_of_int (Naive.cardinality catalog refs))
+    (oracle.Cardinality.expression_cardinality refs)
+
+let test_robust_beats_avi_on_correlation () =
+  (* The headline behaviour: under perfectly correlated predicates, the
+     AVI estimate is ~50x too low (2% * 2%), while the robust estimate
+     stays within a small factor of the truth. *)
+  let catalog = fixture ~rows:20_000 () in
+  let stats = build_stats ~sample_size:1000 catalog 77 in
+  let estimator =
+    Rq_core.Robust_estimator.create ~confidence:Rq_core.Confidence.median ()
+  in
+  let robust = Cardinality.robust stats estimator in
+  let hist = Cardinality.histogram_avi stats in
+  let refs = [ { Logical.table = "readings"; pred = correlated_pred } ] in
+  let truth = float_of_int (Naive.cardinality catalog refs) in
+  let robust_est = robust.Cardinality.expression_cardinality refs in
+  let avi_est = hist.Cardinality.expression_cardinality refs in
+  check_bool
+    (Printf.sprintf "robust %.0f within 2.5x of truth %.0f" robust_est truth)
+    true
+    (robust_est > truth /. 2.5 && robust_est < truth *. 2.5);
+  check_bool
+    (Printf.sprintf "AVI %.0f at least 10x below truth %.0f" avi_est truth)
+    true
+    (avi_est < truth /. 10.0)
+
+let test_robust_join_estimate () =
+  let catalog = fixture ~rows:5000 () in
+  let stats = build_stats catalog 78 in
+  let estimator =
+    Rq_core.Robust_estimator.create ~confidence:Rq_core.Confidence.median ()
+  in
+  let robust = Cardinality.robust stats estimator in
+  let refs =
+    [ Logical.scan "readings"; Logical.scan ~pred:(Pred.eq (Expr.col "zone") (Expr.int 2)) "sites" ]
+  in
+  let truth = float_of_int (Naive.cardinality catalog refs) in
+  let est = robust.Cardinality.expression_cardinality refs in
+  check_bool
+    (Printf.sprintf "join estimate %.0f within 50%% of %.0f" est truth)
+    true
+    (Float.abs (est -. truth) < 0.5 *. truth)
+
+let test_estimator_threshold_ordering () =
+  let catalog = fixture ~rows:5000 () in
+  let stats = build_stats catalog 79 in
+  let refs = [ { Logical.table = "readings"; pred = correlated_pred } ] in
+  let estimate t =
+    let estimator =
+      Rq_core.Robust_estimator.create ~confidence:(Rq_core.Confidence.of_percent t) ()
+    in
+    (Cardinality.robust stats estimator).Cardinality.expression_cardinality refs
+  in
+  check_bool "higher threshold, higher estimate" true
+    (estimate 5.0 < estimate 50.0 && estimate 50.0 < estimate 95.0)
+
+let test_sample_ml_estimator () =
+  let catalog = fixture ~rows:5000 () in
+  let stats = build_stats ~sample_size:200 catalog 87 in
+  let ml = Cardinality.sample_ml stats in
+  let refs = [ { Logical.table = "readings"; pred = correlated_pred } ] in
+  let est = ml.Cardinality.expression_cardinality refs in
+  let truth = float_of_int (Naive.cardinality catalog refs) in
+  check_bool
+    (Printf.sprintf "ML estimate %.0f within 3x of truth %.0f" est truth)
+    true
+    (est < 3.0 *. truth && est > truth /. 3.0);
+  (* The defining hazard: an empty-evidence predicate estimates exactly 0. *)
+  let impossible = Pred.eq (Expr.col "temp") (Expr.int (-1)) in
+  Alcotest.(check (float 1e-9)) "k=0 -> 0"
+    0.0
+    (ml.Cardinality.expression_cardinality [ { Logical.table = "readings"; pred = impossible } ]);
+  let robust_est =
+    (Cardinality.robust stats
+       (Rq_core.Robust_estimator.create ~confidence:Rq_core.Confidence.median ()))
+      .Cardinality.expression_cardinality
+      [ { Logical.table = "readings"; pred = impossible } ]
+  in
+  check_bool "robust keeps a floor" true (robust_est > 0.0)
+
+let test_group_count_estimates () =
+  let catalog = fixture ~rows:5000 () in
+  let stats = build_stats catalog 80 in
+  let estimator =
+    Rq_core.Robust_estimator.create ~confidence:Rq_core.Confidence.median ()
+  in
+  let robust = Cardinality.robust stats estimator in
+  let refs = [ Logical.scan "readings"; Logical.scan "sites" ] in
+  let groups = robust.Cardinality.group_count refs [ "sites.zone" ] in
+  check_bool (Printf.sprintf "zone groups ~5, got %.1f" groups) true
+    (groups >= 4.0 && groups <= 7.0);
+  let oracle = Cardinality.oracle catalog in
+  check_close 1e-9 "oracle group count" 5.0 (oracle.Cardinality.group_count refs [ "sites.zone" ])
+
+(* ------------------------------------------------------------------ *)
+(* Costing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_costing_matches_execution () =
+  (* The cost model and the executor charge the same operations from the
+     same constants; with an exact (oracle) estimator the predicted cost
+     must track the measured cost closely. *)
+  let catalog = fixture ~rows:5000 () in
+  let oracle = Cardinality.oracle catalog in
+  let plans =
+    [
+      Plan.Scan { table = "readings"; access = Plan.Seq_scan; pred = correlated_pred };
+      Plan.Scan
+        {
+          table = "readings";
+          access =
+            Plan.Index_intersect
+              [
+                { Plan.column = "temp"; lo = Some (v_int 980); hi = None };
+                { Plan.column = "alert"; lo = Some (v_int 1); hi = Some (v_int 1) };
+              ];
+          pred = correlated_pred;
+        };
+      Plan.Hash_join
+        {
+          build = Plan.Scan { table = "sites"; access = Plan.Seq_scan; pred = Pred.True };
+          probe = Plan.Scan { table = "readings"; access = Plan.Seq_scan; pred = Pred.True };
+          build_key = "sites.site_id";
+          probe_key = "readings.site";
+        };
+    ]
+  in
+  List.iter
+    (fun plan ->
+      let predicted = (Costing.estimate catalog oracle plan).Costing.cost in
+      let meter = Cost.create () in
+      ignore (Executor.run catalog meter plan);
+      let measured = (Cost.snapshot meter).Cost.seconds in
+      check_bool
+        (Printf.sprintf "%s: predicted %.4f vs measured %.4f" (Plan.describe plan) predicted
+           measured)
+        true
+        (predicted > measured /. 2.0 && predicted < measured *. 2.0))
+    plans
+
+let test_costing_monotone_in_selectivity () =
+  let catalog = fixture ~rows:5000 () in
+  let oracle = Cardinality.oracle catalog in
+  let isect_cost lo =
+    let pred = Pred.ge (Expr.col "temp") (Expr.int lo) in
+    Costing.plan_cost catalog oracle
+      (Plan.Scan
+         {
+           table = "readings";
+           access =
+             Plan.Index_intersect
+               [
+                 { Plan.column = "temp"; lo = Some (v_int lo); hi = None };
+                 { Plan.column = "alert"; lo = Some (v_int 0); hi = None };
+               ];
+           pred;
+         })
+  in
+  check_bool "wider range costs more" true (isect_cost 100 > isect_cost 900)
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_fixed_selectivity_and_crossovers () =
+  let catalog = fixture ~rows:20_000 () in
+  let scan = Plan.Scan { table = "readings"; access = Plan.Seq_scan; pred = correlated_pred } in
+  let isect =
+    Plan.Scan
+      {
+        table = "readings";
+        access =
+          Plan.Index_intersect
+            [
+              { Plan.column = "temp"; lo = Some (v_int 980); hi = None };
+              { Plan.column = "alert"; lo = Some (v_int 1); hi = Some (v_int 1) };
+            ];
+        pred = correlated_pred;
+      }
+  in
+  (* Scan cost is flat in assumed selectivity; intersection rises. *)
+  let curve plan = Costing.cost_curve catalog ~selectivities:[ 0.001; 0.5 ] plan in
+  (match curve scan with
+  | [ (_, lo); (_, hi) ] ->
+      check_bool "scan flat" true (hi -. lo < 0.1 *. Float.max lo 1e-9)
+  | _ -> Alcotest.fail "two points expected");
+  (match curve isect with
+  | [ (_, lo); (_, hi) ] -> check_bool "intersection rises" true (hi > 2.0 *. lo)
+  | _ -> Alcotest.fail "two points expected");
+  (* Exactly one crossover, at a low selectivity. *)
+  (match Costing.crossover_points catalog ~grid:2000 scan isect with
+  | [ s ] -> check_bool (Printf.sprintf "crossover at %.4f" s) true (s > 0.0 && s < 0.1)
+  | other -> Alcotest.failf "expected one crossover, got %d" (List.length other));
+  check_bool "fixed estimator validates input" true
+    (try
+       ignore (Cardinality.fixed_selectivity catalog 1.5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_sargable_extraction () =
+  let pred =
+    Pred.conj
+      [
+        Pred.ge (Expr.col "a") (Expr.int 10);
+        Pred.le (Expr.col "a") (Expr.int 20);
+        Pred.eq (Expr.col "b") (Expr.int 5);
+        Pred.Contains (Expr.col "c", "x");
+      ]
+  in
+  let ranges = Enumerate.sargable_ranges pred in
+  check_int "two sargable columns" 2 (List.length ranges);
+  (match List.assoc_opt "a" (List.map (fun (c, lo, hi) -> (c, (lo, hi))) ranges) with
+  | Some (Some (Value.Int 10), Some (Value.Int 20)) -> ()
+  | _ -> Alcotest.fail "merged range for a");
+  match List.assoc_opt "b" (List.map (fun (c, lo, hi) -> (c, (lo, hi))) ranges) with
+  | Some (Some (Value.Int 5), Some (Value.Int 5)) -> ()
+  | _ -> Alcotest.fail "equality range for b"
+
+let test_access_path_enumeration () =
+  let catalog = fixture () in
+  let paths = Enumerate.access_paths catalog { Logical.table = "readings"; pred = correlated_pred } in
+  (* seq scan + 2 single-index ranges + 1 two-index intersection. *)
+  check_int "path count" 4 (List.length paths);
+  check_bool "includes seq scan" true
+    (List.exists (function Plan.Scan { access = Plan.Seq_scan; _ } -> true | _ -> false) paths);
+  check_bool "includes intersection" true
+    (List.exists
+       (function Plan.Scan { access = Plan.Index_intersect _; _ } -> true | _ -> false)
+       paths)
+
+let test_optimizer_picks_cheapest_alternative () =
+  let catalog = fixture ~rows:5000 () in
+  let stats = build_stats catalog 81 in
+  let opt = Optimizer.robust stats in
+  let q = Logical.query [ Logical.scan ~pred:correlated_pred "readings" ] in
+  let d = Optimizer.optimize_exn opt q in
+  match d.Optimizer.alternatives with
+  | [] -> Alcotest.fail "no alternatives"
+  | (_, best_cost) :: rest ->
+      check_close 1e-9 "chosen = cheapest" best_cost d.Optimizer.estimated_cost;
+      List.iter (fun (_, c) -> check_bool "sorted ascending" true (c >= best_cost)) rest
+
+let test_plan_choice_shifts_with_threshold () =
+  (* Correlated predicates, truth ~2%: AVI says 0.04% (risky plan); the
+     robust estimator at a high threshold must refuse the index plan. *)
+  let catalog = fixture ~rows:50_000 () in
+  let stats = build_stats ~sample_size:200 catalog 82 in
+  let choose t =
+    let opt = Optimizer.robust ~confidence:(Rq_core.Confidence.of_percent t) stats in
+    let q = Logical.query [ Logical.scan ~pred:correlated_pred "readings" ] in
+    Plan.describe (Optimizer.optimize_exn opt q).Optimizer.plan
+  in
+  let baseline =
+    let opt = Optimizer.baseline stats in
+    let q = Logical.query [ Logical.scan ~pred:correlated_pred "readings" ] in
+    Plan.describe (Optimizer.optimize_exn opt q).Optimizer.plan
+  in
+  Alcotest.(check string) "baseline falls for AVI" "IdxIsect(readings)" baseline;
+  Alcotest.(check string) "conservative robust scans" "Scan(readings)" (choose 95.0)
+
+let test_join_enumeration_produces_joins () =
+  let catalog = fixture ~rows:2000 () in
+  let stats = build_stats catalog 83 in
+  let opt = Optimizer.robust stats in
+  let q =
+    Logical.query
+      [ Logical.scan "readings"; Logical.scan ~pred:(Pred.eq (Expr.col "zone") (Expr.int 0)) "sites" ]
+  in
+  let d = Optimizer.optimize_exn opt q in
+  check_bool "plan references both tables" true
+    (List.sort compare (Plan.base_tables d.Optimizer.plan) = [ "readings"; "sites" ]);
+  check_bool "plan validates" true (Result.is_ok (Plan.validate catalog d.Optimizer.plan))
+
+let test_oracle_optimizer_low_regret () =
+  (* With exact cardinalities, the chosen plan's MEASURED time must be near
+     the best measured time over all enumerated candidates — the cost model
+     tracks execution closely enough (see test_costing_matches_execution)
+     for the argmin to carry over. *)
+  let catalog = fixture ~rows:20_000 () in
+  let stats = build_stats catalog 86 in
+  let oracle = Cardinality.oracle catalog in
+  let opt = Optimizer.create stats oracle in
+  List.iter
+    (fun pred ->
+      let q = Logical.query [ Logical.scan ~pred "readings" ] in
+      let decision = Optimizer.optimize_exn opt q in
+      let measure plan =
+        let meter = Cost.create () in
+        ignore (Executor.run catalog meter plan);
+        (Cost.snapshot meter).Cost.seconds
+      in
+      let chosen = measure decision.Optimizer.plan in
+      let best =
+        Enumerate.access_paths catalog { Logical.table = "readings"; pred }
+        |> List.map measure
+        |> List.fold_left Float.min infinity
+      in
+      check_bool
+        (Printf.sprintf "regret %.2fx" (chosen /. best))
+        true
+        (chosen <= best *. 1.6))
+    [
+      correlated_pred;
+      Pred.ge (Expr.col "temp") (Expr.int 999);
+      Pred.ge (Expr.col "temp") (Expr.int 0);
+      Pred.conj [ Pred.eq (Expr.col "temp") (Expr.int 5); Pred.eq (Expr.col "alert") (Expr.int 0) ];
+    ]
+
+let test_optimize_invalid_query () =
+  let catalog = fixture () in
+  let stats = build_stats catalog 84 in
+  let opt = Optimizer.robust stats in
+  check_bool "invalid query is an error" true
+    (Result.is_error (Optimizer.optimize opt (Logical.query [ Logical.scan "missing" ])))
+
+let string_contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_explain_analyze () =
+  let catalog = fixture ~rows:2000 () in
+  let oracle = Cardinality.oracle catalog in
+  let plan =
+    Plan.Aggregate
+      {
+        input = Plan.Scan { table = "readings"; access = Plan.Seq_scan; pred = correlated_pred };
+        group_by = [];
+        aggs = [ { Plan.fn = Plan.Count_star; output_name = "n" } ];
+      }
+  in
+  let nodes = Explain_analyze.collect catalog oracle plan in
+  check_int "two nodes" 2 (List.length nodes);
+  List.iter
+    (fun n ->
+      check_bool
+        (Printf.sprintf "%s q-error %.2f is perfect under the oracle" n.Explain_analyze.label
+           n.Explain_analyze.q_error)
+        true
+        (n.Explain_analyze.q_error < 1.01))
+    nodes;
+  (* A deliberately wrong estimator shows up as q-error. *)
+  let wrong = Cardinality.fixed_selectivity catalog 0.5 in
+  let scan_node =
+    List.nth (Explain_analyze.collect catalog wrong plan) 1
+  in
+  check_bool "bad estimate exposed" true (scan_node.Explain_analyze.q_error > 5.0);
+  let rendered = Explain_analyze.render catalog oracle plan in
+  check_bool "render mentions operators" true (string_contains rendered "SeqScan(readings)");
+  check_bool "render reports time" true (string_contains rendered "total simulated execution")
+
+let prop_random_query_pipeline =
+  (* Random single-table conjunctive queries: whatever plan the optimizer
+     chooses (under the robust estimator and a random threshold), executing
+     it returns exactly the rows the naive oracle computes. *)
+  let catalog = fixture ~rows:1500 () in
+  let stats = build_stats ~sample_size:200 catalog 88 in
+  QCheck.Test.make ~name:"optimize+execute = naive on random queries" ~count:40
+    QCheck.(quad (int_range 0 999) (int_range 0 999) (int_range 0 1) (float_range 0.05 0.95))
+    (fun (b1, b2, alert, t) ->
+      let lo = min b1 b2 and hi = max b1 b2 in
+      let pred =
+        Pred.conj
+          [
+            Pred.between (Expr.col "temp") (Expr.int lo) (Expr.int hi);
+            Pred.eq (Expr.col "alert") (Expr.int alert);
+          ]
+      in
+      let query = Logical.query [ Logical.scan ~pred "readings" ] in
+      let opt =
+        Optimizer.robust ~confidence:(Rq_core.Confidence.of_fraction t) stats
+      in
+      let decision = Optimizer.optimize_exn opt query in
+      let result, _ = Executor.run_timed catalog decision.Optimizer.plan in
+      let naive = Naive.evaluate catalog query.Logical.tables in
+      let ids (res : Executor.result) =
+        let pos = Schema.index_of res.Executor.schema "readings.r_id" in
+        Array.to_list (Array.map (fun tup -> Value.to_string tup.(pos)) res.Executor.tuples)
+        |> List.sort compare
+      in
+      ids result = ids naive)
+
+let test_explain_output () =
+  let catalog = fixture ~rows:2000 () in
+  let stats = build_stats catalog 85 in
+  let opt = Optimizer.robust stats in
+  let q = Logical.query [ Logical.scan ~pred:correlated_pred "readings" ] in
+  match Optimizer.explain opt q with
+  | Error e -> Alcotest.fail e
+  | Ok report ->
+      check_bool "names the estimator" true (string_contains report "robust-sampling");
+      check_bool "lists alternatives" true (string_contains report "alternatives")
+
+let () =
+  Alcotest.run "rq_optimizer"
+    [
+      ( "logical",
+        [
+          Alcotest.test_case "validation" `Quick test_logical_validate;
+          Alcotest.test_case "root detection" `Quick test_logical_root;
+          Alcotest.test_case "connected subsets" `Quick test_logical_connected_subsets;
+          Alcotest.test_case "combined predicate" `Quick test_logical_combined_predicate;
+        ] );
+      ( "naive",
+        [
+          Alcotest.test_case "single table" `Quick test_naive_single_table;
+          Alcotest.test_case "join preserves root" `Quick test_naive_join_cardinality;
+          Alcotest.test_case "filtered join" `Quick test_naive_join_filtered;
+        ] );
+      ( "cardinality",
+        [
+          Alcotest.test_case "oracle is exact" `Quick test_oracle_estimator_is_exact;
+          Alcotest.test_case "robust beats AVI on correlation" `Quick
+            test_robust_beats_avi_on_correlation;
+          Alcotest.test_case "join estimate" `Quick test_robust_join_estimate;
+          Alcotest.test_case "threshold ordering" `Quick test_estimator_threshold_ordering;
+          Alcotest.test_case "sample-ML ablation estimator" `Quick test_sample_ml_estimator;
+          Alcotest.test_case "group counts" `Quick test_group_count_estimates;
+        ] );
+      ( "costing",
+        [
+          Alcotest.test_case "predicted tracks measured" `Quick test_costing_matches_execution;
+          Alcotest.test_case "monotone in selectivity" `Quick test_costing_monotone_in_selectivity;
+        ] );
+      ( "enumeration",
+        [
+          Alcotest.test_case "fixed-selectivity curves and crossovers" `Quick
+            test_fixed_selectivity_and_crossovers;
+          Alcotest.test_case "sargable extraction" `Quick test_sargable_extraction;
+          Alcotest.test_case "access paths" `Quick test_access_path_enumeration;
+          Alcotest.test_case "picks the cheapest" `Quick test_optimizer_picks_cheapest_alternative;
+          Alcotest.test_case "plan choice shifts with threshold" `Quick
+            test_plan_choice_shifts_with_threshold;
+          Alcotest.test_case "join enumeration" `Quick test_join_enumeration_produces_joins;
+          Alcotest.test_case "oracle optimizer has low regret" `Quick
+            test_oracle_optimizer_low_regret;
+          Alcotest.test_case "invalid query" `Quick test_optimize_invalid_query;
+          Alcotest.test_case "explain" `Quick test_explain_output;
+          Alcotest.test_case "explain analyze" `Quick test_explain_analyze;
+          QCheck_alcotest.to_alcotest prop_random_query_pipeline;
+        ] );
+    ]

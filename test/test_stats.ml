@@ -1,0 +1,510 @@
+(* Tests for rq_stats: samples, join synopses, histograms, distinct-value
+   estimation, and the statistics store. *)
+
+open Rq_storage
+open Rq_exec
+open Rq_stats
+
+let v_int i = Value.Int i
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_close tolerance = Alcotest.(check (float tolerance))
+
+(* Fixture: customers <- orders <- lineitems chain (FKs point left). *)
+let chain_catalog () =
+  let rng = Rq_math.Rng.create 17 in
+  let catalog = Catalog.create () in
+  let customers = 20 and orders = 200 and lineitems = 1000 in
+  Catalog.add_table catalog ~primary_key:"c_id"
+    (Relation.create ~name:"customers"
+       ~schema:
+         (Schema.create
+            [ { Schema.name = "c_id"; ty = Value.T_int }; { Schema.name = "c_tier"; ty = Value.T_int } ])
+       (Array.init customers (fun i -> [| v_int i; v_int (i mod 4) |])));
+  Catalog.add_table catalog ~primary_key:"o_id"
+    (Relation.create ~name:"orders"
+       ~schema:
+         (Schema.create
+            [
+              { Schema.name = "o_id"; ty = Value.T_int };
+              { Schema.name = "o_cust"; ty = Value.T_int };
+              { Schema.name = "o_status"; ty = Value.T_int };
+            ])
+       (Array.init orders (fun i ->
+            [| v_int i; v_int (Rq_math.Rng.int rng customers); v_int (Rq_math.Rng.int rng 3) |])));
+  Catalog.add_table catalog ~primary_key:"l_id"
+    (Relation.create ~name:"lineitems"
+       ~schema:
+         (Schema.create
+            [
+              { Schema.name = "l_id"; ty = Value.T_int };
+              { Schema.name = "l_order"; ty = Value.T_int };
+              { Schema.name = "l_qty"; ty = Value.T_int };
+            ])
+       (Array.init lineitems (fun i ->
+            [| v_int i; v_int (Rq_math.Rng.int rng orders); v_int (1 + Rq_math.Rng.int rng 50) |])));
+  Catalog.add_foreign_key catalog
+    { from_table = "orders"; from_column = "o_cust"; to_table = "customers"; to_column = "c_id" };
+  Catalog.add_foreign_key catalog
+    { from_table = "lineitems"; from_column = "l_order"; to_table = "orders"; to_column = "o_id" };
+  catalog
+
+(* ------------------------------------------------------------------ *)
+(* Sample                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_sample_basics () =
+  let catalog = chain_catalog () in
+  let rel = Catalog.find_table catalog "lineitems" in
+  let rng = Rq_math.Rng.create 3 in
+  let sample = Sample.of_relation rng ~size:100 rel in
+  check_int "size" 100 (Sample.size sample);
+  check_int "population" 1000 (Sample.population_size sample);
+  let pred = Pred.le (Expr.col "l_qty") (Expr.int 25) in
+  let k, n = Sample.evidence sample pred in
+  check_int "n is sample size" 100 n;
+  check_bool "k in range" true (k >= 0 && k <= 100);
+  check_close 1e-9 "naive selectivity = k/n"
+    (float_of_int k /. 100.0)
+    (Sample.naive_selectivity sample pred)
+
+let test_sample_without_replacement_distinct () =
+  let catalog = chain_catalog () in
+  let rel = Catalog.find_table catalog "customers" in
+  let rng = Rq_math.Rng.create 4 in
+  let sample = Sample.of_relation rng ~with_replacement:false ~size:20 rel in
+  let ids =
+    Relation.fold (fun acc _ tup -> Value.to_string tup.(0) :: acc) [] (Sample.rows sample)
+  in
+  check_int "all rows, no duplicates" 20 (List.length (List.sort_uniq compare ids))
+
+let test_sample_clamps_without_replacement () =
+  let catalog = chain_catalog () in
+  let rel = Catalog.find_table catalog "customers" in
+  let rng = Rq_math.Rng.create 5 in
+  let sample = Sample.of_relation rng ~with_replacement:false ~size:500 rel in
+  check_int "clamped to population" 20 (Sample.size sample)
+
+let test_sample_invalid () =
+  let catalog = chain_catalog () in
+  let rel = Catalog.find_table catalog "customers" in
+  Alcotest.check_raises "non-positive size"
+    (Invalid_argument "Sample.of_relation: size must be positive") (fun () ->
+      ignore (Sample.of_relation (Rq_math.Rng.create 1) ~size:0 rel))
+
+let test_sample_statistical_accuracy () =
+  (* With 500 of 1000 tuples sampled, k/n for a ~50% predicate must land
+     well inside [0.35, 0.65]. *)
+  let catalog = chain_catalog () in
+  let rel = Catalog.find_table catalog "lineitems" in
+  let rng = Rq_math.Rng.create 6 in
+  let sample = Sample.of_relation rng ~size:500 rel in
+  let sel = Sample.naive_selectivity sample (Pred.le (Expr.col "l_qty") (Expr.int 25)) in
+  check_bool "roughly half" true (sel > 0.35 && sel < 0.65)
+
+let test_sample_reservoir () =
+  let schema = Schema.create [ { Schema.name = "v"; ty = Value.T_int } ] in
+  let stream n = Seq.init n (fun i -> [| v_int i |]) in
+  let rng = Rq_math.Rng.create 7 in
+  (* Stream longer than the reservoir: uniform without-replacement sample. *)
+  let s = Sample.reservoir rng ~size:50 ~schema ~name:"r" (stream 1000) in
+  check_int "reservoir size" 50 (Sample.size s);
+  check_int "population counted" 1000 (Sample.population_size s);
+  let values =
+    Relation.fold (fun acc _ tup -> Value.to_string tup.(0) :: acc) [] (Sample.rows s)
+  in
+  check_int "distinct (without replacement)" 50 (List.length (List.sort_uniq compare values));
+  (* Short stream: everything is kept. *)
+  let small = Sample.reservoir rng ~size:50 ~schema ~name:"r2" (stream 8) in
+  check_int "short stream kept whole" 8 (Sample.size small)
+
+let test_sample_reservoir_statistics () =
+  (* Means of reservoir samples over 0..999 must concentrate near 499.5. *)
+  let schema = Schema.create [ { Schema.name = "v"; ty = Value.T_int } ] in
+  let rng = Rq_math.Rng.create 8 in
+  let means =
+    List.init 30 (fun _ ->
+        let s =
+          Sample.reservoir rng ~size:100 ~schema ~name:"r" (Seq.init 1000 (fun i -> [| v_int i |]))
+        in
+        Relation.fold (fun acc _ tup -> acc +. Value.to_float tup.(0)) 0.0 (Sample.rows s)
+        /. 100.0)
+  in
+  let grand = List.fold_left ( +. ) 0.0 means /. 30.0 in
+  check_bool (Printf.sprintf "grand mean %.1f near 499.5" grand) true
+    (Float.abs (grand -. 499.5) < 30.0)
+
+(* ------------------------------------------------------------------ *)
+(* Join synopsis                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_synopsis_tables_and_schema () =
+  let catalog = chain_catalog () in
+  let syn =
+    Join_synopsis.build (Rq_math.Rng.create 7) catalog ~size:200 ~root:"lineitems"
+  in
+  Alcotest.(check (list string)) "closure order"
+    [ "lineitems"; "orders"; "customers" ]
+    (Join_synopsis.tables syn);
+  check_bool "covers pairs" true (Join_synopsis.covers syn [ "lineitems"; "orders" ]);
+  check_bool "does not cover outsiders" false (Join_synopsis.covers syn [ "lineitems"; "parts" ]);
+  check_int "root size" 1000 (Join_synopsis.root_size syn);
+  check_int "sample size" 200 (Join_synopsis.size syn);
+  let schema = Relation.schema (Sample.rows (Join_synopsis.sample syn)) in
+  List.iter
+    (fun col -> check_bool col true (Schema.mem schema col))
+    [ "lineitems.l_id"; "orders.o_id"; "customers.c_tier" ]
+
+let test_synopsis_rows_satisfy_fk_join () =
+  (* Every synopsis row must be an actual join row: FK columns equal the
+     referenced PK columns. *)
+  let catalog = chain_catalog () in
+  let syn = Join_synopsis.build (Rq_math.Rng.create 8) catalog ~size:150 ~root:"lineitems" in
+  let rows = Sample.rows (Join_synopsis.sample syn) in
+  let schema = Relation.schema rows in
+  let pos c = Schema.index_of schema c in
+  Relation.iter
+    (fun _ tup ->
+      check_bool "l_order = o_id" true
+        (Value.equal tup.(pos "lineitems.l_order") tup.(pos "orders.o_id"));
+      check_bool "o_cust = c_id" true
+        (Value.equal tup.(pos "orders.o_cust") tup.(pos "customers.c_id")))
+    rows
+
+let test_synopsis_estimates_join_selectivity () =
+  (* The join-synopsis estimate of a cross-table predicate must approach
+     the true selectivity (computed by brute force). *)
+  let catalog = chain_catalog () in
+  let syn = Join_synopsis.build (Rq_math.Rng.create 9) catalog ~size:800 ~root:"lineitems" in
+  let pred =
+    Pred.conj
+      [
+        Pred.eq (Expr.col "customers.c_tier") (Expr.int 1);
+        Pred.le (Expr.col "lineitems.l_qty") (Expr.int 25);
+      ]
+  in
+  let k, n = Join_synopsis.evidence syn pred in
+  let estimate = float_of_int k /. float_of_int n in
+  let truth =
+    let refs =
+      [
+        { Rq_optimizer.Logical.table = "lineitems"; pred = Pred.le (Expr.col "l_qty") (Expr.int 25) };
+        { Rq_optimizer.Logical.table = "orders"; pred = Pred.True };
+        { Rq_optimizer.Logical.table = "customers"; pred = Pred.eq (Expr.col "c_tier") (Expr.int 1) };
+      ]
+    in
+    Rq_optimizer.Naive.selectivity catalog refs
+  in
+  check_bool
+    (Printf.sprintf "estimate %.3f within 5 points of truth %.3f" estimate truth)
+    true
+    (Float.abs (estimate -. truth) < 0.05)
+
+let test_synopsis_dangling_fk () =
+  let catalog = Catalog.create () in
+  Catalog.add_table catalog ~primary_key:"p"
+    (Relation.create ~name:"parent"
+       ~schema:(Schema.create [ { Schema.name = "p"; ty = Value.T_int } ])
+       [| [| v_int 0 |] |]);
+  Catalog.add_table catalog ~primary_key:"c"
+    (Relation.create ~name:"child"
+       ~schema:
+         (Schema.create
+            [ { Schema.name = "c"; ty = Value.T_int }; { Schema.name = "fk"; ty = Value.T_int } ])
+       [| [| v_int 0; v_int 99 |] |]);
+  Catalog.add_foreign_key catalog
+    { from_table = "child"; from_column = "fk"; to_table = "parent"; to_column = "p" };
+  check_bool "dangling FK raises" true
+    (try
+       ignore (Join_synopsis.build (Rq_math.Rng.create 1) catalog ~size:10 ~root:"child");
+       false
+     with Invalid_argument _ -> true)
+
+let test_synopsis_unknown_root () =
+  let catalog = chain_catalog () in
+  check_bool "unknown root raises" true
+    (try
+       ignore (Join_synopsis.build (Rq_math.Rng.create 1) catalog ~size:10 ~root:"nope");
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let uniform_relation n =
+  Relation.create ~name:"u"
+    ~schema:(Schema.create [ { Schema.name = "v"; ty = Value.T_int } ])
+    (Array.init n (fun i -> [| v_int (i mod 1000) |]))
+
+let test_histogram_full_range () =
+  let h = Histogram.build (uniform_relation 10_000) "v" in
+  check_close 1e-9 "everything" 1.0 (Histogram.selectivity_range h ~lo:None ~hi:None);
+  check_close 1e-9 "empty below" 0.0
+    (Histogram.selectivity_range h ~lo:(Some (v_int 2000)) ~hi:None)
+
+let test_histogram_half_range () =
+  let h = Histogram.build (uniform_relation 10_000) "v" in
+  let sel = Histogram.selectivity_range h ~lo:(Some (v_int 0)) ~hi:(Some (v_int 499)) in
+  check_bool "about half" true (Float.abs (sel -. 0.5) < 0.02)
+
+let test_histogram_equality () =
+  let h = Histogram.build (uniform_relation 10_000) "v" in
+  let sel = Histogram.selectivity_eq h (v_int 137) in
+  check_bool "about 1/1000" true (Float.abs (sel -. 0.001) < 0.0005);
+  check_close 1e-9 "null never matches" 0.0 (Histogram.selectivity_eq h Value.Null)
+
+let test_histogram_nulls_excluded () =
+  let rel =
+    Relation.create ~name:"n"
+      ~schema:(Schema.create [ { Schema.name = "v"; ty = Value.T_int } ])
+      (Array.init 100 (fun i -> if i < 50 then [| Value.Null |] else [| v_int i |]))
+  in
+  let h = Histogram.build rel "v" in
+  check_int "null rows counted" 50 (Histogram.null_rows h);
+  check_close 1e-9 "range over non-nulls only" 0.5
+    (Histogram.selectivity_range h ~lo:None ~hi:None)
+
+let test_histogram_bucket_count () =
+  let h = Histogram.build ~buckets:10 (uniform_relation 1000) "v" in
+  check_int "respects bucket budget" 10 (List.length (Histogram.buckets h));
+  let tiny = Histogram.build ~buckets:250 (uniform_relation 5) "v" in
+  check_bool "never more buckets than rows" true (List.length (Histogram.buckets tiny) <= 5)
+
+let test_histogram_distinct () =
+  let rel =
+    Relation.create ~name:"d"
+      ~schema:(Schema.create [ { Schema.name = "v"; ty = Value.T_int } ])
+      (Array.init 1000 (fun i -> [| v_int (i mod 7) |]))
+  in
+  let h = Histogram.build rel "v" in
+  check_int "distinct" 7 (Histogram.estimated_distinct h)
+
+(* ------------------------------------------------------------------ *)
+(* Distinct values                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_distinct_frequency_profile () =
+  let values = Array.map v_int [| 1; 1; 1; 2; 2; 3 |] in
+  Alcotest.(check (list (pair int int))) "profile" [ (1, 1); (2, 1); (3, 1) ]
+    (Distinct.frequency_profile values)
+
+let test_distinct_gee () =
+  (* All-distinct sample: GEE = sqrt(N/n) * n. *)
+  let sample = Array.init 100 v_int in
+  check_close 1e-6 "all distinct" (sqrt (10_000.0 /. 100.0) *. 100.0)
+    (Distinct.gee ~sample ~population_size:10_000);
+  (* All-same sample: GEE = 1. *)
+  let same = Array.make 100 (v_int 7) in
+  check_close 1e-9 "one value" 1.0 (Distinct.gee ~sample:same ~population_size:10_000)
+
+let test_distinct_clamped () =
+  (* Estimates always land in [observed distinct, population size]. *)
+  let sample = Array.init 100 (fun i -> v_int (i mod 60)) in
+  let gee = Distinct.gee ~sample ~population_size:150 in
+  check_bool "gee within bounds" true (gee >= 60.0 && gee <= 150.0);
+  let su = Distinct.scale_up ~sample ~population_size:150 in
+  check_bool "scale_up within bounds" true (su >= 60.0 && su <= 150.0);
+  (* Exhaustive sample: both estimators report the truth. *)
+  let full = Array.init 100 v_int in
+  check_close 1e-9 "gee on a census" 100.0 (Distinct.gee ~sample:full ~population_size:100);
+  check_close 1e-9 "scale_up on a census" 100.0
+    (Distinct.scale_up ~sample:full ~population_size:100)
+
+let test_distinct_groups () =
+  let schema =
+    Schema.create
+      [ { Schema.name = "a"; ty = Value.T_int }; { Schema.name = "b"; ty = Value.T_int } ]
+  in
+  let rel =
+    Relation.create ~name:"g" ~schema
+      (Array.init 100 (fun i -> [| v_int (i mod 2); v_int (i mod 3) |]))
+  in
+  (* 6 combined groups, all heavily repeated: GEE sees no singletons, so
+     the estimate is exactly the observed 6. *)
+  check_close 1e-9 "group count" 6.0
+    (Distinct.estimate_groups ~sample:rel ~columns:[ "a"; "b" ] ~population_size:100_000)
+
+(* ------------------------------------------------------------------ *)
+(* Stats store                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_store_builds_everything () =
+  let catalog = chain_catalog () in
+  let stats = Stats_store.update_statistics (Rq_math.Rng.create 21) catalog in
+  check_bool "histogram per column" true
+    (Stats_store.histogram stats ~table:"orders" ~column:"o_status" <> None);
+  check_bool "synopsis per table" true (Stats_store.synopsis stats ~root:"lineitems" <> None);
+  check_bool "synopsis for leaf" true (Stats_store.synopsis stats ~root:"customers" <> None)
+
+let test_store_root_of_expression () =
+  let catalog = chain_catalog () in
+  Alcotest.(check (option string)) "chain root" (Some "lineitems")
+    (Stats_store.root_of_expression catalog [ "orders"; "lineitems"; "customers" ]);
+  Alcotest.(check (option string)) "pair root" (Some "orders")
+    (Stats_store.root_of_expression catalog [ "customers"; "orders" ]);
+  Alcotest.(check (option string)) "disconnected pair has no root" None
+    (Stats_store.root_of_expression catalog [ "customers"; "lineitems" ])
+
+let test_store_synopsis_for () =
+  let catalog = chain_catalog () in
+  let stats = Stats_store.update_statistics (Rq_math.Rng.create 22) catalog in
+  (match Stats_store.synopsis_for stats [ "orders"; "customers" ] with
+  | Some syn -> Alcotest.(check string) "rooted at orders" "orders" (Join_synopsis.root syn)
+  | None -> Alcotest.fail "expected a covering synopsis");
+  check_bool "no synopsis for disconnected set" true
+    (Stats_store.synopsis_for stats [ "customers"; "lineitems" ] = None)
+
+let test_single_table_synopsis () =
+  let catalog = chain_catalog () in
+  let syn =
+    Join_synopsis.build ~follow_fks:false (Rq_math.Rng.create 25) catalog ~size:100
+      ~root:"lineitems"
+  in
+  Alcotest.(check (list string)) "covers only the root" [ "lineitems" ]
+    (Join_synopsis.tables syn);
+  check_bool "does not cover joins" false (Join_synopsis.covers syn [ "lineitems"; "orders" ])
+
+let test_store_without_fk_expansion () =
+  let catalog = chain_catalog () in
+  let config = { Stats_store.default_config with follow_foreign_keys = false } in
+  let stats = Stats_store.update_statistics (Rq_math.Rng.create 26) ~config catalog in
+  check_bool "single-table synopsis exists" true
+    (Stats_store.synopsis stats ~root:"lineitems" <> None);
+  check_bool "no covering synopsis for joins" true
+    (Stats_store.synopsis_for stats [ "lineitems"; "orders" ] = None)
+
+let test_store_partial_roots () =
+  let catalog = chain_catalog () in
+  let config = { Stats_store.default_config with synopsis_roots = Some [ "orders" ] } in
+  let stats = Stats_store.update_statistics (Rq_math.Rng.create 23) ~config catalog in
+  check_bool "requested root present" true (Stats_store.synopsis stats ~root:"orders" <> None);
+  check_bool "other roots absent" true (Stats_store.synopsis stats ~root:"lineitems" = None)
+
+let test_store_histogram_avi () =
+  let catalog = chain_catalog () in
+  let stats = Stats_store.update_statistics (Rq_math.Rng.create 24) catalog in
+  (* Single range conjunct: close to truth on the uniform column. *)
+  let sel_half =
+    Stats_store.histogram_selectivity stats ~table:"lineitems"
+      (Pred.le (Expr.col "l_qty") (Expr.int 25))
+  in
+  check_bool "half range" true (Float.abs (sel_half -. 0.5) < 0.1);
+  (* Two conjuncts multiply (the AVI assumption made observable). *)
+  let p = Pred.le (Expr.col "l_qty") (Expr.int 25) in
+  let joint = Stats_store.histogram_selectivity stats ~table:"lineitems" (Pred.And [ p; p ]) in
+  check_close 1e-9 "AVI multiplies even identical conjuncts" (sel_half *. sel_half) joint;
+  (* Unsupported shapes fall back to magic numbers. *)
+  let magic =
+    Stats_store.histogram_selectivity stats ~table:"lineitems"
+      (Pred.eq (Expr.col "l_qty") (Expr.col "l_order"))
+  in
+  check_close 1e-9 "magic number" (1.0 /. 3.0) magic
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_maintenance_refresh_policy () =
+  let catalog = chain_catalog () in
+  let m = Maintenance.create ~refresh_fraction:0.2 (Rq_math.Rng.create 31) catalog in
+  check_bool "fresh at start" false (Maintenance.is_stale m);
+  (* 10% of lineitems modified: not yet stale. *)
+  Maintenance.record_modifications m ~table:"lineitems" 100;
+  check_bool "below threshold" false (Maintenance.is_stale m);
+  check_bool "no refresh below threshold" false (Maintenance.maybe_refresh m);
+  (* Another 15%: crosses 20%. *)
+  Maintenance.record_modifications m ~table:"lineitems" 150;
+  check_bool "above threshold" true (Maintenance.is_stale m);
+  check_bool "refresh happens" true (Maintenance.maybe_refresh m);
+  check_int "counters reset" 0 (Maintenance.modifications_since_refresh m ~table:"lineitems")
+
+let test_maintenance_apply_update () =
+  let catalog = chain_catalog () in
+  let m = Maintenance.create ~refresh_fraction:0.5 (Rq_math.Rng.create 32) catalog in
+  (* Rewrite every lineitem's quantity: all 1000 rows count as modified. *)
+  Maintenance.apply_update m ~table:"lineitems" (fun rows ->
+      Array.map (fun tup -> [| tup.(0); tup.(1); Value.Int 1 |]) rows);
+  check_int "all rows modified" 1000 (Maintenance.modifications_since_refresh m ~table:"lineitems");
+  check_bool "stale" true (Maintenance.is_stale m);
+  (* Stale stats still describe the old data; a refresh fixes them. *)
+  let sel stats =
+    match Stats_store.synopsis stats ~root:"lineitems" with
+    | Some syn ->
+        let k, n =
+          Join_synopsis.evidence syn
+            (Pred.eq (Expr.col "lineitems.l_qty") (Expr.int 1))
+        in
+        float_of_int k /. float_of_int n
+    | None -> Alcotest.fail "synopsis missing"
+  in
+  let stale_view = sel (Maintenance.stats m) in
+  check_bool "stale stats miss the change" true (stale_view < 0.5);
+  check_bool "refresh triggers" true (Maintenance.maybe_refresh m);
+  let fresh_view = sel (Maintenance.stats m) in
+  Alcotest.(check (float 1e-9)) "fresh stats see the change" 1.0 fresh_view
+
+let test_maintenance_identity_update_is_free () =
+  let catalog = chain_catalog () in
+  let m = Maintenance.create (Rq_math.Rng.create 33) catalog in
+  Maintenance.apply_update m ~table:"orders" (fun rows -> rows);
+  check_int "identity counts nothing" 0 (Maintenance.modifications_since_refresh m ~table:"orders")
+
+let () =
+  Alcotest.run "rq_stats"
+    [
+      ( "sample",
+        [
+          Alcotest.test_case "basics" `Quick test_sample_basics;
+          Alcotest.test_case "without replacement distinct" `Quick
+            test_sample_without_replacement_distinct;
+          Alcotest.test_case "clamps size" `Quick test_sample_clamps_without_replacement;
+          Alcotest.test_case "invalid size" `Quick test_sample_invalid;
+          Alcotest.test_case "statistical accuracy" `Quick test_sample_statistical_accuracy;
+          Alcotest.test_case "reservoir sampling" `Quick test_sample_reservoir;
+          Alcotest.test_case "reservoir uniformity" `Quick test_sample_reservoir_statistics;
+        ] );
+      ( "join_synopsis",
+        [
+          Alcotest.test_case "tables and schema" `Quick test_synopsis_tables_and_schema;
+          Alcotest.test_case "rows satisfy the FK join" `Quick test_synopsis_rows_satisfy_fk_join;
+          Alcotest.test_case "estimates join selectivity" `Quick
+            test_synopsis_estimates_join_selectivity;
+          Alcotest.test_case "dangling FK" `Quick test_synopsis_dangling_fk;
+          Alcotest.test_case "unknown root" `Quick test_synopsis_unknown_root;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "full and empty ranges" `Quick test_histogram_full_range;
+          Alcotest.test_case "half range" `Quick test_histogram_half_range;
+          Alcotest.test_case "equality" `Quick test_histogram_equality;
+          Alcotest.test_case "null handling" `Quick test_histogram_nulls_excluded;
+          Alcotest.test_case "bucket budget" `Quick test_histogram_bucket_count;
+          Alcotest.test_case "distinct estimate" `Quick test_histogram_distinct;
+        ] );
+      ( "distinct",
+        [
+          Alcotest.test_case "frequency profile" `Quick test_distinct_frequency_profile;
+          Alcotest.test_case "GEE known cases" `Quick test_distinct_gee;
+          Alcotest.test_case "clamping" `Quick test_distinct_clamped;
+          Alcotest.test_case "group estimation" `Quick test_distinct_groups;
+        ] );
+      ( "maintenance",
+        [
+          Alcotest.test_case "refresh policy" `Quick test_maintenance_refresh_policy;
+          Alcotest.test_case "apply_update counts and refreshes" `Quick
+            test_maintenance_apply_update;
+          Alcotest.test_case "identity update is free" `Quick
+            test_maintenance_identity_update_is_free;
+        ] );
+      ( "stats_store",
+        [
+          Alcotest.test_case "builds everything" `Quick test_store_builds_everything;
+          Alcotest.test_case "root of expression" `Quick test_store_root_of_expression;
+          Alcotest.test_case "synopsis_for" `Quick test_store_synopsis_for;
+          Alcotest.test_case "partial synopsis roots" `Quick test_store_partial_roots;
+          Alcotest.test_case "single-table synopsis" `Quick test_single_table_synopsis;
+          Alcotest.test_case "store without FK expansion" `Quick test_store_without_fk_expansion;
+          Alcotest.test_case "histogram AVI selectivity" `Quick test_store_histogram_avi;
+        ] );
+    ]

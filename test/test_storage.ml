@@ -1,0 +1,485 @@
+(* Unit and property tests for rq_storage: values, schemas, relations, RID
+   sets, indexes, catalog. *)
+
+open Rq_storage
+
+let v_int i = Value.Int i
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Value                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_ordering () =
+  check_bool "null < bool" true (Value.compare Value.Null (Value.Bool false) < 0);
+  check_bool "bool < int" true (Value.compare (Value.Bool true) (Value.Int 0) < 0);
+  check_bool "int < string" true (Value.compare (Value.Int 99) (Value.String "a") < 0);
+  check_bool "string < date" true (Value.compare (Value.String "zzz") (Value.Date 0) < 0);
+  check_int "int ordering" (-1) (Value.compare (Value.Int 1) (Value.Int 2));
+  check_int "string ordering" 1 (Value.compare (Value.String "b") (Value.String "a"))
+
+let test_value_numeric_cross_compare () =
+  check_int "Int = Float" 0 (Value.compare (Value.Int 3) (Value.Float 3.0));
+  check_bool "Int < Float" true (Value.compare (Value.Int 3) (Value.Float 3.5) < 0);
+  check_bool "Float > Int" true (Value.compare (Value.Float 3.5) (Value.Int 3) > 0)
+
+let test_value_to_float () =
+  Alcotest.(check (float 0.0)) "int" 5.0 (Value.to_float (Value.Int 5));
+  Alcotest.(check (float 0.0)) "bool" 1.0 (Value.to_float (Value.Bool true));
+  Alcotest.check_raises "string" (Invalid_argument "Value.to_float: String") (fun () ->
+      ignore (Value.to_float (Value.String "x")));
+  Alcotest.check_raises "null" (Invalid_argument "Value.to_float: Null") (fun () ->
+      ignore (Value.to_float Value.Null))
+
+let test_value_date_known () =
+  (* 1970-01-01 is day 0; 2000-03-01 is day 11017. *)
+  check_int "epoch" 0
+    (match Value.date_of_ymd ~year:1970 ~month:1 ~day:1 with Value.Date d -> d | _ -> -1);
+  check_int "2000-03-01" 11017
+    (match Value.date_of_ymd ~year:2000 ~month:3 ~day:1 with Value.Date d -> d | _ -> -1);
+  Alcotest.(check (triple int int int)) "roundtrip"
+    (1997, 7, 1)
+    (Value.ymd_of_date (Value.date_of_ymd ~year:1997 ~month:7 ~day:1))
+
+let prop_value_date_roundtrip =
+  QCheck.Test.make ~name:"date ymd roundtrip over 400 years" ~count:500
+    QCheck.(triple (int_range 1900 2299) (int_range 1 12) (int_range 1 28))
+    (fun (y, m, d) ->
+      let date = Value.date_of_ymd ~year:y ~month:m ~day:d in
+      Value.ymd_of_date date = (y, m, d))
+
+let prop_value_date_add_days_consistent =
+  QCheck.Test.make ~name:"add_days shifts the day number" ~count:200
+    QCheck.(pair (int_range 0 20000) (int_range (-500) 500))
+    (fun (base, delta) ->
+      match Value.add_days (Value.Date base) delta with
+      | Value.Date d -> d = base + delta
+      | _ -> false)
+
+let test_value_pp () =
+  Alcotest.(check string) "date format" "1997-07-01"
+    (Value.to_string (Value.date_of_ymd ~year:1997 ~month:7 ~day:1));
+  Alcotest.(check string) "null" "NULL" (Value.to_string Value.Null);
+  Alcotest.(check string) "string quoted" "\"hi\"" (Value.to_string (Value.String "hi"))
+
+(* ------------------------------------------------------------------ *)
+(* Schema                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sample_schema =
+  Schema.create
+    [
+      { Schema.name = "id"; ty = Value.T_int };
+      { Schema.name = "name"; ty = Value.T_string };
+      { Schema.name = "born"; ty = Value.T_date };
+    ]
+
+let test_schema_basics () =
+  check_int "arity" 3 (Schema.arity sample_schema);
+  check_int "index_of" 1 (Schema.index_of sample_schema "name");
+  check_bool "mem" true (Schema.mem sample_schema "born");
+  check_bool "not mem" false (Schema.mem sample_schema "age");
+  Alcotest.check_raises "unknown column" Not_found (fun () ->
+      ignore (Schema.index_of sample_schema "age"))
+
+let test_schema_duplicate () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Schema.create: duplicate column \"id\"") (fun () ->
+      ignore
+        (Schema.create
+           [ { Schema.name = "id"; ty = Value.T_int }; { Schema.name = "id"; ty = Value.T_int } ]))
+
+let test_schema_project () =
+  let p = Schema.project sample_schema [ "born"; "id" ] in
+  check_int "projected arity" 2 (Schema.arity p);
+  check_int "order preserved" 0 (Schema.index_of p "born")
+
+let test_schema_qualify () =
+  let q = Schema.qualify "t" sample_schema in
+  check_bool "qualified" true (Schema.mem q "t.id");
+  (* Qualifying twice must not double the prefix. *)
+  let qq = Schema.qualify "u" q in
+  check_bool "idempotent on dotted names" true (Schema.mem qq "t.id")
+
+let test_schema_row_bytes () =
+  check_int "8 + 20 + 4" 32 (Schema.row_bytes sample_schema)
+
+(* ------------------------------------------------------------------ *)
+(* Relation                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let small_relation =
+  Relation.create ~name:"people" ~schema:sample_schema
+    (Array.init 10 (fun i ->
+         [| v_int i; Value.String (Printf.sprintf "p%d" i); Value.Date (1000 + i) |]))
+
+let test_relation_basics () =
+  check_int "row count" 10 (Relation.row_count small_relation);
+  check_bool "rows per page positive" true (Relation.rows_per_page small_relation > 0);
+  check_int "page count" 1 (Relation.page_count small_relation);
+  Alcotest.(check string) "get" "p3"
+    (match (Relation.get small_relation 3).(1) with Value.String s -> s | _ -> "?")
+
+let test_relation_arity_mismatch () =
+  Alcotest.check_raises "bad tuple"
+    (Invalid_argument "Relation.create bad: tuple 0 has arity 1, schema has 3") (fun () ->
+      ignore (Relation.create ~name:"bad" ~schema:sample_schema [| [| v_int 1 |] |]))
+
+let test_relation_get_bounds () =
+  Alcotest.check_raises "rid out of range"
+    (Invalid_argument "Relation.get people: rid 99 out of range") (fun () ->
+      ignore (Relation.get small_relation 99))
+
+let test_relation_page_geometry () =
+  (* 32-byte rows: 256 rows per 8KiB page. *)
+  check_int "rows per page" 256 (Relation.rows_per_page small_relation);
+  let big =
+    Relation.create ~name:"big" ~schema:sample_schema
+      (Array.init 1000 (fun i -> [| v_int i; Value.String "x"; Value.Date i |]))
+  in
+  check_int "1000 rows -> 4 pages" 4 (Relation.page_count big)
+
+let test_relation_fold_filter () =
+  check_int "filter_count" 5
+    (Relation.filter_count small_relation (fun tup ->
+         match tup.(0) with Value.Int i -> i mod 2 = 0 | _ -> false));
+  check_int "fold sums rids" 45 (Relation.fold (fun acc rid _ -> acc + rid) 0 small_relation)
+
+(* ------------------------------------------------------------------ *)
+(* Rid_set                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_rid_set_dedup () =
+  let s = Rid_set.of_unsorted [| 5; 1; 5; 3; 1 |] in
+  Alcotest.(check (array int)) "sorted unique" [| 1; 3; 5 |] (Rid_set.to_array s);
+  check_int "cardinality" 3 (Rid_set.cardinality s)
+
+let test_rid_set_mem () =
+  let s = Rid_set.of_unsorted [| 2; 4; 6; 8 |] in
+  check_bool "present" true (Rid_set.mem s 6);
+  check_bool "absent" false (Rid_set.mem s 5);
+  check_bool "empty" false (Rid_set.mem Rid_set.empty 0)
+
+let sorted_unique xs = List.sort_uniq compare xs
+
+let prop_rid_set_inter =
+  QCheck.Test.make ~name:"intersection matches reference" ~count:300
+    QCheck.(pair (list (int_range 0 50)) (list (int_range 0 50)))
+    (fun (xs, ys) ->
+      let a = Rid_set.of_unsorted (Array.of_list xs) in
+      let b = Rid_set.of_unsorted (Array.of_list ys) in
+      let expected =
+        List.filter (fun x -> List.mem x (sorted_unique ys)) (sorted_unique xs)
+      in
+      Array.to_list (Rid_set.to_array (Rid_set.inter a b)) = expected)
+
+let prop_rid_set_union =
+  QCheck.Test.make ~name:"union matches reference" ~count:300
+    QCheck.(pair (list (int_range 0 50)) (list (int_range 0 50)))
+    (fun (xs, ys) ->
+      let a = Rid_set.of_unsorted (Array.of_list xs) in
+      let b = Rid_set.of_unsorted (Array.of_list ys) in
+      Array.to_list (Rid_set.to_array (Rid_set.union a b)) = sorted_unique (xs @ ys))
+
+(* ------------------------------------------------------------------ *)
+(* Index                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let indexed_relation values =
+  let schema =
+    Schema.create [ { Schema.name = "k"; ty = Value.T_int }; { Schema.name = "payload"; ty = Value.T_int } ]
+  in
+  Relation.create ~name:"t" ~schema
+    (Array.mapi (fun i v -> [| v; v_int i |]) (Array.of_list values))
+
+let reference_range rel ~lo ~hi =
+  Relation.fold
+    (fun acc rid tup ->
+      let v = tup.(0) in
+      if Value.is_null v then acc
+      else
+        let ge_lo = match lo with Some l -> Value.compare v l >= 0 | None -> true in
+        let le_hi = match hi with Some h -> Value.compare v h <= 0 | None -> true in
+        if ge_lo && le_hi then rid :: acc else acc)
+    [] rel
+  |> List.rev
+
+let test_index_probe_eq () =
+  let rel = indexed_relation [ v_int 5; v_int 3; v_int 5; Value.Null; v_int 7 ] in
+  let idx = Index.build rel "k" in
+  Alcotest.(check (array int)) "duplicates found" [| 0; 2 |]
+    (Rid_set.to_array (Index.probe_eq idx (v_int 5)));
+  check_int "missing key" 0 (Rid_set.cardinality (Index.probe_eq idx (v_int 4)))
+
+let test_index_range_nulls () =
+  let rel = indexed_relation [ Value.Null; v_int 1; v_int 2; Value.Null; v_int 3 ] in
+  let idx = Index.build rel "k" in
+  (* Open range must skip nulls. *)
+  check_int "full open range" 3 (Index.probe_range_count idx ~lo:None ~hi:None);
+  Alcotest.(check (option (pair int int))) "min key ignores nulls"
+    (Some (1, 1))
+    (match Index.min_key idx with Some (Value.Int i) -> Some (i, i) | _ -> None)
+
+let prop_index_range_matches_scan =
+  QCheck.Test.make ~name:"index range probe matches a filtered scan" ~count:200
+    QCheck.(triple (list (int_range 0 30)) (int_range 0 30) (int_range 0 30))
+    (fun (keys, b1, b2) ->
+      QCheck.assume (keys <> []);
+      let rel = indexed_relation (List.map v_int keys) in
+      let idx = Index.build rel "k" in
+      let lo = Some (v_int (min b1 b2)) and hi = Some (v_int (max b1 b2)) in
+      let got = Array.to_list (Rid_set.to_array (Index.probe_range idx ~lo ~hi)) in
+      let expected = List.sort compare (reference_range rel ~lo ~hi) in
+      got = expected && Index.probe_range_count idx ~lo ~hi = List.length expected)
+
+let test_index_leaf_pages () =
+  let rel = indexed_relation (List.init 5000 v_int) in
+  let idx = Index.build rel "k" in
+  check_bool "leaf pages positive" true (Index.leaf_page_count idx > 0);
+  check_int "entry count" 5000 (Index.entry_count idx)
+
+(* ------------------------------------------------------------------ *)
+(* Csv                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_csv_parse_basic () =
+  (match Csv.parse "a,b,c\n1,2,3\n" with
+  | Ok [ [ "a"; "b"; "c" ]; [ "1"; "2"; "3" ] ] -> ()
+  | _ -> Alcotest.fail "basic rows");
+  match Csv.parse "x" with
+  | Ok [ [ "x" ] ] -> ()
+  | _ -> Alcotest.fail "no trailing newline"
+
+let test_csv_quoting () =
+  (match Csv.parse "\"a,b\",\"he said \"\"hi\"\"\",\"two\nlines\"\n" with
+  | Ok [ [ "a,b"; "he said \"hi\""; "two\nlines" ] ] -> ()
+  | Ok other ->
+      Alcotest.failf "got %s" (String.concat "|" (List.concat other))
+  | Error e -> Alcotest.fail e);
+  check_bool "unterminated quote" true (Result.is_error (Csv.parse "\"oops"));
+  check_bool "stray quote" true (Result.is_error (Csv.parse "ab\"cd"))
+
+let test_csv_crlf_and_blank_lines () =
+  match Csv.parse "a,b\r\n\r\nc,d\r\n" with
+  | Ok [ [ "a"; "b" ]; [ "c"; "d" ] ] -> ()
+  | _ -> Alcotest.fail "CRLF + blank line"
+
+let prop_csv_roundtrip =
+  let field_gen =
+    QCheck.Gen.(oneof [ string_size (int_range 0 8); return "a,b"; return "q\"q"; return "x\ny" ])
+  in
+  QCheck.Test.make ~name:"render/parse roundtrip" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 5) (list_of_size (Gen.int_range 1 4) (make field_gen)))
+    (fun rows ->
+      (* Rows of entirely-empty trailing fields are ambiguous with blank
+         lines; skip degenerate all-empty rows. *)
+      QCheck.assume (List.for_all (fun r -> List.exists (fun f -> f <> "") r) rows);
+      match Csv.parse (Csv.render rows) with Ok parsed -> parsed = rows | Error _ -> false)
+
+let test_csv_typed_conversion () =
+  let schema =
+    Schema.create
+      [
+        { Schema.name = "i"; ty = Value.T_int };
+        { Schema.name = "f"; ty = Value.T_float };
+        { Schema.name = "s"; ty = Value.T_string };
+        { Schema.name = "d"; ty = Value.T_date };
+        { Schema.name = "b"; ty = Value.T_bool };
+      ]
+  in
+  (match Csv.tuple_of_fields schema [ "7"; "2.5"; "hi"; "1997-07-01"; "true" ] with
+  | Ok [| Value.Int 7; Value.Float 2.5; Value.String "hi"; Value.Date _; Value.Bool true |] -> ()
+  | Ok _ -> Alcotest.fail "wrong values"
+  | Error e -> Alcotest.fail e);
+  (match Csv.tuple_of_fields schema [ ""; ""; ""; ""; "" ] with
+  | Ok tuple -> check_bool "empty fields are NULL" true (Array.for_all Value.is_null tuple)
+  | Error e -> Alcotest.fail e);
+  check_bool "bad int" true (Result.is_error (Csv.tuple_of_fields schema [ "x"; "1"; "a"; "1997-01-01"; "t" ]));
+  check_bool "bad arity" true (Result.is_error (Csv.tuple_of_fields schema [ "1" ]));
+  (* fields_of_tuple inverts. *)
+  match Csv.tuple_of_fields schema [ "7"; "2.5"; "hi"; "1997-07-01"; "true" ] with
+  | Ok tuple ->
+      Alcotest.(check (list string)) "inverse" [ "7"; "2.5"; "hi"; "1997-07-01"; "true" ]
+        (Csv.fields_of_tuple tuple)
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* Catalog                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let two_table_catalog () =
+  let parent_schema =
+    Schema.create [ { Schema.name = "pk"; ty = Value.T_int }; { Schema.name = "label"; ty = Value.T_string } ]
+  in
+  let child_schema =
+    Schema.create [ { Schema.name = "id"; ty = Value.T_int }; { Schema.name = "fk"; ty = Value.T_int } ]
+  in
+  let catalog = Catalog.create () in
+  Catalog.add_table catalog ~primary_key:"pk"
+    (Relation.create ~name:"parent" ~schema:parent_schema
+       (Array.init 3 (fun i -> [| v_int i; Value.String "x" |])));
+  Catalog.add_table catalog ~primary_key:"id"
+    (Relation.create ~name:"child" ~schema:child_schema
+       (Array.init 6 (fun i -> [| v_int i; v_int (i mod 3) |])));
+  catalog
+
+let test_catalog_tables () =
+  let catalog = two_table_catalog () in
+  Alcotest.(check (list string)) "names sorted" [ "child"; "parent" ] (Catalog.table_names catalog);
+  Alcotest.(check (option string)) "pk" (Some "pk") (Catalog.primary_key catalog "parent");
+  Alcotest.(check (option string)) "clustering defaults to pk" (Some "pk")
+    (Catalog.clustered_by catalog "parent");
+  check_bool "find_opt none" true (Catalog.find_table_opt catalog "nope" = None);
+  Alcotest.check_raises "find raises" Not_found (fun () ->
+      ignore (Catalog.find_table catalog "nope"))
+
+let test_catalog_duplicate_table () =
+  let catalog = two_table_catalog () in
+  Alcotest.check_raises "duplicate" (Invalid_argument "Catalog.add_table: duplicate table \"parent\"")
+    (fun () ->
+      Catalog.add_table catalog
+        (Relation.create ~name:"parent"
+           ~schema:(Schema.create [ { Schema.name = "a"; ty = Value.T_int } ])
+           [||]))
+
+let test_catalog_fk_validation () =
+  let catalog = two_table_catalog () in
+  (* Referencing a non-PK column must fail. *)
+  Alcotest.check_raises "non-pk target"
+    (Invalid_argument "Catalog.add_foreign_key: parent.label is not the primary key of parent")
+    (fun () ->
+      Catalog.add_foreign_key catalog
+        { from_table = "child"; from_column = "fk"; to_table = "parent"; to_column = "label" });
+  Catalog.add_foreign_key catalog
+    { from_table = "child"; from_column = "fk"; to_table = "parent"; to_column = "pk" };
+  check_int "fk registered" 1 (List.length (Catalog.foreign_keys_from catalog "child"));
+  check_int "incoming fk" 1 (List.length (Catalog.foreign_keys_into catalog "parent"));
+  check_bool "edge lookup" true
+    (Catalog.fk_edge catalog ~from_table:"child" ~to_table:"parent" <> None)
+
+let test_catalog_fk_cycle () =
+  let catalog = Catalog.create () in
+  let schema table_pk fk_col =
+    Schema.create
+      [ { Schema.name = table_pk; ty = Value.T_int }; { Schema.name = fk_col; ty = Value.T_int } ]
+  in
+  Catalog.add_table catalog ~primary_key:"a_pk"
+    (Relation.create ~name:"a" ~schema:(schema "a_pk" "a_fk") [||]);
+  Catalog.add_table catalog ~primary_key:"b_pk"
+    (Relation.create ~name:"b" ~schema:(schema "b_pk" "b_fk") [||]);
+  Catalog.add_foreign_key catalog
+    { from_table = "a"; from_column = "a_fk"; to_table = "b"; to_column = "b_pk" };
+  Alcotest.check_raises "cycle rejected"
+    (Invalid_argument "Catalog.add_foreign_key: edge b -> a would create a cycle") (fun () ->
+      Catalog.add_foreign_key catalog
+        { from_table = "b"; from_column = "b_fk"; to_table = "a"; to_column = "a_pk" })
+
+let test_catalog_indexes () =
+  let catalog = two_table_catalog () in
+  Catalog.build_index catalog ~table:"child" ~column:"fk";
+  Catalog.build_index catalog ~table:"child" ~column:"fk";
+  check_bool "index exists" true (Catalog.find_index catalog ~table:"child" ~column:"fk" <> None);
+  check_int "idempotent build" 1 (List.length (Catalog.indexes_on catalog "child"))
+
+let test_catalog_replace_table () =
+  let catalog = two_table_catalog () in
+  Catalog.build_index catalog ~table:"child" ~column:"fk";
+  let child = Catalog.find_table catalog "child" in
+  (* Double the child rows; the registered index must see the new heap. *)
+  let doubled =
+    Array.init (2 * Relation.row_count child) (fun i -> [| v_int i; v_int (i mod 3) |])
+  in
+  Catalog.replace_table catalog
+    (Relation.create ~name:"child" ~schema:(Relation.schema child) doubled);
+  check_int "rows replaced" 12 (Relation.row_count (Catalog.find_table catalog "child"));
+  (match Catalog.find_index catalog ~table:"child" ~column:"fk" with
+  | Some idx -> check_int "index rebuilt" 12 (Index.entry_count idx)
+  | None -> Alcotest.fail "index lost");
+  check_bool "unknown table rejected" true
+    (try
+       Catalog.replace_table catalog
+         (Relation.create ~name:"ghost"
+            ~schema:(Schema.create [ { Schema.name = "x"; ty = Value.T_int } ])
+            [||]);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "schema change rejected" true
+    (try
+       Catalog.replace_table catalog
+         (Relation.create ~name:"child"
+            ~schema:(Schema.create [ { Schema.name = "x"; ty = Value.T_int } ])
+            [||]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_catalog_reachability () =
+  let catalog = two_table_catalog () in
+  Catalog.add_foreign_key catalog
+    { from_table = "child"; from_column = "fk"; to_table = "parent"; to_column = "pk" };
+  Alcotest.(check (list string)) "reachable from child" [ "child"; "parent" ]
+    (Catalog.reachable_via_fk catalog "child");
+  Alcotest.(check (list string)) "parent reaches only itself" [ "parent" ]
+    (Catalog.reachable_via_fk catalog "parent")
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "rq_storage"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "cross-type ordering" `Quick test_value_ordering;
+          Alcotest.test_case "numeric cross compare" `Quick test_value_numeric_cross_compare;
+          Alcotest.test_case "to_float" `Quick test_value_to_float;
+          Alcotest.test_case "date known values" `Quick test_value_date_known;
+          Alcotest.test_case "printing" `Quick test_value_pp;
+        ]
+        @ qcheck [ prop_value_date_roundtrip; prop_value_date_add_days_consistent ] );
+      ( "schema",
+        [
+          Alcotest.test_case "basics" `Quick test_schema_basics;
+          Alcotest.test_case "duplicate rejected" `Quick test_schema_duplicate;
+          Alcotest.test_case "project" `Quick test_schema_project;
+          Alcotest.test_case "qualify" `Quick test_schema_qualify;
+          Alcotest.test_case "row bytes" `Quick test_schema_row_bytes;
+        ] );
+      ( "relation",
+        [
+          Alcotest.test_case "basics" `Quick test_relation_basics;
+          Alcotest.test_case "arity mismatch" `Quick test_relation_arity_mismatch;
+          Alcotest.test_case "get bounds" `Quick test_relation_get_bounds;
+          Alcotest.test_case "page geometry" `Quick test_relation_page_geometry;
+          Alcotest.test_case "fold and filter" `Quick test_relation_fold_filter;
+        ] );
+      ( "rid_set",
+        [
+          Alcotest.test_case "dedup" `Quick test_rid_set_dedup;
+          Alcotest.test_case "mem" `Quick test_rid_set_mem;
+        ]
+        @ qcheck [ prop_rid_set_inter; prop_rid_set_union ] );
+      ( "index",
+        [
+          Alcotest.test_case "probe_eq with duplicates" `Quick test_index_probe_eq;
+          Alcotest.test_case "ranges skip nulls" `Quick test_index_range_nulls;
+          Alcotest.test_case "leaf pages" `Quick test_index_leaf_pages;
+        ]
+        @ qcheck [ prop_index_range_matches_scan ] );
+      ( "csv",
+        [
+          Alcotest.test_case "basic parsing" `Quick test_csv_parse_basic;
+          Alcotest.test_case "quoting" `Quick test_csv_quoting;
+          Alcotest.test_case "CRLF and blank lines" `Quick test_csv_crlf_and_blank_lines;
+          Alcotest.test_case "typed conversion" `Quick test_csv_typed_conversion;
+        ]
+        @ qcheck [ prop_csv_roundtrip ] );
+      ( "catalog",
+        [
+          Alcotest.test_case "tables" `Quick test_catalog_tables;
+          Alcotest.test_case "duplicate table" `Quick test_catalog_duplicate_table;
+          Alcotest.test_case "fk validation" `Quick test_catalog_fk_validation;
+          Alcotest.test_case "fk cycle rejected" `Quick test_catalog_fk_cycle;
+          Alcotest.test_case "indexes" `Quick test_catalog_indexes;
+          Alcotest.test_case "replace table" `Quick test_catalog_replace_table;
+          Alcotest.test_case "fk reachability" `Quick test_catalog_reachability;
+        ] );
+    ]

@@ -1,0 +1,215 @@
+(* Tests for rq_workload: the TPC-H-lite and star-schema generators must
+   produce exactly the statistical structure the experiments rely on —
+   referential integrity, clustering, constant marginals, and controllable
+   joint selectivities. *)
+
+open Rq_storage
+open Rq_exec
+open Rq_workload
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let small_tpch =
+  lazy
+    (let params = { Tpch.default_params with scale_factor = 0.003 } in
+     Tpch.generate (Rq_math.Rng.create 101) ~params ())
+
+(* ------------------------------------------------------------------ *)
+(* TPC-H-lite                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_tpch_tables_exist () =
+  let catalog = Lazy.force small_tpch in
+  Alcotest.(check (list string)) "tables" [ "lineitem"; "orders"; "part" ]
+    (Catalog.table_names catalog);
+  check_int "lineitem rows" 18_000 (Relation.row_count (Catalog.find_table catalog "lineitem"));
+  check_bool "orders sized to lineitem/4" true
+    (Relation.row_count (Catalog.find_table catalog "orders") = 18_000 / 4)
+
+let test_tpch_referential_integrity () =
+  let catalog = Lazy.force small_tpch in
+  (* The full unfiltered 3-way join must preserve lineitem's cardinality —
+     which only holds if every FK value matches. *)
+  let refs =
+    [ Rq_optimizer.Logical.scan "lineitem"; Rq_optimizer.Logical.scan "orders";
+      Rq_optimizer.Logical.scan "part" ]
+  in
+  check_int "FK integrity" 18_000 (Rq_optimizer.Naive.cardinality catalog refs)
+
+let test_tpch_clustering () =
+  let catalog = Lazy.force small_tpch in
+  Alcotest.(check (option string)) "clustered on l_orderkey" (Some "l_orderkey")
+    (Catalog.clustered_by catalog "lineitem");
+  (* The heap really is sorted on l_orderkey. *)
+  let rel = Catalog.find_table catalog "lineitem" in
+  let pos = Schema.index_of (Relation.schema rel) "l_orderkey" in
+  let sorted = ref true in
+  let prev = ref Value.Null in
+  Relation.iter
+    (fun _ tup ->
+      if (not (Value.is_null !prev)) && Value.compare tup.(pos) !prev < 0 then sorted := false;
+      prev := tup.(pos))
+    rel;
+  check_bool "physically sorted" true !sorted
+
+let test_tpch_physical_design () =
+  let catalog = Lazy.force small_tpch in
+  List.iter
+    (fun (table, column) ->
+      check_bool
+        (Printf.sprintf "index on %s.%s" table column)
+        true
+        (Catalog.find_index catalog ~table ~column <> None))
+    [
+      ("lineitem", "l_shipdate"); ("lineitem", "l_receiptdate"); ("lineitem", "l_partkey");
+      ("lineitem", "l_orderkey"); ("orders", "o_orderkey"); ("part", "p_partkey");
+    ]
+
+let test_tpch_exp1_selectivity_profile () =
+  let catalog = Lazy.force small_tpch in
+  (* The offset sweep covers the paper's 0-0.6% range, peaking near offset
+     30 and vanishing by offset ~90. *)
+  let sel o = Tpch.exp1_selectivity catalog ~offset:o in
+  check_bool "peak above 0.4%" true (sel 30 > 0.004);
+  check_bool "peak below 0.9%" true (sel 30 < 0.009);
+  check_bool "falls with offset" true (sel 60 < sel 30 && sel 80 < sel 60);
+  check_bool "vanishes" true (sel 120 = 0.0)
+
+let test_tpch_exp1_marginals_constant () =
+  (* The defining property: each single predicate's marginal selectivity is
+     unchanged by the offset; only the overlap (joint) moves. *)
+  let catalog = Lazy.force small_tpch in
+  let rel = Catalog.find_table catalog "lineitem" in
+  let schema = Relation.schema rel in
+  let w0, w1 = Tpch.ship_window in
+  let receipt_marginal offset =
+    let pred =
+      Pred.between (Expr.col "l_receiptdate")
+        (Expr.Add_days (Expr.Const w0, offset))
+        (Expr.Add_days (Expr.Const w1, offset))
+    in
+    float_of_int (Relation.filter_count rel (Pred.compile schema pred))
+    /. float_of_int (Relation.row_count rel)
+  in
+  let m30 = receipt_marginal 30 and m60 = receipt_marginal 60 and m90 = receipt_marginal 90 in
+  check_bool "marginals within 25% of each other" true
+    (let lo = Float.min m30 (Float.min m60 m90) and hi = Float.max m30 (Float.max m60 m90) in
+     hi < lo *. 1.25)
+
+let test_tpch_exp2_marginal_constant () =
+  let catalog = Lazy.force small_tpch in
+  let part = Catalog.find_table catalog "part" in
+  let schema = Relation.schema part in
+  let count bucket =
+    Relation.filter_count part
+      (Pred.compile schema (Pred.eq (Expr.col "p_bucket") (Expr.int bucket)))
+  in
+  check_int "bucket 0 size" (count 0) (count 500);
+  check_int "bucket 999 size" (count 0) (count 999)
+
+let test_tpch_exp2_popularity_ramp () =
+  let catalog = Lazy.force small_tpch in
+  let sel b = Tpch.exp2_selectivity catalog ~bucket:b in
+  check_bool "hottest bucket well above coldest" true (sel 999 > 5.0 *. sel 0);
+  check_bool "sweep covers the crossover region" true (sel 0 < 0.002 && sel 999 > 0.004)
+
+let test_tpch_cost_scale () =
+  let catalog = Lazy.force small_tpch in
+  Alcotest.(check (float 1e-9)) "6M / 18k" (6_000_000.0 /. 18_000.0) (Tpch.cost_scale catalog)
+
+(* ------------------------------------------------------------------ *)
+(* Star schema                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let star_with j =
+  let params = { Star.default_params with fact_rows = 40_000; join_fraction = j } in
+  Star.generate (Rq_math.Rng.create 102) ~params ()
+
+let test_star_structure () =
+  let catalog = star_with 0.01 in
+  Alcotest.(check (list string)) "tables" [ "dim1"; "dim2"; "dim3"; "fact" ]
+    (Catalog.table_names catalog);
+  check_int "fact rows" 40_000 (Relation.row_count (Catalog.find_table catalog "fact"));
+  List.iter
+    (fun dim ->
+      check_int (dim ^ " rows") 1000 (Relation.row_count (Catalog.find_table catalog dim));
+      check_bool ("fk index for " ^ dim) true
+        (Catalog.fk_edge catalog ~from_table:"fact" ~to_table:dim <> None))
+    [ "dim1"; "dim2"; "dim3" ]
+
+let test_star_dim_filter_exact_tenth () =
+  let catalog = star_with 0.01 in
+  let dim = Catalog.find_table catalog "dim1" in
+  let schema = Relation.schema dim in
+  for v = 0 to 9 do
+    check_int
+      (Printf.sprintf "filter value %d" v)
+      100
+      (Relation.filter_count dim
+         (Pred.compile schema (Pred.eq (Expr.col "d_filter") (Expr.int v))))
+  done
+
+let test_star_marginals_are_ten_percent () =
+  (* Join fraction of the fact table with ONE filtered dimension is always
+     ~10%, independent of the joint parameter — this is what blinds the
+     histogram estimator. *)
+  List.iter
+    (fun j ->
+      let catalog = star_with j in
+      let refs =
+        [
+          Rq_optimizer.Logical.scan "fact";
+          Rq_optimizer.Logical.scan ~pred:(Pred.eq (Expr.col "d_filter") (Expr.int 0)) "dim1";
+        ]
+      in
+      let marginal = Rq_optimizer.Naive.selectivity catalog refs in
+      check_bool
+        (Printf.sprintf "marginal %.4f at joint %.3f" marginal j)
+        true
+        (Float.abs (marginal -. 0.1) < 0.01))
+    [ 0.0; 0.05; 0.1 ]
+
+let test_star_joint_matches_parameter () =
+  List.iter
+    (fun j ->
+      let catalog = star_with j in
+      let joint = Star.true_selectivity catalog in
+      check_bool
+        (Printf.sprintf "joint %.4f targets %.3f" joint j)
+        true
+        (Float.abs (joint -. j) < 0.01))
+    [ 0.0; 0.02; 0.1 ]
+
+let test_star_invalid_params () =
+  check_bool "fraction above 10% rejected" true
+    (try
+       ignore (Star.generate (Rq_math.Rng.create 1) ~params:{ Star.default_params with join_fraction = 0.2 } ());
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "rq_workload"
+    [
+      ( "tpch",
+        [
+          Alcotest.test_case "tables and sizes" `Quick test_tpch_tables_exist;
+          Alcotest.test_case "referential integrity" `Quick test_tpch_referential_integrity;
+          Alcotest.test_case "clustering" `Quick test_tpch_clustering;
+          Alcotest.test_case "physical design" `Quick test_tpch_physical_design;
+          Alcotest.test_case "exp1 selectivity profile" `Quick test_tpch_exp1_selectivity_profile;
+          Alcotest.test_case "exp1 marginals constant" `Quick test_tpch_exp1_marginals_constant;
+          Alcotest.test_case "exp2 marginal constant" `Quick test_tpch_exp2_marginal_constant;
+          Alcotest.test_case "exp2 popularity ramp" `Quick test_tpch_exp2_popularity_ramp;
+          Alcotest.test_case "cost scale" `Quick test_tpch_cost_scale;
+        ] );
+      ( "star",
+        [
+          Alcotest.test_case "structure" `Quick test_star_structure;
+          Alcotest.test_case "filter splits dims into tenths" `Quick
+            test_star_dim_filter_exact_tenth;
+          Alcotest.test_case "marginals pinned at 10%" `Quick test_star_marginals_are_ten_percent;
+          Alcotest.test_case "joint tracks the parameter" `Quick test_star_joint_matches_parameter;
+          Alcotest.test_case "parameter validation" `Quick test_star_invalid_params;
+        ] );
+    ]
