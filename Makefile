@@ -1,10 +1,15 @@
-.PHONY: all test bench bench-quick examples clean
+.PHONY: all test fault-test bench bench-quick examples clean
 
 all:
 	dune build @all
 
-test:
+test: all
 	dune runtest
+
+# Only the robustness suite: fault injection, degradation chain,
+# optimization budget, and guard-driven re-optimization.
+fault-test: all
+	dune exec test/test_robustness.exe
 
 bench:
 	dune exec bench/main.exe
@@ -18,6 +23,7 @@ examples:
 	dune exec examples/star_join.exe
 	dune exec examples/sql_hints.exe
 	dune exec examples/workload_prior.exe
+	dune exec examples/guarded_reopt.exe
 
 clean:
 	dune clean

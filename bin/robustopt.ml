@@ -82,6 +82,57 @@ let data_dir_arg =
   Arg.(value & opt (some string) None & info [ "data-dir"; "d" ]
        ~doc:"Directory with schema.sql + <table>.csv files (overrides --workload).")
 
+let fault_profile_arg =
+  Arg.(value & opt (some string) None & info [ "fault-profile" ]
+       ~doc:(Printf.sprintf
+               "Damage the statistics store before optimizing (one of %s); estimation then \
+                falls back down the degradation chain, reporting each tier transition."
+               (String.concat ", " Rq_stats.Fault.profile_names)))
+
+let reopt_threshold_arg =
+  Arg.(value & opt (some float) None & info [ "reopt-threshold" ]
+       ~doc:"Place cardinality guards in the plan with this q-error threshold (>= 1.0); a \
+             violation aborts the pipeline and re-optimizes mid-query over the materialized \
+             intermediate.")
+
+let opt_budget_arg =
+  Arg.(value & opt (some int) None & info [ "opt-budget" ]
+       ~doc:"Cap on candidate-cost evaluations during plan search; when exceeded the \
+             optimizer answers with the deterministic left-deep fallback plan.")
+
+let check_reopt_threshold = function
+  | Some t when t < 1.0 ->
+      failwith (Printf.sprintf "--reopt-threshold must be >= 1.0 (a q-error), got %g" t)
+  | _ -> ()
+
+(* Apply --fault-profile: damage a copy of the stats and switch to the
+   graceful-degradation estimation chain over the damaged store. *)
+let apply_fault_profile ~seed ~confidence ~cost_scale ~profile stats =
+  match profile with
+  | None -> None
+  | Some p ->
+      let rng = Rq_math.Rng.create (seed + 7) in
+      (match Rq_stats.Fault.profile_injections rng stats p with
+      | Error msg -> failwith msg
+      | Ok injections ->
+          List.iter
+            (fun i -> Printf.printf "fault: %s\n" (Rq_stats.Fault.injection_to_string i))
+            injections;
+          let damaged = Rq_stats.Fault.apply rng stats injections in
+          let estimator =
+            Cardinality.degrading
+              ~log:(fun e ->
+                Printf.printf "degraded: %s\n" (Rq_stats.Fault.event_to_string e))
+              damaged
+              (Rq_core.Robust_estimator.create ~confidence ())
+          in
+          Some (Optimizer.create ~scale:cost_scale damaged estimator))
+
+let print_degradations decision =
+  List.iter
+    (fun e -> Printf.printf "degraded: %s\n" (Rq_stats.Fault.event_to_string e))
+    decision.Optimizer.degraded
+
 (* ---------------- explain ---------------- *)
 
 let explain_cmd =
@@ -89,27 +140,44 @@ let explain_cmd =
     Arg.(value & flag & info [ "analyze" ]
          ~doc:"Also execute the plan and report per-node estimated vs. actual rows.")
   in
-  let run workload seed scale sample_size confidence estimator analyze data_dir sql =
+  let run workload seed scale sample_size confidence estimator analyze data_dir fault_profile
+      reopt_threshold opt_budget sql =
+    check_reopt_threshold reopt_threshold;
     let catalog, cost_scale = obtain_catalog ~workload ~seed ~scale ~data_dir in
     let stats = build_stats ~seed ~sample_size catalog in
     let bound = compile_sql catalog sql in
     let confidence = resolve_confidence ~confidence ~hint:bound.Rq_sql.Binder.confidence_hint in
-    let opt = make_optimizer ~estimator ~confidence ~scale:cost_scale stats in
+    let opt =
+      match apply_fault_profile ~seed ~confidence ~cost_scale ~profile:fault_profile stats with
+      | Some damaged_opt -> damaged_opt
+      | None -> make_optimizer ~estimator ~confidence ~scale:cost_scale stats
+    in
     Printf.printf "confidence threshold: %g%%\n" (Rq_core.Confidence.to_percent confidence);
     (match Optimizer.explain opt bound.Rq_sql.Binder.query with
     | Ok report -> print_string report
     | Error msg -> failwith msg);
     if analyze then begin
-      let decision = Optimizer.optimize_exn opt bound.Rq_sql.Binder.query in
+      let decision =
+        match Optimizer.optimize ?budget:opt_budget opt bound.Rq_sql.Binder.query with
+        | Ok d -> d
+        | Error msg -> failwith msg
+      in
+      print_degradations decision;
+      (* With a guard threshold, EXPLAIN ANALYZE shows each checkpoint and
+         whether it would have fired. *)
+      let plan =
+        match reopt_threshold with
+        | None -> decision.Optimizer.plan
+        | Some threshold -> Reopt.instrument ~threshold opt decision.Optimizer.plan
+      in
       print_newline ();
-      print_string
-        (Explain_analyze.render catalog ~scale:cost_scale (Optimizer.estimator opt)
-           decision.Optimizer.plan)
+      print_string (Explain_analyze.render catalog ~scale:cost_scale (Optimizer.estimator opt) plan)
     end
   in
   let term =
     Term.(const run $ workload_arg $ seed_arg $ scale_arg $ sample_arg $ confidence_arg
-          $ estimator_arg $ analyze_arg $ data_dir_arg $ sql_arg)
+          $ estimator_arg $ analyze_arg $ data_dir_arg $ fault_profile_arg
+          $ reopt_threshold_arg $ opt_budget_arg $ sql_arg)
   in
   Cmd.v
     (Cmd.info "explain"
@@ -118,40 +186,73 @@ let explain_cmd =
 
 (* ---------------- run ---------------- *)
 
+let print_result_rows result =
+  let columns =
+    Rq_storage.Schema.columns result.Rq_exec.Executor.schema
+    |> List.map (fun c -> c.Rq_storage.Schema.name)
+  in
+  Printf.printf "%s\n" (String.concat "\t" columns);
+  let shown = min 20 (Array.length result.Rq_exec.Executor.tuples) in
+  for i = 0 to shown - 1 do
+    let row = result.Rq_exec.Executor.tuples.(i) in
+    print_endline
+      (String.concat "\t"
+         (Array.to_list (Array.map Rq_storage.Value.to_string row)))
+  done;
+  if Array.length result.Rq_exec.Executor.tuples > shown then
+    Printf.printf "... (%d rows total)\n" (Array.length result.Rq_exec.Executor.tuples)
+
 let run_cmd =
-  let run workload seed scale sample_size confidence estimator data_dir sql =
+  let run workload seed scale sample_size confidence estimator data_dir fault_profile
+      reopt_threshold opt_budget sql =
+    check_reopt_threshold reopt_threshold;
     let catalog, cost_scale = obtain_catalog ~workload ~seed ~scale ~data_dir in
     let stats = build_stats ~seed ~sample_size catalog in
     let bound = compile_sql catalog sql in
     let confidence = resolve_confidence ~confidence ~hint:bound.Rq_sql.Binder.confidence_hint in
-    let opt = make_optimizer ~estimator ~confidence ~scale:cost_scale stats in
-    let decision = Optimizer.optimize_exn opt bound.Rq_sql.Binder.query in
-    let meter = Rq_exec.Cost.create ~scale:cost_scale () in
-    let result = Rq_exec.Executor.run catalog meter decision.Optimizer.plan in
-    let snapshot = Rq_exec.Cost.snapshot meter in
-    Printf.printf "plan: %s\n" (Rq_exec.Plan.describe decision.Optimizer.plan);
-    Format.printf "estimated cost: %.3f s; simulated execution: %a@."
-      decision.Optimizer.estimated_cost Rq_exec.Cost.pp_snapshot snapshot;
-    let columns =
-      Rq_storage.Schema.columns result.Rq_exec.Executor.schema
-      |> List.map (fun c -> c.Rq_storage.Schema.name)
+    let opt =
+      match apply_fault_profile ~seed ~confidence ~cost_scale ~profile:fault_profile stats with
+      | Some damaged_opt -> damaged_opt
+      | None -> make_optimizer ~estimator ~confidence ~scale:cost_scale stats
     in
-    Printf.printf "%s\n" (String.concat "\t" columns);
-    let shown = min 20 (Array.length result.Rq_exec.Executor.tuples) in
-    for i = 0 to shown - 1 do
-      let row = result.Rq_exec.Executor.tuples.(i) in
-      print_endline
-        (String.concat "\t"
-           (Array.to_list (Array.map Rq_storage.Value.to_string row)))
-    done;
-    if Array.length result.Rq_exec.Executor.tuples > shown then
-      Printf.printf "... (%d rows total)\n" (Array.length result.Rq_exec.Executor.tuples)
+    let query = bound.Rq_sql.Binder.query in
+    let decision =
+      match Optimizer.optimize ?budget:opt_budget opt query with
+      | Ok d -> d
+      | Error msg -> failwith msg
+    in
+    print_degradations decision;
+    match reopt_threshold with
+    | None ->
+        let meter = Rq_exec.Cost.create ~scale:cost_scale () in
+        let result = Rq_exec.Executor.run catalog meter decision.Optimizer.plan in
+        let snapshot = Rq_exec.Cost.snapshot meter in
+        Printf.printf "plan: %s\n" (Rq_exec.Plan.describe decision.Optimizer.plan);
+        Format.printf "estimated cost: %.3f s; simulated execution: %a@."
+          decision.Optimizer.estimated_cost Rq_exec.Cost.pp_snapshot snapshot;
+        print_result_rows result
+    | Some threshold ->
+        let outcome = Reopt.execute_plan ~threshold opt query decision.Optimizer.plan in
+        Printf.printf "initial plan: %s\n"
+          (Rq_exec.Plan.describe outcome.Reopt.initial_plan);
+        print_string (Reopt.render_events outcome.Reopt.events);
+        if outcome.Reopt.reoptimizations > 0 then
+          Printf.printf "final plan: %s\n" (Rq_exec.Plan.describe outcome.Reopt.final_plan);
+        Format.printf "simulated execution (incl. wasted work): %a@."
+          Rq_exec.Cost.pp_snapshot outcome.Reopt.snapshot;
+        print_result_rows outcome.Reopt.result
   in
   let term =
     Term.(const run $ workload_arg $ seed_arg $ scale_arg $ sample_arg $ confidence_arg
-          $ estimator_arg $ data_dir_arg $ sql_arg)
+          $ estimator_arg $ data_dir_arg $ fault_profile_arg $ reopt_threshold_arg
+          $ opt_budget_arg $ sql_arg)
   in
-  Cmd.v (Cmd.info "run" ~doc:"Optimize and execute a SQL query.") term
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Optimize and execute a SQL query, optionally with cardinality guards \
+             (--reopt-threshold), injected statistics faults (--fault-profile), or an \
+             optimization budget (--opt-budget).")
+    term
 
 (* ---------------- estimate ---------------- *)
 
@@ -287,7 +388,7 @@ let export_cmd =
 let experiment_cmd =
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT"
-         ~doc:"One of fig9, fig10, fig11, fig12, overhead, partial-stats.")
+         ~doc:"One of fig9, fig10, fig11, fig12, overhead, partial-stats, reopt.")
   in
   let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced repetitions.") in
   let run name quick =
@@ -343,6 +444,13 @@ let experiment_cmd =
           else E.Exp_partial_stats.default_config
         in
         print_string (E.Report.partial_stats_table (E.Exp_partial_stats.run ~config ()))
+    | "reopt" ->
+        let config =
+          if quick then
+            { E.Exp_reopt.default_config with lineitems = 1000; orders = 100; cutoffs = [ 5; 25; 50 ] }
+          else E.Exp_reopt.default_config
+        in
+        print_string (E.Exp_reopt.render (E.Exp_reopt.run ~config ()))
     | other -> failwith (Printf.sprintf "unknown experiment %S" other)
   in
   let term = Term.(const run $ name_arg $ quick_arg) in

@@ -9,9 +9,26 @@ open Rq_storage
 
 type result = { schema : Schema.t; tuples : Relation.tuple array }
 
+exception
+  Guard_violation of {
+    label : string;          (** the guard's label (guarded subplan shape) *)
+    expected_rows : float;   (** optimizer's estimate at instrumentation time *)
+    actual_rows : int;       (** what actually materialized *)
+    q_error : float;         (** max(est/act, act/est), 0.5 floors *)
+    result : result;         (** the materialized rows — reusable as a
+                                 {!Plan.Materialized} leaf *)
+    subplan : Plan.t;        (** the guarded subplan that produced them *)
+  }
+(** Raised by [run] when a {!Plan.Guard}'s q-error bound is exceeded.  All
+    work up to the violation is already charged to the meter; the carried
+    result lets a re-optimizer resume without repeating it. *)
+
+val q_error : expected:float -> actual:int -> float
+
 val run : Catalog.t -> Cost.t -> Plan.t -> result
 (** Raises [Invalid_argument] on ill-formed plans (missing index, key out of
-    scope); run [Plan.validate] first for a friendly error. *)
+    scope); run [Plan.validate] first for a friendly error.  Raises
+    [Guard_violation] when a guard fires. *)
 
 val run_timed : Catalog.t -> ?constants:Cost.constants -> ?scale:float -> Plan.t -> result * Cost.snapshot
 (** Convenience: fresh meter, run, snapshot. *)

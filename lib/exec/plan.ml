@@ -35,6 +35,13 @@ type t =
   | Aggregate of { input : t; group_by : string list; aggs : agg list }
   | Sort of { input : t; keys : sort_key list }
   | Limit of t * int
+  | Guard of { input : t; expected_rows : float; max_q_error : float; label : string }
+  | Materialized of {
+      name : string;
+      schema : Schema.t;
+      tuples : Value.t array array;
+      refs : (string * Pred.t) list;
+    }
 
 let qualified_schema catalog table =
   Schema.qualify table (Relation.schema (Catalog.find_table catalog table))
@@ -59,6 +66,8 @@ let rec schema_of catalog = function
         dims
   | Filter (input, _) -> schema_of catalog input
   | Sort { input; _ } | Limit (input, _) -> schema_of catalog input
+  | Guard { input; _ } -> schema_of catalog input
+  | Materialized { schema; _ } -> schema
   | Project (input, cols) -> Schema.project (schema_of catalog input) cols
   | Aggregate { input; group_by; aggs } ->
       let input_schema = schema_of catalog input in
@@ -86,6 +95,9 @@ let base_tables plan =
     | Filter (input, _) | Project (input, _) -> go acc input
     | Sort { input; _ } | Limit (input, _) -> go acc input
     | Aggregate { input; _ } -> go acc input
+    | Guard { input; _ } -> go acc input
+    | Materialized { refs; _ } ->
+        List.fold_left (fun acc (table, _) -> add acc table) acc refs
   in
   List.rev (go [] plan)
 
@@ -201,6 +213,15 @@ let validate catalog plan =
               (fun acc c ->
                 match acc with Error _ as e -> e | Ok () -> check_column schema c (fun () -> Ok ()))
               (Ok ()) needed)
+    | Guard { input; expected_rows; max_q_error; label = _ } ->
+        if max_q_error < 1.0 then fail "guard max_q_error must be >= 1.0"
+        else if expected_rows < 0.0 then fail "guard expected_rows must be >= 0"
+        else go input
+    | Materialized { schema; tuples; _ } ->
+        let width = List.length (Schema.columns schema) in
+        if Array.exists (fun tup -> Array.length tup <> width) tuples then
+          fail "materialized tuples do not match schema width"
+        else Ok ()
   in
   go plan
 
@@ -284,6 +305,12 @@ let rec pp_indented fmt depth plan =
   | Limit (input, n) ->
       Format.fprintf fmt "Limit %d@." n;
       pp_indented fmt (depth + 1) input
+  | Guard { input; expected_rows; max_q_error; label = _ } ->
+      Format.fprintf fmt "Guard expect ~%.1f rows, max q-error %.1f@." expected_rows
+        max_q_error;
+      pp_indented fmt (depth + 1) input
+  | Materialized { name; tuples; _ } ->
+      Format.fprintf fmt "Materialized(%s: %d rows)@." name (Array.length tuples)
 
 let pp fmt plan = pp_indented fmt 0 plan
 
@@ -307,3 +334,34 @@ let rec describe = function
   | Sort { input; _ } -> describe input
   | Limit (input, _) -> describe input
   | Aggregate { input; _ } -> describe input
+  | Guard { input; _ } -> describe input
+  | Materialized { name; _ } -> Printf.sprintf "Mat(%s)" name
+
+(* Remove every guard, keeping the guarded subplans: the plan that would
+   have run had the optimizer not asked for runtime validation. *)
+let rec strip_guards = function
+  | Scan _ as p -> p
+  | Hash_join { build; probe; build_key; probe_key } ->
+      Hash_join
+        { build = strip_guards build; probe = strip_guards probe; build_key; probe_key }
+  | Merge_join { left; right; left_key; right_key } ->
+      Merge_join { left = strip_guards left; right = strip_guards right; left_key; right_key }
+  | Indexed_nl_join j -> Indexed_nl_join { j with outer = strip_guards j.outer }
+  | Star_semijoin _ as p -> p
+  | Filter (input, pred) -> Filter (strip_guards input, pred)
+  | Project (input, cols) -> Project (strip_guards input, cols)
+  | Aggregate { input; group_by; aggs } ->
+      Aggregate { input = strip_guards input; group_by; aggs }
+  | Sort { input; keys } -> Sort { input = strip_guards input; keys }
+  | Limit (input, n) -> Limit (strip_guards input, n)
+  | Guard { input; _ } -> strip_guards input
+  | Materialized _ as p -> p
+
+let rec guard_count = function
+  | Scan _ | Star_semijoin _ | Materialized _ -> 0
+  | Hash_join { build; probe; _ } -> guard_count build + guard_count probe
+  | Merge_join { left; right; _ } -> guard_count left + guard_count right
+  | Indexed_nl_join { outer; _ } -> guard_count outer
+  | Filter (input, _) | Project (input, _) | Limit (input, _) -> guard_count input
+  | Aggregate { input; _ } | Sort { input; _ } -> guard_count input
+  | Guard { input; _ } -> 1 + guard_count input

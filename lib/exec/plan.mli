@@ -70,6 +70,25 @@ type t =
       (** stable sort on qualified output columns; always charges a sort *)
   | Limit of t * int
       (** first n rows of the input's order *)
+  | Guard of { input : t; expected_rows : float; max_q_error : float; label : string }
+      (** cardinality checkpoint: passes the input through unchanged, but if
+          the q-error between [expected_rows] and the actual row count
+          exceeds [max_q_error] the executor raises
+          {!Executor.Guard_violation} carrying the already-materialized
+          rows, so a re-optimizer can resume from them.  Order-transparent:
+          a guard over a clustered scan still satisfies a merge join's sort
+          requirement. *)
+  | Materialized of {
+      name : string;
+      schema : Schema.t;
+      tuples : Value.t array array;
+      refs : (string * Pred.t) list;
+          (** the base-table predicates this intermediate covers (base-schema
+              column names), so costing above it can still form logical
+              expression refs *)
+    }
+      (** an already-computed intermediate result used as a plan leaf when
+          execution resumes after a guard violation; costs nothing to read *)
 
 val schema_of : Catalog.t -> t -> Schema.t
 (** Output schema (qualified names).  Raises if the plan is ill-formed
@@ -88,4 +107,11 @@ val pp : Format.formatter -> t -> unit
 val describe : t -> string
 (** One-line plan shape, e.g. ["IdxIsect(lineitem)"] or
     ["Hash(Hash(INL(part,lineitem)),orders)"]; used to label which plan the
-    optimizer picked in experiment output. *)
+    optimizer picked in experiment output.  Guards are transparent so the
+    label names the same shape whether or not the plan is instrumented. *)
+
+val strip_guards : t -> t
+(** The same plan with every [Guard] removed (guarded subplans kept). *)
+
+val guard_count : t -> int
+(** Number of [Guard] nodes in the plan. *)

@@ -164,6 +164,120 @@ let histogram_avi stats =
   { name = "histogram-avi"; expression_cardinality; table_selectivity; group_count }
 
 (* ------------------------------------------------------------------ *)
+(* Graceful degradation: sample -> synopsis -> histogram -> magic      *)
+(* ------------------------------------------------------------------ *)
+
+let degrading ?(log = fun _ -> ()) stats estimator =
+  let catalog = Stats_store.catalog stats in
+  (* Health verdict per synopsis root, memoized: a broken synopsis is
+     reported once per optimization, not once per cost_fn call. *)
+  let health : (string, Join_synopsis.t option) Hashtbl.t = Hashtbl.create 8 in
+  let logged : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let log_once (event : Fault.event) =
+    let key = Fault.kind_to_string event.Fault.kind ^ "|" ^ event.Fault.subsystem in
+    if not (Hashtbl.mem logged key) then begin
+      Hashtbl.replace logged key ();
+      log event
+    end
+  in
+  let healthy_synopsis root =
+    match Hashtbl.find_opt health root with
+    | Some verdict -> verdict
+    | None ->
+        let verdict =
+          match Stats_store.synopsis stats ~root with
+          | None ->
+              log_once
+                {
+                  Fault.kind = Fault.Missing;
+                  subsystem = "synopsis:" ^ root;
+                  detail = "no synopsis for root";
+                };
+              None
+          | Some syn -> (
+              match Fault.verify_synopsis catalog syn with
+              | Ok () -> Some syn
+              | Error event ->
+                  log_once event;
+                  None)
+        in
+        Hashtbl.replace health root verdict;
+        verdict
+  in
+  let robust_est = robust stats estimator in
+  let hist_est = histogram_avi stats in
+  (* Tier 3->4 boundary: histogram_selectivity silently substitutes magic
+     constants for missing histograms; detect and report that so the chain's
+     last hop is visible in the event log. *)
+  let histogram_tier ~table pred =
+    let missing =
+      List.filter
+        (fun column -> Stats_store.histogram stats ~table ~column = None)
+        (List.sort_uniq String.compare (Pred.columns pred))
+    in
+    (match missing with
+    | [] -> ()
+    | cols ->
+        log_once
+          {
+            Fault.kind = Fault.Missing;
+            subsystem = "histogram:" ^ table;
+            detail =
+              Printf.sprintf "no histogram for %s; using magic constants"
+                (String.concat ", " cols);
+          });
+    hist_est.table_selectivity ~table pred
+  in
+  let table_selectivity ~table pred =
+    match healthy_synopsis table with
+    | Some syn ->
+        let qualified = Pred.rename_columns (fun c -> table ^ "." ^ c) pred in
+        let k, n = Join_synopsis.evidence syn qualified in
+        Robust_estimator.estimate estimator ~successes:k ~trials:n
+    | None -> if pred = Pred.True then 1.0 else histogram_tier ~table pred
+  in
+  let expression_cardinality refs =
+    let names = names_of refs in
+    let covering =
+      match root_of catalog refs with
+      | Some root -> (
+          match healthy_synopsis root with
+          | Some syn when Join_synopsis.covers syn names -> Some syn
+          | _ -> None)
+      | None -> None
+    in
+    match covering with
+    | Some syn ->
+        (* Tier 1: evidence from the covering join synopsis — the paper's
+           estimator at full strength. *)
+        let pred = Pred.conj (List.map qualified_pred refs) in
+        let k, n = Join_synopsis.evidence syn pred in
+        Robust_estimator.estimate estimator ~successes:k ~trials:n
+        *. float_of_int (Join_synopsis.root_size syn)
+    | None ->
+        (* Tiers 2-4: per-table estimates (each table's own best tier)
+           combined under AVI + containment. *)
+        let sel =
+          List.fold_left
+            (fun acc (r : Logical.table_ref) ->
+              acc *. table_selectivity ~table:r.Logical.table r.Logical.pred)
+            1.0 refs
+        in
+        sel *. root_size catalog refs
+  in
+  let group_count refs group_by =
+    let names = names_of refs in
+    match root_of catalog refs with
+    | Some root
+      when (match healthy_synopsis root with
+           | Some syn -> Join_synopsis.covers syn names
+           | None -> false) ->
+        robust_est.group_count refs group_by
+    | _ -> hist_est.group_count refs group_by
+  in
+  { name = "degrading-chain"; expression_cardinality; table_selectivity; group_count }
+
+(* ------------------------------------------------------------------ *)
 (* Ablation: robust per-table samples, AVI across tables               *)
 (* ------------------------------------------------------------------ *)
 

@@ -31,6 +31,18 @@ val robust : Rq_stats.Stats_store.t -> Rq_core.Robust_estimator.t -> t
     covering synopsis exists; the magic distribution when a table has no
     statistics at all.  Group counts use GEE over the synopsis. *)
 
+val degrading :
+  ?log:(Rq_stats.Fault.event -> unit) ->
+  Rq_stats.Stats_store.t -> Rq_core.Robust_estimator.t -> t
+(** The graceful-degradation chain: for each estimation request, use the
+    best statistics tier that passes {!Rq_stats.Fault.verify_synopsis} —
+    covering join synopsis (the robust estimator at full strength), then
+    per-table samples combined under AVI, then histograms, then the magic
+    constants.  Every tier transition emits one structured
+    {!Rq_stats.Fault.event} through [log] (deduplicated per subsystem)
+    instead of raising, so damaged statistics degrade estimates but never
+    abort optimization.  Health verdicts are memoized per root. *)
+
 val histogram_avi : Rq_stats.Stats_store.t -> t
 (** The baseline: per-column equi-depth histograms combined under the AVI
     and containment assumptions (FK joins are cardinality-preserving, so an

@@ -60,6 +60,9 @@ let rec refs_of plan : Logical.table_ref list =
   | Plan.Project (input, _) -> refs_of input
   | Plan.Sort { input; _ } | Plan.Limit (input, _) -> refs_of input
   | Plan.Aggregate { input; _ } -> refs_of input
+  | Plan.Guard { input; _ } -> refs_of input
+  | Plan.Materialized { refs; _ } ->
+      List.map (fun (table, pred) -> { Logical.table; pred }) refs
 
 let estimate catalog ?(constants = Cost.default_constants) ?(scale = 1.0) est plan =
   let c = constants in
@@ -137,12 +140,13 @@ let estimate catalog ?(constants = Cost.default_constants) ?(scale = 1.0) est pl
         }
     | Plan.Merge_join { left; right; left_key; right_key } ->
         let l = go left and r = go right in
-        let sorted_on sub =
+        let rec sorted_on sub =
           match sub with
           | Plan.Scan { table; _ } -> (
               match Catalog.clustered_by catalog table with
               | Some col -> Some (table ^ "." ^ col)
               | None -> None)
+          | Plan.Guard { input; _ } -> sorted_on input
           | _ -> None
         in
         let sort_cost sub (e : estimate) key =
@@ -235,6 +239,13 @@ let estimate catalog ?(constants = Cost.default_constants) ?(scale = 1.0) est pl
         let i = go input in
         let card = Float.min i.card (float_of_int n) in
         { cost = i.cost +. (card *. c.Cost.cpu_tuple_s); card }
+    | Plan.Guard { input; _ } ->
+        (* Guard cost model mirrors execution: one cpu-tuple inspection per
+           materialized row. *)
+        let i = go input in
+        { cost = i.cost +. (i.card *. c.Cost.cpu_tuple_s); card = i.card }
+    | Plan.Materialized { tuples; _ } ->
+        { cost = 0.0; card = float_of_int (Array.length tuples) }
     | Plan.Aggregate { input; group_by; _ } ->
         let i = go input in
         let groups =

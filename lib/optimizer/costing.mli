@@ -17,6 +17,12 @@ open Rq_exec
 type estimate = { cost : float; card : float }
 (** Simulated seconds and output rows. *)
 
+val refs_of : Plan.t -> Logical.table_ref list
+(** The logical table refs a subplan covers, with single-table filter
+    conjuncts folded into the owning table's predicate.  [Materialized]
+    leaves report the refs they were built from; guards are transparent.
+    Used by the re-optimizer to key observed cardinalities. *)
+
 val estimate :
   Catalog.t -> ?constants:Cost.constants -> ?scale:float -> Cardinality.t -> Plan.t ->
   estimate

@@ -153,6 +153,46 @@ let join_candidates catalog query ~left_tables ~left_plan ~right_tables ~right_p
       @ inl_into right_tables right_key right_plan left_plan left_key)
     edges
 
+(* The naive plan of last resort: seq-scan leaves, hash joins, tables taken
+   in query order following FK connectivity.  No cost function consulted, so
+   it is constructible even when the optimization budget is exhausted. *)
+let left_deep_plan catalog (query : Logical.t) =
+  let scan (r : Logical.table_ref) =
+    Plan.Scan { table = r.Logical.table; access = Plan.Seq_scan; pred = r.Logical.pred }
+  in
+  match query.Logical.tables with
+  | [] -> None
+  | [ single ] -> Some (scan single)
+  | first :: rest ->
+      let rec grow plan covered remaining =
+        match remaining with
+        | [] -> Some plan
+        | _ -> (
+            let joinable r =
+              match crossing_edges catalog covered [ r.Logical.table ] with
+              | [] -> None
+              | fk :: _ -> Some (r, fk)
+            in
+            match List.find_map joinable remaining with
+            | None -> None (* disconnected join graph *)
+            | Some (r, fk) ->
+                let fk_key = fk.Catalog.from_table ^ "." ^ fk.Catalog.from_column in
+                let pk_key = fk.Catalog.to_table ^ "." ^ fk.Catalog.to_column in
+                let probe_key, build_key =
+                  if List.mem fk.Catalog.from_table covered then (fk_key, pk_key)
+                  else (pk_key, fk_key)
+                in
+                let plan =
+                  Plan.Hash_join { build = scan r; probe = plan; build_key; probe_key }
+                in
+                grow plan (r.Logical.table :: covered)
+                  (List.filter
+                     (fun (x : Logical.table_ref) ->
+                       not (String.equal x.Logical.table r.Logical.table))
+                     remaining))
+      in
+      grow (scan first) [ first.Logical.table ] rest
+
 (* Splits of a sorted table list into two non-empty disjoint parts; the DP
    tries every split and keeps connected ones implicitly (unconnected parts
    have no crossing edge and produce no candidates). *)

@@ -25,6 +25,23 @@ val access_paths : Catalog.t -> Logical.table_ref -> Plan.t list
     per indexed sargable column; an index intersection per subset (size >=
     2) of indexed sargable columns. *)
 
+val join_candidates :
+  Catalog.t -> Logical.t ->
+  left_tables:string list -> left_plan:Plan.t ->
+  right_tables:string list -> right_plan:Plan.t -> Plan.t list
+(** All join operators applicable between two disjoint subplans: hash joins
+    both ways and a merge join per crossing FK edge, plus indexed NL joins
+    when one side is a single indexed base table.  Exposed so the mid-query
+    re-optimizer can grow a continuation plan from a materialized
+    intermediate. *)
+
+val left_deep_plan : Catalog.t -> Logical.t -> Plan.t option
+(** The deterministic plan of last resort: seq-scan every table and hash-join
+    them left-deep following FK connectivity in query order.  Consults no
+    cost function and no statistics, so it is available when the
+    optimization budget is exhausted.  [None] only for empty or disconnected
+    queries. *)
+
 val join_plans :
   Catalog.t -> cost_fn:(Plan.t -> float) -> Logical.t -> Plan.t list
 (** Complete join plans (no aggregation/projection on top): the DP winner

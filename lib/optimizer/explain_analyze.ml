@@ -30,9 +30,11 @@ let node_label = function
   | Plan.Sort _ -> "Sort"
   | Plan.Limit (_, n) -> Printf.sprintf "Limit(%d)" n
   | Plan.Aggregate _ -> "Aggregate"
+  | Plan.Guard { max_q_error; _ } -> Printf.sprintf "Guard(max q-error %.1f)" max_q_error
+  | Plan.Materialized { name; _ } -> Printf.sprintf "Materialized(%s)" name
 
 let children = function
-  | Plan.Scan _ | Plan.Star_semijoin _ -> []
+  | Plan.Scan _ | Plan.Star_semijoin _ | Plan.Materialized _ -> []
   | Plan.Hash_join { build; probe; _ } -> [ build; probe ]
   | Plan.Merge_join { left; right; _ } -> [ left; right ]
   | Plan.Indexed_nl_join { outer; _ } -> [ outer ]
@@ -41,6 +43,7 @@ let children = function
   | Plan.Sort { input; _ }
   | Plan.Limit (input, _)
   | Plan.Aggregate { input; _ } -> [ input ]
+  | Plan.Guard { input; _ } -> [ input ]
 
 let q_error ~estimated ~actual =
   let est = Float.max estimated 0.5 and act = Float.max (float_of_int actual) 0.5 in
@@ -49,17 +52,28 @@ let q_error ~estimated ~actual =
 let collect catalog ?constants ?scale estimator plan =
   let rec go depth plan =
     let estimated =
-      (Costing.estimate catalog ?constants ?scale estimator plan).Costing.card
+      match plan with
+      (* A guard's row of the report compares its *instrumentation-time*
+         expectation against reality — that is the check it performs. *)
+      | Plan.Guard { expected_rows; _ } -> expected_rows
+      | _ -> (Costing.estimate catalog ?constants ?scale estimator plan).Costing.card
     in
     let meter = Cost.create ?constants ?scale () in
-    let actual = Array.length (Executor.run catalog meter plan).Executor.tuples in
-    {
-      depth;
-      label = node_label plan;
-      estimated_rows = estimated;
-      actual_rows = actual;
-      q_error = q_error ~estimated ~actual;
-    }
+    (* Run guard-free so the report never aborts mid-analysis; whether each
+       guard *would* fire is derived from the q-error below. *)
+    let actual =
+      Array.length
+        (Executor.run catalog meter (Plan.strip_guards plan)).Executor.tuples
+    in
+    let q = q_error ~estimated ~actual in
+    let label =
+      match plan with
+      | Plan.Guard { max_q_error; _ } when q > max_q_error ->
+          node_label plan ^ " [FIRES]"
+      | Plan.Guard _ -> node_label plan ^ " [pass]"
+      | _ -> node_label plan
+    in
+    { depth; label; estimated_rows = estimated; actual_rows = actual; q_error = q }
     :: List.concat_map (go (depth + 1)) (children plan)
   in
   go 0 plan
@@ -77,7 +91,7 @@ let render catalog ?constants ?scale estimator plan =
            n.actual_rows n.q_error))
     nodes;
   let meter = Cost.create ?constants ?scale () in
-  ignore (Executor.run catalog meter plan);
+  ignore (Executor.run catalog meter (Plan.strip_guards plan));
   Buffer.add_string buf
     (Printf.sprintf "total simulated execution: %.3f s\n" (Cost.snapshot meter).Cost.seconds);
   Buffer.contents buf

@@ -23,6 +23,7 @@ let baseline ?constants ?scale stats =
   create ?constants ?scale stats (Cardinality.histogram_avi stats)
 
 let estimator t = t.estimator
+let stats t = t.stats
 let scale t = t.scale
 let constants t = t.constants
 
@@ -31,34 +32,66 @@ type decision = {
   estimated_cost : float;
   estimated_card : float;
   alternatives : (string * float) list;
+  degraded : Rq_stats.Fault.event list;
 }
 
-let optimize t query =
+(* Internal: unwound when the enumeration budget runs out. *)
+exception Budget_hit
+
+let optimize ?budget t query =
   let catalog = Rq_stats.Stats_store.catalog t.stats in
   match Logical.validate catalog query with
   | Error _ as e -> e
   | Ok () ->
-      let cost_fn plan =
+      let raw_cost_fn plan =
         Costing.plan_cost catalog ~constants:t.constants ~scale:t.scale t.estimator plan
       in
+      (* The budget is counted in cost_fn invocations — the unit of
+         enumeration work (every candidate inspected costs exactly one). *)
+      let calls = ref 0 in
+      let cost_fn plan =
+        incr calls;
+        (match budget with Some b when !calls > b -> raise Budget_hit | _ -> ());
+        raw_cost_fn plan
+      in
+      let degraded = ref [] in
       (* Candidates are complete join plans; aggregation cost is identical
          across them (same input cardinality), so ranking before or after
          wrapping agrees — we rank the wrapped plans to keep the invariant
          obvious. *)
       let wrapped =
-        List.map (Enumerate.wrap_top query) (Enumerate.join_plans catalog ~cost_fn query)
+        try List.map (Enumerate.wrap_top query) (Enumerate.join_plans catalog ~cost_fn query)
+        with Budget_hit -> (
+          degraded :=
+            [
+              {
+                Rq_stats.Fault.kind = Rq_stats.Fault.Budget_exceeded;
+                subsystem = "optimizer";
+                detail =
+                  Printf.sprintf
+                    "enumeration stopped after %d cost evaluations; using left-deep fallback"
+                    (Option.value budget ~default:0);
+              };
+            ];
+          match Enumerate.left_deep_plan catalog query with
+          | Some p -> [ Enumerate.wrap_top query p ]
+          | None -> [])
       in
       (match wrapped with
       | [] -> Error "no candidate plans (missing indexes or disconnected join graph?)"
       | first :: rest ->
+          (* Ranking uses the raw cost function: the fallback plan must still
+             be costable after the budget is spent. *)
           let best =
-            List.fold_left (fun acc p -> if cost_fn p < cost_fn acc then p else acc) first rest
+            List.fold_left
+              (fun acc p -> if raw_cost_fn p < raw_cost_fn acc then p else acc)
+              first rest
           in
           let estimate =
             Costing.estimate catalog ~constants:t.constants ~scale:t.scale t.estimator best
           in
           let alternatives =
-            List.map (fun p -> (Plan.describe p, cost_fn p)) wrapped
+            List.map (fun p -> (Plan.describe p, raw_cost_fn p)) wrapped
             |> List.sort (fun (_, a) (_, b) -> Float.compare a b)
           in
           Ok
@@ -67,10 +100,11 @@ let optimize t query =
               estimated_cost = estimate.Costing.cost;
               estimated_card = estimate.Costing.card;
               alternatives;
+              degraded = !degraded;
             })
 
-let optimize_exn t query =
-  match optimize t query with
+let optimize_exn ?budget t query =
+  match optimize ?budget t query with
   | Ok d -> d
   | Error msg -> invalid_arg ("Optimizer.optimize_exn: " ^ msg)
 

@@ -26,6 +26,7 @@ val baseline :
 (** Histogram + AVI configuration. *)
 
 val estimator : t -> Cardinality.t
+val stats : t -> Rq_stats.Stats_store.t
 val scale : t -> float
 val constants : t -> Cost.constants
 
@@ -36,13 +37,21 @@ type decision = {
   alternatives : (string * float) list;
       (** every top-level join-plan candidate with its estimated cost,
           cheapest first ([Plan.describe] labels) *)
+  degraded : Rq_stats.Fault.event list;
+      (** degradations hit during this optimization; currently the
+          budget-exhaustion event (estimator-tier events flow through the
+          [log] callback of {!Cardinality.degrading}) *)
 }
 
-val optimize : t -> Logical.t -> (decision, string) result
+val optimize : ?budget:int -> t -> Logical.t -> (decision, string) result
 (** Validates, enumerates, costs, picks.  [Error] reports validation
-    failures. *)
+    failures.  [budget] caps the number of candidate-cost evaluations the
+    enumeration may spend; when exceeded, the search is abandoned and the
+    deterministic left-deep fallback plan ({!Enumerate.left_deep_plan}) is
+    returned instead, with a [Budget_exceeded] event in [degraded] — an
+    optimizer that is late is a failure mode, not an excuse to not answer. *)
 
-val optimize_exn : t -> Logical.t -> decision
+val optimize_exn : ?budget:int -> t -> Logical.t -> decision
 
 val explain : t -> Logical.t -> (string, string) result
 (** Human-readable report: chosen plan tree, estimated cost/cardinality,

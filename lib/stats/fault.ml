@@ -1,0 +1,203 @@
+open Rq_storage
+
+type kind = Stale | Missing | Corrupt | Budget_exceeded
+
+type event = { kind : kind; subsystem : string; detail : string }
+
+let kind_to_string = function
+  | Stale -> "stale"
+  | Missing -> "missing"
+  | Corrupt -> "corrupt"
+  | Budget_exceeded -> "budget-exceeded"
+
+let pp_event fmt e =
+  Format.fprintf fmt "[%s] %s: %s" (kind_to_string e.kind) e.subsystem e.detail
+
+let event_to_string e = Format.asprintf "%a" pp_event e
+
+type injection =
+  | Drop_synopsis of string
+  | Truncate_synopsis of { root : string; keep : int }
+  | Corrupt_synopsis of string
+  | Skew_synopsis of { root : string; factor : float }
+  | Drop_histogram of { table : string; column : string }
+
+let injection_to_string = function
+  | Drop_synopsis root -> Printf.sprintf "drop-synopsis(%s)" root
+  | Truncate_synopsis { root; keep } -> Printf.sprintf "truncate-synopsis(%s,%d)" root keep
+  | Corrupt_synopsis root -> Printf.sprintf "corrupt-synopsis(%s)" root
+  | Skew_synopsis { root; factor } -> Printf.sprintf "skew-synopsis(%s,%g)" root factor
+  | Drop_histogram { table; column } -> Printf.sprintf "drop-histogram(%s.%s)" table column
+
+(* A value the column's declared type can never hold, so verification spots
+   the damage by a schema check alone — no predicate is ever evaluated over
+   corrupted bytes. *)
+let poison = function
+  | Value.T_string -> Value.Int 0xBAD
+  | _ -> Value.String "\xef\xbf\xbdcorrupt"
+
+let corrupt_rows rng schema rows =
+  let cols = Array.of_list (Schema.columns schema) in
+  Array.map
+    (fun tup ->
+      let tup = Array.copy tup in
+      let i = Rq_math.Rng.int rng (Array.length cols) in
+      tup.(i) <- poison cols.(i).Schema.ty;
+      tup)
+    rows
+
+let apply_one rng stats = function
+  | Drop_synopsis root -> Stats_store.with_synopsis stats ~root None
+  | Truncate_synopsis { root; keep } -> (
+      match Stats_store.synopsis stats ~root with
+      | None -> stats
+      | Some syn ->
+          Stats_store.with_synopsis stats ~root (Some (Join_synopsis.truncate syn keep)))
+  | Corrupt_synopsis root -> (
+      match Stats_store.synopsis stats ~root with
+      | None -> stats
+      | Some syn ->
+          let rel = Sample.rows (Join_synopsis.sample syn) in
+          let rows = Array.of_seq (Relation.to_seq rel) in
+          let damaged = corrupt_rows rng (Relation.schema rel) rows in
+          Stats_store.with_synopsis stats ~root (Some (Join_synopsis.with_rows syn damaged)))
+  | Skew_synopsis { root; factor } -> (
+      match Stats_store.synopsis stats ~root with
+      | None -> stats
+      | Some syn ->
+          let skewed =
+            int_of_float (Float.max 1.0 (float_of_int (Join_synopsis.root_size syn) *. factor))
+          in
+          Stats_store.with_synopsis stats ~root (Some (Join_synopsis.with_root_size syn skewed)))
+  | Drop_histogram { table; column } -> Stats_store.with_histogram stats ~table ~column None
+
+let apply rng stats injections = List.fold_left (apply_one rng) stats injections
+
+(* ------------------------------------------------------------------ *)
+(* Verification                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let min_usable_sample = 8
+let max_staleness_drift = 2.0
+let verify_rows = 50
+
+let verify_synopsis catalog syn =
+  let root = Join_synopsis.root syn in
+  let subsystem = "synopsis:" ^ root in
+  let fail kind detail = Error { kind; subsystem; detail } in
+  match Catalog.find_table_opt catalog root with
+  | None -> fail Stale (Printf.sprintf "root table %s no longer in catalog" root)
+  | Some rel ->
+      let n = Join_synopsis.size syn in
+      if n = 0 then fail Missing "synopsis sample is empty"
+      else if n < min_usable_sample then
+        fail Missing (Printf.sprintf "sample truncated to %d rows (< %d usable)" n min_usable_sample)
+      else begin
+        let live = float_of_int (max 1 (Relation.row_count rel)) in
+        let recorded = float_of_int (max 1 (Join_synopsis.root_size syn)) in
+        let drift = Float.max (live /. recorded) (recorded /. live) in
+        if drift > max_staleness_drift then
+          fail Stale
+            (Printf.sprintf "recorded root size %.0f vs live %.0f (drift %.1fx)" recorded live
+               drift)
+        else begin
+          let sample_rel = Sample.rows (Join_synopsis.sample syn) in
+          let schema = Relation.schema sample_rel in
+          let cols = Array.of_list (Schema.columns schema) in
+          let checked = min verify_rows (Relation.row_count sample_rel) in
+          let type_error = ref None in
+          (try
+             for r = 0 to checked - 1 do
+               let tup = Relation.get sample_rel r in
+               Array.iteri
+                 (fun i (col : Schema.column) ->
+                   match Value.type_of tup.(i) with
+                   | None -> () (* NULLs are legal in any column *)
+                   | Some ty ->
+                       if ty <> col.Schema.ty && !type_error = None then
+                         type_error :=
+                           Some
+                             (Printf.sprintf "row %d column %s holds %s, declared %s" r
+                                col.Schema.name (Value.ty_to_string ty)
+                                (Value.ty_to_string col.Schema.ty)))
+                 cols
+             done
+           with _ -> type_error := Some "sample rows unreadable");
+          match !type_error with
+          | Some detail -> fail Corrupt detail
+          | None ->
+              (* FK consistency: within one synopsis row, every covered FK
+                 edge must link matching key values — that is the defining
+                 invariant of a join synopsis. *)
+              let tables = Join_synopsis.tables syn in
+              let edges =
+                List.concat_map
+                  (fun table ->
+                    List.filter
+                      (fun (fk : Catalog.foreign_key) -> List.mem fk.to_table tables)
+                      (Catalog.foreign_keys_from catalog table))
+                  tables
+              in
+              let fk_mismatch =
+                List.find_map
+                  (fun (fk : Catalog.foreign_key) ->
+                    let fpos = Schema.index_of schema (fk.from_table ^ "." ^ fk.from_column) in
+                    let tpos = Schema.index_of schema (fk.to_table ^ "." ^ fk.to_column) in
+                    let bad = ref None in
+                    for r = 0 to checked - 1 do
+                      let tup = Relation.get sample_rel r in
+                      if !bad = None && not (Value.equal tup.(fpos) tup.(tpos)) then
+                        bad :=
+                          Some
+                            (Printf.sprintf "row %d breaks FK %s.%s = %s.%s" r fk.from_table
+                               fk.from_column fk.to_table fk.to_column)
+                    done;
+                    !bad)
+                  edges
+              in
+              (match fk_mismatch with
+              | Some detail -> fail Corrupt detail
+              | None -> Ok ())
+        end
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Named profiles                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let profile_names = [ "none"; "missing"; "truncate"; "corrupt"; "stale"; "chaos" ]
+
+let profile_injections rng stats name =
+  let roots = Stats_store.synopsis_roots stats in
+  match name with
+  | "none" -> Ok []
+  | "missing" -> Ok (List.map (fun r -> Drop_synopsis r) roots)
+  | "truncate" -> Ok (List.map (fun r -> Truncate_synopsis { root = r; keep = 2 }) roots)
+  | "corrupt" -> Ok (List.map (fun r -> Corrupt_synopsis r) roots)
+  | "stale" -> Ok (List.map (fun r -> Skew_synopsis { root = r; factor = 16.0 }) roots)
+  | "chaos" ->
+      let per_root root =
+        Rq_math.Rng.pick rng
+          [|
+            Drop_synopsis root;
+            Truncate_synopsis { root; keep = 2 };
+            Corrupt_synopsis root;
+            Skew_synopsis { root; factor = 16.0 };
+          |]
+      in
+      let catalog = Stats_store.catalog stats in
+      let hist_drops =
+        List.concat_map
+          (fun table ->
+            let rel = Catalog.find_table catalog table in
+            match Schema.columns (Relation.schema rel) with
+            | { Schema.name = column; _ } :: _ when Rq_math.Rng.int rng 2 = 0 ->
+                [ Drop_histogram { table; column } ]
+            | _ -> [])
+          (Catalog.table_names catalog)
+      in
+      Ok (List.map per_root roots @ hist_drops)
+  | other ->
+      Error
+        (Printf.sprintf "unknown fault profile %S (expected one of: %s)" other
+           (String.concat ", " profile_names))

@@ -99,6 +99,24 @@ let build ?(with_replacement = true) ?(follow_fks = true) rng catalog ~size ~roo
 
 let root t = t.root
 let tables t = t.tables
+
+(* Tamper hooks for the fault-injection harness: same synopsis metadata,
+   altered contents.  Production code never calls these. *)
+let with_rows t rows =
+  let sample =
+    Sample.of_rows ~rows
+      ~schema:(Relation.schema (Sample.rows t.sample))
+      ~population_size:(Sample.population_size t.sample)
+      ~name:(t.root ^ "__synopsis")
+  in
+  { t with sample }
+
+let truncate t n =
+  let rows = Array.of_seq (Relation.to_seq (Sample.rows t.sample)) in
+  let keep = max 0 (min n (Array.length rows)) in
+  with_rows t (Array.sub rows 0 keep)
+
+let with_root_size t n = { t with root_size = n }
 let covers t needed = List.for_all (fun table -> List.mem table t.tables) needed
 let sample t = t.sample
 let size t = Sample.size t.sample

@@ -46,3 +46,19 @@ val root_size : t -> int
 
 val evidence : t -> Pred.t -> int * int
 (** [(k, n)] for a predicate over qualified columns of covered tables. *)
+
+(** {2 Tamper hooks}
+
+    Used only by the fault-injection harness ({!Fault}) to manufacture
+    damaged statistics; they alter contents while keeping the synopsis
+    metadata (root, covered tables) intact. *)
+
+val with_rows : t -> Relation.tuple array -> t
+(** Same synopsis with the sample rows replaced (schema unchanged). *)
+
+val truncate : t -> int -> t
+(** Keep only the first [n] sample rows ([n = 0] empties the sample). *)
+
+val with_root_size : t -> int -> t
+(** Override the recorded root-relation size (staleness skew: the synopsis
+    claims a population that no longer matches the live table). *)

@@ -57,6 +57,24 @@ let config t = t.config
 let histogram t ~table ~column = Hashtbl.find_opt t.histograms (table, column)
 let synopsis t ~root = Hashtbl.find_opt t.synopses root
 
+(* Copy-on-write setters: the fault harness derives damaged stores without
+   mutating the store under test. *)
+let with_synopsis t ~root replacement =
+  let synopses = Hashtbl.copy t.synopses in
+  (match replacement with
+  | Some syn -> Hashtbl.replace synopses root syn
+  | None -> Hashtbl.remove synopses root);
+  { t with synopses }
+
+let with_histogram t ~table ~column replacement =
+  let histograms = Hashtbl.copy t.histograms in
+  (match replacement with
+  | Some h -> Hashtbl.replace histograms (table, column) h
+  | None -> Hashtbl.remove histograms (table, column));
+  { t with histograms }
+
+let synopsis_roots t = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.synopses [])
+
 let root_of_expression catalog tables =
   (* The root is the table whose primary key is not the target of an FK edge
      from another table in the set. *)

@@ -34,6 +34,17 @@ val histogram : t -> table:string -> column:string -> Histogram.t option
 
 val synopsis : t -> root:string -> Join_synopsis.t option
 
+val synopsis_roots : t -> string list
+(** Roots that currently have a synopsis, sorted. *)
+
+val with_synopsis : t -> root:string -> Join_synopsis.t option -> t
+(** Copy-on-write: a store identical to [t] except the given root's
+    synopsis is replaced ([Some]) or removed ([None]).  The original store
+    is untouched — used by the fault-injection harness. *)
+
+val with_histogram : t -> table:string -> column:string -> Histogram.t option -> t
+(** Copy-on-write histogram replacement/removal, as {!with_synopsis}. *)
+
 val synopsis_for : t -> string list -> Join_synopsis.t option
 (** The synopsis able to answer an SPJ expression over the given tables:
     rooted at the expression's root relation (the one whose primary key is

@@ -229,6 +229,45 @@ let prop_beta_quantile_monotone =
       let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
       Beta.quantile dist lo <= Beta.quantile dist hi +. 1e-12)
 
+(* Posterior-quantile properties backing the robust estimator: the
+   selectivity estimate is [Beta.quantile (posterior k n) T], so these are
+   the monotonicity/sanity guarantees the optimizer leans on. *)
+let posterior_prior = Beta.create ~alpha:0.5 ~beta:0.5
+
+let kn_gen =
+  (* (k, n) with 0 <= k <= n and n >= 1 *)
+  QCheck.(
+    map
+      (fun (a, b) -> (min a b, max 1 (max a b)))
+      (pair (int_range 0 500) (int_range 1 500)))
+
+let prop_posterior_quantile_monotone_in_confidence =
+  QCheck.Test.make ~name:"posterior quantile monotone in confidence T" ~count:200
+    QCheck.(pair kn_gen (pair (float_range 0.01 0.99) (float_range 0.01 0.99)))
+    (fun ((k, n), (t1, t2)) ->
+      let post = Beta.posterior ~prior:posterior_prior ~successes:k ~trials:n in
+      let lo = Float.min t1 t2 and hi = Float.max t1 t2 in
+      Beta.quantile post lo <= Beta.quantile post hi +. 1e-12)
+
+let prop_posterior_quantile_monotone_in_k =
+  QCheck.Test.make ~name:"posterior quantile monotone in k at fixed n" ~count:200
+    QCheck.(pair (pair kn_gen (int_range 0 500)) (float_range 0.01 0.99))
+    (fun (((a, n), b), t) ->
+      (* Two success counts for the same n: more observed matches must
+         never lower the estimate (Beta(k+a, n-k+b) is stochastically
+         increasing in k). *)
+      let k1 = min (min a b) n and k2 = min (max a b) n in
+      let q k = Beta.quantile (Beta.posterior ~prior:posterior_prior ~successes:k ~trials:n) t in
+      q k1 <= q k2 +. 1e-12)
+
+let prop_posterior_quantile_in_unit_interval =
+  QCheck.Test.make ~name:"posterior quantile in [0,1] at k=0 and k=n" ~count:200
+    QCheck.(pair (int_range 1 500) (float_range 0.01 0.99))
+    (fun (n, t) ->
+      let q k = Beta.quantile (Beta.posterior ~prior:posterior_prior ~successes:k ~trials:n) t in
+      let q0 = q 0 and qn = q n in
+      0.0 <= q0 && q0 <= 1.0 && 0.0 <= qn && qn <= 1.0 && q0 <= qn)
+
 (* ------------------------------------------------------------------ *)
 (* Binomial                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -348,7 +387,14 @@ let () =
           Alcotest.test_case "pdf integrates to 1" `Quick test_beta_pdf_integrates_to_one;
           Alcotest.test_case "credible interval" `Quick test_beta_credible_interval;
         ]
-        @ qcheck [ prop_beta_quantile_roundtrip; prop_beta_quantile_monotone ] );
+        @ qcheck
+            [
+              prop_beta_quantile_roundtrip;
+              prop_beta_quantile_monotone;
+              prop_posterior_quantile_monotone_in_confidence;
+              prop_posterior_quantile_monotone_in_k;
+              prop_posterior_quantile_in_unit_interval;
+            ] );
       ( "binomial",
         [
           Alcotest.test_case "pmf known values" `Quick test_binomial_pmf_known;

@@ -450,6 +450,49 @@ let test_maintenance_identity_update_is_free () =
   Maintenance.apply_update m ~table:"orders" (fun rows -> rows);
   check_int "identity counts nothing" 0 (Maintenance.modifications_since_refresh m ~table:"orders")
 
+let test_maintenance_empty_table () =
+  (* An empty table must neither divide by zero in the staleness rule nor
+     break the statistics rebuild. *)
+  let catalog = Catalog.create () in
+  Catalog.add_table catalog ~primary_key:"id"
+    (Relation.create ~name:"void"
+       ~schema:(Schema.create [ { Schema.name = "id"; ty = Value.T_int } ])
+       [||]);
+  let m = Maintenance.create ~refresh_fraction:1.0 (Rq_math.Rng.create 34) catalog in
+  check_bool "fresh at start" false (Maintenance.is_stale m);
+  check_bool "no refresh when fresh" false (Maintenance.maybe_refresh m);
+  (* [max 1 rows] in the policy: one modification to an empty table is
+     already a full-table change. *)
+  Maintenance.record_modifications m ~table:"void" 1;
+  check_bool "one mod stales an empty table" true (Maintenance.is_stale m);
+  check_bool "refresh succeeds on empty table" true (Maintenance.maybe_refresh m);
+  check_int "counter reset" 0 (Maintenance.modifications_since_refresh m ~table:"void")
+
+let test_maintenance_refresh_fraction_boundaries () =
+  let catalog = chain_catalog () in
+  Alcotest.check_raises "zero fraction rejected"
+    (Invalid_argument "Maintenance.create: refresh_fraction must be positive") (fun () ->
+      ignore (Maintenance.create ~refresh_fraction:0.0 (Rq_math.Rng.create 35) catalog));
+  Alcotest.check_raises "negative fraction rejected"
+    (Invalid_argument "Maintenance.create: refresh_fraction must be positive") (fun () ->
+      ignore (Maintenance.create ~refresh_fraction:(-0.1) (Rq_math.Rng.create 35) catalog));
+  (* fraction = 1.0: stale only once every row has changed. *)
+  let m = Maintenance.create ~refresh_fraction:1.0 (Rq_math.Rng.create 36) catalog in
+  Maintenance.record_modifications m ~table:"customers" 19;
+  check_bool "19/20 rows: not yet stale" false (Maintenance.is_stale m);
+  Maintenance.record_modifications m ~table:"customers" 1;
+  check_bool "20/20 rows: stale" true (Maintenance.is_stale m)
+
+let test_maintenance_record_modifications_edge_counts () =
+  let catalog = chain_catalog () in
+  let m = Maintenance.create (Rq_math.Rng.create 37) catalog in
+  Alcotest.check_raises "negative count rejected"
+    (Invalid_argument "Maintenance.record_modifications: negative count") (fun () ->
+      Maintenance.record_modifications m ~table:"orders" (-1));
+  Maintenance.record_modifications m ~table:"orders" 0;
+  check_int "zero count is a no-op" 0 (Maintenance.modifications_since_refresh m ~table:"orders");
+  check_bool "still fresh" false (Maintenance.is_stale m)
+
 let () =
   Alcotest.run "rq_stats"
     [
@@ -496,6 +539,11 @@ let () =
             test_maintenance_apply_update;
           Alcotest.test_case "identity update is free" `Quick
             test_maintenance_identity_update_is_free;
+          Alcotest.test_case "empty table" `Quick test_maintenance_empty_table;
+          Alcotest.test_case "refresh_fraction boundaries" `Quick
+            test_maintenance_refresh_fraction_boundaries;
+          Alcotest.test_case "record_modifications edge counts" `Quick
+            test_maintenance_record_modifications_edge_counts;
         ] );
       ( "stats_store",
         [
