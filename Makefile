@@ -1,4 +1,4 @@
-.PHONY: all test fault-test bench bench-quick examples clean
+.PHONY: all test fault-test bench bench-quick examples trace-demo clean
 
 all:
 	dune build @all
@@ -24,6 +24,15 @@ examples:
 	dune exec examples/sql_hints.exe
 	dune exec examples/workload_prior.exe
 	dune exec examples/guarded_reopt.exe
+
+# One guarded, re-optimized query with the full observability surface:
+# trace-event log, per-operator span tree, and the EXPLAIN ANALYZE table
+# from the same single instrumented execution.
+trace-demo: all
+	dune exec bin/robustopt.exe -- run --trace --reopt-threshold 4 \
+	  "SELECT COUNT(*) FROM lineitem, orders, part WHERE p_bucket = 975"
+	dune exec bin/robustopt.exe -- explain --analyze --trace \
+	  "SELECT COUNT(*) FROM lineitem, orders, part WHERE p_bucket = 975"
 
 clean:
 	dune clean

@@ -100,6 +100,29 @@ let opt_budget_arg =
        ~doc:"Cap on candidate-cost evaluations during plan search; when exceeded the \
              optimizer answers with the deterministic left-deep fallback plan.")
 
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ]
+       ~doc:"After execution, print the trace-event log (guards, re-optimization, \
+             degradations) and the per-operator span tree with simulated-cost deltas.")
+
+let metrics_json_arg =
+  Arg.(value & flag & info [ "metrics-json" ]
+       ~doc:"After execution, print the spans and trace events as one JSON object.")
+
+let make_recorder ~trace ~metrics_json =
+  if trace || metrics_json then Some (Rq_obs.Recorder.create ()) else None
+
+let print_observability ~trace ~metrics_json recorder =
+  match recorder with
+  | None -> ()
+  | Some r ->
+      if trace then begin
+        print_string (Rq_obs.Recorder.render_events (Rq_obs.Recorder.events r));
+        print_string (Rq_obs.Recorder.render_spans (Rq_obs.Recorder.roots r))
+      end;
+      if metrics_json then
+        print_endline (Rq_obs.Json.to_string (Rq_obs.Recorder.to_json r))
+
 let check_reopt_threshold = function
   | Some t when t < 1.0 ->
       failwith (Printf.sprintf "--reopt-threshold must be >= 1.0 (a q-error), got %g" t)
@@ -107,7 +130,7 @@ let check_reopt_threshold = function
 
 (* Apply --fault-profile: damage a copy of the stats and switch to the
    graceful-degradation estimation chain over the damaged store. *)
-let apply_fault_profile ~seed ~confidence ~cost_scale ~profile stats =
+let apply_fault_profile ?obs ~seed ~confidence ~cost_scale ~profile stats =
   match profile with
   | None -> None
   | Some p ->
@@ -123,7 +146,7 @@ let apply_fault_profile ~seed ~confidence ~cost_scale ~profile stats =
             Cardinality.degrading
               ~log:(fun e ->
                 Printf.printf "degraded: %s\n" (Rq_stats.Fault.event_to_string e))
-              damaged
+              ?obs damaged
               (Rq_core.Robust_estimator.create ~confidence ())
           in
           Some (Optimizer.create ~scale:cost_scale damaged estimator))
@@ -141,14 +164,18 @@ let explain_cmd =
          ~doc:"Also execute the plan and report per-node estimated vs. actual rows.")
   in
   let run workload seed scale sample_size confidence estimator analyze data_dir fault_profile
-      reopt_threshold opt_budget sql =
+      reopt_threshold opt_budget trace metrics_json sql =
     check_reopt_threshold reopt_threshold;
     let catalog, cost_scale = obtain_catalog ~workload ~seed ~scale ~data_dir in
     let stats = build_stats ~seed ~sample_size catalog in
     let bound = compile_sql catalog sql in
     let confidence = resolve_confidence ~confidence ~hint:bound.Rq_sql.Binder.confidence_hint in
+    let recorder = make_recorder ~trace ~metrics_json in
     let opt =
-      match apply_fault_profile ~seed ~confidence ~cost_scale ~profile:fault_profile stats with
+      match
+        apply_fault_profile ?obs:recorder ~seed ~confidence ~cost_scale ~profile:fault_profile
+          stats
+      with
       | Some damaged_opt -> damaged_opt
       | None -> make_optimizer ~estimator ~confidence ~scale:cost_scale stats
     in
@@ -171,13 +198,18 @@ let explain_cmd =
         | Some threshold -> Reopt.instrument ~threshold opt decision.Optimizer.plan
       in
       print_newline ();
-      print_string (Explain_analyze.render catalog ~scale:cost_scale (Optimizer.estimator opt) plan)
+      let report =
+        Explain_analyze.analyze catalog ~scale:cost_scale ?obs:recorder
+          (Optimizer.estimator opt) plan
+      in
+      print_string (Explain_analyze.render_report report);
+      print_observability ~trace ~metrics_json recorder
     end
   in
   let term =
     Term.(const run $ workload_arg $ seed_arg $ scale_arg $ sample_arg $ confidence_arg
           $ estimator_arg $ analyze_arg $ data_dir_arg $ fault_profile_arg
-          $ reopt_threshold_arg $ opt_budget_arg $ sql_arg)
+          $ reopt_threshold_arg $ opt_budget_arg $ trace_arg $ metrics_json_arg $ sql_arg)
   in
   Cmd.v
     (Cmd.info "explain"
@@ -204,14 +236,18 @@ let print_result_rows result =
 
 let run_cmd =
   let run workload seed scale sample_size confidence estimator data_dir fault_profile
-      reopt_threshold opt_budget sql =
+      reopt_threshold opt_budget trace metrics_json sql =
     check_reopt_threshold reopt_threshold;
     let catalog, cost_scale = obtain_catalog ~workload ~seed ~scale ~data_dir in
     let stats = build_stats ~seed ~sample_size catalog in
     let bound = compile_sql catalog sql in
     let confidence = resolve_confidence ~confidence ~hint:bound.Rq_sql.Binder.confidence_hint in
+    let recorder = make_recorder ~trace ~metrics_json in
     let opt =
-      match apply_fault_profile ~seed ~confidence ~cost_scale ~profile:fault_profile stats with
+      match
+        apply_fault_profile ?obs:recorder ~seed ~confidence ~cost_scale ~profile:fault_profile
+          stats
+      with
       | Some damaged_opt -> damaged_opt
       | None -> make_optimizer ~estimator ~confidence ~scale:cost_scale stats
     in
@@ -222,17 +258,19 @@ let run_cmd =
       | Error msg -> failwith msg
     in
     print_degradations decision;
-    match reopt_threshold with
+    (match reopt_threshold with
     | None ->
         let meter = Rq_exec.Cost.create ~scale:cost_scale () in
-        let result = Rq_exec.Executor.run catalog meter decision.Optimizer.plan in
+        let result = Rq_exec.Executor.run ?obs:recorder catalog meter decision.Optimizer.plan in
         let snapshot = Rq_exec.Cost.snapshot meter in
         Printf.printf "plan: %s\n" (Rq_exec.Plan.describe decision.Optimizer.plan);
         Format.printf "estimated cost: %.3f s; simulated execution: %a@."
           decision.Optimizer.estimated_cost Rq_exec.Cost.pp_snapshot snapshot;
         print_result_rows result
     | Some threshold ->
-        let outcome = Reopt.execute_plan ~threshold opt query decision.Optimizer.plan in
+        let outcome =
+          Reopt.execute_plan ~threshold ?obs:recorder opt query decision.Optimizer.plan
+        in
         Printf.printf "initial plan: %s\n"
           (Rq_exec.Plan.describe outcome.Reopt.initial_plan);
         print_string (Reopt.render_events outcome.Reopt.events);
@@ -240,12 +278,13 @@ let run_cmd =
           Printf.printf "final plan: %s\n" (Rq_exec.Plan.describe outcome.Reopt.final_plan);
         Format.printf "simulated execution (incl. wasted work): %a@."
           Rq_exec.Cost.pp_snapshot outcome.Reopt.snapshot;
-        print_result_rows outcome.Reopt.result
+        print_result_rows outcome.Reopt.result);
+    print_observability ~trace ~metrics_json recorder
   in
   let term =
     Term.(const run $ workload_arg $ seed_arg $ scale_arg $ sample_arg $ confidence_arg
           $ estimator_arg $ data_dir_arg $ fault_profile_arg $ reopt_threshold_arg
-          $ opt_budget_arg $ sql_arg)
+          $ opt_budget_arg $ trace_arg $ metrics_json_arg $ sql_arg)
   in
   Cmd.v
     (Cmd.info "run"

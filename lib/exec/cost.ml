@@ -36,11 +36,35 @@ type t = {
   mutable random_pages : int;
   mutable cpu_tuples : int;
   mutable index_probes : int;
+  mutable index_entries : int;
+  mutable hash_build : int;
+  mutable hash_probe : int;
+  mutable merge_tuples : int;
+  mutable sort_tuples : int;
+  mutable output_tuples : int;
+  mutable sort_units : float;
+  mutable extra_seconds : float;
 }
 
 let create ?(constants = default_constants) ?(scale = 1.0) () =
   if scale <= 0.0 then invalid_arg "Cost.create: scale must be positive";
-  { constants; scale; seconds = 0.0; seq_pages = 0; random_pages = 0; cpu_tuples = 0; index_probes = 0 }
+  {
+    constants;
+    scale;
+    seconds = 0.0;
+    seq_pages = 0;
+    random_pages = 0;
+    cpu_tuples = 0;
+    index_probes = 0;
+    index_entries = 0;
+    hash_build = 0;
+    hash_probe = 0;
+    merge_tuples = 0;
+    sort_tuples = 0;
+    output_tuples = 0;
+    sort_units = 0.0;
+    extra_seconds = 0.0;
+  }
 
 let constants t = t.constants
 let scale t = t.scale
@@ -59,22 +83,40 @@ let charge_cpu_tuples t n =
   t.cpu_tuples <- t.cpu_tuples + n;
   add t (float_of_int n *. t.constants.cpu_tuple_s)
 
-let charge_index_entries t n = add t (float_of_int n *. t.constants.cpu_index_entry_s)
+let charge_index_entries t n =
+  t.index_entries <- t.index_entries + n;
+  add t (float_of_int n *. t.constants.cpu_index_entry_s)
 
 let charge_index_probes t n =
   t.index_probes <- t.index_probes + n;
   add t (float_of_int n *. t.constants.index_probe_s)
 
-let charge_hash_build t n = add t (float_of_int n *. t.constants.hash_build_s)
-let charge_hash_probe t n = add t (float_of_int n *. t.constants.hash_probe_s)
-let charge_merge_tuples t n = add t (float_of_int n *. t.constants.merge_tuple_s)
+let charge_hash_build t n =
+  t.hash_build <- t.hash_build + n;
+  add t (float_of_int n *. t.constants.hash_build_s)
+
+let charge_hash_probe t n =
+  t.hash_probe <- t.hash_probe + n;
+  add t (float_of_int n *. t.constants.hash_probe_s)
+
+let charge_merge_tuples t n =
+  t.merge_tuples <- t.merge_tuples + n;
+  add t (float_of_int n *. t.constants.merge_tuple_s)
 
 let charge_sort t n =
   let nf = float_of_int (max n 2) in
-  add t (float_of_int n *. (log nf /. log 2.0) *. t.constants.sort_tuple_s)
+  let units = float_of_int n *. (log nf /. log 2.0) in
+  t.sort_tuples <- t.sort_tuples + n;
+  t.sort_units <- t.sort_units +. units;
+  add t (units *. t.constants.sort_tuple_s)
 
-let charge_output_tuples t n = add t (float_of_int n *. t.constants.output_tuple_s)
-let charge_seconds t s = add t s
+let charge_output_tuples t n =
+  t.output_tuples <- t.output_tuples + n;
+  add t (float_of_int n *. t.constants.output_tuple_s)
+
+let charge_seconds t s =
+  t.extra_seconds <- t.extra_seconds +. (s *. t.scale);
+  add t s
 
 type snapshot = {
   seconds : float;
@@ -82,6 +124,14 @@ type snapshot = {
   random_pages : int;
   cpu_tuples : int;
   index_probes : int;
+  index_entries : int;
+  hash_build : int;
+  hash_probe : int;
+  merge_tuples : int;
+  sort_tuples : int;
+  output_tuples : int;
+  sort_units : float;
+  extra_seconds : float;
 }
 
 let snapshot (t : t) =
@@ -91,6 +141,14 @@ let snapshot (t : t) =
     random_pages = t.random_pages;
     cpu_tuples = t.cpu_tuples;
     index_probes = t.index_probes;
+    index_entries = t.index_entries;
+    hash_build = t.hash_build;
+    hash_probe = t.hash_probe;
+    merge_tuples = t.merge_tuples;
+    sort_tuples = t.sort_tuples;
+    output_tuples = t.output_tuples;
+    sort_units = t.sort_units;
+    extra_seconds = t.extra_seconds;
   }
 
 let reset (t : t) =
@@ -98,8 +156,47 @@ let reset (t : t) =
   t.seq_pages <- 0;
   t.random_pages <- 0;
   t.cpu_tuples <- 0;
-  t.index_probes <- 0
+  t.index_probes <- 0;
+  t.index_entries <- 0;
+  t.hash_build <- 0;
+  t.hash_probe <- 0;
+  t.merge_tuples <- 0;
+  t.sort_tuples <- 0;
+  t.output_tuples <- 0;
+  t.sort_units <- 0.0;
+  t.extra_seconds <- 0.0
+
+let seconds_of_counters ~constants:c ~scale (s : snapshot) =
+  scale
+  *. (float_of_int s.seq_pages *. c.seq_page_read_s
+     +. float_of_int s.random_pages *. c.random_page_read_s
+     +. float_of_int s.cpu_tuples *. c.cpu_tuple_s
+     +. float_of_int s.index_entries *. c.cpu_index_entry_s
+     +. float_of_int s.index_probes *. c.index_probe_s
+     +. float_of_int s.hash_build *. c.hash_build_s
+     +. float_of_int s.hash_probe *. c.hash_probe_s
+     +. float_of_int s.merge_tuples *. c.merge_tuple_s
+     +. s.sort_units *. c.sort_tuple_s
+     +. float_of_int s.output_tuples *. c.output_tuple_s)
+  +. s.extra_seconds
+
+let to_metrics (s : snapshot) =
+  {
+    Rq_obs.Metrics.seconds = s.seconds;
+    seq_pages = s.seq_pages;
+    random_pages = s.random_pages;
+    cpu_tuples = s.cpu_tuples;
+    index_probes = s.index_probes;
+    index_entries = s.index_entries;
+    hash_build = s.hash_build;
+    hash_probe = s.hash_probe;
+    merge_tuples = s.merge_tuples;
+    sort_tuples = s.sort_tuples;
+    output_tuples = s.output_tuples;
+    sort_units = s.sort_units;
+    extra_seconds = s.extra_seconds;
+  }
 
 let pp_snapshot fmt s =
-  Format.fprintf fmt "%.4f s (seq=%d pages, rand=%d pages, cpu=%d tuples, probes=%d)"
-    s.seconds s.seq_pages s.random_pages s.cpu_tuples s.index_probes
+  Format.fprintf fmt "%.4f s (seq=%d pages, rand=%d pages, cpu=%d tuples, probes=%d, entries=%d)"
+    s.seconds s.seq_pages s.random_pages s.cpu_tuples s.index_probes s.index_entries

@@ -59,8 +59,29 @@ type snapshot = {
   random_pages : int;
   cpu_tuples : int;
   index_probes : int;
+  index_entries : int;    (** index entries touched by range/eq probes *)
+  hash_build : int;
+  hash_probe : int;
+  merge_tuples : int;
+  sort_tuples : int;      (** tuples handed to sorts *)
+  output_tuples : int;
+  sort_units : float;     (** accumulated n·log2(max n 2) sort work units *)
+  extra_seconds : float;  (** raw [charge_seconds] charges, scale applied *)
 }
+(** Every charge kind carries a counter, so [seconds] is fully
+    reconcilable: {!seconds_of_counters} recomputes it from the counters
+    and the meter's constants.  [sort_units] keeps the log-weighted sort
+    work (the one nonlinear charge) and [extra_seconds] the raw
+    {!charge_seconds} contributions, closing the accounting. *)
 
 val snapshot : t -> snapshot
 val reset : t -> unit
+
+val seconds_of_counters : constants:constants -> scale:float -> snapshot -> float
+(** Recompute the snapshot's simulated seconds from its counters alone;
+    matches [snapshot.seconds] up to float-summation-order error. *)
+
+val to_metrics : snapshot -> Rq_obs.Metrics.t
+(** Bridge into the observability layer's counter record (field-for-field). *)
+
 val pp_snapshot : Format.formatter -> snapshot -> unit

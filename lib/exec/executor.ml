@@ -12,10 +12,20 @@ exception
     subplan : Plan.t;
   }
 
-(* Symmetric relative error with 0.5 floors so empty results stay finite. *)
-let q_error ~expected ~actual =
-  let est = Float.max expected 0.5 and act = Float.max (float_of_int actual) 0.5 in
-  Float.max (est /. act) (act /. est)
+(* The guard's firing rule is Plan.q_error, the same definition EXPLAIN
+   ANALYZE renders — re-exported so callers of the executor need not know. *)
+let q_error = Plan.q_error
+
+type ctx = {
+  catalog : Catalog.t;
+  meter : Cost.t;
+  obs : Rq_obs.Recorder.t option;
+}
+
+let meter_metrics ctx = Cost.to_metrics (Cost.snapshot ctx.meter)
+
+let record ctx event =
+  match ctx.obs with None -> () | Some r -> Rq_obs.Recorder.record r event
 
 let qualified_schema catalog table =
   Schema.qualify table (Relation.schema (Catalog.find_table catalog table))
@@ -108,12 +118,35 @@ let concat_tuples a b =
   Array.blit b 0 out (Array.length a) (Array.length b);
   out
 
-let rec exec catalog meter plan =
+(* Every node executes under a recorder span (when a recorder is attached):
+   the span's metric delta is the meter movement attributable to this node's
+   whole subtree; the recorder subtracts children to get self cost.  A node
+   unwound by an exception (a fired guard, an ill-formed plan) still keeps
+   its span — marked aborted — so wasted work stays attributed. *)
+let rec exec ctx plan =
+  match ctx.obs with
+  | None -> exec_node ctx plan
+  | Some r -> (
+      let h =
+        Rq_obs.Recorder.open_span r ~label:(Plan.node_label plan)
+          ~metrics:(meter_metrics ctx)
+      in
+      match exec_node ctx plan with
+      | res ->
+          Rq_obs.Recorder.close_span r h ~rows:(Array.length res.tuples)
+            ~metrics:(meter_metrics ctx);
+          res
+      | exception e ->
+          Rq_obs.Recorder.abort_span r h ~metrics:(meter_metrics ctx);
+          raise e)
+
+and exec_node ctx plan =
+  let catalog = ctx.catalog and meter = ctx.meter in
   match plan with
   | Plan.Scan { table; access; pred } -> exec_scan catalog meter ~table ~access ~pred
   | Plan.Hash_join { build; probe; build_key; probe_key } ->
-      let build_res = exec catalog meter build in
-      let probe_res = exec catalog meter probe in
+      let build_res = exec ctx build in
+      let probe_res = exec ctx probe in
       let bpos = Schema.index_of build_res.schema build_key in
       let ppos = Schema.index_of probe_res.schema probe_key in
       let table = Hashtbl.create (max 16 (Array.length build_res.tuples)) in
@@ -139,8 +172,8 @@ let rec exec catalog meter plan =
   | Plan.Merge_join { left; right; left_key; right_key } ->
       let sorted_left = output_sorted_on catalog left in
       let sorted_right = output_sorted_on catalog right in
-      let left_res = exec catalog meter left in
-      let right_res = exec catalog meter right in
+      let left_res = exec ctx left in
+      let right_res = exec ctx right in
       let lpos = Schema.index_of left_res.schema left_key in
       let rpos = Schema.index_of right_res.schema right_key in
       let ensure_sorted res pos already =
@@ -189,7 +222,7 @@ let rec exec catalog meter plan =
       Cost.charge_output_tuples meter (Array.length tuples);
       { schema = Schema.concat left_res.schema right_res.schema; tuples }
   | Plan.Indexed_nl_join { outer; outer_key; inner_table; inner_key; inner_pred } ->
-      let outer_res = exec catalog meter outer in
+      let outer_res = exec ctx outer in
       let opos = Schema.index_of outer_res.schema outer_key in
       let inner_rel = Catalog.find_table catalog inner_table in
       let idx = find_index_exn catalog ~table:inner_table ~column:inner_key in
@@ -217,12 +250,12 @@ let rec exec catalog meter plan =
   | Plan.Star_semijoin { fact; fact_pred; dims } ->
       exec_star_semijoin catalog meter ~fact ~fact_pred ~dims
   | Plan.Filter (input, pred) ->
-      let res = exec catalog meter input in
+      let res = exec ctx input in
       let check = Pred.compile res.schema pred in
       Cost.charge_cpu_tuples meter (Array.length res.tuples);
       { res with tuples = Array.of_seq (Seq.filter check (Array.to_seq res.tuples)) }
   | Plan.Project (input, cols) ->
-      let res = exec catalog meter input in
+      let res = exec ctx input in
       let positions = List.map (Schema.index_of res.schema) cols in
       Cost.charge_cpu_tuples meter (Array.length res.tuples);
       {
@@ -231,7 +264,7 @@ let rec exec catalog meter plan =
           Array.map (fun tup -> Array.of_list (List.map (fun p -> tup.(p)) positions)) res.tuples;
       }
   | Plan.Sort { input; keys } ->
-      let res = exec catalog meter input in
+      let res = exec ctx input in
       let positions =
         List.map
           (fun { Plan.sort_column; descending } ->
@@ -258,23 +291,32 @@ let rec exec catalog meter plan =
         indexed;
       { res with tuples = Array.map snd indexed }
   | Plan.Limit (input, n) ->
-      let res = exec catalog meter input in
+      let res = exec ctx input in
       let keep = max 0 (min n (Array.length res.tuples)) in
       Cost.charge_cpu_tuples meter keep;
       { res with tuples = Array.sub res.tuples 0 keep }
-  | Plan.Aggregate { input; group_by; aggs } -> exec_aggregate catalog meter ~input ~group_by ~aggs
+  | Plan.Aggregate { input; group_by; aggs } -> exec_aggregate ctx ~input ~group_by ~aggs
   | Plan.Guard { input; expected_rows; max_q_error; label } ->
-      let res = exec catalog meter input in
+      let res = exec ctx input in
       let actual = Array.length res.tuples in
       (* The guard inspects every materialized row once (a counter pass);
          that honesty is what the <5%-overhead bound is measured against. *)
       Cost.charge_cpu_tuples meter actual;
       let q = q_error ~expected:expected_rows ~actual in
-      if q > max_q_error then
+      if q > max_q_error then begin
+        record ctx
+          (Rq_obs.Trace.Guard_fired
+             { label; expected_rows; actual_rows = actual; q_error = q });
         raise
           (Guard_violation
              { label; expected_rows; actual_rows = actual; q_error = q; result = res; subplan = input })
-      else res
+      end
+      else begin
+        record ctx
+          (Rq_obs.Trace.Guard_ok
+             { label; expected_rows; actual_rows = actual; q_error = q });
+        res
+      end
   | Plan.Materialized { schema; tuples; _ } ->
       (* Already paid for when it was first produced; reading it back is free
          in the simulated model (it is sitting in memory). *)
@@ -367,8 +409,9 @@ and exec_star_semijoin catalog meter ~fact ~fact_pred ~dims =
   in
   { schema; tuples }
 
-and exec_aggregate catalog meter ~input ~group_by ~aggs =
-  let res = exec catalog meter input in
+and exec_aggregate ctx ~input ~group_by ~aggs =
+  let catalog = ctx.catalog and meter = ctx.meter in
+  let res = exec ctx input in
   let group_positions = List.map (Schema.index_of res.schema) group_by in
   let agg_fns =
     List.map
@@ -455,11 +498,11 @@ and exec_aggregate catalog meter ~input ~group_by ~aggs =
   let schema = Plan.schema_of catalog (Plan.Aggregate { input; group_by; aggs }) in
   { schema; tuples = Array.of_list rows }
 
-let run catalog meter plan = exec catalog meter plan
+let run ?obs catalog meter plan = exec { catalog; meter; obs } plan
 
-let run_timed catalog ?constants ?scale plan =
+let run_timed catalog ?constants ?scale ?obs plan =
   let meter = Cost.create ?constants ?scale () in
-  let res = run catalog meter plan in
+  let res = run ?obs catalog meter plan in
   (res, Cost.snapshot meter)
 
 let result_to_relation ~name { schema; tuples } = Relation.create ~name ~schema tuples

@@ -24,13 +24,25 @@ exception
     result lets a re-optimizer resume without repeating it. *)
 
 val q_error : expected:float -> actual:int -> float
+(** Alias of {!Plan.q_error} — the guard firing rule. *)
 
-val run : Catalog.t -> Cost.t -> Plan.t -> result
+val run : ?obs:Rq_obs.Recorder.t -> Catalog.t -> Cost.t -> Plan.t -> result
 (** Raises [Invalid_argument] on ill-formed plans (missing index, key out of
     scope); run [Plan.validate] first for a friendly error.  Raises
-    [Guard_violation] when a guard fires. *)
+    [Guard_violation] when a guard fires.
 
-val run_timed : Catalog.t -> ?constants:Cost.constants -> ?scale:float -> Plan.t -> result * Cost.snapshot
+    With [?obs], every plan node is wrapped in a recorder span whose metric
+    delta is that subtree's meter movement, guards emit
+    [Guard_ok]/[Guard_fired] trace events, and spans unwound by an exception
+    are kept, marked aborted, so wasted work stays attributed. *)
+
+val run_timed :
+  Catalog.t ->
+  ?constants:Cost.constants ->
+  ?scale:float ->
+  ?obs:Rq_obs.Recorder.t ->
+  Plan.t ->
+  result * Cost.snapshot
 (** Convenience: fresh meter, run, snapshot. *)
 
 val result_to_relation : name:string -> result -> Relation.t

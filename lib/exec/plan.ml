@@ -314,6 +314,38 @@ let rec pp_indented fmt depth plan =
 
 let pp fmt plan = pp_indented fmt 0 plan
 
+(* Symmetric relative error with 0.5 floors so empty results stay finite.
+   The single definition shared by the executor's guards and EXPLAIN
+   ANALYZE — both must agree on exactly when a checkpoint fires. *)
+let q_error ~expected ~actual =
+  let est = Float.max expected 0.5 and act = Float.max (float_of_int actual) 0.5 in
+  Float.max (est /. act) (act /. est)
+
+let node_label = function
+  | Scan { table; access; _ } -> (
+      match access with
+      | Seq_scan -> Printf.sprintf "SeqScan(%s)" table
+      | Index_range p -> Printf.sprintf "IndexRange(%s.%s)" table p.column
+      | Index_intersect ps ->
+          Printf.sprintf "IndexIntersect(%s: %s)" table
+            (String.concat "," (List.map (fun p -> p.column) ps)))
+  | Hash_join { build_key; probe_key; _ } ->
+      Printf.sprintf "HashJoin(%s = %s)" build_key probe_key
+  | Merge_join { left_key; right_key; _ } ->
+      Printf.sprintf "MergeJoin(%s = %s)" left_key right_key
+  | Indexed_nl_join { outer_key; inner_table; inner_key; _ } ->
+      Printf.sprintf "IndexedNLJoin(%s = %s.%s)" outer_key inner_table inner_key
+  | Star_semijoin { fact; dims; _ } ->
+      Printf.sprintf "StarSemijoin(%s; %s)" fact
+        (String.concat "," (List.map (fun d -> d.dim_table) dims))
+  | Filter _ -> "Filter"
+  | Project _ -> "Project"
+  | Sort _ -> "Sort"
+  | Limit (_, n) -> Printf.sprintf "Limit(%d)" n
+  | Aggregate _ -> "Aggregate"
+  | Guard { max_q_error; _ } -> Printf.sprintf "Guard(max q-error %.1f)" max_q_error
+  | Materialized { name; _ } -> Printf.sprintf "Materialized(%s)" name
+
 let rec describe = function
   | Scan { table; access; _ } -> (
       match access with

@@ -101,8 +101,18 @@ val validate : Catalog.t -> t -> (unit, string) result
 (** Structural checks: indexes exist for every probe, intersect has >= 2
     probes, FK edges exist for star dims, keys are in scope. *)
 
+val q_error : expected:float -> actual:int -> float
+(** max(est/act, act/est) with 0.5 floors so empty results stay finite;
+    >= 1, 1 = perfect.  The one definition both the executor's guards and
+    EXPLAIN ANALYZE use, so "would fire" and "did fire" cannot drift. *)
+
 val pp : Format.formatter -> t -> unit
 (** Multi-line EXPLAIN-style rendering. *)
+
+val node_label : t -> string
+(** One-line label for this node alone (children not descended), e.g.
+    ["SeqScan(lineitem)"] or ["HashJoin(a = b)"]; used for span labels and
+    the EXPLAIN ANALYZE table. *)
 
 val describe : t -> string
 (** One-line plan shape, e.g. ["IdxIsect(lineitem)"] or

@@ -46,6 +46,7 @@ type row = {
   actual_rows : int;  (** rows actually surviving the filter *)
   unguarded_s : float;
   guarded_s : float;
+  wasted_s : float;  (** cost of aborted attempt prefixes not reused downstream *)
   oracle_s : float;
   fired : bool;
   replanned : bool;
@@ -103,6 +104,31 @@ let lineitem_pred cutoff = Pred.le (Expr.col "l_qty") (Expr.int cutoff)
 let query_of cutoff =
   Logical.query [ Logical.scan ~pred:(lineitem_pred cutoff) "lineitems"; Logical.scan "orders" ]
 
+(* Wasted-prefix attribution from the recorder's span deltas.  Each aborted
+   attempt root span covers everything that attempt charged; the deepest
+   aborted span inside it is the fired guard, and the guard's *completed*
+   children are the materialization the next attempt resumes from — reused,
+   not wasted.  Wasted = attempt total - reused. *)
+let wasted_seconds spans =
+  let rec deepest_aborted (s : Rq_obs.Recorder.span) =
+    match List.find_opt (fun (c : Rq_obs.Recorder.span) -> c.aborted) s.children with
+    | Some c -> deepest_aborted c
+    | None -> s
+  in
+  List.fold_left
+    (fun acc (s : Rq_obs.Recorder.span) ->
+      if not s.aborted then acc
+      else
+        let d = deepest_aborted s in
+        let reused =
+          List.fold_left
+            (fun acc (c : Rq_obs.Recorder.span) ->
+              if c.aborted then acc else acc +. c.total.Rq_obs.Metrics.seconds)
+            0.0 d.children
+        in
+        acc +. (s.total.Rq_obs.Metrics.seconds -. reused))
+    0.0 spans
+
 let bad_plan cutoff =
   Plan.Indexed_nl_join
     {
@@ -129,7 +155,10 @@ let run ?(config = default_config) () =
             (Pred.compile (Relation.schema lineitems) (lineitem_pred cutoff))
         in
         let _, unguarded = Executor.run_timed catalog bad in
-        let outcome = Reopt.execute_plan ~threshold:config.threshold misled query bad in
+        let recorder = Rq_obs.Recorder.create () in
+        let outcome =
+          Reopt.execute_plan ~threshold:config.threshold ~obs:recorder misled query bad
+        in
         let oracle_plan = (Optimizer.optimize_exn oracle query).Optimizer.plan in
         let _, oracle_snap = Executor.run_timed catalog oracle_plan in
         {
@@ -137,6 +166,7 @@ let run ?(config = default_config) () =
           actual_rows;
           unguarded_s = unguarded.Cost.seconds;
           guarded_s = outcome.Reopt.snapshot.Cost.seconds;
+          wasted_s = wasted_seconds (Rq_obs.Recorder.roots recorder);
           oracle_s = oracle_snap.Cost.seconds;
           fired = outcome.Reopt.events <> [];
           replanned = List.exists (fun (e : Reopt.event) -> e.Reopt.replanned) outcome.Reopt.events;
@@ -160,13 +190,13 @@ let render result =
   Buffer.add_string buf
     "guard rescue: misestimated INL plan vs. guarded re-optimization (simulated seconds)\n";
   Buffer.add_string buf
-    (Printf.sprintf "%-8s %10s %12s %12s %12s %9s %s\n" "cutoff" "rows" "unguarded" "guarded"
-       "oracle" "rescue" "outcome");
+    (Printf.sprintf "%-8s %10s %12s %12s %12s %12s %9s %s\n" "cutoff" "rows" "unguarded"
+       "guarded" "wasted" "oracle" "rescue" "outcome");
   List.iter
     (fun r ->
       Buffer.add_string buf
-        (Printf.sprintf "%-8d %10d %12.4f %12.4f %12.4f %8.1fx %s\n" r.cutoff r.actual_rows
-           r.unguarded_s r.guarded_s r.oracle_s
+        (Printf.sprintf "%-8d %10d %12.4f %12.4f %12.4f %12.4f %8.1fx %s\n" r.cutoff
+           r.actual_rows r.unguarded_s r.guarded_s r.wasted_s r.oracle_s
            (r.unguarded_s /. r.guarded_s)
            (if r.replanned then "replanned"
             else if r.fired then "fired, completed original"

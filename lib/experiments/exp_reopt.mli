@@ -20,6 +20,10 @@ type row = {
   actual_rows : int;
   unguarded_s : float;
   guarded_s : float;
+  wasted_s : float;
+      (** simulated seconds of aborted attempt prefixes that the
+          continuation could not reuse, attributed from recorder span
+          deltas (guarded_s = useful work + wasted_s + guard overhead) *)
   oracle_s : float;
   fired : bool;
   replanned : bool;

@@ -5,6 +5,7 @@ type measurement = {
   query : string;
   histogram_ms : float;
   robust_ms : float;
+  degrading_ms : float;
   ratio : float;
 }
 
@@ -38,6 +39,14 @@ let run ?(config = default_config) () =
     in
     let robust_opt = Optimizer.robust ~scale stats in
     let baseline_opt = Optimizer.baseline ~scale stats in
+    (* The degrading chain over healthy statistics should pay the same
+       (memoized) per-request cost as the plain robust estimator — this
+       column is the regression check for that claim. *)
+    let est =
+      Rq_core.Robust_estimator.create
+        ~confidence:Rq_core.Confidence.(resolve default_setting) ()
+    in
+    let degrading_opt = Optimizer.create ~scale stats (Cardinality.degrading stats est) in
     let histogram_ms =
       time_per_call ~iterations:config.iterations (fun i ->
           Optimizer.optimize_exn baseline_opt (query_of i))
@@ -46,7 +55,17 @@ let run ?(config = default_config) () =
       time_per_call ~iterations:config.iterations (fun i ->
           Optimizer.optimize_exn robust_opt (query_of i))
     in
-    { query = name; histogram_ms; robust_ms; ratio = robust_ms /. Float.max 1e-9 histogram_ms }
+    let degrading_ms =
+      time_per_call ~iterations:config.iterations (fun i ->
+          Optimizer.optimize_exn degrading_opt (query_of i))
+    in
+    {
+      query = name;
+      histogram_ms;
+      robust_ms;
+      degrading_ms;
+      ratio = robust_ms /. Float.max 1e-9 histogram_ms;
+    }
   in
   [
     measure_query "exp1-single-table" tpch (Tpch.cost_scale tpch) (fun i ->

@@ -10,6 +10,8 @@ type measurement = {
   query : string;
   histogram_ms : float;   (** mean per-optimization time, milliseconds *)
   robust_ms : float;
+  degrading_ms : float;   (** the degradation chain over healthy statistics
+                              — should track [robust_ms] (shared memo) *)
   ratio : float;          (** robust / histogram *)
 }
 

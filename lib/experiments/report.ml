@@ -71,11 +71,12 @@ let sample_size_table points =
 
 let overhead_table measurements =
   buffered (fun buf ->
-      Buffer.add_string buf "query\thistogram_ms\trobust_ms\tratio\n";
+      Buffer.add_string buf "query\thistogram_ms\trobust_ms\tdegrading_ms\tratio\n";
       List.iter
-        (fun { Overhead.query; histogram_ms; robust_ms; ratio } ->
+        (fun { Overhead.query; histogram_ms; robust_ms; degrading_ms; ratio } ->
           Buffer.add_string buf
-            (Printf.sprintf "%s\t%.3f\t%.3f\t%.2fx\n" query histogram_ms robust_ms ratio))
+            (Printf.sprintf "%s\t%.3f\t%.3f\t%.3f\t%.2fx\n" query histogram_ms robust_ms
+               degrading_ms ratio))
         measurements)
 
 let partial_stats_table rows =

@@ -1,0 +1,211 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* Integral values print as integers (counters dominate the output); other
+   floats use %.17g, the shortest format guaranteed to round-trip a binary64
+   through decimal. *)
+let num_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_string json =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num f -> Buffer.add_string buf (num_to_string f)
+    | Str s -> Buffer.add_string buf (escape_string s)
+    | List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            go item)
+          items;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf (escape_string k);
+            Buffer.add_char buf ':';
+            go v)
+          fields;
+        Buffer.add_char buf '}'
+  in
+  go json;
+  Buffer.contents buf
+
+exception Parse_error of int * string
+
+let parse input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match input.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word value =
+    let len = String.length word in
+    if !pos + len <= n && String.sub input !pos len = word then begin
+      pos := !pos + len;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        let c = input.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents buf
+        | '\\' -> (
+            if !pos >= n then fail "unterminated escape";
+            let e = input.[!pos] in
+            advance ();
+            match e with
+            | '"' -> Buffer.add_char buf '"'; go ()
+            | '\\' -> Buffer.add_char buf '\\'; go ()
+            | '/' -> Buffer.add_char buf '/'; go ()
+            | 'n' -> Buffer.add_char buf '\n'; go ()
+            | 'r' -> Buffer.add_char buf '\r'; go ()
+            | 't' -> Buffer.add_char buf '\t'; go ()
+            | 'b' -> Buffer.add_char buf '\b'; go ()
+            | 'f' -> Buffer.add_char buf '\012'; go ()
+            | 'u' ->
+                if !pos + 4 > n then fail "truncated \\u escape";
+                let hex = String.sub input !pos 4 in
+                pos := !pos + 4;
+                let code =
+                  try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+                in
+                (* The printer only emits \u for control characters; decode
+                   the low byte and leave anything else as '?'. *)
+                Buffer.add_char buf (if code < 0x100 then Char.chr code else '?');
+                go ()
+            | _ -> fail "bad escape")
+        | c -> Buffer.add_char buf c; go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while !pos < n && num_char input.[!pos] do
+      advance ()
+    done;
+    let text = String.sub input start (!pos - start) in
+    match float_of_string_opt text with
+    | Some f -> Num f
+    | None -> fail (Printf.sprintf "bad number %S" text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); items (v :: acc)
+            | Some ']' -> advance (); List (List.rev (v :: acc))
+            | _ -> fail "expected , or ] in array"
+          in
+          items []
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let rec fields acc =
+            let kv = field () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); fields (kv :: acc)
+            | Some '}' -> advance (); Obj (List.rev (kv :: acc))
+            | _ -> fail "expected , or } in object"
+          in
+          fields []
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (at, msg) -> Error (Printf.sprintf "at offset %d: %s" at msg)
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool a, Bool b -> a = b
+  | Num a, Num b -> Float.equal a b
+  | Str a, Str b -> String.equal a b
+  | List a, List b -> List.length a = List.length b && List.for_all2 equal a b
+  | Obj a, Obj b ->
+      List.length a = List.length b
+      && List.for_all2 (fun (ka, va) (kb, vb) -> String.equal ka kb && equal va vb) a b
+  | _ -> false

@@ -1,0 +1,25 @@
+(** A minimal self-contained JSON value type, printer and parser.
+
+    The metrics layer ships spans and trace events as JSON without pulling
+    in an external JSON dependency.  Floats print with enough digits to
+    round-trip bit-exactly through {!parse}; integral floats print without
+    a decimal point and parse back to the same value. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering with RFC-8259 string escaping. *)
+
+val parse : string -> (t, string) result
+(** Strict recursive-descent parser for the output of {!to_string} (plus
+    arbitrary whitespace).  [Error] carries a position-annotated message. *)
+
+val equal : t -> t -> bool
+(** Structural equality; object fields compare in order, numbers compare
+    by float equality (round-tripped values are bit-identical). *)

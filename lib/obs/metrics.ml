@@ -1,0 +1,94 @@
+type t = {
+  seconds : float;
+  seq_pages : int;
+  random_pages : int;
+  cpu_tuples : int;
+  index_probes : int;
+  index_entries : int;
+  hash_build : int;
+  hash_probe : int;
+  merge_tuples : int;
+  sort_tuples : int;
+  output_tuples : int;
+  sort_units : float;
+  extra_seconds : float;
+}
+
+let zero =
+  {
+    seconds = 0.0;
+    seq_pages = 0;
+    random_pages = 0;
+    cpu_tuples = 0;
+    index_probes = 0;
+    index_entries = 0;
+    hash_build = 0;
+    hash_probe = 0;
+    merge_tuples = 0;
+    sort_tuples = 0;
+    output_tuples = 0;
+    sort_units = 0.0;
+    extra_seconds = 0.0;
+  }
+
+let map2 fi ff a b =
+  {
+    seconds = ff a.seconds b.seconds;
+    seq_pages = fi a.seq_pages b.seq_pages;
+    random_pages = fi a.random_pages b.random_pages;
+    cpu_tuples = fi a.cpu_tuples b.cpu_tuples;
+    index_probes = fi a.index_probes b.index_probes;
+    index_entries = fi a.index_entries b.index_entries;
+    hash_build = fi a.hash_build b.hash_build;
+    hash_probe = fi a.hash_probe b.hash_probe;
+    merge_tuples = fi a.merge_tuples b.merge_tuples;
+    sort_tuples = fi a.sort_tuples b.sort_tuples;
+    output_tuples = fi a.output_tuples b.output_tuples;
+    sort_units = ff a.sort_units b.sort_units;
+    extra_seconds = ff a.extra_seconds b.extra_seconds;
+  }
+
+let add = map2 ( + ) ( +. )
+let sub = map2 ( - ) ( -. )
+
+let approx_equal ?(tolerance = 1e-9) a b =
+  a.seq_pages = b.seq_pages && a.random_pages = b.random_pages
+  && a.cpu_tuples = b.cpu_tuples && a.index_probes = b.index_probes
+  && a.index_entries = b.index_entries && a.hash_build = b.hash_build
+  && a.hash_probe = b.hash_probe && a.merge_tuples = b.merge_tuples
+  && a.sort_tuples = b.sort_tuples && a.output_tuples = b.output_tuples
+  && Float.abs (a.seconds -. b.seconds) <= tolerance
+  && Float.abs (a.sort_units -. b.sort_units) <= tolerance
+  && Float.abs (a.extra_seconds -. b.extra_seconds) <= tolerance
+
+let to_json m =
+  Json.Obj
+    [
+      ("seconds", Json.Num m.seconds);
+      ("seq_pages", Json.Num (float_of_int m.seq_pages));
+      ("random_pages", Json.Num (float_of_int m.random_pages));
+      ("cpu_tuples", Json.Num (float_of_int m.cpu_tuples));
+      ("index_probes", Json.Num (float_of_int m.index_probes));
+      ("index_entries", Json.Num (float_of_int m.index_entries));
+      ("hash_build", Json.Num (float_of_int m.hash_build));
+      ("hash_probe", Json.Num (float_of_int m.hash_probe));
+      ("merge_tuples", Json.Num (float_of_int m.merge_tuples));
+      ("sort_tuples", Json.Num (float_of_int m.sort_tuples));
+      ("output_tuples", Json.Num (float_of_int m.output_tuples));
+      ("sort_units", Json.Num m.sort_units);
+      ("extra_seconds", Json.Num m.extra_seconds);
+    ]
+
+let pp fmt m =
+  Format.fprintf fmt "%.6fs" m.seconds;
+  let field name v = if v <> 0 then Format.fprintf fmt " %s=%d" name v in
+  field "seq" m.seq_pages;
+  field "rand" m.random_pages;
+  field "cpu" m.cpu_tuples;
+  field "probes" m.index_probes;
+  field "entries" m.index_entries;
+  field "hbuild" m.hash_build;
+  field "hprobe" m.hash_probe;
+  field "merge" m.merge_tuples;
+  field "sort" m.sort_tuples;
+  field "out" m.output_tuples

@@ -1,0 +1,36 @@
+(** Per-operator resource counters.
+
+    A mirror of the executor's cost-meter snapshot, kept dependency-free so
+    the meter (in [rq_exec]) can convert into it and everything above can
+    consume spans without a cycle.  A span stores the *delta* of these
+    counters across an operator's execution; deltas are closed under
+    {!add}/{!sub}, and the integer counters subtract exactly, so per-span
+    deltas reconcile against the meter's totals. *)
+
+type t = {
+  seconds : float;        (** simulated seconds, scale applied *)
+  seq_pages : int;
+  random_pages : int;
+  cpu_tuples : int;
+  index_probes : int;
+  index_entries : int;    (** index entries touched in range/eq probes *)
+  hash_build : int;
+  hash_probe : int;
+  merge_tuples : int;
+  sort_tuples : int;      (** tuples handed to a sort *)
+  output_tuples : int;
+  sort_units : float;     (** accumulated n·log2(max n 2) sort work units *)
+  extra_seconds : float;  (** raw [charge_seconds] charges, scale applied *)
+}
+
+val zero : t
+val add : t -> t -> t
+val sub : t -> t -> t
+
+val approx_equal : ?tolerance:float -> t -> t -> bool
+(** Integer counters must match exactly; float fields within [tolerance]
+    (default 1e-9). *)
+
+val to_json : t -> Json.t
+val pp : Format.formatter -> t -> unit
+(** Compact one-line rendering; zero counters are omitted. *)

@@ -1,0 +1,97 @@
+type span = {
+  label : string;
+  rows : int;
+  aborted : bool;
+  total : Metrics.t;
+  self : Metrics.t;
+  children : span list;
+}
+
+type frame = {
+  frame_label : string;
+  start : Metrics.t;
+  mutable children_rev : span list;
+}
+
+type t = {
+  mutable stack : frame list;
+  mutable roots_rev : span list;
+  mutable events_rev : Trace.event list;
+}
+
+type handle = frame
+
+let create () = { stack = []; roots_rev = []; events_rev = [] }
+
+let open_span t ~label ~metrics =
+  let frame = { frame_label = label; start = metrics; children_rev = [] } in
+  t.stack <- frame :: t.stack;
+  frame
+
+let finish t handle ~rows ~aborted ~metrics =
+  match t.stack with
+  | top :: rest when top == handle ->
+      t.stack <- rest;
+      let children = List.rev top.children_rev in
+      let total = Metrics.sub metrics top.start in
+      let self =
+        List.fold_left (fun acc child -> Metrics.sub acc child.total) total children
+      in
+      let span = { label = top.frame_label; rows; aborted; total; self; children } in
+      (match t.stack with
+      | parent :: _ -> parent.children_rev <- span :: parent.children_rev
+      | [] -> t.roots_rev <- span :: t.roots_rev)
+  | _ -> invalid_arg "Recorder: span closed out of order"
+
+let close_span t handle ~rows ~metrics = finish t handle ~rows ~aborted:false ~metrics
+let abort_span t handle ~metrics = finish t handle ~rows:(-1) ~aborted:true ~metrics
+
+let record t event = t.events_rev <- event :: t.events_rev
+
+let roots t = List.rev t.roots_rev
+let events t = List.rev t.events_rev
+
+let rec flatten span = span :: List.concat_map flatten span.children
+
+let sum_self spans =
+  List.fold_left
+    (fun acc root ->
+      List.fold_left (fun acc s -> Metrics.add acc s.self) acc (flatten root))
+    Metrics.zero spans
+
+let rec span_to_json span =
+  Json.Obj
+    [
+      ("label", Json.Str span.label);
+      ("rows", Json.Num (float_of_int span.rows));
+      ("aborted", Json.Bool span.aborted);
+      ("total", Metrics.to_json span.total);
+      ("self", Metrics.to_json span.self);
+      ("children", Json.List (List.map span_to_json span.children));
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("spans", Json.List (List.map span_to_json (roots t)));
+      ("events", Json.List (List.map Trace.to_json (events t)));
+    ]
+
+let render_spans spans =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-52s %10s %12s %12s  %s\n" "span" "rows" "self_s" "total_s" "self counters");
+  let rec go depth span =
+    let indent = String.make (2 * depth) ' ' in
+    let rows = if span.aborted then "aborted" else string_of_int span.rows in
+    Buffer.add_string buf
+      (Printf.sprintf "%-52s %10s %12.6f %12.6f  %s\n" (indent ^ span.label) rows
+         span.self.Metrics.seconds span.total.Metrics.seconds
+         (Format.asprintf "%a" Metrics.pp span.self));
+    List.iter (go (depth + 1)) span.children
+  in
+  List.iter (go 0) spans;
+  Buffer.contents buf
+
+let render_events events =
+  String.concat "" (List.map (fun e -> Trace.to_string e ^ "\n") events)

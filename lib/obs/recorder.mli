@@ -1,0 +1,65 @@
+(** The observation substrate: per-operator spans plus a trace-event
+    stream, filled in by a single execution.
+
+    The executor opens a span per plan node (snapshotting its cost meter),
+    runs the node, and closes the span with the node's output row count
+    and a fresh snapshot; the span's [total] is the inclusive counter
+    delta and [self] is [total] minus the children's totals.  Because the
+    deltas telescope, the [self] deltas of a run's spans sum back to the
+    meter's totals — the invariant EXPLAIN ANALYZE and the reopt cost
+    attribution rely on.
+
+    A recorder may hold several root spans: mid-query re-optimization
+    wraps each execution attempt in its own root, so the wasted prefix of
+    an aborted attempt stays attributable.
+
+    Spans nest strictly (a stack); {!close_span}/{!abort_span} must be
+    called on the innermost open span, which the executor's structure
+    guarantees (exceptions unwind innermost-first). *)
+
+type span = {
+  label : string;         (** operator label, e.g. ["SeqScan(lineitem)"] *)
+  rows : int;             (** rows produced; -1 when the span aborted *)
+  aborted : bool;         (** closed by exception unwinding (guard fired) *)
+  total : Metrics.t;      (** inclusive counter delta (children included) *)
+  self : Metrics.t;       (** [total] minus the children's totals *)
+  children : span list;   (** in execution order *)
+}
+
+type t
+type handle
+
+val create : unit -> t
+
+val open_span : t -> label:string -> metrics:Metrics.t -> handle
+val close_span : t -> handle -> rows:int -> metrics:Metrics.t -> unit
+val abort_span : t -> handle -> metrics:Metrics.t -> unit
+(** [abort_span] closes the span as [aborted] with [rows = -1]; its cost
+    delta is still recorded (the work happened and stays on the bill). *)
+
+val record : t -> Trace.event -> unit
+
+val roots : t -> span list
+(** Completed root spans, in completion order.  Spans still open (only
+    possible mid-execution) are not included. *)
+
+val events : t -> Trace.event list
+(** In recording order. *)
+
+val flatten : span -> span list
+(** Pre-order traversal of a span tree. *)
+
+val sum_self : span list -> Metrics.t
+(** Sum of [self] deltas over the given trees (all spans, recursively);
+    for the roots of one run this reconciles with the meter's snapshot. *)
+
+val span_to_json : span -> Json.t
+val to_json : t -> Json.t
+(** [{"spans": [...], "events": [...]}]. *)
+
+val render_spans : span list -> string
+(** Indented text tree: one line per span with rows, self and total
+    simulated seconds, and the non-zero self counters. *)
+
+val render_events : Trace.event list -> string
+(** One {!Trace.to_string} line per event; empty string for no events. *)

@@ -39,18 +39,24 @@ let qualified_pred (r : Logical.table_ref) =
 (* Robust (the paper's estimator)                                      *)
 (* ------------------------------------------------------------------ *)
 
-let robust stats estimator =
-  let catalog = Stats_store.catalog stats in
-  (* Optimization repeatedly asks for the same (synopsis, predicate)
-     evidence — once per access path, once per DP subset visit.  Sample
-     contents are fixed for the life of the store, so the counts are
-     memoized on the predicate's rendering (Sec. 6.1 points at exactly this
-     optimization). *)
+type memo = {
+  memo_evidence : Join_synopsis.t -> Pred.t -> int * int;
+  memo_estimate : successes:int -> trials:int -> float;
+}
+
+(* Optimization repeatedly asks for the same (synopsis, predicate)
+   evidence — once per access path, once per DP subset visit.  Sample
+   contents are fixed for the life of the store, so the counts are
+   memoized on the predicate's rendering (Sec. 6.1 points at exactly this
+   optimization).  One memo is shared by every path of an estimator that
+   consults synopses — [degrading]'s tier-1 answers and its internal robust
+   estimator hit the same entries. *)
+let make_memo estimator =
   let evidence_cache : (string, int * int) Hashtbl.t = Hashtbl.create 64 in
   (* Quantile inversion costs microseconds; the distinct (k, n) pairs seen
      during one optimization are few. *)
   let quantile_cache : (int * int, float) Hashtbl.t = Hashtbl.create 32 in
-  let cached_estimate ~successes ~trials =
+  let memo_estimate ~successes ~trials =
     match Hashtbl.find_opt quantile_cache (successes, trials) with
     | Some s -> s
     | None ->
@@ -58,7 +64,7 @@ let robust stats estimator =
         Hashtbl.replace quantile_cache (successes, trials) s;
         s
   in
-  let cached_evidence syn pred =
+  let memo_evidence syn pred =
     (* Conjunct order varies with plan shape but not the predicate's
        meaning; normalize so every ordering hits the same entry. *)
     let rendered =
@@ -75,6 +81,12 @@ let robust stats estimator =
         Hashtbl.replace evidence_cache key counts;
         counts
   in
+  { memo_evidence; memo_estimate }
+
+let robust_with ~memo stats estimator =
+  let catalog = Stats_store.catalog stats in
+  let cached_estimate = memo.memo_estimate in
+  let cached_evidence = memo.memo_evidence in
   let table_selectivity ~table pred =
     match Stats_store.synopsis stats ~root:table with
     | Some syn ->
@@ -124,6 +136,8 @@ let robust stats estimator =
   in
   { name = "robust-sampling"; expression_cardinality; table_selectivity; group_count }
 
+let robust stats estimator = robust_with ~memo:(make_memo estimator) stats estimator
+
 (* ------------------------------------------------------------------ *)
 (* Histogram + AVI (the baseline)                                      *)
 (* ------------------------------------------------------------------ *)
@@ -167,7 +181,7 @@ let histogram_avi stats =
 (* Graceful degradation: sample -> synopsis -> histogram -> magic      *)
 (* ------------------------------------------------------------------ *)
 
-let degrading ?(log = fun _ -> ()) stats estimator =
+let degrading ?(log = fun _ -> ()) ?obs stats estimator =
   let catalog = Stats_store.catalog stats in
   (* Health verdict per synopsis root, memoized: a broken synopsis is
      reported once per optimization, not once per cost_fn call. *)
@@ -177,7 +191,17 @@ let degrading ?(log = fun _ -> ()) stats estimator =
     let key = Fault.kind_to_string event.Fault.kind ^ "|" ^ event.Fault.subsystem in
     if not (Hashtbl.mem logged key) then begin
       Hashtbl.replace logged key ();
-      log event
+      log event;
+      match obs with
+      | None -> ()
+      | Some r ->
+          Rq_obs.Recorder.record r
+            (Rq_obs.Trace.Degraded
+               {
+                 kind = Fault.kind_to_string event.Fault.kind;
+                 subsystem = event.Fault.subsystem;
+                 detail = event.Fault.detail;
+               })
     end
   in
   let healthy_synopsis root =
@@ -204,7 +228,11 @@ let degrading ?(log = fun _ -> ()) stats estimator =
         Hashtbl.replace health root verdict;
         verdict
   in
-  let robust_est = robust stats estimator in
+  (* One memo serves both the tier-1 direct answers below and the internal
+     robust estimator, so the degrading chain pays the same (cached)
+     per-request cost as [robust] when statistics are healthy. *)
+  let memo = make_memo estimator in
+  let robust_est = robust_with ~memo stats estimator in
   let hist_est = histogram_avi stats in
   (* Tier 3->4 boundary: histogram_selectivity silently substitutes magic
      constants for missing histograms; detect and report that so the chain's
@@ -232,8 +260,8 @@ let degrading ?(log = fun _ -> ()) stats estimator =
     match healthy_synopsis table with
     | Some syn ->
         let qualified = Pred.rename_columns (fun c -> table ^ "." ^ c) pred in
-        let k, n = Join_synopsis.evidence syn qualified in
-        Robust_estimator.estimate estimator ~successes:k ~trials:n
+        let k, n = memo.memo_evidence syn qualified in
+        memo.memo_estimate ~successes:k ~trials:n
     | None -> if pred = Pred.True then 1.0 else histogram_tier ~table pred
   in
   let expression_cardinality refs =
@@ -249,10 +277,10 @@ let degrading ?(log = fun _ -> ()) stats estimator =
     match covering with
     | Some syn ->
         (* Tier 1: evidence from the covering join synopsis — the paper's
-           estimator at full strength. *)
+           estimator at full strength, through the shared memo. *)
         let pred = Pred.conj (List.map qualified_pred refs) in
-        let k, n = Join_synopsis.evidence syn pred in
-        Robust_estimator.estimate estimator ~successes:k ~trials:n
+        let k, n = memo.memo_evidence syn pred in
+        memo.memo_estimate ~successes:k ~trials:n
         *. float_of_int (Join_synopsis.root_size syn)
     | None ->
         (* Tiers 2-4: per-table estimates (each table's own best tier)

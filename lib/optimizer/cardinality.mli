@@ -33,15 +33,19 @@ val robust : Rq_stats.Stats_store.t -> Rq_core.Robust_estimator.t -> t
 
 val degrading :
   ?log:(Rq_stats.Fault.event -> unit) ->
+  ?obs:Rq_obs.Recorder.t ->
   Rq_stats.Stats_store.t -> Rq_core.Robust_estimator.t -> t
 (** The graceful-degradation chain: for each estimation request, use the
     best statistics tier that passes {!Rq_stats.Fault.verify_synopsis} —
     covering join synopsis (the robust estimator at full strength), then
     per-table samples combined under AVI, then histograms, then the magic
     constants.  Every tier transition emits one structured
-    {!Rq_stats.Fault.event} through [log] (deduplicated per subsystem)
-    instead of raising, so damaged statistics degrade estimates but never
-    abort optimization.  Health verdicts are memoized per root. *)
+    {!Rq_stats.Fault.event} through [log] (deduplicated per subsystem;
+    mirrored as a [Degraded] trace event when [?obs] is given) instead of
+    raising, so damaged statistics degrade estimates but never abort
+    optimization.  Health verdicts are memoized per root, and tier-1
+    answers share one evidence/quantile memo with the internal robust
+    estimator, so healthy-stats requests cost the same as {!robust}'s. *)
 
 val histogram_avi : Rq_stats.Stats_store.t -> t
 (** The baseline: per-column equi-depth histograms combined under the AVI

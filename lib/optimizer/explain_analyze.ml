@@ -8,30 +8,11 @@ type node = {
   q_error : float;
 }
 
-let node_label = function
-  | Plan.Scan { table; access; _ } -> (
-      match access with
-      | Plan.Seq_scan -> Printf.sprintf "SeqScan(%s)" table
-      | Plan.Index_range p -> Printf.sprintf "IndexRange(%s.%s)" table p.Plan.column
-      | Plan.Index_intersect ps ->
-          Printf.sprintf "IndexIntersect(%s: %s)" table
-            (String.concat "," (List.map (fun p -> p.Plan.column) ps)))
-  | Plan.Hash_join { build_key; probe_key; _ } ->
-      Printf.sprintf "HashJoin(%s = %s)" build_key probe_key
-  | Plan.Merge_join { left_key; right_key; _ } ->
-      Printf.sprintf "MergeJoin(%s = %s)" left_key right_key
-  | Plan.Indexed_nl_join { outer_key; inner_table; inner_key; _ } ->
-      Printf.sprintf "IndexedNLJoin(%s = %s.%s)" outer_key inner_table inner_key
-  | Plan.Star_semijoin { fact; dims; _ } ->
-      Printf.sprintf "StarSemijoin(%s; %s)" fact
-        (String.concat "," (List.map (fun d -> d.Plan.dim_table) dims))
-  | Plan.Filter _ -> "Filter"
-  | Plan.Project _ -> "Project"
-  | Plan.Sort _ -> "Sort"
-  | Plan.Limit (_, n) -> Printf.sprintf "Limit(%d)" n
-  | Plan.Aggregate _ -> "Aggregate"
-  | Plan.Guard { max_q_error; _ } -> Printf.sprintf "Guard(max q-error %.1f)" max_q_error
-  | Plan.Materialized { name; _ } -> Printf.sprintf "Materialized(%s)" name
+type report = {
+  nodes : node list;
+  snapshot : Cost.snapshot;
+  spans : Rq_obs.Recorder.span list;
+}
 
 let children = function
   | Plan.Scan _ | Plan.Star_semijoin _ | Plan.Materialized _ -> []
@@ -45,41 +26,62 @@ let children = function
   | Plan.Aggregate { input; _ } -> [ input ]
   | Plan.Guard { input; _ } -> [ input ]
 
-let q_error ~estimated ~actual =
-  let est = Float.max estimated 0.5 and act = Float.max (float_of_int actual) 0.5 in
-  Float.max (est /. act) (act /. est)
-
-let collect catalog ?constants ?scale estimator plan =
-  let rec go depth plan =
-    let estimated =
-      match plan with
-      (* A guard's row of the report compares its *instrumentation-time*
-         expectation against reality — that is the check it performs. *)
-      | Plan.Guard { expected_rows; _ } -> expected_rows
-      | _ -> (Costing.estimate catalog ?constants ?scale estimator plan).Costing.card
-    in
-    let meter = Cost.create ?constants ?scale () in
-    (* Run guard-free so the report never aborts mid-analysis; whether each
-       guard *would* fire is derived from the q-error below. *)
-    let actual =
-      Array.length
-        (Executor.run catalog meter (Plan.strip_guards plan)).Executor.tuples
-    in
-    let q = q_error ~estimated ~actual in
+let analyze catalog ?constants ?scale ?obs estimator plan =
+  let recorder =
+    match obs with Some r -> r | None -> Rq_obs.Recorder.create ()
+  in
+  let meter = Cost.create ?constants ?scale () in
+  (* One instrumented, guard-free execution: the span tree supplies every
+     node's actual row count and cost delta, so nothing re-runs per node and
+     the report never aborts mid-analysis.  Whether each guard *would* fire
+     is derived from the q-error below. *)
+  ignore (Executor.run ~obs:recorder catalog meter (Plan.strip_guards plan));
+  let root =
+    match List.rev (Rq_obs.Recorder.roots recorder) with
+    | span :: _ -> span
+    | [] -> invalid_arg "Explain_analyze.analyze: execution produced no span"
+  in
+  let estimate plan =
+    match plan with
+    (* A guard's row of the report compares its *instrumentation-time*
+       expectation against reality — that is the check it performs. *)
+    | Plan.Guard { expected_rows; _ } -> expected_rows
+    | _ -> (Costing.estimate catalog ?constants ?scale estimator plan).Costing.card
+  in
+  (* Walk the original plan and the span tree in parallel.  Guards are
+     invisible to the stripped execution, so a guard row reuses its input's
+     span; every other node's plan children pair positionally with its
+     span's children (the executor spans each node in execution order, which
+     matches [children] order). *)
+  let rec walk depth plan (span : Rq_obs.Recorder.span) =
+    let estimated = estimate plan in
+    let actual = span.rows in
+    let q = Plan.q_error ~expected:estimated ~actual in
     let label =
       match plan with
       | Plan.Guard { max_q_error; _ } when q > max_q_error ->
-          node_label plan ^ " [FIRES]"
-      | Plan.Guard _ -> node_label plan ^ " [pass]"
-      | _ -> node_label plan
+          Plan.node_label plan ^ " [FIRES]"
+      | Plan.Guard _ -> Plan.node_label plan ^ " [pass]"
+      | _ -> Plan.node_label plan
     in
-    { depth; label; estimated_rows = estimated; actual_rows = actual; q_error = q }
-    :: List.concat_map (go (depth + 1)) (children plan)
+    let node = { depth; label; estimated_rows = estimated; actual_rows = actual; q_error = q } in
+    match plan with
+    | Plan.Guard { input; _ } -> node :: walk (depth + 1) input span
+    | _ ->
+        node
+        :: List.concat
+             (List.map2 (walk (depth + 1)) (children plan) span.children)
   in
-  go 0 plan
+  {
+    nodes = walk 0 plan root;
+    snapshot = Cost.snapshot meter;
+    spans = [ root ];
+  }
 
-let render catalog ?constants ?scale estimator plan =
-  let nodes = collect catalog ?constants ?scale estimator plan in
+let collect catalog ?constants ?scale estimator plan =
+  (analyze catalog ?constants ?scale estimator plan).nodes
+
+let render_report report =
   let buf = Buffer.create 256 in
   Buffer.add_string buf
     (Printf.sprintf "%-52s %12s %12s %8s\n" "operator" "est_rows" "actual_rows" "q_error");
@@ -89,9 +91,10 @@ let render catalog ?constants ?scale estimator plan =
       Buffer.add_string buf
         (Printf.sprintf "%-52s %12.1f %12d %8.2f\n" (indent ^ n.label) n.estimated_rows
            n.actual_rows n.q_error))
-    nodes;
-  let meter = Cost.create ?constants ?scale () in
-  ignore (Executor.run catalog meter (Plan.strip_guards plan));
+    report.nodes;
   Buffer.add_string buf
-    (Printf.sprintf "total simulated execution: %.3f s\n" (Cost.snapshot meter).Cost.seconds);
+    (Printf.sprintf "total simulated execution: %.3f s\n" report.snapshot.Cost.seconds);
   Buffer.contents buf
+
+let render catalog ?constants ?scale estimator plan =
+  render_report (analyze catalog ?constants ?scale estimator plan)

@@ -115,7 +115,7 @@ let continuation catalog (query : Logical.t) ~cost_fn ~mat_plan ~covered =
 (* Execution loop                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let execute_plan ?(threshold = 4.0) ?(max_reopts = 2) opt query start_plan =
+let execute_plan ?(threshold = 4.0) ?(max_reopts = 2) ?obs opt query start_plan =
   if threshold < 1.0 then invalid_arg "Reopt.execute_plan: threshold must be >= 1.0";
   let stats = Optimizer.stats opt in
   let catalog = Rq_stats.Stats_store.catalog stats in
@@ -124,12 +124,37 @@ let execute_plan ?(threshold = 4.0) ?(max_reopts = 2) opt query start_plan =
      stays on the bill, so re-optimization pays for itself only when the
      rescue genuinely beats the bad plan. *)
   let meter = Cost.create ~constants ~scale () in
+  let trace ev =
+    match obs with None -> () | Some r -> Rq_obs.Recorder.record r ev
+  in
+  (* Each attempt gets its own root span, so span deltas attribute the cost
+     of every aborted prefix to the attempt that wasted it. *)
+  let with_attempt_span label f =
+    match obs with
+    | None -> f ()
+    | Some r -> (
+        let m () = Cost.to_metrics (Cost.snapshot meter) in
+        let h = Rq_obs.Recorder.open_span r ~label ~metrics:(m ()) in
+        match f () with
+        | res ->
+            Rq_obs.Recorder.close_span r h
+              ~rows:(Array.length res.Executor.tuples) ~metrics:(m ());
+            res
+        | exception e ->
+            Rq_obs.Recorder.abort_span r h ~metrics:(m ());
+            raise e)
+  in
   let fb = Feedback.create () in
   let events = ref [] in
   let base_est = Optimizer.estimator opt in
   let initial = instrument_with catalog ~constants ~scale base_est ~threshold start_plan in
   let rec attempt plan reopts =
-    match Executor.run catalog meter plan with
+    let run_attempt () =
+      with_attempt_span
+        (Printf.sprintf "attempt%d" (reopts + 1))
+        (fun () -> Executor.run ?obs catalog meter plan)
+    in
+    match run_attempt () with
     | res -> (res, plan, reopts)
     | exception
         Executor.Guard_violation { label; expected_rows; actual_rows; q_error; result; subplan }
@@ -137,13 +162,21 @@ let execute_plan ?(threshold = 4.0) ?(max_reopts = 2) opt query start_plan =
         let sub_refs = Costing.refs_of subplan in
         let covered = List.map (fun (r : Logical.table_ref) -> r.Logical.table) sub_refs in
         Feedback.record fb ~tables:covered (float_of_int actual_rows);
-        let finish_plain ~replanned plan =
+        let finish_plain ~replanned ~reason plan =
           events := { label; expected_rows; actual_rows; q_error; replanned } :: !events;
+          trace (Rq_obs.Trace.Reopt_abandoned { attempt = reopts + 1; reason });
           let plain = Plan.strip_guards plan in
-          (Executor.run catalog meter plain, plain, reopts)
+          let res =
+            with_attempt_span
+              (Printf.sprintf "attempt%d:final" (reopts + 1))
+              (fun () -> Executor.run ?obs catalog meter plain)
+          in
+          (res, plain, reopts)
         in
-        if reopts >= max_reopts then finish_plain ~replanned:false plan
+        if reopts >= max_reopts then
+          finish_plain ~replanned:false ~reason:"re-optimization budget exhausted" plan
         else begin
+          trace (Rq_obs.Trace.Reopt_planned { attempt = reopts + 1; label });
           let fb_est = Feedback.with_feedback fb base_est in
           let cost_fn p = Costing.plan_cost catalog ~constants ~scale fb_est p in
           let mat_plan =
@@ -159,11 +192,16 @@ let execute_plan ?(threshold = 4.0) ?(max_reopts = 2) opt query start_plan =
               }
           in
           match continuation catalog query ~cost_fn ~mat_plan ~covered with
-          | None -> finish_plain ~replanned:false plan
+          | None ->
+              finish_plain ~replanned:false
+                ~reason:"no continuation (disconnected remainder)" plan
           | Some joined ->
               events :=
                 { label; expected_rows; actual_rows; q_error; replanned = true } :: !events;
               let full = Enumerate.wrap_top query joined in
+              trace
+                (Rq_obs.Trace.Reopt_adopted
+                   { attempt = reopts + 1; plan = Plan.describe full });
               let guarded = instrument_with catalog ~constants ~scale fb_est ~threshold full in
               attempt guarded (reopts + 1)
         end
@@ -178,10 +216,10 @@ let execute_plan ?(threshold = 4.0) ?(max_reopts = 2) opt query start_plan =
     reoptimizations;
   }
 
-let execute ?threshold ?max_reopts opt query =
+let execute ?threshold ?max_reopts ?obs opt query =
   match Optimizer.optimize opt query with
   | Error _ as e -> e
-  | Ok d -> Ok (execute_plan ?threshold ?max_reopts opt query d.Optimizer.plan)
+  | Ok d -> Ok (execute_plan ?threshold ?max_reopts ?obs opt query d.Optimizer.plan)
 
 let render_events events =
   match events with

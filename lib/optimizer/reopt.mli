@@ -40,16 +40,24 @@ val instrument : ?estimator:Cardinality.t -> threshold:float -> Optimizer.t -> P
     are never guarded. *)
 
 val execute_plan :
-  ?threshold:float -> ?max_reopts:int -> Optimizer.t -> Logical.t -> Plan.t -> outcome
+  ?threshold:float -> ?max_reopts:int -> ?obs:Rq_obs.Recorder.t ->
+  Optimizer.t -> Logical.t -> Plan.t -> outcome
 (** Instrument the given starting plan and run it with guard-driven
     re-optimization.  The starting plan need not be the optimizer's choice —
     experiments use this to force a known-bad plan and watch the guards
     rescue it.  [threshold] (default 4.0, must be >= 1.0) is the q-error a
     checkpoint tolerates before aborting; [max_reopts] (default 2) bounds
-    replanning rounds, after which the current plan finishes guard-free. *)
+    replanning rounds, after which the current plan finishes guard-free.
+
+    With [?obs], each attempt executes under a root span
+    (["attempt1"], ["attempt2"], ..., ["attemptN:final"] for a guard-free
+    completion) so aborted prefixes' cost deltas stay attributed to the
+    attempt that wasted them, and [Reopt_planned] / [Reopt_adopted] /
+    [Reopt_abandoned] trace events narrate the replanning decisions. *)
 
 val execute :
-  ?threshold:float -> ?max_reopts:int -> Optimizer.t -> Logical.t ->
+  ?threshold:float -> ?max_reopts:int -> ?obs:Rq_obs.Recorder.t ->
+  Optimizer.t -> Logical.t ->
   (outcome, string) result
 (** [execute_plan] starting from the optimizer's own choice.  [Error] only
     for queries that fail validation/optimization. *)

@@ -5,11 +5,12 @@ type t = {
   config : Stats_store.config;
   refresh_fraction : float;
   catalog : Catalog.t;
+  obs : Rq_obs.Recorder.t option;
   mutable stats : Stats_store.t;
   modified : (string, int) Hashtbl.t;
 }
 
-let create ?(config = Stats_store.default_config) ?(refresh_fraction = 0.2) rng catalog =
+let create ?(config = Stats_store.default_config) ?(refresh_fraction = 0.2) ?obs rng catalog =
   if refresh_fraction <= 0.0 then
     invalid_arg "Maintenance.create: refresh_fraction must be positive";
   {
@@ -17,6 +18,7 @@ let create ?(config = Stats_store.default_config) ?(refresh_fraction = 0.2) rng 
     config;
     refresh_fraction;
     catalog;
+    obs;
     stats = Stats_store.update_statistics (Rq_math.Rng.split rng) ~config catalog;
     modified = Hashtbl.create 8;
   }
@@ -56,6 +58,21 @@ let apply_update t ~table f =
   record_modifications t ~table !changed
 
 let refresh t =
+  (* The trace names the tables whose modifications triggered the rebuild;
+     a manual refresh with no pending modifications names every table
+     (everything is rebuilt either way). *)
+  (match t.obs with
+  | None -> ()
+  | Some r ->
+      let dirty =
+        List.filter
+          (fun table -> modifications_since_refresh t ~table > 0)
+          (Catalog.table_names t.catalog)
+      in
+      let tables =
+        match dirty with [] -> Catalog.table_names t.catalog | _ -> dirty
+      in
+      Rq_obs.Recorder.record r (Rq_obs.Trace.Stats_refresh { tables }));
   t.stats <- Stats_store.update_statistics (Rq_math.Rng.split t.rng) ~config:t.config t.catalog;
   Hashtbl.reset t.modified
 

@@ -16,11 +16,14 @@ type t
 val create :
   ?config:Stats_store.config ->
   ?refresh_fraction:float ->
+  ?obs:Rq_obs.Recorder.t ->
   Rq_math.Rng.t ->
   Catalog.t ->
   t
 (** [refresh_fraction] (default 0.2) is the fraction of a table's rows
-    that must change before its statistics are considered stale. *)
+    that must change before its statistics are considered stale.  With
+    [?obs], every rebuild records a [Stats_refresh] trace event naming the
+    tables whose modifications triggered it. *)
 
 val catalog : t -> Catalog.t
 
