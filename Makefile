@@ -1,4 +1,5 @@
-.PHONY: all test fault-test bench bench-quick examples trace-demo clean
+.PHONY: all test fault-test differential bench bench-quick bench-throughput \
+        examples trace-demo clean
 
 all:
 	dune build @all
@@ -11,11 +12,22 @@ test: all
 fault-test: all
 	dune exec test/test_robustness.exe
 
+# Differential plan-correctness oracle under three generator seeds (the
+# same matrix CI runs).
+differential: all
+	DIFF_SEED=42 dune exec test/test_differential.exe
+	DIFF_SEED=7 dune exec test/test_differential.exe
+	DIFF_SEED=1234 dune exec test/test_differential.exe
+
 bench:
 	dune exec bench/main.exe
 
 bench-quick:
 	dune exec bench/main.exe -- quick
+
+# Plan-cache throughput bench; writes BENCH_throughput.json.
+bench-throughput: all
+	dune exec bin/robustopt.exe -- bench-throughput
 
 examples:
 	dune exec examples/quickstart.exe

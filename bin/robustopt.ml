@@ -497,6 +497,57 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Run one of the paper's empirical experiments (Figures 9-12).")
     term
 
+(* ---------------- bench-throughput ---------------- *)
+
+let bench_throughput_cmd =
+  let small_arg =
+    Arg.(value & flag & info [ "small" ]
+         ~doc:"CI-sized run: smaller catalogs and fewer replays.")
+  in
+  let seed_arg =
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N"
+         ~doc:"Override the replay seed (default 7).")
+  in
+  let replays_arg =
+    Arg.(value & opt (some int) None & info [ "replays" ] ~docv:"N"
+         ~doc:"Override the number of replayed queries.")
+  in
+  let out_arg =
+    Arg.(value & opt string "BENCH_throughput.json" & info [ "out" ] ~docv:"FILE"
+         ~doc:"Where to write the JSON report; - for none.")
+  in
+  let run small seed replays out trace metrics_json =
+    let module E = Rq_experiments in
+    let config = if small then E.Exp_throughput.small_config else E.Exp_throughput.default_config in
+    let config =
+      match seed with None -> config | Some seed -> { config with E.Exp_throughput.seed }
+    in
+    let config =
+      match replays with None -> config | Some replays -> { config with E.Exp_throughput.replays }
+    in
+    let recorder = make_recorder ~trace ~metrics_json in
+    let result = E.Exp_throughput.run ?obs:recorder ~config () in
+    print_string (E.Exp_throughput.render result);
+    if out <> "-" then begin
+      let oc = open_out out in
+      output_string oc (Rq_obs.Json.to_string (E.Exp_throughput.to_json result));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" out
+    end;
+    print_observability ~trace ~metrics_json recorder;
+    if result.E.Exp_throughput.differential_failures > 0 then exit 1
+  in
+  let term =
+    Term.(const run $ small_arg $ seed_arg $ replays_arg $ out_arg $ trace_arg
+          $ metrics_json_arg)
+  in
+  Cmd.v
+    (Cmd.info "bench-throughput"
+       ~doc:"Replay a mixed workload through the plan cache: optimize/execute time split, \
+             hit rate, invalidations, and a differential plan-correctness check.")
+    term
+
 (* ---------------- profile ---------------- *)
 
 let profile_cmd =
@@ -585,5 +636,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ explain_cmd; run_cmd; estimate_cmd; analyze_cmd; experiment_cmd; profile_cmd;
-            sweep_cmd; export_cmd; batch_cmd ]))
+          [ explain_cmd; run_cmd; estimate_cmd; analyze_cmd; experiment_cmd;
+            bench_throughput_cmd; profile_cmd; sweep_cmd; export_cmd; batch_cmd ]))

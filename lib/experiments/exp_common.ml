@@ -58,6 +58,57 @@ let measure cache plan =
       Hashtbl.replace cache.table key seconds;
       seconds
 
+(* ------------------------------------------------------------------ *)
+(* Differential result comparison (the plan-correctness oracle)        *)
+(* ------------------------------------------------------------------ *)
+
+(* Two plans for the same query must produce the same multiset of rows,
+   but not the same presentation: join order permutes output columns, and
+   unordered results can arrive in any row order.  Canonicalize both away
+   before comparing; float cells get a relative tolerance because summing
+   the same numbers in a different order is not bitwise-stable. *)
+
+let column_order schema =
+  List.mapi (fun i (c : Schema.column) -> (c.Schema.name, i)) (Schema.columns schema)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let canonical_rows (r : Executor.result) =
+  let order = column_order r.Executor.schema in
+  let render = function
+    | Value.Float f -> Printf.sprintf "%.6g" f
+    | v -> Value.to_string v
+  in
+  let rows =
+    Array.map
+      (fun tuple -> String.concat "|" (List.map (fun (_, i) -> render tuple.(i)) order))
+      r.Executor.tuples
+  in
+  Array.sort String.compare rows;
+  rows
+
+let values_close ~tol a b =
+  match (a, b) with
+  | Value.Float x, Value.Float y ->
+      Float.equal x y
+      || Float.abs (x -. y) <= tol *. Float.max 1.0 (Float.max (Float.abs x) (Float.abs y))
+  | _ -> Value.equal a b
+
+let results_equal ?(tol = 1e-6) (a : Executor.result) (b : Executor.result) =
+  let order_a = column_order a.Executor.schema in
+  let order_b = column_order b.Executor.schema in
+  List.map fst order_a = List.map fst order_b
+  && Array.length a.Executor.tuples = Array.length b.Executor.tuples
+  &&
+  let reorder order (r : Executor.result) =
+    let rows =
+      Array.map (fun tuple -> List.map (fun (_, i) -> tuple.(i)) order) r.Executor.tuples
+    in
+    Array.sort (fun x y -> List.compare Value.compare x y) rows;
+    rows
+  in
+  let rows_a = reorder order_a a and rows_b = reorder order_b b in
+  Array.for_all2 (fun x y -> List.for_all2 (values_close ~tol) x y) rows_a rows_b
+
 let count_plans labels =
   let counts = Hashtbl.create 8 in
   List.iter

@@ -47,6 +47,23 @@ val measure : executor_cache -> Plan.t -> float
 (** Simulated execution time; memoized per plan shape, since execution is
     deterministic for a fixed data set. *)
 
+val plan_digest : Plan.t -> string
+(** The full plan rendering [measure] keys its memo on — also the cheap
+    way to ask whether two decisions chose the same physical plan. *)
+
+val canonical_rows : Executor.result -> string array
+(** Order-insensitive rendering of a result: columns sorted by name,
+    floats at 6 significant digits, rows sorted — two plans for the same
+    query yield equal arrays.  For counterexample printing; equality
+    checks should use {!results_equal} (tolerant where this rounds). *)
+
+val results_equal : ?tol:float -> Executor.result -> Executor.result -> bool
+(** Multiset equality of results modulo column order, row order and
+    float-summation noise ([tol] is relative, default 1e-6).  The
+    differential plan-correctness oracle: every estimator's chosen plan —
+    and every cached plan — must produce [results_equal] output for the
+    same logical query. *)
+
 val run_robust_series :
   cache:executor_cache ->
   stats_of_draw:(int -> Rq_stats.Stats_store.t) ->

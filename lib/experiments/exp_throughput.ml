@@ -1,0 +1,299 @@
+(* Batched query-throughput bench: the plan cache under a mixed workload.
+
+   A replay sequence draws (with mild skew) from a fixed pool of distinct
+   queries over two lanes — the TPC-H-lite catalog (Experiments 1 and 2
+   templates) and the star catalog (Experiment 3) — with periodic
+   statistics refreshes injected to force stats-versioned invalidation.
+   The same sequence runs twice from an identical seed: once optimizing
+   every query from scratch, once through {!Rq_optimizer.Plan_cache}.
+   Reported: the optimize-vs-execute time split per arm, the cache's
+   hit/miss/invalidation/eviction counters, and a differential check that
+   every cached plan produced the same result multiset as the plan the
+   uncached arm chose for the same step. *)
+
+open Rq_storage
+open Rq_exec
+open Rq_optimizer
+open Rq_workload
+
+type config = {
+  seed : int;
+  scale_factor : float;
+  fact_rows : int;
+  sample_size : int;
+  replays : int;
+  cache_capacity : int;
+  refresh_every : int;
+  confidence_percent : float;
+}
+
+let default_config =
+  {
+    seed = 7;
+    scale_factor = 0.01;
+    fact_rows = 20_000;
+    sample_size = 300;
+    replays = 400;
+    cache_capacity = 64;
+    refresh_every = 160;
+    confidence_percent = 80.0;
+  }
+
+let small_config =
+  {
+    default_config with
+    scale_factor = 0.004;
+    fact_rows = 5_000;
+    sample_size = 200;
+    replays = 120;
+    refresh_every = 50;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* World: two lanes sharing one replay sequence                        *)
+(* ------------------------------------------------------------------ *)
+
+type lane = {
+  lane_name : string;
+  catalog : Catalog.t;
+  scale : float;
+  maintenance : Rq_stats.Maintenance.t;
+  (* plan digest -> (simulated seconds, result); the data never mutates
+     during the bench (refreshes only redraw statistics), so execution is
+     deterministic per plan. *)
+  exec_memo : (string, float * Executor.result) Hashtbl.t;
+}
+
+(* Both arms rebuild the world from the same seed: identical catalogs,
+   identical maintenance RNG state, hence identical statistics draws at
+   every refresh — any plan difference between the arms is attributable
+   to the cache alone. *)
+let build_lanes config =
+  let rng = Rq_math.Rng.create config.seed in
+  let stats_config =
+    { Rq_stats.Stats_store.default_config with sample_size = config.sample_size }
+  in
+  let tpch_params = { Tpch.default_params with scale_factor = config.scale_factor } in
+  let tpch = Tpch.generate (Rq_math.Rng.split rng) ~params:tpch_params () in
+  let star_params = { Star.default_params with fact_rows = config.fact_rows } in
+  let star = Star.generate (Rq_math.Rng.split rng) ~params:star_params () in
+  let make lane_name catalog scale =
+    {
+      lane_name;
+      catalog;
+      scale;
+      maintenance =
+        Rq_stats.Maintenance.create ~config:stats_config (Rq_math.Rng.split rng) catalog;
+      exec_memo = Hashtbl.create 64;
+    }
+  in
+  [| make "tpch" tpch (Tpch.cost_scale tpch); make "star" star (Star.cost_scale star) |]
+
+(* The distinct-query pool: (lane index, label, query). *)
+let query_pool () =
+  let exp1 =
+    List.map
+      (fun o -> (0, Printf.sprintf "exp1 offset=%d" o, Tpch.exp1_query ~offset:o))
+      [ 30; 45; 60; 75; 90 ]
+  and exp2 =
+    List.map
+      (fun b -> (0, Printf.sprintf "exp2 bucket=%d" b, Tpch.exp2_query ~bucket:b))
+      [ 0; 250; 500; 750; 999 ]
+  and star =
+    List.map
+      (fun v -> (1, Printf.sprintf "star filter=%d" v, Star.query ~filter_value:v ()))
+      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  (* Join-heavy templates first: the replay skew favors low indices, and
+     the recurring hot set of a plan cache is exactly the expensive
+     multi-join queries (cheap single-table plans barely profit). *)
+  Array.of_list (star @ exp2 @ exp1)
+
+(* Skewed replay: min of two uniform draws biases toward low pool indices,
+   approximating the recurring-query traffic a plan cache exists for. *)
+let make_steps config n =
+  let rng = Rq_math.Rng.create (config.seed + 1) in
+  Array.init config.replays (fun _ ->
+      min (Rq_math.Rng.int rng n) (Rq_math.Rng.int rng n))
+
+(* ------------------------------------------------------------------ *)
+(* One arm of the bench                                                *)
+(* ------------------------------------------------------------------ *)
+
+type arm = {
+  opt_seconds : float;      (* wall-clock spent optimizing (cached arm:
+                               fingerprinting + lookup + any re-optimization) *)
+  exec_seconds : float;     (* simulated execution seconds, summed *)
+  optimizations : int;      (* actual Optimizer.optimize runs *)
+  digests : string array;   (* chosen plan per step *)
+  results : Executor.result array;
+}
+
+let measure_lane lane plan digest =
+  match Hashtbl.find_opt lane.exec_memo digest with
+  | Some entry -> entry
+  | None ->
+      let meter = Cost.create ~scale:lane.scale () in
+      let result = Executor.run lane.catalog meter plan in
+      let entry = ((Cost.snapshot meter).Cost.seconds, result) in
+      Hashtbl.replace lane.exec_memo digest entry;
+      entry
+
+let run_arm ?obs config pool steps ~cache =
+  let lanes = build_lanes config in
+  let confidence = Rq_core.Confidence.of_percent config.confidence_percent in
+  let n = Array.length steps in
+  let digests = Array.make n "" in
+  let results = Array.make n None in
+  let opt_seconds = ref 0.0 and exec_seconds = ref 0.0 in
+  let optimizations = ref 0 in
+  Array.iteri
+    (fun step idx ->
+      if config.refresh_every > 0 && step > 0 && step mod config.refresh_every = 0 then
+        Array.iter (fun l -> Rq_stats.Maintenance.refresh l.maintenance) lanes;
+      let lane_idx, label, query = pool.(idx) in
+      let lane = lanes.(lane_idx) in
+      let stats = Rq_stats.Maintenance.stats lane.maintenance in
+      let opt = Optimizer.robust ~scale:lane.scale ~confidence stats in
+      let t0 = Sys.time () in
+      let decision =
+        match cache with
+        | None -> (
+            incr optimizations;
+            match Optimizer.optimize opt query with
+            | Ok d -> d
+            | Error e -> failwith (Printf.sprintf "%s: %s" label e))
+        | Some cache -> (
+            let fingerprint =
+              Rq_sql.Fingerprint.to_key
+                (Rq_sql.Fingerprint.of_logical
+                   ~estimator:(Optimizer.estimator opt).Cardinality.name ~confidence query)
+            in
+            match Plan_cache.find_or_optimize ?obs cache opt ~fingerprint query with
+            | Ok (d, outcome) ->
+                if outcome <> Plan_cache.Hit then incr optimizations;
+                d
+            | Error e -> failwith (Printf.sprintf "%s: %s" label e))
+      in
+      opt_seconds := !opt_seconds +. (Sys.time () -. t0);
+      let digest = Exp_common.plan_digest decision.Optimizer.plan in
+      let seconds, result = measure_lane lane decision.Optimizer.plan digest in
+      digests.(step) <- digest;
+      results.(step) <- Some result;
+      exec_seconds := !exec_seconds +. seconds)
+    steps;
+  {
+    opt_seconds = !opt_seconds;
+    exec_seconds = !exec_seconds;
+    optimizations = !optimizations;
+    digests;
+    results = Array.map Option.get results;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The bench                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type result = {
+  config : config;
+  distinct_queries : int;
+  uncached : arm;
+  cached : arm;
+  cache_stats : Plan_cache.stats;
+  hit_rate : float;
+  speedup : float;            (* uncached / cached optimization seconds *)
+  plan_divergences : int;     (* steps where the arms chose different plans *)
+  differential_failures : int;  (* divergent plans with unequal result multisets *)
+  failure_labels : string list;
+}
+
+let run ?obs ?(config = default_config) () =
+  let pool = query_pool () in
+  let steps = make_steps config (Array.length pool) in
+  let uncached = run_arm ?obs config pool steps ~cache:None in
+  let cache = Plan_cache.create ~capacity:config.cache_capacity () in
+  let cached = run_arm ?obs config pool steps ~cache:(Some cache) in
+  (* The differential oracle: wherever the cached arm's plan differs from
+     the uncached arm's, both plans must still answer the query with the
+     same multiset of rows. *)
+  let plan_divergences = ref 0 in
+  let differential_failures = ref 0 in
+  let failure_labels = ref [] in
+  Array.iteri
+    (fun step idx ->
+      if not (String.equal uncached.digests.(step) cached.digests.(step)) then begin
+        incr plan_divergences;
+        if not (Exp_common.results_equal uncached.results.(step) cached.results.(step))
+        then begin
+          incr differential_failures;
+          let _, label, _ = pool.(idx) in
+          failure_labels := Printf.sprintf "step %d: %s" step label :: !failure_labels
+        end
+      end)
+    steps;
+  let cache_stats = Plan_cache.stats cache in
+  {
+    config;
+    distinct_queries = Array.length pool;
+    uncached;
+    cached;
+    cache_stats;
+    hit_rate = Plan_cache.hit_rate cache_stats;
+    speedup = uncached.opt_seconds /. Float.max 1e-9 cached.opt_seconds;
+    plan_divergences = !plan_divergences;
+    differential_failures = !differential_failures;
+    failure_labels = List.rev !failure_labels;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let arm_to_json (a : arm) =
+  Rq_obs.Json.Obj
+    [
+      ("optimize_seconds", Rq_obs.Json.Num a.opt_seconds);
+      ("optimizations", Rq_obs.Json.Num (float_of_int a.optimizations));
+      ("exec_simulated_seconds", Rq_obs.Json.Num a.exec_seconds);
+      ("end_to_end_seconds", Rq_obs.Json.Num (a.opt_seconds +. a.exec_seconds));
+    ]
+
+let to_json r =
+  Rq_obs.Json.Obj
+    [
+      ("experiment", Rq_obs.Json.Str "bench-throughput");
+      ("seed", Rq_obs.Json.Num (float_of_int r.config.seed));
+      ("replays", Rq_obs.Json.Num (float_of_int r.config.replays));
+      ("distinct_queries", Rq_obs.Json.Num (float_of_int r.distinct_queries));
+      ("refresh_every", Rq_obs.Json.Num (float_of_int r.config.refresh_every));
+      ("cache_capacity", Rq_obs.Json.Num (float_of_int r.config.cache_capacity));
+      ("uncached", arm_to_json r.uncached);
+      ("cached", arm_to_json r.cached);
+      ("cache", Plan_cache.stats_to_json r.cache_stats);
+      ("hit_rate", Rq_obs.Json.Num r.hit_rate);
+      ("optimization_speedup", Rq_obs.Json.Num r.speedup);
+      ("plan_divergences", Rq_obs.Json.Num (float_of_int r.plan_divergences));
+      ("differential_failures", Rq_obs.Json.Num (float_of_int r.differential_failures));
+    ]
+
+let render r =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "bench-throughput: %d replays over %d distinct queries (tpch + star), refresh every %d\n"
+    r.config.replays r.distinct_queries r.config.refresh_every;
+  add "%-10s %12s %8s %14s %14s\n" "arm" "optimize_ms" "plans" "exec_sim_s" "end_to_end_s";
+  let arm_row name (a : arm) =
+    add "%-10s %12.2f %8d %14.3f %14.3f\n" name (a.opt_seconds *. 1000.0) a.optimizations
+      a.exec_seconds (a.opt_seconds +. a.exec_seconds)
+  in
+  arm_row "uncached" r.uncached;
+  arm_row "cached" r.cached;
+  let s = r.cache_stats in
+  add "cache: %.1f%% hit rate (%d hits, %d misses, %d invalidations, %d evictions)\n"
+    (100.0 *. r.hit_rate) s.Plan_cache.hits s.Plan_cache.misses s.Plan_cache.invalidations
+    s.Plan_cache.evictions;
+  add "optimization speedup: %.1fx\n" r.speedup;
+  add "differential oracle: %d plan divergences, %d failures\n" r.plan_divergences
+    r.differential_failures;
+  List.iter (fun l -> add "  FAIL %s\n" l) r.failure_labels;
+  Buffer.contents b

@@ -1,0 +1,60 @@
+(** Batched query-throughput bench for the plan cache.
+
+    Replays a skewed sequence drawn from a fixed pool of distinct queries
+    over two catalogs — TPC-H-lite (Experiment 1/2 templates) and the star
+    schema (Experiment 3) — with periodic statistics refreshes injected so
+    stats-versioned invalidation actually fires.  The same seeded sequence
+    runs twice: optimizing from scratch every step, and through
+    {!Rq_optimizer.Plan_cache}.  The report splits optimize vs execute
+    time per arm, exposes the cache counters, and runs a differential
+    oracle over every step where the two arms chose different plans. *)
+
+type config = {
+  seed : int;
+  scale_factor : float;        (** TPC-H lane scale (1.0 = 6M lineitem) *)
+  fact_rows : int;             (** star lane fact-table rows *)
+  sample_size : int;
+  replays : int;               (** total queries in the replay sequence *)
+  cache_capacity : int;
+  refresh_every : int;         (** force a statistics refresh on both lanes
+                                   every this many steps; 0 disables *)
+  confidence_percent : float;
+}
+
+val default_config : config
+(** 400 replays over ~18 distinct queries, refresh every 160. *)
+
+val small_config : config
+(** CI-sized: smaller catalogs, 120 replays, refresh every 50. *)
+
+type arm = {
+  opt_seconds : float;
+  exec_seconds : float;
+  optimizations : int;
+  digests : string array;
+  results : Rq_exec.Executor.result array;
+}
+
+type result = {
+  config : config;
+  distinct_queries : int;
+  uncached : arm;
+  cached : arm;
+  cache_stats : Rq_optimizer.Plan_cache.stats;
+  hit_rate : float;
+  speedup : float;
+  plan_divergences : int;
+  differential_failures : int;
+  failure_labels : string list;
+}
+
+val run : ?obs:Rq_obs.Recorder.t -> ?config:config -> unit -> result
+(** Builds both worlds from [config.seed] (identical data and statistics
+    draws in both arms), replays, and runs the differential oracle.  With
+    [?obs], every cache lookup/insert/eviction emits a [Plan_cache] trace
+    event. *)
+
+val to_json : result -> Rq_obs.Json.t
+(** The [BENCH_throughput.json] payload. *)
+
+val render : result -> string

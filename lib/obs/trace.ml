@@ -6,6 +6,12 @@ type event =
   | Reopt_abandoned of { attempt : int; reason : string }
   | Degraded of { kind : string; subsystem : string; detail : string }
   | Stats_refresh of { tables : string list }
+  | Plan_cache of { outcome : string; fingerprint : string; version : int }
+
+(* Fingerprints are canonical query renderings and can run long; traces
+   only need enough of one to tell entries apart. *)
+let abbreviate fp =
+  if String.length fp <= 48 then fp else String.sub fp 0 45 ^ "..."
 
 let to_string = function
   | Guard_ok { label; expected_rows; actual_rows; q_error } ->
@@ -24,6 +30,8 @@ let to_string = function
       Printf.sprintf "degraded: [%s] %s: %s" kind subsystem detail
   | Stats_refresh { tables } ->
       Printf.sprintf "stats-refresh: %s" (String.concat ", " tables)
+  | Plan_cache { outcome; fingerprint; version } ->
+      Printf.sprintf "plan-cache: %s %s (stats v%d)" outcome (abbreviate fingerprint) version
 
 let to_json event =
   let obj kind fields = Json.Obj (("event", Json.Str kind) :: fields) in
@@ -54,3 +62,10 @@ let to_json event =
         [ ("kind", Json.Str kind); ("subsystem", Json.Str subsystem); ("detail", Json.Str detail) ]
   | Stats_refresh { tables } ->
       obj "stats_refresh" [ ("tables", Json.List (List.map (fun t -> Json.Str t) tables)) ]
+  | Plan_cache { outcome; fingerprint; version } ->
+      obj "plan_cache"
+        [
+          ("outcome", Json.Str outcome);
+          ("fingerprint", Json.Str fingerprint);
+          ("version", Json.Num (float_of_int version));
+        ]

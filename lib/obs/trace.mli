@@ -24,6 +24,12 @@ type event =
           [Fault] taxonomy: Stale / Missing / Corrupt / Budget_exceeded) *)
   | Stats_refresh of { tables : string list }
       (** the maintenance policy rebuilt statistics *)
+  | Plan_cache of { outcome : string; fingerprint : string; version : int }
+      (** one plan-cache lookup or eviction: [outcome] is ["hit"],
+          ["miss"], ["invalidated"] (stats version moved since the entry
+          was cached — a re-optimization follows) or ["evicted"] (LRU
+          capacity pressure); [version] is the live statistics version at
+          the event *)
 
 val to_string : event -> string
 (** One line, ["event-name: details"]. *)

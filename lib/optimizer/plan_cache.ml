@@ -1,0 +1,144 @@
+type stats = { hits : int; misses : int; invalidations : int; evictions : int }
+
+let stats_to_json s =
+  Rq_obs.Json.Obj
+    [
+      ("hits", Rq_obs.Json.Num (float_of_int s.hits));
+      ("misses", Rq_obs.Json.Num (float_of_int s.misses));
+      ("invalidations", Rq_obs.Json.Num (float_of_int s.invalidations));
+      ("evictions", Rq_obs.Json.Num (float_of_int s.evictions));
+    ]
+
+let lookups s = s.hits + s.misses + s.invalidations
+
+let hit_rate s =
+  let total = lookups s in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total
+
+type entry = {
+  decision : Optimizer.decision;
+  table_versions : (string * int) list;  (* versions of the query's tables at plan time *)
+  mutable last_used : int;               (* LRU clock tick of the last hit/insert *)
+}
+
+type t = {
+  capacity : int;
+  entries : (string, entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 256) () =
+  if capacity <= 0 then invalid_arg "Plan_cache.create: capacity must be positive";
+  {
+    capacity;
+    entries = Hashtbl.create (min capacity 64);
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    invalidations = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.entries
+
+let stats t =
+  { hits = t.hits; misses = t.misses; invalidations = t.invalidations; evictions = t.evictions }
+
+let clear t = Hashtbl.reset t.entries
+
+(* The stored key is the caller's fingerprint plus the estimator's name.
+   [Fingerprint.of_logical ?estimator] already folds the identity in when
+   the caller passes it; appending it here too means a caller that forgot
+   cannot be served a plan chosen by a different estimator (confidence
+   thresholds still rely on the fingerprint — the estimator object does
+   not expose them). *)
+let compose_key opt ~fingerprint =
+  fingerprint ^ "\x00est:" ^ (Optimizer.estimator opt).Cardinality.name
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+type outcome = Hit | Miss | Invalidated
+
+let outcome_to_string = function
+  | Hit -> "hit"
+  | Miss -> "miss"
+  | Invalidated -> "invalidated"
+
+let record ?obs ~version ~fingerprint outcome_label =
+  match obs with
+  | None -> ()
+  | Some r ->
+      Rq_obs.Recorder.record r
+        (Rq_obs.Trace.Plan_cache { outcome = outcome_label; fingerprint; version })
+
+let entry_valid store entry =
+  List.for_all
+    (fun (table, v) -> Rq_stats.Stats_store.table_version store table = v)
+    entry.table_versions
+
+let evict_lru ?obs t ~version =
+  if Hashtbl.length t.entries >= t.capacity then begin
+    let victim =
+      Hashtbl.fold
+        (fun key entry acc ->
+          match acc with
+          | Some (_, best) when best.last_used <= entry.last_used -> acc
+          | _ -> Some (key, entry))
+        t.entries None
+    in
+    match victim with
+    | None -> ()
+    | Some (key, _) ->
+        Hashtbl.remove t.entries key;
+        t.evictions <- t.evictions + 1;
+        record ?obs ~version ~fingerprint:key "evicted"
+  end
+
+let insert ?obs t opt ~key ~version query decision =
+  evict_lru ?obs t ~version;
+  let store = Optimizer.stats opt in
+  let table_versions =
+    List.map
+      (fun table -> (table, Rq_stats.Stats_store.table_version store table))
+      (Logical.table_names query)
+  in
+  Hashtbl.replace t.entries key { decision; table_versions; last_used = tick t }
+
+let find_or_optimize ?obs ?budget t opt ~fingerprint query =
+  let key = compose_key opt ~fingerprint in
+  let store = Optimizer.stats opt in
+  let version = Rq_stats.Stats_store.version store in
+  let optimize_and_insert outcome =
+    match Optimizer.optimize ?budget opt query with
+    | Error _ as e -> e
+    | Ok decision ->
+        insert ?obs t opt ~key ~version query decision;
+        Ok (decision, outcome)
+  in
+  match Hashtbl.find_opt t.entries key with
+  | Some entry when entry_valid store entry ->
+      entry.last_used <- tick t;
+      t.hits <- t.hits + 1;
+      record ?obs ~version ~fingerprint:key "hit";
+      Ok (entry.decision, Hit)
+  | Some _ ->
+      (* The statistics moved under the entry: serving it could replay a
+         plan chosen against a world that no longer exists.  Drop it and
+         re-optimize — the cache can delay work, never correctness. *)
+      Hashtbl.remove t.entries key;
+      t.invalidations <- t.invalidations + 1;
+      record ?obs ~version ~fingerprint:key "invalidated";
+      optimize_and_insert Invalidated
+  | None ->
+      t.misses <- t.misses + 1;
+      record ?obs ~version ~fingerprint:key "miss";
+      optimize_and_insert Miss
+
+let mem t opt ~fingerprint = Hashtbl.mem t.entries (compose_key opt ~fingerprint)

@@ -1,0 +1,131 @@
+open Rq_storage
+open Rq_exec
+open Rq_optimizer
+
+type t = { key : string; hash : int }
+
+(* ------------------------------------------------------------------ *)
+(* Canonical rendering                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Self-contained compact renderers: [Pred.pp]/[Expr.pp] are box-based
+   pretty printers whose output depends on the formatter margin, which
+   would make equal queries fingerprint differently at different lengths.
+   These emit one unambiguous line. *)
+
+let rec render_expr = function
+  | Expr.Col c -> "c:" ^ c
+  | Expr.Const v -> "v:" ^ Value.to_string v
+  | Expr.Add (a, b) -> "(+ " ^ render_expr a ^ " " ^ render_expr b ^ ")"
+  | Expr.Sub (a, b) -> "(- " ^ render_expr a ^ " " ^ render_expr b ^ ")"
+  | Expr.Mul (a, b) -> "(* " ^ render_expr a ^ " " ^ render_expr b ^ ")"
+  | Expr.Div (a, b) -> "(/ " ^ render_expr a ^ " " ^ render_expr b ^ ")"
+  | Expr.Add_days (e, d) -> Printf.sprintf "(+days %s %d)" (render_expr e) d
+
+let render_cmp = function
+  | Pred.Eq -> "="
+  | Pred.Ne -> "<>"
+  | Pred.Lt -> "<"
+  | Pred.Le -> "<="
+  | Pred.Gt -> ">"
+  | Pred.Ge -> ">="
+
+(* Normalization: flatten nested And/Or, sort operand lists by rendering,
+   and order the operands of the commutative comparisons (=, <>) — so
+   queries equal modulo predicate commutation render identically. *)
+let rec render_pred p =
+  let flatten_and = function Pred.And ps -> ps | p -> [ p ] in
+  let flatten_or = function Pred.Or ps -> ps | p -> [ p ] in
+  match p with
+  | Pred.True -> "true"
+  | Pred.False -> "false"
+  | Pred.Cmp (op, a, b) ->
+      let ra = render_expr a and rb = render_expr b in
+      let ra, rb =
+        match op with
+        | Pred.Eq | Pred.Ne -> if String.compare ra rb <= 0 then (ra, rb) else (rb, ra)
+        | _ -> (ra, rb)
+      in
+      "(" ^ render_cmp op ^ " " ^ ra ^ " " ^ rb ^ ")"
+  | Pred.Between (e, lo, hi) ->
+      "(between " ^ render_expr e ^ " " ^ render_expr lo ^ " " ^ render_expr hi ^ ")"
+  | Pred.Contains (e, s) -> Printf.sprintf "(contains %s %S)" (render_expr e) s
+  | Pred.And ps ->
+      let parts =
+        List.concat_map flatten_and ps |> List.map render_pred |> List.sort String.compare
+      in
+      "(and " ^ String.concat " " parts ^ ")"
+  | Pred.Or ps ->
+      let parts =
+        List.concat_map flatten_or ps |> List.map render_pred |> List.sort String.compare
+      in
+      "(or " ^ String.concat " " parts ^ ")"
+  | Pred.Not p -> "(not " ^ render_pred p ^ ")"
+
+let render_agg_fn = function
+  | Plan.Count_star -> "count(*)"
+  | Plan.Count e -> "count(" ^ render_expr e ^ ")"
+  | Plan.Sum e -> "sum(" ^ render_expr e ^ ")"
+  | Plan.Avg e -> "avg(" ^ render_expr e ^ ")"
+  | Plan.Min e -> "min(" ^ render_expr e ^ ")"
+  | Plan.Max e -> "max(" ^ render_expr e ^ ")"
+
+let render_agg (a : Plan.agg) = render_agg_fn a.Plan.fn ^ " as " ^ a.Plan.output_name
+
+let render_sort_key (k : Plan.sort_key) =
+  k.Plan.sort_column ^ if k.Plan.descending then " desc" else " asc"
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprinting                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* FNV-1a, folded to OCaml's 63-bit int.  The hash is a cheap bucket key;
+   equality always compares full canonical keys, so collisions can never
+   serve a wrong plan. *)
+let fnv1a s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  Int64.to_int (Int64.shift_right_logical !h 1)
+
+let of_logical ?(estimator = "") ?confidence (q : Logical.t) =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (* Join structure is determined by the table *set* (the catalog's FK
+     edges are fixed), so table order is normalized away. *)
+  let tables =
+    List.sort
+      (fun (a : Logical.table_ref) b -> String.compare a.Logical.table b.Logical.table)
+      q.Logical.tables
+  in
+  List.iter
+    (fun (r : Logical.table_ref) ->
+      add "t:%s[%s];" r.Logical.table (render_pred r.Logical.pred))
+    tables;
+  (* Grouping/projection/order shape the output schema, so they stay
+     verbatim (order significant). *)
+  add "g:%s;" (String.concat "," q.Logical.group_by);
+  add "a:%s;" (String.concat "," (List.map render_agg q.Logical.aggs));
+  (match q.Logical.projection with
+  | None -> add "p:*;"
+  | Some cols -> add "p:%s;" (String.concat "," cols));
+  add "o:%s;" (String.concat "," (List.map render_sort_key q.Logical.order_by));
+  (match q.Logical.limit with None -> add "l:;" | Some n -> add "l:%d;" n);
+  (* The estimator's identity: the same logical query optimized under a
+     different estimator or confidence threshold is a different cache
+     entry — their chosen plans legitimately differ. *)
+  add "e:%s;" estimator;
+  (match confidence with
+  | None -> add "T:;"
+  | Some c -> add "T:%.6g;" (Rq_core.Confidence.to_percent c));
+  let key = Buffer.contents buf in
+  { key; hash = fnv1a key }
+
+let to_key t = t.key
+let hash t = t.hash
+let equal a b = String.equal a.key b.key
+let compare a b = String.compare a.key b.key
+let pp fmt t = Format.pp_print_string fmt t.key

@@ -25,7 +25,10 @@ let closure catalog root =
   visit root;
   List.rev !order
 
-let build ?(with_replacement = true) ?(follow_fks = true) rng catalog ~size ~root =
+exception Dangling of string
+
+let build ?(with_replacement = true) ?(follow_fks = true) ?(lenient = false) rng catalog ~size
+    ~root =
   let root_rel =
     match Catalog.find_table_opt catalog root with
     | Some rel -> rel
@@ -77,18 +80,29 @@ let build ?(with_replacement = true) ?(follow_fks = true) rng catalog ~size ~roo
               Hashtbl.replace parts fk.to_table child;
               follow fk.to_table child
           | None ->
-              invalid_arg
-                (Printf.sprintf
-                   "Join_synopsis.build: dangling FK %s.%s = %s (no match in %s)" table
-                   fk.from_column (Value.to_string key) fk.to_table))
+              let detail =
+                Printf.sprintf
+                  "Join_synopsis.build: dangling FK %s.%s = %s (no match in %s)" table
+                  fk.from_column (Value.to_string key) fk.to_table
+              in
+              (* A dangling root row is not part of the maximal join, so in
+                 lenient mode it simply contributes nothing to the sample —
+                 this is how a referenced table that became empty degrades
+                 to an empty synopsis instead of aborting the rebuild. *)
+              if lenient then raise (Dangling detail) else invalid_arg detail)
         (Catalog.foreign_keys_from catalog table)
     in
     if follow_fks then follow root root_tuple;
     Array.concat (List.map (fun table -> Hashtbl.find parts table) tables)
   in
   let rows =
-    Array.map expand
-      (Array.of_seq (Relation.to_seq (Sample.rows base_sample)))
+    Array.of_seq (Relation.to_seq (Sample.rows base_sample))
+    |> Array.to_list
+    |> List.filter_map (fun tuple ->
+           match expand tuple with
+           | joined -> Some joined
+           | exception Dangling _ -> None)
+    |> Array.of_list
   in
   let sample =
     Sample.of_rows ~rows ~schema:joined_schema

@@ -17,14 +17,19 @@ open Rq_exec
 type t
 
 val build :
-  ?with_replacement:bool -> ?follow_fks:bool -> Rq_math.Rng.t -> Catalog.t ->
+  ?with_replacement:bool -> ?follow_fks:bool -> ?lenient:bool -> Rq_math.Rng.t -> Catalog.t ->
   size:int -> root:string -> t
 (** Samples the root and follows every outgoing FK edge transitively.
     With [~follow_fks:false] the synopsis degenerates to a plain
     single-table sample (covering only the root) — the Sec.-3.5 situation
     where join synopses are unavailable but per-table samples exist.
+    An empty root yields an empty synopsis (evidence [(0, 0)]).
     Raises [Invalid_argument] if an FK value has no match (broken
-    referential integrity) or the root is unknown. *)
+    referential integrity) or the root is unknown.  With [~lenient:true]
+    (the statistics-maintenance setting) a dangling root row is dropped
+    from the sample instead — a root row with no referenced tuple is not
+    part of the maximal join, so when a referenced table empties out the
+    synopsis degrades toward empty rather than aborting the rebuild. *)
 
 val root : t -> string
 

@@ -6,9 +6,12 @@ type t = { rows : Relation.t; population_size : int }
 let of_relation rng ?(with_replacement = true) ~size rel =
   if size <= 0 then invalid_arg "Sample.of_relation: size must be positive";
   let population = Relation.row_count rel in
-  if population = 0 then invalid_arg "Sample.of_relation: empty relation";
+  (* An empty relation yields an empty sample (evidence (0, 0)) rather than
+     an error: tables legitimately become empty between maintenance
+     refreshes, and the estimation chain degrades on empty evidence. *)
   let indices =
-    if with_replacement then Rq_math.Rng.sample_with_replacement rng size population
+    if population = 0 then [||]
+    else if with_replacement then Rq_math.Rng.sample_with_replacement rng size population
     else Rq_math.Rng.sample_without_replacement rng (min size population) population
   in
   let tuples = Array.map (fun rid -> Relation.get rel rid) indices in
@@ -52,4 +55,5 @@ let count_matching t pred =
 let evidence t pred = (count_matching t pred, size t)
 
 let naive_selectivity t pred =
-  float_of_int (count_matching t pred) /. float_of_int (size t)
+  let n = size t in
+  if n = 0 then 0.0 else float_of_int (count_matching t pred) /. float_of_int n

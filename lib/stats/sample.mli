@@ -15,7 +15,10 @@ val of_relation :
   Rq_math.Rng.t -> ?with_replacement:bool -> size:int -> Relation.t -> t
 (** [size] tuples drawn uniformly.  Without replacement, [size] is clamped
     to the population size.  Raises [Invalid_argument] on a non-positive
-    size or an empty relation. *)
+    size.  An empty relation yields an empty sample — evidence [(0, 0)] —
+    so a table that became empty between maintenance refreshes degrades
+    estimation (to the magic-constants tier) instead of aborting the
+    statistics rebuild. *)
 
 val of_rows :
   rows:Relation.tuple array -> schema:Schema.t -> population_size:int -> name:string -> t
@@ -46,4 +49,5 @@ val evidence : t -> Pred.t -> int * int
 
 val naive_selectivity : t -> Pred.t -> float
 (** Maximum-likelihood estimate k/n (what [1]'s join synopses would
-    report); the robust estimator replaces this with a posterior quantile. *)
+    report); the robust estimator replaces this with a posterior quantile.
+    0 on an empty sample. *)

@@ -23,7 +23,21 @@ type t = {
   config : config;
   histograms : (string * string, Histogram.t) Hashtbl.t;
   synopses : (string, Join_synopsis.t) Hashtbl.t;
+  version : int;
+  table_versions : (string, int) Hashtbl.t;
 }
+
+(* Process-wide monotonic clock for statistics versions.  Every store built
+   or derived (copy-on-write) within one process gets a strictly larger
+   version than anything before it, so a plan cached against version [v]
+   can trust that *any* statistics change — a maintenance rebuild, a fault
+   injection, a manual synopsis swap — is visible as [version > v].  The
+   counter never resets; it is an ordering device, not an identifier. *)
+let version_clock = ref 0
+
+let next_version () =
+  incr version_clock;
+  !version_clock
 
 let update_statistics rng ?(config = default_config) catalog =
   let histograms = Hashtbl.create 64 in
@@ -44,34 +58,57 @@ let update_statistics rng ?(config = default_config) catalog =
     (Catalog.table_names catalog);
   List.iter
     (fun root ->
-      if Relation.row_count (Catalog.find_table catalog root) > 0 then
-        Hashtbl.replace synopses root
-          (Join_synopsis.build (Rq_math.Rng.split rng) catalog
-             ~with_replacement:config.with_replacement
-             ~follow_fks:config.follow_foreign_keys ~size:config.sample_size ~root))
+      (* Empty tables get an empty synopsis (evidence (0, 0)): the
+         degradation chain flags it as Missing and falls through to magic
+         constants, instead of the build raising on an empty sample. *)
+      Hashtbl.replace synopses root
+        (Join_synopsis.build (Rq_math.Rng.split rng) catalog ~lenient:true
+           ~with_replacement:config.with_replacement
+           ~follow_fks:config.follow_foreign_keys ~size:config.sample_size ~root))
     roots;
-  { catalog; config; histograms; synopses }
+  let version = next_version () in
+  let table_versions = Hashtbl.create 16 in
+  List.iter
+    (fun table -> Hashtbl.replace table_versions table version)
+    (Catalog.table_names catalog);
+  { catalog; config; histograms; synopses; version; table_versions }
 
 let catalog t = t.catalog
 let config t = t.config
+let version t = t.version
+
+let table_version t table =
+  (* Unknown tables report the store version: a cache that asks about a
+     table the store has never seen must stay conservative. *)
+  Option.value ~default:t.version (Hashtbl.find_opt t.table_versions table)
 let histogram t ~table ~column = Hashtbl.find_opt t.histograms (table, column)
 let synopsis t ~root = Hashtbl.find_opt t.synopses root
 
 (* Copy-on-write setters: the fault harness derives damaged stores without
-   mutating the store under test. *)
+   mutating the store under test.  Each derivation advances the store
+   version and the touched table's version, so cached plans against the
+   original cannot be served from the derived store (or vice versa). *)
+let bump t ~table =
+  let table_versions = Hashtbl.copy t.table_versions in
+  let version = next_version () in
+  Hashtbl.replace table_versions table version;
+  (version, table_versions)
+
 let with_synopsis t ~root replacement =
   let synopses = Hashtbl.copy t.synopses in
   (match replacement with
   | Some syn -> Hashtbl.replace synopses root syn
   | None -> Hashtbl.remove synopses root);
-  { t with synopses }
+  let version, table_versions = bump t ~table:root in
+  { t with synopses; version; table_versions }
 
 let with_histogram t ~table ~column replacement =
   let histograms = Hashtbl.copy t.histograms in
   (match replacement with
   | Some h -> Hashtbl.replace histograms (table, column) h
   | None -> Hashtbl.remove histograms (table, column));
-  { t with histograms }
+  let version, table_versions = bump t ~table in
+  { t with histograms; version; table_versions }
 
 let synopsis_roots t = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.synopses [])
 

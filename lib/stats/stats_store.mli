@@ -30,6 +30,24 @@ val update_statistics : Rq_math.Rng.t -> ?config:config -> Catalog.t -> t
 val catalog : t -> Catalog.t
 val config : t -> config
 
+val version : t -> int
+(** Monotonic statistics version.  Strictly increases across every store
+    built in this process: {!update_statistics} (and hence every
+    {!Maintenance} refresh) stamps a fresh version, and each copy-on-write
+    derivation ({!with_synopsis}, {!with_histogram} — the primitives behind
+    {!Fault.apply}) advances it again.  A consumer that recorded the
+    version at plan time can detect any statistics change since — the
+    invalidation rule of {!Rq_optimizer.Plan_cache}. *)
+
+val table_version : t -> string -> int
+(** The version of the last statistics change that touched this table: the
+    store version for tables untouched since the last full rebuild, newer
+    for tables whose synopsis or histograms were swapped copy-on-write.
+    Unknown tables conservatively report the store version.  A full
+    rebuild ({!update_statistics}) redraws every sample, so it advances
+    every table's version — per-table granularity only helps consumers
+    survive targeted (per-root) synopsis/histogram swaps. *)
+
 val histogram : t -> table:string -> column:string -> Histogram.t option
 
 val synopsis : t -> root:string -> Join_synopsis.t option

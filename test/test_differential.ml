@@ -1,0 +1,226 @@
+(* Differential plan-correctness oracle.
+
+   A seeded generator produces logical queries over the TPC-H-lite and
+   star catalogs; each query is optimized under every estimator
+   configuration (robust sampling, histogram+AVI, sample+AVI, sample-ML,
+   and the exact oracle) and every chosen plan is executed.  Whatever the
+   estimation quality, the *results* must agree: a bad estimate may pick a
+   slow plan, never a wrong answer.  A second pass routes optimization
+   through the plan cache and checks the cached decision (including the
+   served-from-cache repeat) against the uncached one.
+
+   The generator seed comes from DIFF_SEED (default 42); CI runs the suite
+   under several seeds. *)
+
+open Rq_exec
+open Rq_optimizer
+open Rq_workload
+
+let seed =
+  match Sys.getenv_opt "DIFF_SEED" with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 42)
+  | None -> 42
+
+(* ------------------------------------------------------------------ *)
+(* Query generation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let sum col name = { Plan.fn = Plan.Sum (Expr.col col); output_name = name }
+let count name = { Plan.fn = Plan.Count_star; output_name = name }
+
+(* Connected table subsets of TPC-H-lite (FKs: lineitem -> orders,
+   lineitem -> part) with type-correct random predicates. *)
+let gen_tpch_query rng =
+  let pred_lineitem () =
+    match Rq_math.Rng.int rng 3 with
+    | 0 -> Pred.le (Expr.col "l_quantity") (Expr.int (1 + Rq_math.Rng.int rng 50))
+    | 1 -> Pred.gt (Expr.col "l_extendedprice") (Expr.float (Rq_math.Rng.float rng 50_000.0))
+    | _ ->
+        Pred.And
+          [
+            Pred.le (Expr.col "l_quantity") (Expr.int (10 + Rq_math.Rng.int rng 40));
+            Pred.gt (Expr.col "l_extendedprice") (Expr.float (Rq_math.Rng.float rng 20_000.0));
+          ]
+  in
+  let pred_orders () =
+    Pred.gt (Expr.col "o_totalprice") (Expr.float (Rq_math.Rng.float rng 100_000.0))
+  in
+  let pred_part () =
+    match Rq_math.Rng.int rng 2 with
+    | 0 -> Pred.lt (Expr.col "p_size") (Expr.int (1 + Rq_math.Rng.int rng 50))
+    | _ -> Pred.eq (Expr.col "p_bucket") (Expr.int (Rq_math.Rng.int rng 1000))
+  in
+  let lineitem () = Logical.scan ~pred:(pred_lineitem ()) "lineitem" in
+  let refs =
+    match Rq_math.Rng.int rng 4 with
+    | 0 -> [ lineitem () ]
+    | 1 -> [ lineitem (); Logical.scan ~pred:(pred_orders ()) "orders" ]
+    | 2 -> [ lineitem (); Logical.scan ~pred:(pred_part ()) "part" ]
+    | _ ->
+        [
+          lineitem ();
+          Logical.scan ~pred:(pred_orders ()) "orders";
+          Logical.scan ~pred:(pred_part ()) "part";
+        ]
+  in
+  match Rq_math.Rng.int rng 3 with
+  | 0 -> Logical.query ~aggs:[ sum "lineitem.l_extendedprice" "revenue"; count "n" ] refs
+  | 1 ->
+      (* grouped aggregate: multi-row result exercises the multiset compare *)
+      Logical.query ~group_by:[ "lineitem.l_quantity" ]
+        ~aggs:[ sum "lineitem.l_extendedprice" "revenue" ]
+        refs
+  | _ ->
+      (* plain SPJ with a projection: row-level differential check *)
+      Logical.query ~projection:[ "lineitem.l_rowid"; "lineitem.l_extendedprice" ] refs
+
+let gen_star_query rng =
+  let dim n =
+    Logical.scan
+      ~pred:(Pred.eq (Expr.col "d_filter") (Expr.int (Rq_math.Rng.int rng 10)))
+      (Printf.sprintf "dim%d" n)
+  in
+  let dims =
+    List.filter_map
+      (fun n -> if Rq_math.Rng.bool rng then Some (dim n) else None)
+      [ 1; 2; 3 ]
+  in
+  let refs = Logical.scan "fact" :: dims in
+  match Rq_math.Rng.int rng 3 with
+  | 0 -> Logical.query ~aggs:[ sum "fact.f_m1" "total"; count "n" ] refs
+  | 1 ->
+      Logical.query ~group_by:[ "fact.f_dim1" ] ~aggs:[ sum "fact.f_m2" "total" ] refs
+  | _ -> Logical.query ~projection:[ "fact.f_id"; "fact.f_m1" ] refs
+
+(* ------------------------------------------------------------------ *)
+(* The oracle                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let queries_per_catalog = 12
+
+let estimator_configs stats =
+  let est () =
+    Rq_core.Robust_estimator.create
+      ~confidence:Rq_core.Confidence.(resolve default_setting)
+      ()
+  in
+  [
+    ("robust-sampling", Cardinality.robust stats (est ()));
+    ("histogram-avi", Cardinality.histogram_avi stats);
+    ("sample-avi", Cardinality.sample_avi stats (est ()));
+    ("sample-ml", Cardinality.sample_ml stats);
+  ]
+
+let execute catalog scale plan =
+  let meter = Cost.create ~scale () in
+  Executor.run catalog meter plan
+
+let fail_differential ~label ~query ~reference ~candidate =
+  Alcotest.failf
+    "%s: plan answered the same query differently (seed %d)\nquery: %s\nreference rows:\n%s\ncandidate rows:\n%s"
+    label seed
+    (Format.asprintf "%a" Logical.pp query)
+    (String.concat "\n" (Array.to_list (Rq_experiments.Exp_common.canonical_rows reference)))
+    (String.concat "\n" (Array.to_list (Rq_experiments.Exp_common.canonical_rows candidate)))
+
+let run_differential catalog_name catalog gen () =
+  let rng = Rq_math.Rng.create seed in
+  let scale = 1.0 in
+  let stats =
+    Rq_stats.Stats_store.update_statistics (Rq_math.Rng.split rng)
+      ~config:{ Rq_stats.Stats_store.default_config with sample_size = 200 }
+      catalog
+  in
+  let oracle_opt = Optimizer.create ~scale stats (Cardinality.oracle catalog) in
+  for i = 1 to queries_per_catalog do
+    let query = gen rng in
+    let reference =
+      match Optimizer.optimize oracle_opt query with
+      | Ok d -> execute catalog scale d.Optimizer.plan
+      | Error e -> Alcotest.failf "%s query %d: oracle rejected: %s" catalog_name i e
+    in
+    List.iter
+      (fun (name, estimator) ->
+        let opt = Optimizer.create ~scale stats estimator in
+        match Optimizer.optimize opt query with
+        | Error e -> Alcotest.failf "%s query %d: %s rejected: %s" catalog_name i name e
+        | Ok d ->
+            let result = execute catalog scale d.Optimizer.plan in
+            if not (Rq_experiments.Exp_common.results_equal reference result) then
+              fail_differential
+                ~label:(Printf.sprintf "%s query %d under %s" catalog_name i name)
+                ~query ~reference ~candidate:result)
+      (estimator_configs stats)
+  done
+
+(* The cached-vs-uncached pass: both the freshly-inserted decision and the
+   served-from-cache repeat must answer like a cold optimization. *)
+let run_cache_differential catalog_name catalog gen () =
+  let rng = Rq_math.Rng.create (seed + 1) in
+  let scale = 1.0 in
+  let stats =
+    Rq_stats.Stats_store.update_statistics (Rq_math.Rng.split rng)
+      ~config:{ Rq_stats.Stats_store.default_config with sample_size = 200 }
+      catalog
+  in
+  let opt = Optimizer.robust ~scale stats in
+  let cache = Plan_cache.create () in
+  let seen = Hashtbl.create 16 in
+  for i = 1 to queries_per_catalog do
+    let query = gen rng in
+    let fingerprint =
+      Rq_sql.Fingerprint.to_key
+        (Rq_sql.Fingerprint.of_logical
+           ~estimator:(Optimizer.estimator opt).Cardinality.name query)
+    in
+    (* the generator may re-draw an earlier query; its first lookup would
+       then hit rather than miss *)
+    let fresh = not (Hashtbl.mem seen fingerprint) in
+    Hashtbl.replace seen fingerprint ();
+    let uncached =
+      match Optimizer.optimize opt query with
+      | Ok d -> execute catalog scale d.Optimizer.plan
+      | Error e -> Alcotest.failf "%s query %d: rejected: %s" catalog_name i e
+    in
+    List.iter
+      (fun (pass, expected_outcome) ->
+        match Plan_cache.find_or_optimize cache opt ~fingerprint query with
+        | Error e -> Alcotest.failf "%s query %d (%s): rejected: %s" catalog_name i pass e
+        | Ok (d, outcome) ->
+            if fresh then
+              Alcotest.(check string)
+                (Printf.sprintf "%s query %d: %s outcome" catalog_name i pass)
+                expected_outcome
+                (Plan_cache.outcome_to_string outcome)
+            else
+              Alcotest.(check string)
+                (Printf.sprintf "%s query %d: repeat always hits" catalog_name i)
+                "hit"
+                (Plan_cache.outcome_to_string outcome);
+            let result = execute catalog scale d.Optimizer.plan in
+            if not (Rq_experiments.Exp_common.results_equal uncached result) then
+              fail_differential
+                ~label:(Printf.sprintf "%s query %d %s lookup" catalog_name i pass)
+                ~query ~reference:uncached ~candidate:result)
+      [ ("cold", "miss"); ("cached", "hit") ]
+  done
+
+let () =
+  let rng = Rq_math.Rng.create (seed + 2) in
+  let tpch_params = { Tpch.default_params with scale_factor = 0.003 } in
+  let tpch = Tpch.generate (Rq_math.Rng.split rng) ~params:tpch_params () in
+  let star_params = { Star.default_params with fact_rows = 5_000 } in
+  let star = Star.generate (Rq_math.Rng.split rng) ~params:star_params () in
+  Alcotest.run "differential"
+    [
+      ( "estimators agree on results",
+        [
+          Alcotest.test_case "tpch" `Quick (run_differential "tpch" tpch gen_tpch_query);
+          Alcotest.test_case "star" `Quick (run_differential "star" star gen_star_query);
+        ] );
+      ( "cache agrees with cold optimization",
+        [
+          Alcotest.test_case "tpch" `Quick (run_cache_differential "tpch" tpch gen_tpch_query);
+          Alcotest.test_case "star" `Quick (run_cache_differential "star" star gen_star_query);
+        ] );
+    ]

@@ -547,6 +547,135 @@ let test_explain_output () =
       check_bool "names the estimator" true (string_contains report "robust-sampling");
       check_bool "lists alternatives" true (string_contains report "alternatives")
 
+(* ------------------------------------------------------------------ *)
+(* Plan cache                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fingerprint_of opt q =
+  Rq_sql.Fingerprint.to_key
+    (Rq_sql.Fingerprint.of_logical ~estimator:(Optimizer.estimator opt).Cardinality.name q)
+
+let cache_query ?(threshold = 980) () =
+  Logical.query
+    [
+      Logical.scan ~pred:(Pred.ge (Expr.col "temp") (Expr.int threshold)) "readings";
+      Logical.scan "sites";
+    ]
+
+let outcome_of = function
+  | Ok (_, outcome) -> Plan_cache.outcome_to_string outcome
+  | Error e -> Alcotest.fail e
+
+let test_cache_hit_on_repeat () =
+  let catalog = fixture () in
+  let stats = build_stats catalog 90 in
+  let opt = Optimizer.robust stats in
+  let cache = Plan_cache.create () in
+  let q = cache_query () in
+  let fingerprint = fingerprint_of opt q in
+  Alcotest.(check string) "first sighting misses" "miss"
+    (outcome_of (Plan_cache.find_or_optimize cache opt ~fingerprint q));
+  (* Same logical query written with the tables in the other order: the
+     fingerprint normalizes it to the same key. *)
+  let q' =
+    Logical.query
+      [
+        Logical.scan "sites";
+        Logical.scan ~pred:(Pred.ge (Expr.col "temp") (Expr.int 980)) "readings";
+      ]
+  in
+  Alcotest.(check string) "commuted repeat hits" "hit"
+    (outcome_of (Plan_cache.find_or_optimize cache opt ~fingerprint:(fingerprint_of opt q') q'));
+  let s = Plan_cache.stats cache in
+  check_int "one hit" 1 s.Plan_cache.hits;
+  check_int "one miss" 1 s.Plan_cache.misses;
+  check_close 1e-9 "hit rate" 0.5 (Plan_cache.hit_rate s);
+  check_int "one live entry" 1 (Plan_cache.length cache)
+
+let test_cache_invalidated_by_refresh () =
+  let catalog = fixture () in
+  let m = Rq_stats.Maintenance.create (Rq_math.Rng.create 91) catalog in
+  let cache = Plan_cache.create () in
+  let obs = Rq_obs.Recorder.create () in
+  let q = cache_query () in
+  let lookup () =
+    let opt = Optimizer.robust (Rq_stats.Maintenance.stats m) in
+    outcome_of (Plan_cache.find_or_optimize ~obs cache opt ~fingerprint:(fingerprint_of opt q) q)
+  in
+  Alcotest.(check string) "miss" "miss" (lookup ());
+  Alcotest.(check string) "hit before refresh" "hit" (lookup ());
+  Rq_stats.Maintenance.refresh m;
+  (* The refresh redrew every sample: serving the old plan would replay a
+     decision made against statistics that no longer exist. *)
+  Alcotest.(check string) "invalidated after refresh" "invalidated" (lookup ());
+  Alcotest.(check string) "hit again after re-optimization" "hit" (lookup ());
+  let outcomes =
+    List.filter_map
+      (function
+        | Rq_obs.Trace.Plan_cache { outcome; _ } -> Some outcome
+        | _ -> None)
+      (Rq_obs.Recorder.events obs)
+  in
+  Alcotest.(check (list string)) "trace records the re-optimization"
+    [ "miss"; "hit"; "invalidated"; "hit" ] outcomes
+
+let test_cache_survives_unrelated_injection () =
+  let catalog = fixture () in
+  let stats = build_stats catalog 92 in
+  let opt = Optimizer.robust stats in
+  let cache = Plan_cache.create () in
+  let sites_q = Logical.query [ Logical.scan ~pred:(Pred.eq (Expr.col "zone") (Expr.int 2)) "sites" ] in
+  let readings_q = cache_query () in
+  ignore (Plan_cache.find_or_optimize cache opt ~fingerprint:(fingerprint_of opt sites_q) sites_q);
+  ignore (Plan_cache.find_or_optimize cache opt ~fingerprint:(fingerprint_of opt readings_q) readings_q);
+  (* Damage only the readings synopsis: per-table version granularity must
+     keep the sites entry servable while invalidating the readings one. *)
+  let damaged =
+    Rq_stats.Fault.apply (Rq_math.Rng.create 93) stats [ Rq_stats.Fault.Drop_synopsis "readings" ]
+  in
+  let opt' = Optimizer.robust damaged in
+  Alcotest.(check string) "unrelated entry still hits" "hit"
+    (outcome_of (Plan_cache.find_or_optimize cache opt' ~fingerprint:(fingerprint_of opt' sites_q) sites_q));
+  Alcotest.(check string) "damaged root's entry invalidated" "invalidated"
+    (outcome_of
+       (Plan_cache.find_or_optimize cache opt' ~fingerprint:(fingerprint_of opt' readings_q) readings_q))
+
+let test_cache_lru_eviction () =
+  let catalog = fixture () in
+  let stats = build_stats catalog 94 in
+  let opt = Optimizer.robust stats in
+  let cache = Plan_cache.create ~capacity:2 () in
+  let qa = cache_query ~threshold:900 () in
+  let qb = cache_query ~threshold:950 () in
+  let qc = cache_query ~threshold:990 () in
+  let run q = ignore (Plan_cache.find_or_optimize cache opt ~fingerprint:(fingerprint_of opt q) q) in
+  run qa;
+  run qb;
+  run qa;  (* touch A so B is the least recently used *)
+  run qc;  (* capacity 2: inserting C must evict B, not A *)
+  check_bool "A survives (recently used)" true (Plan_cache.mem cache opt ~fingerprint:(fingerprint_of opt qa));
+  check_bool "B evicted (least recently used)" false (Plan_cache.mem cache opt ~fingerprint:(fingerprint_of opt qb));
+  check_bool "C present" true (Plan_cache.mem cache opt ~fingerprint:(fingerprint_of opt qc));
+  check_int "bounded by capacity" 2 (Plan_cache.length cache);
+  let s = Plan_cache.stats cache in
+  check_int "one eviction" 1 s.Plan_cache.evictions;
+  check_int "one hit (the touch)" 1 s.Plan_cache.hits;
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Plan_cache.create: capacity must be positive") (fun () ->
+      ignore (Plan_cache.create ~capacity:0 ()))
+
+let test_cache_never_caches_errors () =
+  let catalog = fixture () in
+  let stats = build_stats catalog 95 in
+  let opt = Optimizer.robust stats in
+  let cache = Plan_cache.create () in
+  let bad = Logical.query [ Logical.scan "missing" ] in
+  let fingerprint = fingerprint_of opt bad in
+  check_bool "validation failure surfaces" true
+    (Result.is_error (Plan_cache.find_or_optimize cache opt ~fingerprint bad));
+  check_bool "error not cached" false (Plan_cache.mem cache opt ~fingerprint);
+  check_int "cache stays empty" 0 (Plan_cache.length cache)
+
 let () =
   Alcotest.run "rq_optimizer"
     [
@@ -594,5 +723,14 @@ let () =
           Alcotest.test_case "explain" `Quick test_explain_output;
           Alcotest.test_case "explain analyze" `Quick test_explain_analyze;
           QCheck_alcotest.to_alcotest prop_random_query_pipeline;
+        ] );
+      ( "plan cache",
+        [
+          Alcotest.test_case "hit on repeat (modulo commutation)" `Quick test_cache_hit_on_repeat;
+          Alcotest.test_case "refresh invalidates" `Quick test_cache_invalidated_by_refresh;
+          Alcotest.test_case "unrelated injection leaves hits servable" `Quick
+            test_cache_survives_unrelated_injection;
+          Alcotest.test_case "LRU eviction order and capacity" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "errors are not cached" `Quick test_cache_never_caches_errors;
         ] );
     ]

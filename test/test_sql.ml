@@ -477,6 +477,110 @@ let test_loader_bad_data () =
           check_bool "empty field is NULL" true (Value.is_null (Relation.get rel 1).(1))
       | Error e -> Alcotest.fail e)
 
+(* ------------------------------------------------------------------ *)
+(* Fingerprint properties                                              *)
+(* ------------------------------------------------------------------ *)
+
+open Rq_optimizer
+
+let fp ?confidence q = Fingerprint.of_logical ~estimator:"robust-sampling" ?confidence q
+
+(* Small random SPJ queries: 1-3 tables, each with a conjunction of
+   integer comparisons.  (Fingerprinting never consults a catalog, so the
+   table vocabulary is free-form.) *)
+let gen_cmp =
+  QCheck.Gen.(
+    map3
+      (fun op col lit ->
+        let c = Expr.col col and v = Expr.int lit in
+        match op with
+        | 0 -> Pred.eq c v
+        | 1 -> Pred.lt c v
+        | 2 -> Pred.ge c v
+        | _ -> Pred.Cmp (Pred.Ne, c, v))
+      (int_bound 3)
+      (oneofl [ "a"; "b"; "c" ])
+      (int_bound 100))
+
+let gen_query =
+  QCheck.Gen.(
+    let gen_pred = map (fun ps -> Pred.And ps) (list_size (int_range 1 3) gen_cmp) in
+    let gen_ref = pair (oneofl [ "t1"; "t2"; "t3" ]) gen_pred in
+    map2
+      (fun refs limit ->
+        (* one ref per table name: duplicate tables are not a valid query *)
+        let dedup =
+          List.fold_left
+            (fun acc (t, p) -> if List.mem_assoc t acc then acc else (t, p) :: acc)
+            [] refs
+        in
+        Logical.query ?limit
+          (List.map (fun (t, p) -> Logical.scan ~pred:p t) dedup))
+      (list_size (int_range 1 3) gen_ref)
+      (opt (int_bound 50)))
+
+let arb_query =
+  QCheck.make ~print:(fun q -> Fingerprint.to_key (fp q)) gen_query
+
+(* Reverse table order, reverse every conjunction, swap =/<> operands:
+   everything the fingerprint promises to normalize away. *)
+let rec commute_pred = function
+  | Pred.And ps -> Pred.And (List.rev_map commute_pred ps)
+  | Pred.Or ps -> Pred.Or (List.rev_map commute_pred ps)
+  | Pred.Cmp (Pred.Eq, a, b) -> Pred.Cmp (Pred.Eq, b, a)
+  | Pred.Cmp (Pred.Ne, a, b) -> Pred.Cmp (Pred.Ne, b, a)
+  | Pred.Not p -> Pred.Not (commute_pred p)
+  | p -> p
+
+let commute_query (q : Logical.t) =
+  {
+    q with
+    Logical.tables =
+      List.rev_map
+        (fun (r : Logical.table_ref) -> { r with Logical.pred = commute_pred r.Logical.pred })
+        q.Logical.tables;
+  }
+
+let prop_fingerprint_commutation =
+  QCheck.Test.make ~name:"fingerprint: invariant under commutation" ~count:300 arb_query
+    (fun q -> Fingerprint.equal (fp q) (fp (commute_query q)))
+
+let prop_fingerprint_pure =
+  QCheck.Test.make ~name:"fingerprint: pure (same input, same key and hash)" ~count:300
+    arb_query (fun q ->
+      let a = fp q and b = fp q in
+      Fingerprint.equal a b
+      && Fingerprint.hash a = Fingerprint.hash b
+      && Fingerprint.compare a b = 0)
+
+let bump_first_literal = function
+  | Pred.And (Pred.Cmp (op, a, Expr.Const (Value.Int n)) :: rest) ->
+      Some (Pred.And (Pred.Cmp (op, a, Expr.Const (Value.Int (n + 1))) :: rest))
+  | Pred.Cmp (op, a, Expr.Const (Value.Int n)) ->
+      Some (Pred.Cmp (op, a, Expr.Const (Value.Int (n + 1))))
+  | _ -> None
+
+let prop_fingerprint_literal_distinct =
+  QCheck.Test.make ~name:"fingerprint: literals are distinguishing" ~count:300 arb_query
+    (fun q ->
+      match q.Logical.tables with
+      | ({ Logical.pred; _ } as r) :: rest -> (
+          match bump_first_literal pred with
+          | None -> QCheck.assume_fail ()
+          | Some pred' ->
+              let q' = { q with Logical.tables = { r with Logical.pred = pred' } :: rest } in
+              not (Fingerprint.equal (fp q) (fp q')))
+      | [] -> QCheck.assume_fail ())
+
+let prop_fingerprint_confidence_distinct =
+  QCheck.Test.make ~name:"fingerprint: confidence is distinguishing" ~count:100
+    QCheck.(pair (int_range 1 99) (int_range 1 99))
+    (fun (a, b) ->
+      QCheck.assume (a <> b);
+      let q = Logical.query [ Logical.scan "t" ] in
+      let key p = fp ~confidence:(Rq_core.Confidence.of_percent (float_of_int p)) q in
+      not (Fingerprint.equal (key a) (key b)))
+
 let () =
   Alcotest.run "rq_sql"
     [
@@ -528,5 +632,12 @@ let () =
           Alcotest.test_case "DDL errors" `Quick test_ddl_errors;
           Alcotest.test_case "export/load roundtrip" `Quick test_loader_roundtrip;
           Alcotest.test_case "loader error handling" `Quick test_loader_bad_data;
+        ] );
+      ( "fingerprint",
+        [
+          QCheck_alcotest.to_alcotest prop_fingerprint_commutation;
+          QCheck_alcotest.to_alcotest prop_fingerprint_pure;
+          QCheck_alcotest.to_alcotest prop_fingerprint_literal_distinct;
+          QCheck_alcotest.to_alcotest prop_fingerprint_confidence_distinct;
         ] );
     ]

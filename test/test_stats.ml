@@ -493,6 +493,87 @@ let test_maintenance_record_modifications_edge_counts () =
   check_int "zero count is a no-op" 0 (Maintenance.modifications_since_refresh m ~table:"orders");
   check_bool "still fresh" false (Maintenance.is_stale m)
 
+(* ---- statistics versioning (the plan cache's invalidation signal) ---- *)
+
+let test_version_monotonic_rebuild () =
+  let catalog = chain_catalog () in
+  let s1 = Stats_store.update_statistics (Rq_math.Rng.create 50) catalog in
+  let s2 = Stats_store.update_statistics (Rq_math.Rng.create 51) catalog in
+  check_bool "rebuild advances the store version" true
+    (Stats_store.version s2 > Stats_store.version s1);
+  (* A full rebuild redraws every sample, so every table is stamped fresh. *)
+  List.iter
+    (fun t ->
+      check_int (t ^ " stamped with the store version") (Stats_store.version s2)
+        (Stats_store.table_version s2 t))
+    [ "customers"; "orders"; "lineitems" ];
+  check_int "unknown table reports the store version" (Stats_store.version s2)
+    (Stats_store.table_version s2 "nope")
+
+let test_version_per_table_bump () =
+  let catalog = chain_catalog () in
+  let s = Stats_store.update_statistics (Rq_math.Rng.create 52) catalog in
+  let orders_before = Stats_store.table_version s "orders" in
+  let customers_before = Stats_store.table_version s "customers" in
+  let s' = Stats_store.with_histogram s ~table:"orders" ~column:"o_status" None in
+  check_bool "touched table advanced" true (Stats_store.table_version s' "orders" > orders_before);
+  check_int "untouched table unchanged" customers_before (Stats_store.table_version s' "customers");
+  check_bool "store version advanced" true (Stats_store.version s' > Stats_store.version s);
+  check_int "copy-on-write: original untouched" orders_before (Stats_store.table_version s "orders")
+
+let test_version_fault_injection_bumps_root () =
+  let catalog = chain_catalog () in
+  let s = Stats_store.update_statistics (Rq_math.Rng.create 53) catalog in
+  let customers_before = Stats_store.table_version s "customers" in
+  let damaged = Fault.apply (Rq_math.Rng.create 54) s [ Fault.Drop_synopsis "lineitems" ] in
+  check_bool "injected root advanced" true
+    (Stats_store.table_version damaged "lineitems" > Stats_store.table_version s "lineitems");
+  check_int "unrelated table unchanged" customers_before
+    (Stats_store.table_version damaged "customers")
+
+(* ---- refresh over emptied tables (must degrade, not raise) ---- *)
+
+let test_refresh_after_root_emptied () =
+  let catalog = chain_catalog () in
+  let m = Maintenance.create (Rq_math.Rng.create 55) catalog in
+  Maintenance.apply_update m ~table:"lineitems" (fun _ -> [||]);
+  Maintenance.refresh m;
+  let stats = Maintenance.stats m in
+  match Stats_store.synopsis stats ~root:"lineitems" with
+  | None -> Alcotest.fail "synopsis should exist (empty, not absent)"
+  | Some syn ->
+      check_int "empty synopsis" 0 (Join_synopsis.size syn);
+      let k, n = Join_synopsis.evidence syn Pred.True in
+      check_int "evidence k over empty sample" 0 k;
+      check_int "evidence n over empty sample" 0 n;
+      (match Fault.verify_synopsis catalog syn with
+      | Error e ->
+          check_bool "health check flags Missing" true (e.Fault.kind = Fault.Missing)
+      | Ok () -> Alcotest.fail "empty synopsis must fail the health check")
+
+let test_refresh_after_parent_emptied () =
+  (* Emptying a referenced table leaves every child row dangling; the
+     lenient rebuild drops them instead of raising mid-refresh. *)
+  let catalog = chain_catalog () in
+  let m = Maintenance.create (Rq_math.Rng.create 56) catalog in
+  Maintenance.apply_update m ~table:"customers" (fun _ -> [||]);
+  Maintenance.refresh m;
+  let stats = Maintenance.stats m in
+  match Stats_store.synopsis stats ~root:"lineitems" with
+  | None -> Alcotest.fail "synopsis should exist"
+  | Some syn -> check_int "all dangling join rows dropped" 0 (Join_synopsis.size syn)
+
+let test_empty_sample_of_relation () =
+  let rel =
+    Relation.create ~name:"void"
+      ~schema:(Schema.create [ { Schema.name = "id"; ty = Value.T_int } ])
+      [||]
+  in
+  let s = Sample.of_relation (Rq_math.Rng.create 57) ~size:100 rel in
+  check_int "empty sample" 0 (Sample.size s);
+  check_int "population zero" 0 (Sample.population_size s);
+  check_close 1e-9 "selectivity over nothing" 0.0 (Sample.naive_selectivity s Pred.True)
+
 let () =
   Alcotest.run "rq_stats"
     [
@@ -554,5 +635,21 @@ let () =
           Alcotest.test_case "single-table synopsis" `Quick test_single_table_synopsis;
           Alcotest.test_case "store without FK expansion" `Quick test_store_without_fk_expansion;
           Alcotest.test_case "histogram AVI selectivity" `Quick test_store_histogram_avi;
+        ] );
+      ( "versioning",
+        [
+          Alcotest.test_case "rebuild is monotonic and stamps all tables" `Quick
+            test_version_monotonic_rebuild;
+          Alcotest.test_case "copy-on-write bumps one table" `Quick test_version_per_table_bump;
+          Alcotest.test_case "fault injection bumps the root" `Quick
+            test_version_fault_injection_bumps_root;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "refresh after root emptied" `Quick test_refresh_after_root_emptied;
+          Alcotest.test_case "refresh after parent emptied" `Quick
+            test_refresh_after_parent_emptied;
+          Alcotest.test_case "empty relation yields empty sample" `Quick
+            test_empty_sample_of_relation;
         ] );
     ]
