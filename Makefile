@@ -1,5 +1,5 @@
 .PHONY: all test fault-test differential bench bench-quick bench-throughput \
-        examples trace-demo clean
+        bench-exec examples trace-demo clean
 
 all:
 	dune build @all
@@ -28,6 +28,11 @@ bench-quick:
 # Plan-cache throughput bench; writes BENCH_throughput.json.
 bench-throughput: all
 	dune exec bin/robustopt.exe -- bench-throughput
+
+# Streaming-vs-materialized executor bench (early-exit page savings +
+# full-drain counter parity + GC peak); writes BENCH_exec.json.
+bench-exec: all
+	dune exec bin/robustopt.exe -- bench-exec
 
 examples:
 	dune exec examples/quickstart.exe

@@ -100,6 +100,17 @@ let opt_budget_arg =
        ~doc:"Cap on candidate-cost evaluations during plan search; when exceeded the \
              optimizer answers with the deterministic left-deep fallback plan.")
 
+let exec_arg =
+  Arg.(value & opt string "streaming" & info [ "exec" ]
+       ~doc:"Execution engine: streaming (pull-based batch pipeline, early-exit LIMIT and \
+             mid-stream guards) or materialized (compute every operator's full output).")
+
+let mode_of_string = function
+  | "streaming" -> Rq_exec.Executor.Streaming
+  | "materialized" -> Rq_exec.Executor.Materialized
+  | other ->
+      failwith (Printf.sprintf "unknown --exec %S (expected streaming or materialized)" other)
+
 let trace_arg =
   Arg.(value & flag & info [ "trace" ]
        ~doc:"After execution, print the trace-event log (guards, re-optimization, \
@@ -164,8 +175,9 @@ let explain_cmd =
          ~doc:"Also execute the plan and report per-node estimated vs. actual rows.")
   in
   let run workload seed scale sample_size confidence estimator analyze data_dir fault_profile
-      reopt_threshold opt_budget trace metrics_json sql =
+      reopt_threshold opt_budget exec trace metrics_json sql =
     check_reopt_threshold reopt_threshold;
+    let mode = mode_of_string exec in
     let catalog, cost_scale = obtain_catalog ~workload ~seed ~scale ~data_dir in
     let stats = build_stats ~seed ~sample_size catalog in
     let bound = compile_sql catalog sql in
@@ -199,7 +211,7 @@ let explain_cmd =
       in
       print_newline ();
       let report =
-        Explain_analyze.analyze catalog ~scale:cost_scale ?obs:recorder
+        Explain_analyze.analyze catalog ~scale:cost_scale ?obs:recorder ~mode
           (Optimizer.estimator opt) plan
       in
       print_string (Explain_analyze.render_report report);
@@ -209,7 +221,8 @@ let explain_cmd =
   let term =
     Term.(const run $ workload_arg $ seed_arg $ scale_arg $ sample_arg $ confidence_arg
           $ estimator_arg $ analyze_arg $ data_dir_arg $ fault_profile_arg
-          $ reopt_threshold_arg $ opt_budget_arg $ trace_arg $ metrics_json_arg $ sql_arg)
+          $ reopt_threshold_arg $ opt_budget_arg $ exec_arg $ trace_arg $ metrics_json_arg
+          $ sql_arg)
   in
   Cmd.v
     (Cmd.info "explain"
@@ -236,8 +249,9 @@ let print_result_rows result =
 
 let run_cmd =
   let run workload seed scale sample_size confidence estimator data_dir fault_profile
-      reopt_threshold opt_budget trace metrics_json sql =
+      reopt_threshold opt_budget exec trace metrics_json sql =
     check_reopt_threshold reopt_threshold;
+    let mode = mode_of_string exec in
     let catalog, cost_scale = obtain_catalog ~workload ~seed ~scale ~data_dir in
     let stats = build_stats ~seed ~sample_size catalog in
     let bound = compile_sql catalog sql in
@@ -261,7 +275,9 @@ let run_cmd =
     (match reopt_threshold with
     | None ->
         let meter = Rq_exec.Cost.create ~scale:cost_scale () in
-        let result = Rq_exec.Executor.run ?obs:recorder catalog meter decision.Optimizer.plan in
+        let result =
+          Rq_exec.Executor.run ?obs:recorder ~mode catalog meter decision.Optimizer.plan
+        in
         let snapshot = Rq_exec.Cost.snapshot meter in
         Printf.printf "plan: %s\n" (Rq_exec.Plan.describe decision.Optimizer.plan);
         Format.printf "estimated cost: %.3f s; simulated execution: %a@."
@@ -269,7 +285,7 @@ let run_cmd =
         print_result_rows result
     | Some threshold ->
         let outcome =
-          Reopt.execute_plan ~threshold ?obs:recorder opt query decision.Optimizer.plan
+          Reopt.execute_plan ~threshold ?obs:recorder ~mode opt query decision.Optimizer.plan
         in
         Printf.printf "initial plan: %s\n"
           (Rq_exec.Plan.describe outcome.Reopt.initial_plan);
@@ -284,7 +300,7 @@ let run_cmd =
   let term =
     Term.(const run $ workload_arg $ seed_arg $ scale_arg $ sample_arg $ confidence_arg
           $ estimator_arg $ data_dir_arg $ fault_profile_arg $ reopt_threshold_arg
-          $ opt_budget_arg $ trace_arg $ metrics_json_arg $ sql_arg)
+          $ opt_budget_arg $ exec_arg $ trace_arg $ metrics_json_arg $ sql_arg)
   in
   Cmd.v
     (Cmd.info "run"
@@ -548,6 +564,46 @@ let bench_throughput_cmd =
              hit rate, invalidations, and a differential plan-correctness check.")
     term
 
+(* ---------------- bench-exec ---------------- *)
+
+let bench_exec_cmd =
+  let small_arg =
+    Arg.(value & flag & info [ "small" ]
+         ~doc:"CI-sized run: smaller catalog and fewer repetitions.")
+  in
+  let seed_arg =
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N"
+         ~doc:"Override the workload seed (default 11).")
+  in
+  let out_arg =
+    Arg.(value & opt string "BENCH_exec.json" & info [ "out" ] ~docv:"FILE"
+         ~doc:"Where to write the JSON report; - for none.")
+  in
+  let run small seed out =
+    let module E = Rq_experiments in
+    let config = if small then E.Exp_exec.small_config else E.Exp_exec.default_config in
+    let config =
+      match seed with None -> config | Some seed -> { config with E.Exp_exec.seed }
+    in
+    let result = E.Exp_exec.run ~config () in
+    print_string (E.Exp_exec.render result);
+    if out <> "-" then begin
+      let oc = open_out out in
+      output_string oc (Rq_obs.Json.to_string (E.Exp_exec.to_json result));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" out
+    end;
+    if not result.E.Exp_exec.ok then exit 1
+  in
+  let term = Term.(const run $ small_arg $ seed_arg $ out_arg) in
+  Cmd.v
+    (Cmd.info "bench-exec"
+       ~doc:"Streaming vs. materialized executor: early-exit page savings on LIMIT and \
+             mid-stream guard workloads, exact counter parity on full drains, and real \
+             runtime/memory per engine.")
+    term
+
 (* ---------------- profile ---------------- *)
 
 let profile_cmd =
@@ -637,4 +693,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ explain_cmd; run_cmd; estimate_cmd; analyze_cmd; experiment_cmd;
-            bench_throughput_cmd; profile_cmd; sweep_cmd; export_cmd; batch_cmd ]))
+            bench_throughput_cmd; bench_exec_cmd; profile_cmd; sweep_cmd; export_cmd;
+            batch_cmd ]))

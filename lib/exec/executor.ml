@@ -1,20 +1,26 @@
 open Rq_storage
 
-type result = { schema : Schema.t; tuples : Relation.tuple array }
+type result = Exec_common.result = { schema : Schema.t; tuples : Relation.tuple array }
 
-exception
-  Guard_violation of {
-    label : string;
-    expected_rows : float;
-    actual_rows : int;
-    q_error : float;
-    result : result;
-    subplan : Plan.t;
-  }
+type violation = Exec_common.violation = {
+  label : string;
+  expected_rows : float;
+  actual_rows : int;
+  q_error : float;
+  result : result;
+  subplan : Plan.t;
+  complete : bool;
+  progress : float;
+  resume : Plan.t option;
+}
+
+exception Guard_violation = Exec_common.Guard_violation
 
 (* The guard's firing rule is Plan.q_error, the same definition EXPLAIN
    ANALYZE renders — re-exported so callers of the executor need not know. *)
 let q_error = Plan.q_error
+
+type mode = Streaming | Materialized
 
 type ctx = {
   catalog : Catalog.t;
@@ -26,45 +32,6 @@ let meter_metrics ctx = Cost.to_metrics (Cost.snapshot ctx.meter)
 
 let record ctx event =
   match ctx.obs with None -> () | Some r -> Rq_obs.Recorder.record r event
-
-let qualified_schema catalog table =
-  Schema.qualify table (Relation.schema (Catalog.find_table catalog table))
-
-(* Pages of index leaf level touched when [entries] of [total] entries are
-   read: the matching entries are contiguous in key order. *)
-let leaf_pages_touched idx entries =
-  let total = Index.entry_count idx in
-  if total = 0 || entries = 0 then 0
-  else
-    let pages = Index.leaf_page_count idx in
-    max 1 (int_of_float (ceil (float_of_int entries /. float_of_int total *. float_of_int pages)))
-
-let find_index_exn catalog ~table ~column =
-  match Catalog.find_index catalog ~table ~column with
-  | Some idx -> idx
-  | None -> invalid_arg (Printf.sprintf "Executor: no index on %s.%s" table column)
-
-(* Fetch heap rows by RID, charging one random page read per row (the paper's
-   index-intersection cost model: each qualifying record needs a random disk
-   read). *)
-let fetch_rids meter rel rids =
-  Cost.charge_random_pages meter (Rid_set.cardinality rids);
-  Cost.charge_cpu_tuples meter (Rid_set.cardinality rids);
-  let out = Array.make (Rid_set.cardinality rids) [||] in
-  let i = ref 0 in
-  Rid_set.iter
-    (fun rid ->
-      out.(!i) <- Relation.get rel rid;
-      incr i)
-    rids;
-  out
-
-let probe_index meter idx { Plan.column = _; lo; hi } =
-  Cost.charge_index_probes meter 1;
-  let count = Index.probe_range_count idx ~lo ~hi in
-  Cost.charge_index_entries meter count;
-  Cost.charge_seq_pages meter (leaf_pages_touched idx count);
-  Index.probe_range idx ~lo ~hi
 
 let exec_scan catalog meter ~table ~access ~pred =
   let rel = Catalog.find_table catalog table in
@@ -78,45 +45,32 @@ let exec_scan catalog meter ~table ~access ~pred =
         Relation.iter (fun _ tup -> if check tup then acc := tup :: !acc) rel;
         Array.of_list (List.rev !acc)
     | Plan.Index_range probe ->
-        let idx = find_index_exn catalog ~table ~column:probe.Plan.column in
-        let rids = probe_index meter idx probe in
-        let fetched = fetch_rids meter rel rids in
+        let idx = Exec_common.find_index_exn catalog ~table ~column:probe.Plan.column in
+        let rids = Exec_common.probe_index meter idx probe in
+        let fetched = Exec_common.fetch_rids meter rel rids in
         Array.of_seq (Seq.filter check (Array.to_seq fetched))
     | Plan.Index_intersect probes ->
         (match probes with
         | [] | [ _ ] -> invalid_arg "Executor: Index_intersect needs >= 2 probes"
         | first :: rest ->
-            let idx0 = find_index_exn catalog ~table ~column:first.Plan.column in
-            let acc = ref (probe_index meter idx0 first) in
+            let idx0 =
+              Exec_common.find_index_exn catalog ~table ~column:first.Plan.column
+            in
+            let acc = ref (Exec_common.probe_index meter idx0 first) in
             List.iter
               (fun probe ->
-                let idx = find_index_exn catalog ~table ~column:probe.Plan.column in
-                let rids = probe_index meter idx probe in
+                let idx =
+                  Exec_common.find_index_exn catalog ~table ~column:probe.Plan.column
+                in
+                let rids = Exec_common.probe_index meter idx probe in
                 Cost.charge_cpu_tuples meter
                   (Rid_set.cardinality !acc + Rid_set.cardinality rids);
                 acc := Rid_set.inter !acc rids)
               rest;
-            let fetched = fetch_rids meter rel !acc in
+            let fetched = Exec_common.fetch_rids meter rel !acc in
             Array.of_seq (Seq.filter check (Array.to_seq fetched)))
   in
-  { schema = qualified_schema catalog table; tuples = matching }
-
-(* The physical order a plan's output arrives in, if it is a clustered-key
-   order the merge join can rely on.  Seq scans emit heap order; index
-   fetches emit RID order, which is also heap order. *)
-let rec output_sorted_on catalog = function
-  | Plan.Scan { table; _ } -> (
-      match Catalog.clustered_by catalog table with
-      | Some col -> Some (table ^ "." ^ col)
-      | None -> None)
-  | Plan.Guard { input; _ } -> output_sorted_on catalog input
-  | _ -> None
-
-let concat_tuples a b =
-  let out = Array.make (Array.length a + Array.length b) Value.Null in
-  Array.blit a 0 out 0 (Array.length a);
-  Array.blit b 0 out (Array.length a) (Array.length b);
-  out
+  { schema = Exec_common.qualified_schema catalog table; tuples = matching }
 
 (* Every node executes under a recorder span (when a recorder is attached):
    the span's metric delta is the meter movement attributable to this node's
@@ -144,6 +98,30 @@ and exec_node ctx plan =
   let catalog = ctx.catalog and meter = ctx.meter in
   match plan with
   | Plan.Scan { table; access; pred } -> exec_scan catalog meter ~table ~access ~pred
+  | Plan.Scan_resume { table; pred; from_rid } ->
+      let rel = Catalog.find_table catalog table in
+      let n = Relation.row_count rel in
+      let from = min (max 0 from_rid) n in
+      Cost.charge_seq_pages meter (Exec_common.resume_pages rel ~from);
+      Cost.charge_cpu_tuples meter (n - from);
+      let check = Pred.compile (Relation.schema rel) pred in
+      let acc = ref [] in
+      for rid = from to n - 1 do
+        let tup = Relation.get rel rid in
+        if check tup then acc := tup :: !acc
+      done;
+      {
+        schema = Exec_common.qualified_schema catalog table;
+        tuples = Array.of_list (List.rev !acc);
+      }
+  | Plan.Append parts ->
+      let results = List.map (exec ctx) parts in
+      let schema =
+        match results with
+        | [] -> invalid_arg "Executor: Append needs at least one input"
+        | first :: _ -> first.schema
+      in
+      { schema; tuples = Array.concat (List.map (fun r -> r.tuples) results) }
   | Plan.Hash_join { build; probe; build_key; probe_key } ->
       let build_res = exec ctx build in
       let probe_res = exec ctx probe in
@@ -162,16 +140,19 @@ and exec_node ctx plan =
         (fun ptup ->
           let key = ptup.(ppos) in
           if not (Value.is_null key) then
+            (* find_all yields reverse insertion order; reverse it back so
+               duplicate-key matches come out in build-input order (and both
+               engines emit byte-identical results). *)
             List.iter
-              (fun btup -> out := concat_tuples btup ptup :: !out)
-              (Hashtbl.find_all table key))
+              (fun btup -> out := Exec_common.concat_tuples btup ptup :: !out)
+              (List.rev (Hashtbl.find_all table key)))
         probe_res.tuples;
       let tuples = Array.of_list (List.rev !out) in
       Cost.charge_output_tuples meter (Array.length tuples);
       { schema = Schema.concat build_res.schema probe_res.schema; tuples }
   | Plan.Merge_join { left; right; left_key; right_key } ->
-      let sorted_left = output_sorted_on catalog left in
-      let sorted_right = output_sorted_on catalog right in
+      let sorted_left = Exec_common.output_sorted_on catalog left in
+      let sorted_right = Exec_common.output_sorted_on catalog right in
       let left_res = exec ctx left in
       let right_res = exec ctx right in
       let lpos = Schema.index_of left_res.schema left_key in
@@ -211,7 +192,7 @@ and exec_node ctx plan =
             done;
             for a = !i to !i_end - 1 do
               for b = !j to !j_end - 1 do
-                out := concat_tuples ltups.(a) rtups.(b) :: !out
+                out := Exec_common.concat_tuples ltups.(a) rtups.(b) :: !out
               done
             done;
             i := !i_end;
@@ -225,7 +206,7 @@ and exec_node ctx plan =
       let outer_res = exec ctx outer in
       let opos = Schema.index_of outer_res.schema outer_key in
       let inner_rel = Catalog.find_table catalog inner_table in
-      let idx = find_index_exn catalog ~table:inner_table ~column:inner_key in
+      let idx = Exec_common.find_index_exn catalog ~table:inner_table ~column:inner_key in
       let check = Pred.compile (Relation.schema inner_rel) inner_pred in
       let out = ref [] in
       Array.iter
@@ -235,16 +216,19 @@ and exec_node ctx plan =
             Cost.charge_index_probes meter 1;
             let rids = Index.probe_eq idx key in
             Cost.charge_index_entries meter (Rid_set.cardinality rids);
-            let fetched = fetch_rids meter inner_rel rids in
+            let fetched = Exec_common.fetch_rids meter inner_rel rids in
             Array.iter
-              (fun itup -> if check itup then out := concat_tuples otup itup :: !out)
+              (fun itup ->
+                if check itup then out := Exec_common.concat_tuples otup itup :: !out)
               fetched
           end)
         outer_res.tuples;
       let tuples = Array.of_list (List.rev !out) in
       Cost.charge_output_tuples meter (Array.length tuples);
       {
-        schema = Schema.concat outer_res.schema (qualified_schema catalog inner_table);
+        schema =
+          Schema.concat outer_res.schema
+            (Exec_common.qualified_schema catalog inner_table);
         tuples;
       }
   | Plan.Star_semijoin { fact; fact_pred; dims } ->
@@ -295,7 +279,15 @@ and exec_node ctx plan =
       let keep = max 0 (min n (Array.length res.tuples)) in
       Cost.charge_cpu_tuples meter keep;
       { res with tuples = Array.sub res.tuples 0 keep }
-  | Plan.Aggregate { input; group_by; aggs } -> exec_aggregate ctx ~input ~group_by ~aggs
+  | Plan.Aggregate { input; group_by; aggs } ->
+      let res = exec ctx input in
+      let agg = Agg.create res.schema ~group_by ~aggs in
+      Cost.charge_hash_build meter (Array.length res.tuples);
+      Agg.feed agg res.tuples;
+      let rows = Agg.finalize agg in
+      Cost.charge_output_tuples meter (List.length rows);
+      let schema = Plan.schema_of catalog (Plan.Aggregate { input; group_by; aggs }) in
+      { schema; tuples = Array.of_list rows }
   | Plan.Guard { input; expected_rows; max_q_error; label } ->
       let res = exec ctx input in
       let actual = Array.length res.tuples in
@@ -309,7 +301,17 @@ and exec_node ctx plan =
              { label; expected_rows; actual_rows = actual; q_error = q });
         raise
           (Guard_violation
-             { label; expected_rows; actual_rows = actual; q_error = q; result = res; subplan = input })
+             {
+               label;
+               expected_rows;
+               actual_rows = actual;
+               q_error = q;
+               result = res;
+               subplan = input;
+               complete = true;
+               progress = 1.0;
+               resume = None;
+             })
       end
       else begin
         record ctx
@@ -349,7 +351,7 @@ and exec_star_semijoin catalog meter ~fact ~fact_pred ~dims =
             end)
           dim_rel;
         Cost.charge_hash_build meter (Hashtbl.length lookup);
-        let idx = find_index_exn catalog ~table:fact ~column:fact_fk in
+        let idx = Exec_common.find_index_exn catalog ~table:fact ~column:fact_fk in
         let rid_chunks =
           List.map
             (fun key ->
@@ -378,7 +380,7 @@ and exec_star_semijoin catalog meter ~fact ~fact_pred ~dims =
      stitch the dimension tuples back on. *)
   let fact_schema = Relation.schema fact_rel in
   let check_fact = Pred.compile fact_schema fact_pred in
-  let fetched = fetch_rids meter fact_rel surviving in
+  let fetched = Exec_common.fetch_rids meter fact_rel surviving in
   let fk_positions =
     List.map (fun (fact_fk, lookup, _) -> (Schema.index_of fact_schema fact_fk, lookup)) dim_results
   in
@@ -393,7 +395,7 @@ and exec_star_semijoin catalog meter ~fact ~fact_pred ~dims =
         if List.for_all Option.is_some dim_tuples then
           let row =
             List.fold_left
-              (fun acc d -> concat_tuples acc (Option.get d))
+              (fun acc d -> Exec_common.concat_tuples acc (Option.get d))
               ftup dim_tuples
           in
           out := row :: !out
@@ -403,106 +405,21 @@ and exec_star_semijoin catalog meter ~fact ~fact_pred ~dims =
   Cost.charge_output_tuples meter (Array.length tuples);
   let schema =
     List.fold_left
-      (fun acc { Plan.dim_table; _ } -> Schema.concat acc (qualified_schema catalog dim_table))
-      (qualified_schema catalog fact)
+      (fun acc { Plan.dim_table; _ } ->
+        Schema.concat acc (Exec_common.qualified_schema catalog dim_table))
+      (Exec_common.qualified_schema catalog fact)
       dims
   in
   { schema; tuples }
 
-and exec_aggregate ctx ~input ~group_by ~aggs =
-  let catalog = ctx.catalog and meter = ctx.meter in
-  let res = exec ctx input in
-  let group_positions = List.map (Schema.index_of res.schema) group_by in
-  let agg_fns =
-    List.map
-      (fun { Plan.fn; _ } ->
-        match fn with
-        | Plan.Count_star -> `Count
-        | Plan.Count e -> `Count_expr (Expr.compile res.schema e)
-        | Plan.Sum e -> `Sum (Expr.compile res.schema e)
-        | Plan.Avg e -> `Avg (Expr.compile res.schema e)
-        | Plan.Min e -> `Min (Expr.compile res.schema e)
-        | Plan.Max e -> `Max (Expr.compile res.schema e))
-      aggs
-  in
-  (* Per-group accumulators: count, sum, min, max per aggregate slot. *)
-  let module State = struct
-    type t = { mutable count : int; mutable sum : float; mutable min_v : Value.t; mutable max_v : Value.t }
+let run ?obs ?(mode = Streaming) catalog meter plan =
+  match mode with
+  | Streaming -> Stream_exec.run ?obs catalog meter plan
+  | Materialized -> exec { catalog; meter; obs } plan
 
-    let create () = { count = 0; sum = 0.0; min_v = Value.Null; max_v = Value.Null }
-  end in
-  let groups : (Value.t list, State.t array) Hashtbl.t = Hashtbl.create 64 in
-  let touch key =
-    match Hashtbl.find_opt groups key with
-    | Some states -> states
-    | None ->
-        let states = Array.init (List.length agg_fns) (fun _ -> State.create ()) in
-        Hashtbl.add groups key states;
-        states
-  in
-  Cost.charge_hash_build meter (Array.length res.tuples);
-  Array.iter
-    (fun tup ->
-      let key = List.map (fun p -> tup.(p)) group_positions in
-      let states = touch key in
-      List.iteri
-        (fun i fn ->
-          let st = states.(i) in
-          match fn with
-          | `Count -> st.State.count <- st.State.count + 1
-          | `Count_expr f -> (
-              match f tup with
-              | Value.Null -> ()
-              | _ -> st.State.count <- st.State.count + 1)
-          | `Sum f | `Avg f -> (
-              match f tup with
-              | Value.Null -> ()
-              | v ->
-                  st.State.count <- st.State.count + 1;
-                  st.State.sum <- st.State.sum +. Value.to_float v)
-          | `Min f -> (
-              match f tup with
-              | Value.Null -> ()
-              | v ->
-                  if Value.is_null st.State.min_v || Value.compare v st.State.min_v < 0 then
-                    st.State.min_v <- v)
-          | `Max f -> (
-              match f tup with
-              | Value.Null -> ()
-              | v ->
-                  if Value.is_null st.State.max_v || Value.compare v st.State.max_v > 0 then
-                    st.State.max_v <- v))
-        agg_fns)
-    res.tuples;
-  (* SQL semantics: grand-total aggregation yields one row even on empty
-     input. *)
-  if group_by = [] && Hashtbl.length groups = 0 then ignore (touch []);
-  let finalize states =
-    List.mapi
-      (fun i fn ->
-        let st = states.(i) in
-        match fn with
-        | `Count | `Count_expr _ -> Value.Int st.State.count
-        | `Sum _ -> if st.State.count = 0 then Value.Null else Value.Float st.State.sum
-        | `Avg _ ->
-            if st.State.count = 0 then Value.Null
-            else Value.Float (st.State.sum /. float_of_int st.State.count)
-        | `Min _ -> st.State.min_v
-        | `Max _ -> st.State.max_v)
-      agg_fns
-  in
-  let rows =
-    Hashtbl.fold (fun key states acc -> Array.of_list (key @ finalize states) :: acc) groups []
-  in
-  Cost.charge_output_tuples meter (List.length rows);
-  let schema = Plan.schema_of catalog (Plan.Aggregate { input; group_by; aggs }) in
-  { schema; tuples = Array.of_list rows }
-
-let run ?obs catalog meter plan = exec { catalog; meter; obs } plan
-
-let run_timed catalog ?constants ?scale ?obs plan =
+let run_timed catalog ?constants ?scale ?obs ?mode plan =
   let meter = Cost.create ?constants ?scale () in
-  let res = run ?obs catalog meter plan in
+  let res = run ?obs ?mode catalog meter plan in
   (res, Cost.snapshot meter)
 
 let result_to_relation ~name { schema; tuples } = Relation.create ~name ~schema tuples

@@ -20,6 +20,7 @@ type star_dim = { dim_table : string; dim_pred : Pred.t; fact_fk : string }
 
 type t =
   | Scan of { table : string; access : access; pred : Pred.t }
+  | Scan_resume of { table : string; pred : Pred.t; from_rid : int }
   | Hash_join of { build : t; probe : t; build_key : string; probe_key : string }
   | Merge_join of { left : t; right : t; left_key : string; right_key : string }
   | Indexed_nl_join of {
@@ -42,6 +43,7 @@ type t =
       tuples : Value.t array array;
       refs : (string * Pred.t) list;
     }
+  | Append of t list
 
 let qualified_schema catalog table =
   Schema.qualify table (Relation.schema (Catalog.find_table catalog table))
@@ -52,7 +54,9 @@ let agg_output_type = function
   | Min _ | Max _ -> Value.T_float
 
 let rec schema_of catalog = function
-  | Scan { table; _ } -> qualified_schema catalog table
+  | Scan { table; _ } | Scan_resume { table; _ } -> qualified_schema catalog table
+  | Append [] -> invalid_arg "Plan.schema_of: empty Append"
+  | Append (part :: _) -> schema_of catalog part
   | Hash_join { build; probe; _ } ->
       Schema.concat (schema_of catalog build) (schema_of catalog probe)
   | Merge_join { left; right; _ } ->
@@ -86,7 +90,8 @@ let rec schema_of catalog = function
 let base_tables plan =
   let add acc t = if List.mem t acc then acc else t :: acc in
   let rec go acc = function
-    | Scan { table; _ } -> add acc table
+    | Scan { table; _ } | Scan_resume { table; _ } -> add acc table
+    | Append parts -> List.fold_left go acc parts
     | Hash_join { build; probe; _ } -> go (go acc build) probe
     | Merge_join { left; right; _ } -> go (go acc left) right
     | Indexed_nl_join { outer; inner_table; _ } -> add (go acc outer) inner_table
@@ -222,6 +227,28 @@ let validate catalog plan =
         if Array.exists (fun tup -> Array.length tup <> width) tuples then
           fail "materialized tuples do not match schema width"
         else Ok ()
+    | Scan_resume { table; pred = _; from_rid } -> (
+        match Catalog.find_table_opt catalog table with
+        | None -> fail "unknown table %s" table
+        | Some _ -> if from_rid < 0 then fail "Scan_resume from_rid must be >= 0" else Ok ())
+    | Append parts -> (
+        match parts with
+        | [] -> fail "Append needs at least one input"
+        | first :: rest -> (
+            match
+              List.fold_left
+                (fun acc p -> match acc with Error _ as e -> e | Ok () -> go p)
+                (Ok ()) parts
+            with
+            | Error _ as e -> e
+            | Ok () ->
+                let names p =
+                  List.map (fun (c : Schema.column) -> c.Schema.name)
+                    (Schema.columns (schema_of catalog p))
+                in
+                let expected = names first in
+                if List.for_all (fun p -> names p = expected) rest then Ok ()
+                else fail "Append inputs have mismatched schemas"))
   in
   go plan
 
@@ -311,6 +338,11 @@ let rec pp_indented fmt depth plan =
       pp_indented fmt (depth + 1) input
   | Materialized { name; tuples; _ } ->
       Format.fprintf fmt "Materialized(%s: %d rows)@." name (Array.length tuples)
+  | Scan_resume { table; pred; from_rid } ->
+      Format.fprintf fmt "ResumeScan(%s from rid %d) filter: %a@." table from_rid Pred.pp pred
+  | Append parts ->
+      Format.fprintf fmt "Append@.";
+      List.iter (pp_indented fmt (depth + 1)) parts
 
 let pp fmt plan = pp_indented fmt 0 plan
 
@@ -345,6 +377,8 @@ let node_label = function
   | Aggregate _ -> "Aggregate"
   | Guard { max_q_error; _ } -> Printf.sprintf "Guard(max q-error %.1f)" max_q_error
   | Materialized { name; _ } -> Printf.sprintf "Materialized(%s)" name
+  | Scan_resume { table; from_rid; _ } -> Printf.sprintf "ResumeScan(%s@%d)" table from_rid
+  | Append _ -> "Append"
 
 let rec describe = function
   | Scan { table; access; _ } -> (
@@ -368,6 +402,9 @@ let rec describe = function
   | Aggregate { input; _ } -> describe input
   | Guard { input; _ } -> describe input
   | Materialized { name; _ } -> Printf.sprintf "Mat(%s)" name
+  | Scan_resume { table; _ } -> Printf.sprintf "Resume(%s)" table
+  | Append parts ->
+      Printf.sprintf "Append(%s)" (String.concat "," (List.map describe parts))
 
 (* Remove every guard, keeping the guarded subplans: the plan that would
    have run had the optimizer not asked for runtime validation. *)
@@ -388,9 +425,12 @@ let rec strip_guards = function
   | Limit (input, n) -> Limit (strip_guards input, n)
   | Guard { input; _ } -> strip_guards input
   | Materialized _ as p -> p
+  | Scan_resume _ as p -> p
+  | Append parts -> Append (List.map strip_guards parts)
 
 let rec guard_count = function
-  | Scan _ | Star_semijoin _ | Materialized _ -> 0
+  | Scan _ | Star_semijoin _ | Materialized _ | Scan_resume _ -> 0
+  | Append parts -> List.fold_left (fun acc p -> acc + guard_count p) 0 parts
   | Hash_join { build; probe; _ } -> guard_count build + guard_count probe
   | Merge_join { left; right; _ } -> guard_count left + guard_count right
   | Indexed_nl_join { outer; _ } -> guard_count outer

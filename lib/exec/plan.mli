@@ -47,6 +47,13 @@ type t =
       (** [pred] is the full base-table predicate (unqualified names); it is
           re-checked on fetched rows, so access paths may cover it only
           partially *)
+  | Scan_resume of { table : string; pred : Pred.t; from_rid : int }
+      (** the tail of an interrupted sequential scan: rows with
+          RID >= [from_rid], same predicate semantics as [Scan] with
+          [Seq_scan] access.  Produced by the re-optimizer when a streaming
+          guard fires mid-scan, so the already-streamed prefix (carried as a
+          [Materialized] leaf under an [Append]) is not re-read; only the
+          unscanned pages are charged *)
   | Hash_join of { build : t; probe : t; build_key : string; probe_key : string }
       (** keys are qualified output column names *)
   | Merge_join of { left : t; right : t; left_key : string; right_key : string }
@@ -89,6 +96,11 @@ type t =
     }
       (** an already-computed intermediate result used as a plan leaf when
           execution resumes after a guard violation; costs nothing to read *)
+  | Append of t list
+      (** concatenation of the inputs' outputs, in order; all inputs must
+          share a schema.  The mid-stream-recovery leaf:
+          [Append [Materialized prefix; Scan_resume rest]] replays a
+          partially-drained scan without repeating its pages *)
 
 val schema_of : Catalog.t -> t -> Schema.t
 (** Output schema (qualified names).  Raises if the plan is ill-formed

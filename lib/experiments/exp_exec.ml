@@ -1,0 +1,250 @@
+(* Streaming-vs-materialized executor bench.
+
+   Four fixed physical plans over the TPC-H-lite catalog, each run under
+   both engines with fresh meters: two early-exit shapes (LIMIT over a seq
+   scan, LIMIT over a hash join's probe side) where streaming must charge
+   strictly fewer pages, one mid-stream guard firing where streaming stops
+   scanning at the first overflowing batch, and one full-drain join as the
+   parity control where every cost counter must land identically.  Real
+   wall time and allocation are measured over repeated runs alongside the
+   simulated counters, plus the GC's peak live words (sampled at major
+   collections) as the memory footprint of each engine. *)
+
+open Rq_exec
+open Rq_workload
+
+type config = { seed : int; scale_factor : float; repetitions : int }
+
+let default_config = { seed = 11; scale_factor = 0.01; repetitions = 5 }
+let small_config = { seed = 11; scale_factor = 0.003; repetitions = 2 }
+
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type workload = {
+  name : string;
+  plan : Plan.t;
+  early_exit : bool;
+      (* streaming is expected to charge strictly fewer pages; otherwise
+         every counter must be identical *)
+}
+
+let scan table = Plan.Scan { table; access = Plan.Seq_scan; pred = Pred.True }
+
+let workloads () =
+  let join =
+    Plan.Hash_join
+      {
+        build = scan "orders";
+        probe = scan "lineitem";
+        build_key = "orders.o_orderkey";
+        probe_key = "lineitem.l_orderkey";
+      }
+  in
+  [
+    { name = "limit-scan"; plan = Plan.Limit (scan "lineitem", 100); early_exit = true };
+    { name = "limit-join"; plan = Plan.Limit (join, 50); early_exit = true };
+    {
+      name = "guard-fire";
+      plan =
+        Plan.Guard
+          {
+            input = scan "lineitem";
+            expected_rows = 8.0;
+            max_q_error = 2.0;
+            label = "bench guard";
+          };
+      early_exit = true;
+    };
+    { name = "full-drain"; plan = join; early_exit = false };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Measurement                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type arm = {
+  snapshot : Cost.snapshot;
+  rows : int;            (* rows produced (partial rows for a fired guard) *)
+  fired : bool;
+  wall_ms : float;       (* mean wall-clock per run *)
+  allocated_mb : float;  (* mean bytes allocated per run *)
+  peak_live_words : int; (* max live heap words seen during the runs *)
+}
+
+(* Peak live words via a GC alarm: sampled at the end of every major
+   collection, plus once after the runs with the last result still live. *)
+let with_gc_peak f =
+  Gc.compact ();
+  let peak = ref (Gc.stat ()).Gc.live_words in
+  let sample () =
+    let live = (Gc.stat ()).Gc.live_words in
+    if live > !peak then peak := live
+  in
+  let alarm = Gc.create_alarm sample in
+  let result = Fun.protect ~finally:(fun () -> Gc.delete_alarm alarm) f in
+  sample ();
+  (result, !peak)
+
+let run_arm ~mode ~scale ~repetitions catalog plan =
+  let execute () =
+    let meter = Cost.create ~scale () in
+    match Executor.run ~mode catalog meter plan with
+    | res -> (Cost.snapshot meter, Array.length res.Executor.tuples, false)
+    | exception Executor.Guard_violation v ->
+        (Cost.snapshot meter, Array.length v.Executor.result.Executor.tuples, true)
+  in
+  let (run, wall_s, alloc_bytes), peak_live_words =
+    with_gc_peak (fun () ->
+        let a0 = Gc.allocated_bytes () in
+        let t0 = Sys.time () in
+        let out = ref (execute ()) in
+        for _ = 2 to repetitions do
+          out := execute ()
+        done;
+        let wall = Sys.time () -. t0 in
+        let allocated = Gc.allocated_bytes () -. a0 in
+        let reps = float_of_int (max 1 repetitions) in
+        (!out, wall /. reps, allocated /. reps))
+  in
+  let snapshot, rows, fired = run in
+  {
+    snapshot;
+    rows;
+    fired;
+    wall_ms = wall_s *. 1000.0;
+    allocated_mb = alloc_bytes /. (1024.0 *. 1024.0);
+    peak_live_words;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The bench                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type comparison = {
+  workload : workload;
+  streaming : arm;
+  materialized : arm;
+  pages_saved : int;      (* (seq + random) pages materialized charged but
+                             streaming did not *)
+  counters_equal : bool;  (* every integer counter identical *)
+  wl_ok : bool;
+}
+
+type result = { config : config; comparisons : comparison list; ok : bool }
+
+let total_pages (s : Cost.snapshot) = s.Cost.seq_pages + s.Cost.random_pages
+
+let counters_equal (a : Cost.snapshot) (b : Cost.snapshot) =
+  a.Cost.seq_pages = b.Cost.seq_pages
+  && a.Cost.random_pages = b.Cost.random_pages
+  && a.Cost.cpu_tuples = b.Cost.cpu_tuples
+  && a.Cost.index_probes = b.Cost.index_probes
+  && a.Cost.index_entries = b.Cost.index_entries
+  && a.Cost.hash_build = b.Cost.hash_build
+  && a.Cost.hash_probe = b.Cost.hash_probe
+  && a.Cost.merge_tuples = b.Cost.merge_tuples
+  && a.Cost.sort_tuples = b.Cost.sort_tuples
+  && a.Cost.output_tuples = b.Cost.output_tuples
+
+let run ?(config = default_config) () =
+  let rng = Rq_math.Rng.create config.seed in
+  let params = { Tpch.default_params with scale_factor = config.scale_factor } in
+  let catalog = Tpch.generate rng ~params () in
+  let scale = Tpch.cost_scale catalog in
+  let comparisons =
+    List.map
+      (fun workload ->
+        let streaming =
+          run_arm ~mode:Executor.Streaming ~scale ~repetitions:config.repetitions
+            catalog workload.plan
+        in
+        let materialized =
+          run_arm ~mode:Executor.Materialized ~scale ~repetitions:config.repetitions
+            catalog workload.plan
+        in
+        let pages_saved =
+          total_pages materialized.snapshot - total_pages streaming.snapshot
+        in
+        let counters_equal = counters_equal streaming.snapshot materialized.snapshot in
+        let wl_ok =
+          if workload.early_exit then pages_saved > 0
+          else counters_equal && streaming.rows = materialized.rows
+        in
+        { workload; streaming; materialized; pages_saved; counters_equal; wl_ok })
+      (workloads ())
+  in
+  { config; comparisons; ok = List.for_all (fun c -> c.wl_ok) comparisons }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let arm_to_json (a : arm) =
+  Rq_obs.Json.Obj
+    [
+      ("simulated_seconds", Rq_obs.Json.Num a.snapshot.Cost.seconds);
+      ("seq_pages", Rq_obs.Json.Num (float_of_int a.snapshot.Cost.seq_pages));
+      ("random_pages", Rq_obs.Json.Num (float_of_int a.snapshot.Cost.random_pages));
+      ("cpu_tuples", Rq_obs.Json.Num (float_of_int a.snapshot.Cost.cpu_tuples));
+      ("rows", Rq_obs.Json.Num (float_of_int a.rows));
+      ("guard_fired", Rq_obs.Json.Bool a.fired);
+      ("wall_ms", Rq_obs.Json.Num a.wall_ms);
+      ("allocated_mb", Rq_obs.Json.Num a.allocated_mb);
+      ("peak_live_words", Rq_obs.Json.Num (float_of_int a.peak_live_words));
+    ]
+
+let to_json r =
+  Rq_obs.Json.Obj
+    [
+      ("experiment", Rq_obs.Json.Str "bench-exec");
+      ("seed", Rq_obs.Json.Num (float_of_int r.config.seed));
+      ("scale_factor", Rq_obs.Json.Num r.config.scale_factor);
+      ("repetitions", Rq_obs.Json.Num (float_of_int r.config.repetitions));
+      ( "workloads",
+        Rq_obs.Json.List
+          (List.map
+             (fun c ->
+               Rq_obs.Json.Obj
+                 [
+                   ("name", Rq_obs.Json.Str c.workload.name);
+                   ("plan", Rq_obs.Json.Str (Plan.describe c.workload.plan));
+                   ("early_exit", Rq_obs.Json.Bool c.workload.early_exit);
+                   ("streaming", arm_to_json c.streaming);
+                   ("materialized", arm_to_json c.materialized);
+                   ("pages_saved", Rq_obs.Json.Num (float_of_int c.pages_saved));
+                   ("counters_equal", Rq_obs.Json.Bool c.counters_equal);
+                   ("ok", Rq_obs.Json.Bool c.wl_ok);
+                 ])
+             r.comparisons) );
+      ("ok", Rq_obs.Json.Bool r.ok);
+    ]
+
+let render r =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "bench-exec: streaming vs. materialized (scale %.3f, %d reps)\n"
+    r.config.scale_factor r.config.repetitions;
+  add "%-12s %-13s %10s %8s %8s %10s %12s\n" "workload" "engine" "sim_s" "pages"
+    "rows" "wall_ms" "peak_words";
+  List.iter
+    (fun c ->
+      let arm_row engine (a : arm) =
+        add "%-12s %-13s %10.4f %8d %8d %10.3f %12d\n" c.workload.name engine
+          a.snapshot.Cost.seconds (total_pages a.snapshot) a.rows a.wall_ms
+          a.peak_live_words
+      in
+      arm_row "streaming" c.streaming;
+      arm_row "materialized" c.materialized;
+      let verdict =
+        if c.workload.early_exit then
+          Printf.sprintf "%d pages saved%s" c.pages_saved
+            (if c.streaming.fired then " (guard fired mid-stream)" else "")
+        else if c.counters_equal then "all counters identical"
+        else "COUNTER MISMATCH"
+      in
+      add "%-12s   -> %s%s\n" "" verdict (if c.wl_ok then "" else "  [FAIL]"))
+    r.comparisons;
+  add "bench-exec: %s\n" (if r.ok then "ok" else "FAILED");
+  Buffer.contents b

@@ -1,0 +1,45 @@
+(** Streaming-vs-materialized executor bench ([robustopt bench-exec]).
+
+    Runs four fixed physical plans over the TPC-H-lite catalog under both
+    execution engines: LIMIT-over-scan and LIMIT-over-join (streaming must
+    charge strictly fewer pages), a mid-stream guard firing (streaming
+    stops scanning at the first overflowing batch), and a full-drain join
+    (every cost counter must be identical).  Also measures real wall time,
+    allocation and GC peak live words per engine. *)
+
+open Rq_exec
+
+type config = { seed : int; scale_factor : float; repetitions : int }
+
+val default_config : config
+val small_config : config
+(** CI-sized: smaller catalog, fewer repetitions. *)
+
+type workload = { name : string; plan : Plan.t; early_exit : bool }
+
+type arm = {
+  snapshot : Cost.snapshot;
+  rows : int;            (** rows produced (partial rows for a fired guard) *)
+  fired : bool;
+  wall_ms : float;       (** mean wall-clock per run *)
+  allocated_mb : float;  (** mean bytes allocated per run *)
+  peak_live_words : int; (** max live heap words seen during the runs *)
+}
+
+type comparison = {
+  workload : workload;
+  streaming : arm;
+  materialized : arm;
+  pages_saved : int;      (** pages materialized charged but streaming did not *)
+  counters_equal : bool;  (** every integer cost counter identical *)
+  wl_ok : bool;
+}
+
+type result = { config : config; comparisons : comparison list; ok : bool }
+
+val run : ?config:config -> unit -> result
+(** [ok] is false when an early-exit workload saved no pages or a
+    full-drain workload's counters diverged. *)
+
+val to_json : result -> Rq_obs.Json.t
+val render : result -> string

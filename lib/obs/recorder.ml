@@ -46,6 +46,16 @@ let finish t handle ~rows ~aborted ~metrics =
 let close_span t handle ~rows ~metrics = finish t handle ~rows ~aborted:false ~metrics
 let abort_span t handle ~metrics = finish t handle ~rows:(-1) ~aborted:true ~metrics
 
+(* A span tree built outside the stack discipline (the streaming executor
+   accumulates per-operator deltas across interleaved next-batch calls, so
+   it cannot nest open/close windows) lands under whatever frame is
+   currently open — an attemptN span during re-optimization — or becomes a
+   root of its own. *)
+let attach_span t span =
+  match t.stack with
+  | parent :: _ -> parent.children_rev <- span :: parent.children_rev
+  | [] -> t.roots_rev <- span :: t.roots_rev
+
 let record t event = t.events_rev <- event :: t.events_rev
 
 let roots t = List.rev t.roots_rev

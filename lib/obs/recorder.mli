@@ -37,6 +37,14 @@ val abort_span : t -> handle -> metrics:Metrics.t -> unit
 (** [abort_span] closes the span as [aborted] with [rows = -1]; its cost
     delta is still recorded (the work happened and stays on the bill). *)
 
+val attach_span : t -> span -> unit
+(** Insert an externally-built, already-finalized span tree: as a child of
+    the innermost open span if one exists (e.g. an attempt span during
+    re-optimization), otherwise as a new root.  Used by the streaming
+    executor, whose per-operator windows interleave and therefore cannot
+    use the open/close stack; the caller is responsible for the tree's
+    total/self deltas telescoping like stack-built spans do. *)
+
 val record : t -> Trace.event -> unit
 
 val roots : t -> span list

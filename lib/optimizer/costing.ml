@@ -15,7 +15,12 @@ let pred_of_probe { Plan.column; lo; hi } =
    that table's predicate. *)
 let rec refs_of plan : Logical.table_ref list =
   match plan with
-  | Plan.Scan { table; pred; _ } -> [ { Logical.table; pred } ]
+  | Plan.Scan { table; pred; _ } | Plan.Scan_resume { table; pred; _ } ->
+      [ { Logical.table; pred } ]
+  | Plan.Append parts -> (
+      (* All parts cover the same logical tables (the prefix and its
+         resumption); the first part's refs stand for the whole. *)
+      match parts with [] -> [] | part :: _ -> refs_of part)
   | Plan.Hash_join { build; probe; _ } -> refs_of build @ refs_of probe
   | Plan.Merge_join { left; right; _ } -> refs_of left @ refs_of right
   | Plan.Indexed_nl_join { outer; inner_table; inner_pred; _ } ->
@@ -127,6 +132,25 @@ let estimate catalog ?(constants = Cost.default_constants) ?(scale = 1.0) est pl
                 +. rand_fetch surviving;
               card;
             })
+    | Plan.Scan_resume { table; pred; from_rid } ->
+        let rel = Catalog.find_table catalog table in
+        let n = Relation.row_count rel in
+        let from = min (max 0 from_rid) n in
+        (* The resumed tail scans (n - from) rows; its cardinality is the
+           full scan's estimate scaled by the unscanned fraction. *)
+        let frac = float_of_int (n - from) /. float_of_int (max 1 n) in
+        {
+          cost =
+            seq_pages (Exec_common.resume_pages rel ~from)
+            +. (float_of_int (n - from) *. c.Cost.cpu_tuple_s);
+          card = card_of [ { Logical.table; pred } ] *. frac;
+        }
+    | Plan.Append parts ->
+        List.fold_left
+          (fun acc part ->
+            let e = go part in
+            { cost = acc.cost +. e.cost; card = acc.card +. e.card })
+          { cost = 0.0; card = 0.0 } parts
     | Plan.Hash_join { build; probe; _ } ->
         let b = go build and p = go probe in
         let card = card_of (refs_of plan) in

@@ -15,7 +15,8 @@ type report = {
 }
 
 let children = function
-  | Plan.Scan _ | Plan.Star_semijoin _ | Plan.Materialized _ -> []
+  | Plan.Scan _ | Plan.Scan_resume _ | Plan.Star_semijoin _ | Plan.Materialized _ -> []
+  | Plan.Append parts -> parts
   | Plan.Hash_join { build; probe; _ } -> [ build; probe ]
   | Plan.Merge_join { left; right; _ } -> [ left; right ]
   | Plan.Indexed_nl_join { outer; _ } -> [ outer ]
@@ -26,7 +27,7 @@ let children = function
   | Plan.Aggregate { input; _ } -> [ input ]
   | Plan.Guard { input; _ } -> [ input ]
 
-let analyze catalog ?constants ?scale ?obs estimator plan =
+let analyze catalog ?constants ?scale ?obs ?mode estimator plan =
   let recorder =
     match obs with Some r -> r | None -> Rq_obs.Recorder.create ()
   in
@@ -35,7 +36,7 @@ let analyze catalog ?constants ?scale ?obs estimator plan =
      node's actual row count and cost delta, so nothing re-runs per node and
      the report never aborts mid-analysis.  Whether each guard *would* fire
      is derived from the q-error below. *)
-  ignore (Executor.run ~obs:recorder catalog meter (Plan.strip_guards plan));
+  ignore (Executor.run ~obs:recorder ?mode catalog meter (Plan.strip_guards plan));
   let root =
     match List.rev (Rq_obs.Recorder.roots recorder) with
     | span :: _ -> span

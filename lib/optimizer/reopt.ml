@@ -35,6 +35,11 @@ let instrument_with catalog ~constants ~scale est ~threshold plan =
     match plan with
     | Plan.Scan _ -> if root then plan else guard plan
     | Plan.Materialized _ -> plan
+    (* Recovery leaves from an earlier mid-stream firing: the prefix's
+       cardinality is a fact and the resumed tail is already feedback-sized,
+       so neither gets a fresh guard. *)
+    | Plan.Scan_resume _ -> plan
+    | Plan.Append _ -> plan
     | Plan.Guard { input; _ } -> instr ~root input (* re-instrument from scratch *)
     | Plan.Hash_join { build; probe; build_key; probe_key } ->
         let node =
@@ -115,7 +120,7 @@ let continuation catalog (query : Logical.t) ~cost_fn ~mat_plan ~covered =
 (* Execution loop                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let execute_plan ?(threshold = 4.0) ?(max_reopts = 2) ?obs opt query start_plan =
+let execute_plan ?(threshold = 4.0) ?(max_reopts = 2) ?obs ?mode opt query start_plan =
   if threshold < 1.0 then invalid_arg "Reopt.execute_plan: threshold must be >= 1.0";
   let stats = Optimizer.stats opt in
   let catalog = Rq_stats.Stats_store.catalog stats in
@@ -152,16 +157,33 @@ let execute_plan ?(threshold = 4.0) ?(max_reopts = 2) ?obs opt query start_plan 
     let run_attempt () =
       with_attempt_span
         (Printf.sprintf "attempt%d" (reopts + 1))
-        (fun () -> Executor.run ?obs catalog meter plan)
+        (fun () -> Executor.run ?obs ?mode catalog meter plan)
     in
     match run_attempt () with
     | res -> (res, plan, reopts)
     | exception
-        Executor.Guard_violation { label; expected_rows; actual_rows; q_error; result; subplan }
-      ->
+        Executor.Guard_violation
+          {
+            label;
+            expected_rows;
+            actual_rows;
+            q_error;
+            result;
+            subplan;
+            complete;
+            progress;
+            resume;
+          } ->
         let sub_refs = Costing.refs_of subplan in
         let covered = List.map (fun (r : Logical.table_ref) -> r.Logical.table) sub_refs in
-        Feedback.record fb ~tables:covered (float_of_int actual_rows);
+        (* A mid-stream overflow only saw part of the input: extrapolate the
+           final count from the consumed fraction so the feedback cache holds
+           the best guess at the true cardinality, not the truncated one. *)
+        let observed =
+          if complete || progress <= 0.0 then float_of_int actual_rows
+          else Float.max (float_of_int actual_rows) (float_of_int actual_rows /. progress)
+        in
+        Feedback.record fb ~tables:covered observed;
         let finish_plain ~replanned ~reason plan =
           events := { label; expected_rows; actual_rows; q_error; replanned } :: !events;
           trace (Rq_obs.Trace.Reopt_abandoned { attempt = reopts + 1; reason });
@@ -169,7 +191,7 @@ let execute_plan ?(threshold = 4.0) ?(max_reopts = 2) ?obs opt query start_plan 
           let res =
             with_attempt_span
               (Printf.sprintf "attempt%d:final" (reopts + 1))
-              (fun () -> Executor.run ?obs catalog meter plain)
+              (fun () -> Executor.run ?obs ?mode catalog meter plain)
           in
           (res, plain, reopts)
         in
@@ -179,7 +201,17 @@ let execute_plan ?(threshold = 4.0) ?(max_reopts = 2) ?obs opt query start_plan 
           trace (Rq_obs.Trace.Reopt_planned { attempt = reopts + 1; label });
           let fb_est = Feedback.with_feedback fb base_est in
           let cost_fn p = Costing.plan_cost catalog ~constants ~scale fb_est p in
-          let mat_plan =
+          let adopt joined =
+            events :=
+              { label; expected_rows; actual_rows; q_error; replanned = true } :: !events;
+            let full = Enumerate.wrap_top query joined in
+            trace
+              (Rq_obs.Trace.Reopt_adopted
+                 { attempt = reopts + 1; plan = Plan.describe full });
+            let guarded = instrument_with catalog ~constants ~scale fb_est ~threshold full in
+            attempt guarded (reopts + 1)
+          in
+          let mat_leaf =
             Plan.Materialized
               {
                 name = Printf.sprintf "checkpoint%d[%s]" (reopts + 1) label;
@@ -191,19 +223,38 @@ let execute_plan ?(threshold = 4.0) ?(max_reopts = 2) ?obs opt query start_plan 
                     sub_refs;
               }
           in
-          match continuation catalog query ~cost_fn ~mat_plan ~covered with
-          | None ->
-              finish_plain ~replanned:false
-                ~reason:"no continuation (disconnected remainder)" plan
-          | Some joined ->
-              events :=
-                { label; expected_rows; actual_rows; q_error; replanned = true } :: !events;
-              let full = Enumerate.wrap_top query joined in
-              trace
-                (Rq_obs.Trace.Reopt_adopted
-                   { attempt = reopts + 1; plan = Plan.describe full });
-              let guarded = instrument_with catalog ~constants ~scale fb_est ~threshold full in
-              attempt guarded (reopts + 1)
+          match (complete, resume) with
+          | true, _ -> (
+              (* The whole subplan output is in hand: continue from it. *)
+              match continuation catalog query ~cost_fn ~mat_plan:mat_leaf ~covered with
+              | None ->
+                  finish_plain ~replanned:false
+                    ~reason:"no continuation (disconnected remainder)" plan
+              | Some joined -> adopt joined)
+          | false, Some rest -> (
+              (* Mid-stream firing over a resumable scan: keep the partial
+                 prefix (its pages are already paid for) and append the
+                 resumed tail, then continue from their union. *)
+              let mat_plan = Plan.Append [ mat_leaf; rest ] in
+              match continuation catalog query ~cost_fn ~mat_plan ~covered with
+              | None ->
+                  finish_plain ~replanned:false
+                    ~reason:"no continuation (disconnected remainder)" plan
+              | Some joined -> adopt joined)
+          | false, None -> (
+              (* Mid-stream firing with a non-resumable prefix (index fetch,
+                 join output): the partial rows cannot be completed, so
+                 replan the whole query under the corrected estimator. *)
+              match Enumerate.join_plans catalog ~cost_fn query with
+              | [] ->
+                  finish_plain ~replanned:false ~reason:"no full replan available" plan
+              | first :: rest_plans ->
+                  let best =
+                    List.fold_left
+                      (fun acc p -> if cost_fn p < cost_fn acc then p else acc)
+                      first rest_plans
+                  in
+                  adopt best)
         end
   in
   let result, final_plan, reoptimizations = attempt initial 0 in
@@ -216,10 +267,10 @@ let execute_plan ?(threshold = 4.0) ?(max_reopts = 2) ?obs opt query start_plan 
     reoptimizations;
   }
 
-let execute ?threshold ?max_reopts ?obs opt query =
+let execute ?threshold ?max_reopts ?obs ?mode opt query =
   match Optimizer.optimize opt query with
   | Error _ as e -> e
-  | Ok d -> Ok (execute_plan ?threshold ?max_reopts ?obs opt query d.Optimizer.plan)
+  | Ok d -> Ok (execute_plan ?threshold ?max_reopts ?obs ?mode opt query d.Optimizer.plan)
 
 let render_events events =
   match events with

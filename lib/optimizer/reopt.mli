@@ -41,6 +41,7 @@ val instrument : ?estimator:Cardinality.t -> threshold:float -> Optimizer.t -> P
 
 val execute_plan :
   ?threshold:float -> ?max_reopts:int -> ?obs:Rq_obs.Recorder.t ->
+  ?mode:Executor.mode ->
   Optimizer.t -> Logical.t -> Plan.t -> outcome
 (** Instrument the given starting plan and run it with guard-driven
     re-optimization.  The starting plan need not be the optimizer's choice —
@@ -48,6 +49,14 @@ val execute_plan :
     rescue it.  [threshold] (default 4.0, must be >= 1.0) is the q-error a
     checkpoint tolerates before aborting; [max_reopts] (default 2) bounds
     replanning rounds, after which the current plan finishes guard-free.
+
+    Under the default streaming [mode] an overflowing guard fires mid-stream
+    with the input only partially consumed: the observed cardinality fed back
+    to the estimator is extrapolated from the consumed fraction, and when the
+    interrupted source is a resumable sequential scan the continuation is
+    grown from [Append [Materialized prefix; Scan_resume tail]] — the pages
+    already read are not re-charged.  Non-resumable partial prefixes trigger
+    a full replan under the corrected estimator instead.
 
     With [?obs], each attempt executes under a root span
     (["attempt1"], ["attempt2"], ..., ["attemptN:final"] for a guard-free
@@ -57,6 +66,7 @@ val execute_plan :
 
 val execute :
   ?threshold:float -> ?max_reopts:int -> ?obs:Rq_obs.Recorder.t ->
+  ?mode:Executor.mode ->
   Optimizer.t -> Logical.t ->
   (outcome, string) result
 (** [execute_plan] starting from the optimizer's own choice.  [Error] only

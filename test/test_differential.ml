@@ -153,6 +153,63 @@ let run_differential catalog_name catalog gen () =
       (estimator_configs stats)
   done
 
+(* The streaming-vs-materialized pass: every chosen plan (no Limit, no
+   instrumented guards, so no early exit) must produce byte-identical
+   tuples AND move every cost counter identically under both engines. *)
+let snapshots_equal (a : Cost.snapshot) (b : Cost.snapshot) =
+  a.Cost.seq_pages = b.Cost.seq_pages
+  && a.Cost.random_pages = b.Cost.random_pages
+  && a.Cost.cpu_tuples = b.Cost.cpu_tuples
+  && a.Cost.index_probes = b.Cost.index_probes
+  && a.Cost.index_entries = b.Cost.index_entries
+  && a.Cost.hash_build = b.Cost.hash_build
+  && a.Cost.hash_probe = b.Cost.hash_probe
+  && a.Cost.merge_tuples = b.Cost.merge_tuples
+  && a.Cost.sort_tuples = b.Cost.sort_tuples
+  && a.Cost.output_tuples = b.Cost.output_tuples
+  && Float.abs (a.Cost.sort_units -. b.Cost.sort_units) <= 1e-9
+  && Float.abs (a.Cost.extra_seconds -. b.Cost.extra_seconds) <= 1e-9
+  && Float.abs (a.Cost.seconds -. b.Cost.seconds)
+     <= 1e-9 *. Float.max 1.0 (Float.abs b.Cost.seconds)
+
+let run_engine_differential catalog_name catalog gen () =
+  let rng = Rq_math.Rng.create (seed + 3) in
+  let scale = 1.0 in
+  let stats =
+    Rq_stats.Stats_store.update_statistics (Rq_math.Rng.split rng)
+      ~config:{ Rq_stats.Stats_store.default_config with sample_size = 200 }
+      catalog
+  in
+  for i = 1 to queries_per_catalog do
+    let query = gen rng in
+    List.iter
+      (fun (name, estimator) ->
+        let opt = Optimizer.create ~scale stats estimator in
+        match Optimizer.optimize opt query with
+        | Error e -> Alcotest.failf "%s query %d: %s rejected: %s" catalog_name i name e
+        | Ok d ->
+            let run_mode mode =
+              let meter = Cost.create ~scale () in
+              let res = Executor.run ~mode catalog meter d.Optimizer.plan in
+              (res, Cost.snapshot meter)
+            in
+            let sres, ssnap = run_mode Executor.Streaming in
+            let mres, msnap = run_mode Executor.Materialized in
+            if sres.Executor.tuples <> mres.Executor.tuples then
+              fail_differential
+                ~label:
+                  (Printf.sprintf "%s query %d under %s: streaming vs materialized"
+                     catalog_name i name)
+                ~query ~reference:mres ~candidate:sres;
+            if not (snapshots_equal ssnap msnap) then
+              Alcotest.failf
+                "%s query %d under %s: cost counters diverge (seed %d)\nstreaming:    %s\nmaterialized: %s"
+                catalog_name i name seed
+                (Format.asprintf "%a" Cost.pp_snapshot ssnap)
+                (Format.asprintf "%a" Cost.pp_snapshot msnap))
+      (estimator_configs stats)
+  done
+
 (* The cached-vs-uncached pass: both the freshly-inserted decision and the
    served-from-cache repeat must answer like a cold optimization. *)
 let run_cache_differential catalog_name catalog gen () =
@@ -222,5 +279,10 @@ let () =
         [
           Alcotest.test_case "tpch" `Quick (run_cache_differential "tpch" tpch gen_tpch_query);
           Alcotest.test_case "star" `Quick (run_cache_differential "star" star gen_star_query);
+        ] );
+      ( "streaming matches materialized",
+        [
+          Alcotest.test_case "tpch" `Quick (run_engine_differential "tpch" tpch gen_tpch_query);
+          Alcotest.test_case "star" `Quick (run_engine_differential "star" star gen_star_query);
         ] );
     ]

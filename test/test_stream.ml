@@ -1,0 +1,494 @@
+(* Streaming executor suite: the pull-based engine must be observably
+   indistinguishable from the materialized engine on full drains —
+   byte-identical tuples AND every cost counter identical — while
+   early-exit shapes (LIMIT, mid-stream guard firing) charge strictly
+   less I/O.  Also pins the recovery primitives the reopt loop builds
+   on: [Scan_resume] page geometry, [Append] prefix replay, the
+   partial-result payload of a mid-stream [Guard_violation], and
+   duplicate-key hash-join ordering. *)
+
+open Rq_storage
+open Rq_exec
+open Rq_optimizer
+
+let v_int i = Value.Int i
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* Same customers <- orders <- lineitems chain as the obs suite; big
+   enough (2000 lineitems) that a seq scan spans multiple stream batches
+   and many pages. *)
+let chain_catalog () =
+  let rng = Rq_math.Rng.create 17 in
+  let catalog = Catalog.create () in
+  let customers = 20 and orders = 200 and lineitems = 2000 in
+  Catalog.add_table catalog ~primary_key:"c_id"
+    (Relation.create ~name:"customers"
+       ~schema:
+         (Schema.create
+            [ { Schema.name = "c_id"; ty = Value.T_int }; { Schema.name = "c_tier"; ty = Value.T_int } ])
+       (Array.init customers (fun i -> [| v_int i; v_int (i mod 4) |])));
+  Catalog.add_table catalog ~primary_key:"o_id"
+    (Relation.create ~name:"orders"
+       ~schema:
+         (Schema.create
+            [
+              { Schema.name = "o_id"; ty = Value.T_int };
+              { Schema.name = "o_cust"; ty = Value.T_int };
+              { Schema.name = "o_status"; ty = Value.T_int };
+            ])
+       (Array.init orders (fun i ->
+            [| v_int i; v_int (Rq_math.Rng.int rng customers); v_int (Rq_math.Rng.int rng 3) |])));
+  Catalog.add_table catalog ~primary_key:"l_id"
+    (Relation.create ~name:"lineitems"
+       ~schema:
+         (Schema.create
+            [
+              { Schema.name = "l_id"; ty = Value.T_int };
+              { Schema.name = "l_order"; ty = Value.T_int };
+              { Schema.name = "l_qty"; ty = Value.T_int };
+            ])
+       (Array.init lineitems (fun i ->
+            [| v_int i; v_int (Rq_math.Rng.int rng orders); v_int (1 + Rq_math.Rng.int rng 50) |])));
+  Catalog.add_foreign_key catalog
+    { from_table = "orders"; from_column = "o_cust"; to_table = "customers"; to_column = "c_id" };
+  Catalog.add_foreign_key catalog
+    { from_table = "lineitems"; from_column = "l_order"; to_table = "orders"; to_column = "o_id" };
+  Catalog.build_index catalog ~table:"orders" ~column:"o_id";
+  Catalog.build_index catalog ~table:"lineitems" ~column:"l_order";
+  Catalog.build_index catalog ~table:"lineitems" ~column:"l_qty";
+  catalog
+
+let qty_pred = Pred.le (Expr.col "l_qty") (Expr.int 25)
+let scan_lineitems access = Plan.Scan { table = "lineitems"; access; pred = qty_pred }
+
+let scan_all table = Plan.Scan { table; access = Plan.Seq_scan; pred = Pred.True }
+
+let run_mode mode catalog plan =
+  let meter = Cost.create ~scale:2.0 () in
+  let res = Executor.run ~mode catalog meter plan in
+  (res, Cost.snapshot meter)
+
+let check_snapshots name (s : Cost.snapshot) (m : Cost.snapshot) =
+  let ci field = check_int (Printf.sprintf "%s: %s" name field) in
+  ci "seq_pages" m.Cost.seq_pages s.Cost.seq_pages;
+  ci "random_pages" m.Cost.random_pages s.Cost.random_pages;
+  ci "cpu_tuples" m.Cost.cpu_tuples s.Cost.cpu_tuples;
+  ci "index_probes" m.Cost.index_probes s.Cost.index_probes;
+  ci "index_entries" m.Cost.index_entries s.Cost.index_entries;
+  ci "hash_build" m.Cost.hash_build s.Cost.hash_build;
+  ci "hash_probe" m.Cost.hash_probe s.Cost.hash_probe;
+  ci "merge_tuples" m.Cost.merge_tuples s.Cost.merge_tuples;
+  ci "sort_tuples" m.Cost.sort_tuples s.Cost.sort_tuples;
+  ci "output_tuples" m.Cost.output_tuples s.Cost.output_tuples;
+  check_float (name ^ ": sort_units") m.Cost.sort_units s.Cost.sort_units;
+  check_float (name ^ ": extra_seconds") m.Cost.extra_seconds s.Cost.extra_seconds;
+  check_float (name ^ ": seconds") m.Cost.seconds s.Cost.seconds
+
+let check_results name (s : Executor.result) (m : Executor.result) =
+  check_bool (name ^ ": schemas identical") true (s.Executor.schema = m.Executor.schema);
+  check_int (name ^ ": row counts") (Array.length m.Executor.tuples)
+    (Array.length s.Executor.tuples);
+  check_bool (name ^ ": tuples byte-identical") true
+    (s.Executor.tuples = m.Executor.tuples)
+
+(* ------------------------------------------------------------------ *)
+(* Full-drain parity across every plan family                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Without LIMIT or a firing guard the two engines must be a bisimulation:
+   same tuples in the same order, same value on every meter counter. *)
+let test_family_parity () =
+  let catalog = chain_catalog () in
+  let star =
+    Rq_workload.Star.generate (Rq_math.Rng.create 23)
+      ~params:{ Rq_workload.Star.default_params with fact_rows = 5000; dim_rows = 100 } ()
+  in
+  let dim i =
+    {
+      Plan.dim_table = Printf.sprintf "dim%d" i;
+      dim_pred = Pred.eq (Expr.col "d_filter") (Expr.int 0);
+      fact_fk = Printf.sprintf "f_dim%d" i;
+    }
+  in
+  let hash_join =
+    Plan.Hash_join
+      {
+        build = scan_all "orders";
+        probe = scan_lineitems Plan.Seq_scan;
+        build_key = "orders.o_id";
+        probe_key = "lineitems.l_order";
+      }
+  in
+  let families =
+    [
+      ("seq-scan", catalog, scan_lineitems Plan.Seq_scan);
+      ( "index-range",
+        catalog,
+        scan_lineitems (Plan.Index_range { column = "l_qty"; lo = None; hi = Some (v_int 25) })
+      );
+      ( "index-intersect",
+        catalog,
+        scan_lineitems
+          (Plan.Index_intersect
+             [
+               { column = "l_qty"; lo = None; hi = Some (v_int 25) };
+               { column = "l_order"; lo = Some (v_int 0); hi = Some (v_int 100) };
+             ]) );
+      ("hash-join", catalog, hash_join);
+      ( "merge-join",
+        catalog,
+        Plan.Merge_join
+          {
+            left = scan_lineitems Plan.Seq_scan;
+            right = scan_all "orders";
+            left_key = "lineitems.l_order";
+            right_key = "orders.o_id";
+          } );
+      ( "indexed-nl-join",
+        catalog,
+        Plan.Indexed_nl_join
+          {
+            outer = scan_lineitems Plan.Seq_scan;
+            outer_key = "lineitems.l_order";
+            inner_table = "orders";
+            inner_key = "o_id";
+            inner_pred = Pred.True;
+          } );
+      ( "star-semijoin",
+        star,
+        Plan.Star_semijoin { fact = "fact"; fact_pred = Pred.True; dims = [ dim 1; dim 2; dim 3 ] }
+      );
+      ( "agg-filter-project-sort",
+        catalog,
+        Plan.Sort
+          {
+            input =
+              Plan.Aggregate
+                {
+                  input =
+                    Plan.Project
+                      ( Plan.Filter (scan_lineitems Plan.Seq_scan, Pred.True),
+                        [ "lineitems.l_order"; "lineitems.l_qty" ] );
+                  group_by = [ "lineitems.l_order" ];
+                  aggs =
+                    [
+                      { Plan.fn = Plan.Count_star; output_name = "n" };
+                      { Plan.fn = Plan.Sum (Expr.col "lineitems.l_qty"); output_name = "q" };
+                    ];
+                };
+            keys = [ { Plan.sort_column = "n"; descending = true } ];
+          } );
+      ( "guard-pass",
+        catalog,
+        Plan.Guard
+          {
+            input = scan_lineitems Plan.Seq_scan;
+            expected_rows = 1000.0;
+            max_q_error = 1e9;
+            label = "wide";
+          } );
+    ]
+  in
+  List.iter
+    (fun (name, cat, plan) ->
+      (match Plan.validate cat plan with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail (name ^ ": fixture plan invalid: " ^ msg));
+      let sres, ssnap = run_mode Executor.Streaming cat plan in
+      let mres, msnap = run_mode Executor.Materialized cat plan in
+      check_results name sres mres;
+      check_snapshots name ssnap msnap)
+    families
+
+(* ------------------------------------------------------------------ *)
+(* LIMIT early exit                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_limit_early_exit () =
+  let catalog = chain_catalog () in
+  let lineitems = Catalog.find_table catalog "lineitems" in
+  let plan = Plan.Limit (scan_all "lineitems", 10) in
+  let sres, ssnap = run_mode Executor.Streaming catalog plan in
+  let mres, msnap = run_mode Executor.Materialized catalog plan in
+  (* Same answer... *)
+  check_results "limit-scan" sres mres;
+  check_int "limit honored" 10 (Array.length sres.Executor.tuples);
+  (* ...but the materialized engine paid for the whole table while the
+     streaming engine stopped pulling after the first batch. *)
+  check_int "materialized scans every page" (Relation.page_count lineitems)
+    msnap.Cost.seq_pages;
+  check_bool
+    (Printf.sprintf "streaming charges strictly fewer seq pages (%d < %d)"
+       ssnap.Cost.seq_pages msnap.Cost.seq_pages)
+    true
+    (ssnap.Cost.seq_pages < msnap.Cost.seq_pages);
+  check_bool "streaming charges strictly fewer cpu tuples" true
+    (ssnap.Cost.cpu_tuples < msnap.Cost.cpu_tuples)
+
+(* A LIMIT larger than the input is a full drain: exact parity again. *)
+let test_limit_full_drain_parity () =
+  let catalog = chain_catalog () in
+  let plan = Plan.Limit (scan_all "lineitems", 10_000) in
+  let sres, ssnap = run_mode Executor.Streaming catalog plan in
+  let mres, msnap = run_mode Executor.Materialized catalog plan in
+  check_results "limit-full-drain" sres mres;
+  check_snapshots "limit-full-drain" ssnap msnap
+
+(* ------------------------------------------------------------------ *)
+(* Mid-stream guard firing                                             *)
+(* ------------------------------------------------------------------ *)
+
+let overflow_guard input =
+  Plan.Guard { input; expected_rows = 4.0; max_q_error = 2.0; label = "overflow" }
+
+let test_guard_fires_mid_stream () =
+  let catalog = chain_catalog () in
+  let lineitems = Catalog.find_table catalog "lineitems" in
+  let n = Relation.row_count lineitems in
+  let plan = overflow_guard (scan_all "lineitems") in
+  let fire mode =
+    let meter = Cost.create ~scale:2.0 () in
+    match Executor.run ~mode catalog meter plan with
+    | _ -> Alcotest.fail "guard did not fire"
+    | exception Executor.Guard_violation v -> (v, Cost.snapshot meter)
+  in
+  let sv, ssnap = fire Executor.Streaming in
+  let mv, msnap = fire Executor.Materialized in
+  (* Materialized only notices after consuming everything. *)
+  check_bool "materialized fires complete" true mv.Executor.complete;
+  check_int "materialized saw every row" n mv.Executor.actual_rows;
+  check_bool "materialized has no resume" true (mv.Executor.resume = None);
+  (* Streaming fires on the batch that makes the overflow unrecoverable:
+     the violation carries the partial prefix and a resumable tail. *)
+  check_bool "streaming fires mid-stream" false sv.Executor.complete;
+  check_int "streaming stopped after one batch" Stream_exec.batch_rows
+    sv.Executor.actual_rows;
+  check_int "partial result carries the consumed prefix" Stream_exec.batch_rows
+    (Array.length sv.Executor.result.Executor.tuples);
+  check_bool "progress is a real fraction" true
+    (sv.Executor.progress > 0.0 && sv.Executor.progress < 1.0);
+  check_float "progress = consumed fraction"
+    (float_of_int Stream_exec.batch_rows /. float_of_int n)
+    sv.Executor.progress;
+  (match sv.Executor.resume with
+  | Some (Plan.Scan_resume { table; from_rid; _ }) ->
+      check_bool "resume names the table" true (table = "lineitems");
+      check_int "resume starts where the stream stopped" Stream_exec.batch_rows from_rid
+  | _ -> Alcotest.fail "streaming violation should carry a Scan_resume tail");
+  check_bool
+    (Printf.sprintf "mid-stream firing charged fewer pages (%d < %d)" ssnap.Cost.seq_pages
+       msnap.Cost.seq_pages)
+    true
+    (ssnap.Cost.seq_pages < msnap.Cost.seq_pages);
+  (* The prefix + resume tail replays to exactly the full scan, under
+     either engine: this is the continuation the reopt loop builds. *)
+  let full, _ = run_mode Executor.Materialized catalog (scan_all "lineitems") in
+  let continuation =
+    Plan.Append
+      [
+        Plan.Materialized
+          {
+            name = "prefix";
+            schema = sv.Executor.result.Executor.schema;
+            tuples = sv.Executor.result.Executor.tuples;
+            refs = [];
+          };
+        (match sv.Executor.resume with Some p -> p | None -> assert false);
+      ]
+  in
+  let cs, _ = run_mode Executor.Streaming catalog continuation in
+  let cm, _ = run_mode Executor.Materialized catalog continuation in
+  check_results "continuation engines agree" cs cm;
+  check_bool "prefix + tail = full scan" true (cs.Executor.tuples = full.Executor.tuples)
+
+(* Underflow is only judgeable at drain: both engines fire with the input
+   fully consumed, identical q-errors, identical meters. *)
+let test_guard_underflow_drain_parity () =
+  let catalog = chain_catalog () in
+  let lineitems = Catalog.find_table catalog "lineitems" in
+  let n = Relation.row_count lineitems in
+  let plan =
+    Plan.Guard
+      {
+        input = scan_all "lineitems";
+        expected_rows = 1e6;
+        max_q_error = 2.0;
+        label = "underflow";
+      }
+  in
+  let fire mode =
+    let meter = Cost.create ~scale:2.0 () in
+    match Executor.run ~mode catalog meter plan with
+    | _ -> Alcotest.fail "guard did not fire"
+    | exception Executor.Guard_violation v -> (v, Cost.snapshot meter)
+  in
+  let sv, ssnap = fire Executor.Streaming in
+  let mv, msnap = fire Executor.Materialized in
+  check_bool "streaming underflow is complete" true sv.Executor.complete;
+  check_bool "no resume on a complete firing" true (sv.Executor.resume = None);
+  check_int "both saw every row" mv.Executor.actual_rows sv.Executor.actual_rows;
+  check_int "every row means every row" n sv.Executor.actual_rows;
+  check_float "identical q-error" mv.Executor.q_error sv.Executor.q_error;
+  check_snapshots "underflow drain" ssnap msnap
+
+(* ------------------------------------------------------------------ *)
+(* Recovery leaves: Scan_resume and Append                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_scan_resume_from_zero_is_a_scan () =
+  let catalog = chain_catalog () in
+  let resume = Plan.Scan_resume { table = "lineitems"; pred = qty_pred; from_rid = 0 } in
+  let sres, ssnap = run_mode Executor.Streaming catalog resume in
+  let mres, msnap = run_mode Executor.Materialized catalog resume in
+  check_results "scan-resume-0 engines agree" sres mres;
+  check_snapshots "scan-resume-0 engines agree" ssnap msnap;
+  let scan, scan_snap = run_mode Executor.Materialized catalog (scan_lineitems Plan.Seq_scan) in
+  check_results "scan-resume-0 = plain scan" sres scan;
+  check_snapshots "scan-resume-0 = plain scan" ssnap scan_snap
+
+let test_append_prefix_resume () =
+  let catalog = chain_catalog () in
+  let split = 600 in
+  let full, _ = run_mode Executor.Materialized catalog (scan_all "lineitems") in
+  let plan =
+    Plan.Append
+      [
+        Plan.Materialized
+          {
+            name = "prefix";
+            schema = full.Executor.schema;
+            tuples = Array.sub full.Executor.tuples 0 split;
+            refs = [];
+          };
+        Plan.Scan_resume { table = "lineitems"; pred = Pred.True; from_rid = split };
+      ]
+  in
+  let sres, ssnap = run_mode Executor.Streaming catalog plan in
+  let mres, msnap = run_mode Executor.Materialized catalog plan in
+  check_results "append engines agree" sres mres;
+  check_snapshots "append engines agree" ssnap msnap;
+  check_bool "append = full scan" true (sres.Executor.tuples = full.Executor.tuples);
+  (* The whole point: the replay does not re-read the prefix's pages. *)
+  let lineitems = Catalog.find_table catalog "lineitems" in
+  check_int "tail pages only"
+    (Relation.page_count lineitems - (split / Relation.rows_per_page lineitems))
+    ssnap.Cost.seq_pages
+
+(* ------------------------------------------------------------------ *)
+(* Hash join duplicate-key ordering                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Build side on a duplicated key (many lineitems per order): matches for
+   a probe row must come out in build-input order, identically in both
+   engines, and equal to a reference nested loop. *)
+let test_hash_join_duplicate_key_order () =
+  let catalog = chain_catalog () in
+  let plan =
+    Plan.Hash_join
+      {
+        build = scan_all "lineitems";
+        probe = scan_all "orders";
+        build_key = "lineitems.l_order";
+        probe_key = "orders.o_id";
+      }
+  in
+  let sres, _ = run_mode Executor.Streaming catalog plan in
+  let mres, _ = run_mode Executor.Materialized catalog plan in
+  check_results "dup-key join engines agree" sres mres;
+  let lineitems = Catalog.find_table catalog "lineitems" in
+  let orders = Catalog.find_table catalog "orders" in
+  let expected = ref [] in
+  for o = 0 to Relation.row_count orders - 1 do
+    let otup = Relation.get orders o in
+    for l = 0 to Relation.row_count lineitems - 1 do
+      let ltup = Relation.get lineitems l in
+      if Value.compare ltup.(1) otup.(0) = 0 then
+        expected := Array.append ltup otup :: !expected
+    done
+  done;
+  let expected = Array.of_list (List.rev !expected) in
+  check_int "reference row count" (Array.length expected) (Array.length sres.Executor.tuples);
+  check_bool "build-input order within duplicate keys" true
+    (sres.Executor.tuples = expected)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: mid-stream firing through the reopt loop                *)
+(* ------------------------------------------------------------------ *)
+
+(* Force a bad plan whose guards blow up mid-stream; the reopt loop must
+   still produce the right answer (prefix reuse included) and it must
+   match what the materialized path computes for the same query. *)
+let test_reopt_mid_stream_correctness () =
+  let catalog = chain_catalog () in
+  let stats = Rq_stats.Stats_store.update_statistics (Rq_math.Rng.create 41) catalog in
+  let query =
+    Logical.query [ Logical.scan ~pred:qty_pred "lineitems"; Logical.scan "orders" ]
+  in
+  let bad_plan =
+    Plan.Indexed_nl_join
+      {
+        outer = scan_lineitems Plan.Seq_scan;
+        outer_key = "lineitems.l_order";
+        inner_table = "orders";
+        inner_key = "o_id";
+        inner_pred = Pred.True;
+      }
+  in
+  let run mode =
+    let opt = Optimizer.create stats (Cardinality.fixed_selectivity catalog 5e-4) in
+    Reopt.execute_plan ~threshold:4.0 ~mode opt query bad_plan
+  in
+  let streaming = run Executor.Streaming in
+  let materialized = run Executor.Materialized in
+  check_bool "a guard fired under streaming" true (streaming.Reopt.events <> []);
+  check_bool "streaming replanned" true
+    (List.exists (fun (e : Reopt.event) -> e.Reopt.replanned) streaming.Reopt.events);
+  check_bool "same answer as the materialized reopt path" true
+    (Rq_experiments.Exp_common.results_equal streaming.Reopt.result materialized.Reopt.result);
+  (* And against a trusted plain plan for the same query. *)
+  let reference, _ =
+    run_mode Executor.Materialized catalog
+      (Plan.Hash_join
+         {
+           build = scan_all "orders";
+           probe = scan_lineitems Plan.Seq_scan;
+           build_key = "orders.o_id";
+           probe_key = "lineitems.l_order";
+         })
+  in
+  check_bool "same answer as a trusted plan" true
+    (Rq_experiments.Exp_common.results_equal streaming.Reopt.result reference)
+
+let () =
+  Alcotest.run "stream"
+    [
+      ( "parity",
+        [
+          Alcotest.test_case "every plan family: tuples + all counters" `Quick
+            test_family_parity;
+          Alcotest.test_case "LIMIT >= input is a full drain" `Quick
+            test_limit_full_drain_parity;
+          Alcotest.test_case "Scan_resume from 0 = Scan" `Quick
+            test_scan_resume_from_zero_is_a_scan;
+        ] );
+      ( "early-exit",
+        [
+          Alcotest.test_case "LIMIT stops pulling and pays less I/O" `Quick
+            test_limit_early_exit;
+          Alcotest.test_case "guard fires mid-stream with a resumable prefix" `Quick
+            test_guard_fires_mid_stream;
+          Alcotest.test_case "underflow fires at drain, in lockstep" `Quick
+            test_guard_underflow_drain_parity;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "Append prefix + Scan_resume tail replays the scan" `Quick
+            test_append_prefix_resume;
+          Alcotest.test_case "hash join keeps build-input order on duplicate keys" `Quick
+            test_hash_join_duplicate_key_order;
+          Alcotest.test_case "mid-stream reopt returns the right answer" `Quick
+            test_reopt_mid_stream_correctness;
+        ] );
+    ]
