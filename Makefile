@@ -1,5 +1,5 @@
 .PHONY: all test fault-test differential bench bench-quick bench-throughput \
-        bench-exec examples trace-demo clean
+        bench-exec bench-optimizer examples trace-demo clean
 
 all:
 	dune build @all
@@ -33,6 +33,13 @@ bench-throughput: all
 # full-drain counter parity + GC peak); writes BENCH_exec.json.
 bench-exec: all
 	dune exec bin/robustopt.exe -- bench-exec
+
+# Bitset evidence-kernel bench: cold/warm/scan evidence throughput plus
+# plans/sec per estimator arm; writes BENCH_optimizer.json and exits
+# nonzero unless the kernel is bit-identical to the scan path AND warm
+# evidence beats both cold and the row scan.
+bench-optimizer: all
+	dune exec bin/robustopt.exe -- bench-optimizer
 
 examples:
 	dune exec examples/quickstart.exe

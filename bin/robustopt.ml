@@ -123,16 +123,39 @@ let metrics_json_arg =
 let make_recorder ~trace ~metrics_json =
   if trace || metrics_json then Some (Rq_obs.Recorder.create ()) else None
 
-let print_observability ~trace ~metrics_json recorder =
+(* Evidence-kernel counters summed over every live synopsis in the store:
+   the optimizer-side work (bitmaps built vs. hit, sample rows scanned vs.
+   avoided) that spans and cost meters do not see. *)
+let kernel_totals stats =
+  List.fold_left
+    (fun acc root ->
+      match Rq_stats.Stats_store.synopsis stats ~root with
+      | None -> acc
+      | Some syn -> Rq_obs.Metrics.kernel_add acc (Rq_stats.Join_synopsis.kernel_stats syn))
+    Rq_obs.Metrics.kernel_zero
+    (Rq_stats.Stats_store.synopsis_roots stats)
+
+let print_observability ?kernel ~trace ~metrics_json recorder =
   match recorder with
   | None -> ()
   | Some r ->
       if trace then begin
         print_string (Rq_obs.Recorder.render_events (Rq_obs.Recorder.events r));
-        print_string (Rq_obs.Recorder.render_spans (Rq_obs.Recorder.roots r))
+        print_string (Rq_obs.Recorder.render_spans (Rq_obs.Recorder.roots r));
+        match kernel with
+        | Some k when k.Rq_obs.Metrics.evidence_queries > 0 ->
+            Format.printf "evidence kernel: %a@." Rq_obs.Metrics.pp_kernel k
+        | _ -> ()
       end;
-      if metrics_json then
-        print_endline (Rq_obs.Json.to_string (Rq_obs.Recorder.to_json r))
+      if metrics_json then begin
+        let json =
+          match (kernel, Rq_obs.Recorder.to_json r) with
+          | Some k, Rq_obs.Json.Obj fields ->
+              Rq_obs.Json.Obj (fields @ [ ("kernel", Rq_obs.Metrics.kernel_to_json k) ])
+          | _, json -> json
+        in
+        print_endline (Rq_obs.Json.to_string json)
+      end
 
 let check_reopt_threshold = function
   | Some t when t < 1.0 ->
@@ -215,7 +238,7 @@ let explain_cmd =
           (Optimizer.estimator opt) plan
       in
       print_string (Explain_analyze.render_report report);
-      print_observability ~trace ~metrics_json recorder
+      print_observability ~kernel:(kernel_totals stats) ~trace ~metrics_json recorder
     end
   in
   let term =
@@ -295,7 +318,7 @@ let run_cmd =
         Format.printf "simulated execution (incl. wasted work): %a@."
           Rq_exec.Cost.pp_snapshot outcome.Reopt.snapshot;
         print_result_rows outcome.Reopt.result);
-    print_observability ~trace ~metrics_json recorder
+    print_observability ~kernel:(kernel_totals stats) ~trace ~metrics_json recorder
   in
   let term =
     Term.(const run $ workload_arg $ seed_arg $ scale_arg $ sample_arg $ confidence_arg
@@ -604,6 +627,46 @@ let bench_exec_cmd =
              runtime/memory per engine.")
     term
 
+(* ---------------- bench-optimizer ---------------- *)
+
+let bench_optimizer_cmd =
+  let small_arg =
+    Arg.(value & flag & info [ "small" ]
+         ~doc:"CI-sized run: smaller catalog and fewer repeats.")
+  in
+  let seed_arg =
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N"
+         ~doc:"Override the world seed (default 11).")
+  in
+  let out_arg =
+    Arg.(value & opt string "BENCH_optimizer.json" & info [ "out" ] ~docv:"FILE"
+         ~doc:"Where to write the JSON report; - for none.")
+  in
+  let run small seed out =
+    let module E = Rq_experiments in
+    let config = if small then E.Exp_optimizer.small_config else E.Exp_optimizer.default_config in
+    let config =
+      match seed with None -> config | Some seed -> { config with E.Exp_optimizer.seed }
+    in
+    let result = E.Exp_optimizer.run ~config () in
+    print_string (E.Exp_optimizer.render result);
+    if out <> "-" then begin
+      let oc = open_out out in
+      output_string oc (Rq_obs.Json.to_string (E.Exp_optimizer.to_json result));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" out
+    end;
+    if not result.E.Exp_optimizer.ok then exit 1
+  in
+  let term = Term.(const run $ small_arg $ seed_arg $ out_arg) in
+  Cmd.v
+    (Cmd.info "bench-optimizer"
+       ~doc:"Bitset evidence kernel vs. row-scan sampling on the optimizer hot path: \
+             evidence queries/sec (cold/warm/scan), plans/sec per estimator and \
+             confidence, and bit-identity checks on evidence and chosen plans.")
+    term
+
 (* ---------------- profile ---------------- *)
 
 let profile_cmd =
@@ -693,5 +756,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ explain_cmd; run_cmd; estimate_cmd; analyze_cmd; experiment_cmd;
-            bench_throughput_cmd; bench_exec_cmd; profile_cmd; sweep_cmd; export_cmd;
+            bench_throughput_cmd; bench_exec_cmd; bench_optimizer_cmd; profile_cmd;
+            sweep_cmd; export_cmd;
             batch_cmd ]))

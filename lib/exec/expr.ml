@@ -83,6 +83,18 @@ and compile_binop schema op a b =
 
 let eval schema expr tuple = compile schema expr tuple
 
+(* Canonical one-line rendering for structural keys (evidence memos, plan
+   fingerprints).  Unlike [pp], the output never depends on a formatter
+   margin: equal expressions render identically everywhere. *)
+let rec render = function
+  | Col c -> "c:" ^ c
+  | Const v -> "v:" ^ Value.to_string v
+  | Add (a, b) -> "(+ " ^ render a ^ " " ^ render b ^ ")"
+  | Sub (a, b) -> "(- " ^ render a ^ " " ^ render b ^ ")"
+  | Mul (a, b) -> "(* " ^ render a ^ " " ^ render b ^ ")"
+  | Div (a, b) -> "(/ " ^ render a ^ " " ^ render b ^ ")"
+  | Add_days (e, d) -> Printf.sprintf "(+days %s %d)" (render e) d
+
 let rec pp fmt = function
   | Col name -> Format.pp_print_string fmt name
   | Const v -> Value.pp fmt v

@@ -38,4 +38,9 @@ val compile : Schema.t -> t -> compiled
 
 val eval : Schema.t -> t -> Relation.tuple -> Value.t
 
+val render : t -> string
+(** Canonical one-line rendering for structural keys.  Unlike {!pp}, the
+    output never depends on formatter state: equal expressions render
+    identically across call sites and processes. *)
+
 val pp : Format.formatter -> t -> unit

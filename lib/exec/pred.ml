@@ -115,6 +115,49 @@ let rename_columns f pred =
   in
   go pred
 
+let render_cmp = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+(* Canonical one-line rendering for structural keys: nested And/Or are
+   flattened, operand lists sorted by rendering, and the operands of the
+   commutative comparisons (=, <>) ordered — predicates equal modulo
+   commutation render identically.  [Rq_sql.Fingerprint] and the evidence
+   memo both key on this, so a cached bitmap combination and a cached plan
+   agree on what "the same predicate" means. *)
+let rec render p =
+  let flatten_and = function And ps -> ps | p -> [ p ] in
+  let flatten_or = function Or ps -> ps | p -> [ p ] in
+  match p with
+  | True -> "true"
+  | False -> "false"
+  | Cmp (op, a, b) ->
+      let ra = Expr.render a and rb = Expr.render b in
+      let ra, rb =
+        match op with
+        | Eq | Ne -> if String.compare ra rb <= 0 then (ra, rb) else (rb, ra)
+        | _ -> (ra, rb)
+      in
+      "(" ^ render_cmp op ^ " " ^ ra ^ " " ^ rb ^ ")"
+  | Between (e, lo, hi) ->
+      "(between " ^ Expr.render e ^ " " ^ Expr.render lo ^ " " ^ Expr.render hi ^ ")"
+  | Contains (e, s) -> Printf.sprintf "(contains %s %S)" (Expr.render e) s
+  | And ps ->
+      let parts =
+        List.concat_map flatten_and ps |> List.map render |> List.sort String.compare
+      in
+      "(and " ^ String.concat " " parts ^ ")"
+  | Or ps ->
+      let parts =
+        List.concat_map flatten_or ps |> List.map render |> List.sort String.compare
+      in
+      "(or " ^ String.concat " " parts ^ ")"
+  | Not p -> "(not " ^ render p ^ ")"
+
 let pp_cmp fmt op =
   Format.pp_print_string fmt
     (match op with Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=")

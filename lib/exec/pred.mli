@@ -45,4 +45,11 @@ val rename_columns : (string -> string) -> t -> t
 (** Rewrites every column reference (used to qualify base-table predicates as
     ["table.column"] above joins). *)
 
+val render : t -> string
+(** Canonical one-line rendering for structural keys (evidence memos,
+    {!Rq_sql.Fingerprint}): nested And/Or flattened, operand lists sorted,
+    [=]/[<>] operands ordered.  Predicates equal modulo conjunct order and
+    comparison commutation render identically, and the output never depends
+    on formatter state. *)
+
 val pp : Format.formatter -> t -> unit

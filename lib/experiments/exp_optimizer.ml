@@ -1,0 +1,335 @@
+(* Optimizer hot-path bench: the bitset evidence kernel.
+
+   Two layers, one world (TPC-H-lite).
+
+   1. Evidence micro-bench: the distinct predicates of the Experiment-1/2
+      template families are pushed through the lineitem-rooted covering
+      synopsis three ways — kernel with bitmaps rebuilt every pass
+      (cold), kernel with bitmaps retained (warm), and the reference
+      row-scan path — reporting evidence queries per second for each and
+      checking every (k, n) agrees bit for bit across paths.
+
+   2. Plan bench: the three-join Experiment-2 workload is optimized
+      repeatedly per estimator per confidence threshold.  Each pass uses
+      a fresh estimator (fresh evidence memo — the plan-cache-miss
+      situation the kernel exists for); synopsis bitmaps persist across
+      passes in kernel mode and are absent in scan mode, so the
+      cold-vs-warm gap isolates exactly the kernel's contribution.  The
+      kernel and scan configurations of the robust estimator must choose
+      identical plans (the differential guarantee: identical evidence ->
+      identical costs -> identical argmin). *)
+
+open Rq_exec
+open Rq_optimizer
+open Rq_workload
+
+type config = {
+  seed : int;
+  scale_factor : float;
+  sample_size : int;
+  evidence_repeats : int;
+  plan_passes : int;
+  confidences : float list;
+}
+
+let default_config =
+  {
+    seed = 11;
+    scale_factor = 0.01;
+    sample_size = 500;
+    evidence_repeats = 300;
+    plan_passes = 20;
+    confidences = [ 50.0; 80.0; 95.0 ];
+  }
+
+let small_config =
+  {
+    default_config with
+    scale_factor = 0.004;
+    evidence_repeats = 60;
+    plan_passes = 8;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* World                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let build_world config =
+  let rng = Rq_math.Rng.create config.seed in
+  let params = { Tpch.default_params with scale_factor = config.scale_factor } in
+  let catalog = Tpch.generate (Rq_math.Rng.split rng) ~params () in
+  let stats_config =
+    { Rq_stats.Stats_store.default_config with sample_size = config.sample_size }
+  in
+  let stats = Rq_stats.Stats_store.update_statistics (Rq_math.Rng.split rng) ~config:stats_config catalog in
+  (catalog, stats)
+
+let clear_kernels stats =
+  List.iter
+    (fun root ->
+      match Rq_stats.Stats_store.synopsis stats ~root with
+      | Some syn -> Rq_stats.Join_synopsis.clear_kernel syn
+      | None -> ())
+    (Rq_stats.Stats_store.synopsis_roots stats)
+
+let qualified_query_pred (q : Logical.t) =
+  Pred.conj
+    (List.map
+       (fun (r : Logical.table_ref) ->
+         Pred.rename_columns (fun c -> r.Logical.table ^ "." ^ c) r.Logical.pred)
+       q.Logical.tables)
+
+(* The Experiment-1 family shares its base shipdate atom across offsets and
+   the Experiment-2 family shares the join template: exactly the
+   repeated-atom structure the kernel exploits. *)
+let evidence_pool () =
+  List.map (fun o -> qualified_query_pred (Tpch.exp1_query ~offset:o)) [ 30; 45; 60; 75; 90 ]
+  @ List.map (fun b -> qualified_query_pred (Tpch.exp2_query ~bucket:b)) [ 0; 250; 500; 750; 999 ]
+
+let three_join_workload () =
+  List.map (fun b -> Tpch.exp2_query ~bucket:b) [ 0; 250; 500; 750; 999 ]
+
+(* ------------------------------------------------------------------ *)
+(* Evidence micro-bench                                                *)
+(* ------------------------------------------------------------------ *)
+
+type evidence_bench = {
+  predicates : int;
+  evidence_queries : int;       (* per arm *)
+  cold_rate : float;            (* evidence queries/sec, bitmaps rebuilt *)
+  warm_rate : float;            (* bitmaps retained *)
+  scan_rate : float;            (* reference row-scan path *)
+  warm_vs_scan : float;
+  warm_vs_cold : float;
+  counts_match : bool;          (* kernel (k, n) == scan (k, n), all preds *)
+  kernel : Rq_obs.Metrics.kernel;
+}
+
+let run_evidence config stats =
+  let syn =
+    match Rq_stats.Stats_store.synopsis_for stats [ "lineitem"; "orders"; "part" ] with
+    | Some syn -> syn
+    | None -> failwith "bench-optimizer: no covering synopsis for the three-join expression"
+  in
+  let preds = evidence_pool () in
+  let npreds = List.length preds in
+  let reps = config.evidence_repeats in
+  let time f =
+    let t0 = Sys.time () in
+    f ();
+    Sys.time () -. t0
+  in
+  let counts_match =
+    List.for_all
+      (fun p -> Rq_stats.Join_synopsis.evidence syn p = Rq_stats.Join_synopsis.evidence_scan syn p)
+      preds
+  in
+  let cold_seconds =
+    time (fun () ->
+        for _ = 1 to reps do
+          Rq_stats.Join_synopsis.clear_kernel syn;
+          List.iter (fun p -> ignore (Rq_stats.Join_synopsis.evidence syn p)) preds
+        done)
+  in
+  (* Prime once, then measure steady state. *)
+  List.iter (fun p -> ignore (Rq_stats.Join_synopsis.evidence syn p)) preds;
+  let warm_seconds =
+    time (fun () ->
+        for _ = 1 to reps do
+          List.iter (fun p -> ignore (Rq_stats.Join_synopsis.evidence syn p)) preds
+        done)
+  in
+  let scan_seconds =
+    time (fun () ->
+        for _ = 1 to reps do
+          List.iter (fun p -> ignore (Rq_stats.Join_synopsis.evidence_scan syn p)) preds
+        done)
+  in
+  let queries = reps * npreds in
+  let rate seconds = float_of_int queries /. Float.max 1e-9 seconds in
+  let warm_rate = rate warm_seconds and cold_rate = rate cold_seconds in
+  let scan_rate = rate scan_seconds in
+  {
+    predicates = npreds;
+    evidence_queries = queries;
+    cold_rate;
+    warm_rate;
+    scan_rate;
+    warm_vs_scan = warm_rate /. Float.max 1e-9 scan_rate;
+    warm_vs_cold = warm_rate /. Float.max 1e-9 cold_rate;
+    counts_match;
+    kernel = Rq_stats.Join_synopsis.kernel_stats syn;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Plan bench                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type plan_cell = {
+  estimator : string;
+  confidence : float;
+  cold_seconds : float;         (* first pass: empty bitmaps, fresh memo *)
+  warm_seconds : float;         (* passes 2..N: fresh memo each, bitmaps kept *)
+  cold_plan_rate : float;       (* plans/sec *)
+  warm_plan_rate : float;
+  digests : string list;        (* chosen plan per workload query, pass 1 *)
+}
+
+let run_plan_cell config stats ~scale ~estimator ~confidence ~make_est =
+  let workload = three_join_workload () in
+  let nqueries = List.length workload in
+  let optimize_pass () =
+    (* A fresh estimator per pass: every pass pays memo misses, so what
+       warms up across passes is the synopsis bitmaps alone. *)
+    let opt = Optimizer.create ~scale stats (make_est ()) in
+    List.map
+      (fun q -> Exp_common.plan_digest (Optimizer.optimize_exn opt q).Optimizer.plan)
+      workload
+  in
+  clear_kernels stats;
+  let t0 = Sys.time () in
+  let digests = optimize_pass () in
+  let cold_seconds = Sys.time () -. t0 in
+  let t1 = Sys.time () in
+  for _ = 2 to config.plan_passes do
+    ignore (optimize_pass ())
+  done;
+  let warm_seconds = Sys.time () -. t1 in
+  let warm_plans = nqueries * (config.plan_passes - 1) in
+  {
+    estimator;
+    confidence;
+    cold_seconds;
+    warm_seconds;
+    cold_plan_rate = float_of_int nqueries /. Float.max 1e-9 cold_seconds;
+    warm_plan_rate = float_of_int warm_plans /. Float.max 1e-9 warm_seconds;
+    digests;
+  }
+
+let estimator_configs =
+  [
+    ("robust-kernel", fun stats est -> Cardinality.robust stats est);
+    ("robust-scan", fun stats est -> Cardinality.robust ~kernel:false stats est);
+    ("degrading", fun stats est -> Cardinality.degrading stats est);
+    ("histogram-avi", fun stats _est -> Cardinality.histogram_avi stats);
+  ]
+
+let run_plans config stats ~scale =
+  List.concat_map
+    (fun confidence_percent ->
+      let confidence = Rq_core.Confidence.of_percent confidence_percent in
+      let est = Rq_core.Robust_estimator.create ~confidence () in
+      List.map
+        (fun (label, make) ->
+          run_plan_cell config stats ~scale ~estimator:label ~confidence:confidence_percent
+            ~make_est:(fun () -> make stats est))
+        estimator_configs)
+    config.confidences
+
+(* ------------------------------------------------------------------ *)
+(* The bench                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type result = {
+  config : config;
+  evidence : evidence_bench;
+  plans : plan_cell list;
+  plans_match : bool;           (* robust-kernel == robust-scan digests *)
+  e2e_kernel_seconds : float;   (* robust-kernel total, all confidences *)
+  e2e_scan_seconds : float;     (* robust-scan total, all confidences *)
+  e2e_improvement : float;      (* scan / kernel *)
+  ok : bool;
+}
+
+let run ?(config = default_config) () =
+  let catalog, stats = build_world config in
+  let scale = Tpch.cost_scale catalog in
+  let evidence = run_evidence config stats in
+  let plans = run_plans config stats ~scale in
+  let cells_of label = List.filter (fun c -> String.equal c.estimator label) plans in
+  let plans_match =
+    List.for_all2
+      (fun k s -> k.confidence = s.confidence && k.digests = s.digests)
+      (cells_of "robust-kernel") (cells_of "robust-scan")
+  in
+  let total cells =
+    List.fold_left (fun acc c -> acc +. c.cold_seconds +. c.warm_seconds) 0.0 cells
+  in
+  let e2e_kernel_seconds = total (cells_of "robust-kernel") in
+  let e2e_scan_seconds = total (cells_of "robust-scan") in
+  let e2e_improvement = e2e_scan_seconds /. Float.max 1e-9 e2e_kernel_seconds in
+  let ok =
+    evidence.counts_match && plans_match
+    && evidence.warm_vs_scan >= 5.0
+    && evidence.warm_rate > evidence.cold_rate
+    && e2e_improvement > 1.0
+  in
+  { config; evidence; plans; plans_match; e2e_kernel_seconds; e2e_scan_seconds; e2e_improvement; ok }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let to_json r =
+  let open Rq_obs in
+  let ev = r.evidence in
+  Json.Obj
+    [
+      ("experiment", Json.Str "bench-optimizer");
+      ("seed", Json.Num (float_of_int r.config.seed));
+      ("sample_size", Json.Num (float_of_int r.config.sample_size));
+      ( "evidence",
+        Json.Obj
+          [
+            ("predicates", Json.Num (float_of_int ev.predicates));
+            ("queries_per_arm", Json.Num (float_of_int ev.evidence_queries));
+            ("cold_rate", Json.Num ev.cold_rate);
+            ("warm_rate", Json.Num ev.warm_rate);
+            ("scan_rate", Json.Num ev.scan_rate);
+            ("warm_vs_scan", Json.Num ev.warm_vs_scan);
+            ("warm_vs_cold", Json.Num ev.warm_vs_cold);
+            ("counts_match", Json.Bool ev.counts_match);
+            ("kernel", Metrics.kernel_to_json ev.kernel);
+          ] );
+      ( "plans",
+        Json.List
+          (List.map
+             (fun c ->
+               Json.Obj
+                 [
+                   ("estimator", Json.Str c.estimator);
+                   ("confidence", Json.Num c.confidence);
+                   ("cold_seconds", Json.Num c.cold_seconds);
+                   ("warm_seconds", Json.Num c.warm_seconds);
+                   ("cold_plan_rate", Json.Num c.cold_plan_rate);
+                   ("warm_plan_rate", Json.Num c.warm_plan_rate);
+                 ])
+             r.plans) );
+      ("plans_match", Json.Bool r.plans_match);
+      ("e2e_kernel_seconds", Json.Num r.e2e_kernel_seconds);
+      ("e2e_scan_seconds", Json.Num r.e2e_scan_seconds);
+      ("e2e_improvement", Json.Num r.e2e_improvement);
+      ("ok", Json.Bool r.ok);
+    ]
+
+let render r =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let ev = r.evidence in
+  add "bench-optimizer: %d evidence predicates x %d repeats, %d plan passes\n"
+    ev.predicates r.config.evidence_repeats r.config.plan_passes;
+  add "evidence (queries/sec): cold %.0f  warm %.0f  scan %.0f  (warm %.1fx scan, %.1fx cold)\n"
+    ev.cold_rate ev.warm_rate ev.scan_rate ev.warm_vs_scan ev.warm_vs_cold;
+  add "evidence counts identical to scan: %b\n" ev.counts_match;
+  add "kernel: %s\n" (Format.asprintf "%a" Rq_obs.Metrics.pp_kernel ev.kernel);
+  add "%-15s %6s %12s %12s %12s\n" "estimator" "conf" "cold_ms" "warm_plans/s" "cold_plans/s";
+  List.iter
+    (fun c ->
+      add "%-15s %5.0f%% %12.2f %12.1f %12.1f\n" c.estimator c.confidence
+        (c.cold_seconds *. 1000.0) c.warm_plan_rate c.cold_plan_rate)
+    r.plans;
+  add "kernel vs scan plans identical: %b\n" r.plans_match;
+  add "three-join end-to-end: kernel %.3fs vs scan %.3fs (%.2fx)\n" r.e2e_kernel_seconds
+    r.e2e_scan_seconds r.e2e_improvement;
+  add "ok: %b\n" r.ok;
+  Buffer.contents b

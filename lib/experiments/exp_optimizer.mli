@@ -1,0 +1,69 @@
+(** Optimizer hot-path bench for the bitset evidence kernel.
+
+    Layer 1 — evidence micro-bench: the Experiment-1/2 predicate families
+    against the covering TPC-H synopsis, three ways (kernel cold, kernel
+    warm, reference row scan), with a bit-identity check on every (k, n).
+
+    Layer 2 — plan bench: the three-join Experiment-2 workload optimized
+    repeatedly per estimator per confidence threshold, a fresh evidence
+    memo each pass so that the cold-vs-warm gap isolates the synopsis
+    bitmaps.  Robust-kernel and robust-scan must choose identical plans.
+
+    The bench fails ([ok = false], CLI exit 1) unless: evidence counts
+    match the scan path exactly, kernel and scan plans are identical, the
+    warm kernel is at least 5x the scan path in evidence queries/sec and
+    faster than its own cold state, and the kernel improves end-to-end
+    three-join optimization time. *)
+
+type config = {
+  seed : int;
+  scale_factor : float;        (** TPC-H scale (1.0 = 6M lineitem) *)
+  sample_size : int;           (** tuples per synopsis *)
+  evidence_repeats : int;      (** passes over the predicate pool per arm *)
+  plan_passes : int;           (** optimization passes per estimator cell *)
+  confidences : float list;    (** confidence thresholds, percent *)
+}
+
+val default_config : config
+val small_config : config
+(** CI-sized: smaller catalog and fewer repeats. *)
+
+type evidence_bench = {
+  predicates : int;
+  evidence_queries : int;
+  cold_rate : float;
+  warm_rate : float;
+  scan_rate : float;
+  warm_vs_scan : float;
+  warm_vs_cold : float;
+  counts_match : bool;
+  kernel : Rq_obs.Metrics.kernel;
+}
+
+type plan_cell = {
+  estimator : string;
+  confidence : float;
+  cold_seconds : float;
+  warm_seconds : float;
+  cold_plan_rate : float;
+  warm_plan_rate : float;
+  digests : string list;
+}
+
+type result = {
+  config : config;
+  evidence : evidence_bench;
+  plans : plan_cell list;
+  plans_match : bool;
+  e2e_kernel_seconds : float;
+  e2e_scan_seconds : float;
+  e2e_improvement : float;
+  ok : bool;
+}
+
+val run : ?config:config -> unit -> result
+
+val to_json : result -> Rq_obs.Json.t
+(** The [BENCH_optimizer.json] payload. *)
+
+val render : result -> string

@@ -79,6 +79,62 @@ let to_json m =
       ("extra_seconds", Json.Num m.extra_seconds);
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Evidence-kernel counters                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Work accounting for the bitset evidence kernel: how many per-atom
+   bitmaps were materialized (each one a full sample scan), how many
+   evidence queries were answered by combining cached bitmaps instead, and
+   the row evaluations that combination avoided.  Separate from the
+   simulated-cost record above: kernel work is real optimizer-side CPU,
+   not modeled query execution. *)
+type kernel = {
+  bitmaps_built : int;      (* atomic predicate bitmaps materialized *)
+  bitmap_hits : int;        (* atoms served from the bitmap cache *)
+  bitmap_evictions : int;   (* atoms dropped by the bounded cache *)
+  evidence_queries : int;   (* count/popcount requests answered *)
+  rows_scanned : int;       (* row evaluations paid building bitmaps *)
+  rows_scan_avoided : int;  (* row evaluations a scan path would have paid *)
+}
+
+let kernel_zero =
+  {
+    bitmaps_built = 0;
+    bitmap_hits = 0;
+    bitmap_evictions = 0;
+    evidence_queries = 0;
+    rows_scanned = 0;
+    rows_scan_avoided = 0;
+  }
+
+let kernel_add a b =
+  {
+    bitmaps_built = a.bitmaps_built + b.bitmaps_built;
+    bitmap_hits = a.bitmap_hits + b.bitmap_hits;
+    bitmap_evictions = a.bitmap_evictions + b.bitmap_evictions;
+    evidence_queries = a.evidence_queries + b.evidence_queries;
+    rows_scanned = a.rows_scanned + b.rows_scanned;
+    rows_scan_avoided = a.rows_scan_avoided + b.rows_scan_avoided;
+  }
+
+let kernel_to_json k =
+  Json.Obj
+    [
+      ("bitmaps_built", Json.Num (float_of_int k.bitmaps_built));
+      ("bitmap_hits", Json.Num (float_of_int k.bitmap_hits));
+      ("bitmap_evictions", Json.Num (float_of_int k.bitmap_evictions));
+      ("evidence_queries", Json.Num (float_of_int k.evidence_queries));
+      ("rows_scanned", Json.Num (float_of_int k.rows_scanned));
+      ("rows_scan_avoided", Json.Num (float_of_int k.rows_scan_avoided));
+    ]
+
+let pp_kernel fmt k =
+  Format.fprintf fmt
+    "evidence=%d bitmaps=%d hits=%d evictions=%d rows_scanned=%d rows_avoided=%d"
+    k.evidence_queries k.bitmaps_built k.bitmap_hits k.bitmap_evictions k.rows_scanned
+    k.rows_scan_avoided
+
 let pp fmt m =
   Format.fprintf fmt "%.6fs" m.seconds;
   let field name v = if v <> 0 then Format.fprintf fmt " %s=%d" name v in

@@ -34,3 +34,24 @@ val approx_equal : ?tolerance:float -> t -> t -> bool
 val to_json : t -> Json.t
 val pp : Format.formatter -> t -> unit
 (** Compact one-line rendering; zero counters are omitted. *)
+
+(** {2 Evidence-kernel counters}
+
+    Work accounting for the bitset evidence kernel (optimizer-side CPU,
+    distinct from the simulated execution cost above): bitmaps
+    materialized vs. served from cache, and the row evaluations the
+    bitwise path avoided relative to a row-scan implementation. *)
+
+type kernel = {
+  bitmaps_built : int;      (** atomic predicate bitmaps materialized *)
+  bitmap_hits : int;        (** atoms served from the bitmap cache *)
+  bitmap_evictions : int;   (** atoms dropped by the bounded cache *)
+  evidence_queries : int;   (** count/popcount requests answered *)
+  rows_scanned : int;       (** row evaluations paid building bitmaps *)
+  rows_scan_avoided : int;  (** row evaluations a scan path would have paid *)
+}
+
+val kernel_zero : kernel
+val kernel_add : kernel -> kernel -> kernel
+val kernel_to_json : kernel -> Json.t
+val pp_kernel : Format.formatter -> kernel -> unit

@@ -7,6 +7,7 @@ type event =
   | Degraded of { kind : string; subsystem : string; detail : string }
   | Stats_refresh of { tables : string list }
   | Plan_cache of { outcome : string; fingerprint : string; version : int }
+  | Cache_evicted of { cache : string; key : string }
 
 (* Fingerprints are canonical query renderings and can run long; traces
    only need enough of one to tell entries apart. *)
@@ -32,6 +33,8 @@ let to_string = function
       Printf.sprintf "stats-refresh: %s" (String.concat ", " tables)
   | Plan_cache { outcome; fingerprint; version } ->
       Printf.sprintf "plan-cache: %s %s (stats v%d)" outcome (abbreviate fingerprint) version
+  | Cache_evicted { cache; key } ->
+      Printf.sprintf "cache-evicted: %s dropped %s" cache (abbreviate key)
 
 let to_json event =
   let obj kind fields = Json.Obj (("event", Json.Str kind) :: fields) in
@@ -69,3 +72,5 @@ let to_json event =
           ("fingerprint", Json.Str fingerprint);
           ("version", Json.Num (float_of_int version));
         ]
+  | Cache_evicted { cache; key } ->
+      obj "cache_evicted" [ ("cache", Json.Str cache); ("key", Json.Str key) ]

@@ -30,6 +30,10 @@ type event =
           was cached — a re-optimization follows) or ["evicted"] (LRU
           capacity pressure); [version] is the live statistics version at
           the event *)
+  | Cache_evicted of { cache : string; key : string }
+      (** a bounded estimator-side cache (evidence memo, per-synopsis
+          bitmap index, group-count memo) dropped its LRU entry under
+          capacity pressure *)
 
 val to_string : event -> string
 (** One line, ["event-name: details"]. *)

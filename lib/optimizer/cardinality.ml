@@ -40,19 +40,42 @@ let qualified_pred (r : Logical.table_ref) =
 (* ------------------------------------------------------------------ *)
 
 type memo = {
-  memo_evidence : Join_synopsis.t -> Pred.t -> int * int;
+  memo_evidence : version:int -> Join_synopsis.t -> Pred.t -> int * int;
   memo_estimate : successes:int -> trials:int -> float;
+  memo_groups :
+    version:int -> Join_synopsis.t -> pred:Pred.t -> columns:string list ->
+    population_size:int -> float;
 }
 
+let default_memo_capacity = 512
+
 (* Optimization repeatedly asks for the same (synopsis, predicate)
-   evidence — once per access path, once per DP subset visit.  Sample
-   contents are fixed for the life of the store, so the counts are
-   memoized on the predicate's rendering (Sec. 6.1 points at exactly this
-   optimization).  One memo is shared by every path of an estimator that
-   consults synopses — [degrading]'s tier-1 answers and its internal robust
-   estimator hit the same entries. *)
-let make_memo estimator =
-  let evidence_cache : (string, int * int) Hashtbl.t = Hashtbl.create 64 in
+   evidence — once per access path, once per DP subset visit.  The counts
+   are memoized under a *structural* key: the synopsis root, the
+   per-table statistics version, and the predicate's canonical rendering
+   (the same normalization the plan-cache fingerprints use), so conjunct
+   order and comparison commutation hit one entry, and any statistics
+   change that touches the root — fault injection, maintenance refresh —
+   keys differently and can never serve stale evidence, even when one
+   memo outlives the store it first saw (Sec. 6.1 points at exactly this
+   optimization).  Both caches are bounded LRUs so a long-lived memo
+   under predicate churn stays small; evictions surface as
+   [Cache_evicted] trace events when a recorder is attached.  One memo is
+   shared by every path of an estimator that consults synopses —
+   [degrading]'s tier-1 answers and its internal robust estimator hit the
+   same entries. *)
+let make_memo ?obs ?(capacity = default_memo_capacity) ?(kernel = true) estimator =
+  let record_eviction cache key =
+    match obs with
+    | None -> ()
+    | Some r -> Rq_obs.Recorder.record r (Rq_obs.Trace.Cache_evicted { cache; key })
+  in
+  let evidence_cache : (int * int) Lru.t =
+    Lru.create ~on_evict:(record_eviction "evidence-memo") ~capacity ()
+  in
+  let groups_cache : float Lru.t =
+    Lru.create ~on_evict:(record_eviction "group-memo") ~capacity ()
+  in
   (* Quantile inversion costs microseconds; the distinct (k, n) pairs seen
      during one optimization are few. *)
   let quantile_cache : (int * int, float) Hashtbl.t = Hashtbl.create 32 in
@@ -64,34 +87,50 @@ let make_memo estimator =
         Hashtbl.replace quantile_cache (successes, trials) s;
         s
   in
-  let memo_evidence syn pred =
-    (* Conjunct order varies with plan shape but not the predicate's
-       meaning; normalize so every ordering hits the same entry. *)
-    let rendered =
-      Pred.conjuncts pred
-      |> List.map (Format.asprintf "%a" Pred.pp)
-      |> List.sort String.compare
-      |> String.concat " AND "
-    in
-    let key = Join_synopsis.root syn ^ "|" ^ rendered in
-    match Hashtbl.find_opt evidence_cache key with
-    | Some counts -> counts
-    | None ->
-        let counts = Join_synopsis.evidence syn pred in
-        Hashtbl.replace evidence_cache key counts;
-        counts
+  let structural_key ~version syn pred =
+    Join_synopsis.root syn ^ "@" ^ string_of_int version ^ "|" ^ Pred.render pred
   in
-  { memo_evidence; memo_estimate }
+  let count_evidence syn pred =
+    if kernel then Join_synopsis.evidence syn pred else Join_synopsis.evidence_scan syn pred
+  in
+  let memo_evidence ~version syn pred =
+    Lru.find_or_add evidence_cache (structural_key ~version syn pred) (fun () ->
+        count_evidence syn pred)
+  in
+  let memo_groups ~version syn ~pred ~columns ~population_size =
+    let key =
+      structural_key ~version syn pred
+      ^ "|g:" ^ String.concat "," columns
+      ^ "|N:" ^ string_of_int population_size
+    in
+    Lru.find_or_add groups_cache key (fun () ->
+        let k, _ = memo_evidence ~version syn pred in
+        if k = 0 then 1.0
+        else begin
+          let sample = Join_synopsis.sample syn in
+          let matching =
+            (* Streamed, never materialized: off the kernel's bitmap, or
+               (scan mode) filtered with the sample's cached checker. *)
+            if kernel then Join_synopsis.matching_rows syn pred
+            else Seq.filter (Sample.checker sample pred) (Relation.to_seq (Sample.rows sample))
+          in
+          Distinct.estimate_groups_seq
+            ~schema:(Relation.schema (Sample.rows sample))
+            ~columns ~population_size matching
+        end)
+  in
+  { memo_evidence; memo_estimate; memo_groups }
 
 let robust_with ~memo stats estimator =
   let catalog = Stats_store.catalog stats in
   let cached_estimate = memo.memo_estimate in
   let cached_evidence = memo.memo_evidence in
+  let version_of root = Stats_store.table_version stats root in
   let table_selectivity ~table pred =
     match Stats_store.synopsis stats ~root:table with
     | Some syn ->
         let qualified = Pred.rename_columns (fun c -> table ^ "." ^ c) pred in
-        let k, n = cached_evidence syn qualified in
+        let k, n = cached_evidence ~version:(version_of table) syn qualified in
         cached_estimate ~successes:k ~trials:n
     | None -> Robust_estimator.estimate_no_statistics estimator
   in
@@ -100,7 +139,7 @@ let robust_with ~memo stats estimator =
     match Stats_store.synopsis_for stats names with
     | Some syn ->
         let pred = Pred.conj (List.map qualified_pred refs) in
-        let k, n = cached_evidence syn pred in
+        let k, n = cached_evidence ~version:(version_of (Join_synopsis.root syn)) syn pred in
         cached_estimate ~successes:k ~trials:n *. float_of_int (Join_synopsis.root_size syn)
     | None ->
         (* Sec.-3.5 fallback: no covering synopsis.  Estimate each table's
@@ -119,24 +158,16 @@ let robust_with ~memo stats estimator =
     match Stats_store.synopsis_for stats names with
     | Some syn ->
         let pred = Pred.conj (List.map qualified_pred refs) in
-        let sample = Sample.rows (Join_synopsis.sample syn) in
-        let check = Pred.compile (Relation.schema sample) pred in
-        let matching =
-          Array.of_seq (Seq.filter check (Relation.to_seq sample))
-        in
-        if Array.length matching = 0 then 1.0
-        else
-          let matching_rel =
-            Relation.create ~name:"group_sample" ~schema:(Relation.schema sample) matching
-          in
-          let population = int_of_float (Float.max 1.0 (expression_cardinality refs)) in
-          Distinct.estimate_groups ~sample:matching_rel ~columns:group_by
-            ~population_size:population
+        let population = int_of_float (Float.max 1.0 (expression_cardinality refs)) in
+        memo.memo_groups
+          ~version:(version_of (Join_synopsis.root syn))
+          syn ~pred ~columns:group_by ~population_size:population
     | None -> Float.max 1.0 (expression_cardinality refs *. 0.1)
   in
   { name = "robust-sampling"; expression_cardinality; table_selectivity; group_count }
 
-let robust stats estimator = robust_with ~memo:(make_memo estimator) stats estimator
+let robust ?kernel stats estimator =
+  robust_with ~memo:(make_memo ?kernel estimator) stats estimator
 
 (* ------------------------------------------------------------------ *)
 (* Histogram + AVI (the baseline)                                      *)
@@ -220,7 +251,15 @@ let degrading ?(log = fun _ -> ()) ?obs stats estimator =
               None
           | Some syn -> (
               match Fault.verify_synopsis catalog syn with
-              | Ok () -> Some syn
+              | Ok () ->
+                  (match obs with
+                  | None -> ()
+                  | Some r ->
+                      Join_synopsis.set_on_evict syn (fun key ->
+                          Rq_obs.Recorder.record r
+                            (Rq_obs.Trace.Cache_evicted
+                               { cache = "bitmap-index:" ^ root; key })));
+                  Some syn
               | Error event ->
                   log_once event;
                   None)
@@ -231,7 +270,7 @@ let degrading ?(log = fun _ -> ()) ?obs stats estimator =
   (* One memo serves both the tier-1 direct answers below and the internal
      robust estimator, so the degrading chain pays the same (cached)
      per-request cost as [robust] when statistics are healthy. *)
-  let memo = make_memo estimator in
+  let memo = make_memo ?obs estimator in
   let robust_est = robust_with ~memo stats estimator in
   let hist_est = histogram_avi stats in
   (* Tier 3->4 boundary: histogram_selectivity silently substitutes magic
@@ -260,7 +299,9 @@ let degrading ?(log = fun _ -> ()) ?obs stats estimator =
     match healthy_synopsis table with
     | Some syn ->
         let qualified = Pred.rename_columns (fun c -> table ^ "." ^ c) pred in
-        let k, n = memo.memo_evidence syn qualified in
+        let k, n =
+          memo.memo_evidence ~version:(Stats_store.table_version stats table) syn qualified
+        in
         memo.memo_estimate ~successes:k ~trials:n
     | None -> if pred = Pred.True then 1.0 else histogram_tier ~table pred
   in
@@ -279,7 +320,11 @@ let degrading ?(log = fun _ -> ()) ?obs stats estimator =
         (* Tier 1: evidence from the covering join synopsis — the paper's
            estimator at full strength, through the shared memo. *)
         let pred = Pred.conj (List.map qualified_pred refs) in
-        let k, n = memo.memo_evidence syn pred in
+        let k, n =
+          memo.memo_evidence
+            ~version:(Stats_store.table_version stats (Join_synopsis.root syn))
+            syn pred
+        in
         memo.memo_estimate ~successes:k ~trials:n
         *. float_of_int (Join_synopsis.root_size syn)
     | None ->

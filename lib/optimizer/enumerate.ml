@@ -262,7 +262,17 @@ let star_plans catalog query ~cost_fn ~best_single =
 
 let join_plans catalog ~cost_fn query =
   let subsets_list = Logical.connected_subsets catalog query in
-  let best : (string list, Plan.t) Hashtbl.t = Hashtbl.create 16 in
+  let all_tables = List.sort String.compare (Logical.table_names query) in
+  (* Canonical table-set encoding for the DP table: bit i = i-th table in
+     sorted name order.  Subset keys become single ints, so the hot inner
+     loop (one lookup per split side per subset) does integer hashing
+     instead of allocating and structurally hashing string lists. *)
+  let bit_of = Hashtbl.create 8 in
+  List.iteri (fun i table -> Hashtbl.replace bit_of table (1 lsl i)) all_tables;
+  let mask_of tables =
+    List.fold_left (fun mask table -> mask lor Hashtbl.find bit_of table) 0 tables
+  in
+  let best : (int, Plan.t) Hashtbl.t = Hashtbl.create 16 in
   let pick_best plans =
     match plans with
     | [] -> None
@@ -280,7 +290,9 @@ let join_plans catalog ~cost_fn query =
         | _ ->
             List.concat_map
               (fun (left, right) ->
-                match (Hashtbl.find_opt best left, Hashtbl.find_opt best right) with
+                match
+                  (Hashtbl.find_opt best (mask_of left), Hashtbl.find_opt best (mask_of right))
+                with
                 | Some left_plan, Some right_plan ->
                     join_candidates catalog query ~left_tables:left ~left_plan
                       ~right_tables:right ~right_plan
@@ -288,16 +300,15 @@ let join_plans catalog ~cost_fn query =
               (splits tables)
       in
       match pick_best candidates with
-      | Some plan -> Hashtbl.replace best tables plan
+      | Some plan -> Hashtbl.replace best (mask_of tables) plan
       | None -> ())
     subsets_list;
-  let all_tables = List.sort String.compare (Logical.table_names query) in
   match all_tables with
   | [ single ] -> access_paths catalog (ref_of query single)
   | _ -> (
-      let dp_best = Hashtbl.find_opt best all_tables in
+      let dp_best = Hashtbl.find_opt best (mask_of all_tables) in
       let best_single table =
-        match Hashtbl.find_opt best [ table ] with
+        match Hashtbl.find_opt best (Hashtbl.find bit_of table) with
         | Some plan -> plan
         | None ->
             Plan.Scan { table; access = Plan.Seq_scan; pred = (ref_of query table).Logical.pred }

@@ -1,4 +1,3 @@
-open Rq_storage
 open Rq_exec
 open Rq_optimizer
 
@@ -8,59 +7,15 @@ type t = { key : string; hash : int }
 (* Canonical rendering                                                 *)
 (* ------------------------------------------------------------------ *)
 
-(* Self-contained compact renderers: [Pred.pp]/[Expr.pp] are box-based
-   pretty printers whose output depends on the formatter margin, which
-   would make equal queries fingerprint differently at different lengths.
-   These emit one unambiguous line. *)
+(* Canonical compact renderers: [Pred.pp]/[Expr.pp] are box-based pretty
+   printers whose output depends on the formatter margin, which would make
+   equal queries fingerprint differently at different lengths.
+   [Expr.render]/[Pred.render] emit one unambiguous, normalized line; the
+   optimizer's evidence memo keys on the same renderings, so a cache entry
+   here and a bitmap combination there agree on predicate identity. *)
 
-let rec render_expr = function
-  | Expr.Col c -> "c:" ^ c
-  | Expr.Const v -> "v:" ^ Value.to_string v
-  | Expr.Add (a, b) -> "(+ " ^ render_expr a ^ " " ^ render_expr b ^ ")"
-  | Expr.Sub (a, b) -> "(- " ^ render_expr a ^ " " ^ render_expr b ^ ")"
-  | Expr.Mul (a, b) -> "(* " ^ render_expr a ^ " " ^ render_expr b ^ ")"
-  | Expr.Div (a, b) -> "(/ " ^ render_expr a ^ " " ^ render_expr b ^ ")"
-  | Expr.Add_days (e, d) -> Printf.sprintf "(+days %s %d)" (render_expr e) d
-
-let render_cmp = function
-  | Pred.Eq -> "="
-  | Pred.Ne -> "<>"
-  | Pred.Lt -> "<"
-  | Pred.Le -> "<="
-  | Pred.Gt -> ">"
-  | Pred.Ge -> ">="
-
-(* Normalization: flatten nested And/Or, sort operand lists by rendering,
-   and order the operands of the commutative comparisons (=, <>) — so
-   queries equal modulo predicate commutation render identically. *)
-let rec render_pred p =
-  let flatten_and = function Pred.And ps -> ps | p -> [ p ] in
-  let flatten_or = function Pred.Or ps -> ps | p -> [ p ] in
-  match p with
-  | Pred.True -> "true"
-  | Pred.False -> "false"
-  | Pred.Cmp (op, a, b) ->
-      let ra = render_expr a and rb = render_expr b in
-      let ra, rb =
-        match op with
-        | Pred.Eq | Pred.Ne -> if String.compare ra rb <= 0 then (ra, rb) else (rb, ra)
-        | _ -> (ra, rb)
-      in
-      "(" ^ render_cmp op ^ " " ^ ra ^ " " ^ rb ^ ")"
-  | Pred.Between (e, lo, hi) ->
-      "(between " ^ render_expr e ^ " " ^ render_expr lo ^ " " ^ render_expr hi ^ ")"
-  | Pred.Contains (e, s) -> Printf.sprintf "(contains %s %S)" (render_expr e) s
-  | Pred.And ps ->
-      let parts =
-        List.concat_map flatten_and ps |> List.map render_pred |> List.sort String.compare
-      in
-      "(and " ^ String.concat " " parts ^ ")"
-  | Pred.Or ps ->
-      let parts =
-        List.concat_map flatten_or ps |> List.map render_pred |> List.sort String.compare
-      in
-      "(or " ^ String.concat " " parts ^ ")"
-  | Pred.Not p -> "(not " ^ render_pred p ^ ")"
+let render_expr = Expr.render
+let render_pred = Pred.render
 
 let render_agg_fn = function
   | Plan.Count_star -> "count(*)"
@@ -122,6 +77,14 @@ let of_logical ?(estimator = "") ?confidence (q : Logical.t) =
   | None -> add "T:;"
   | Some c -> add "T:%.6g;" (Rq_core.Confidence.to_percent c));
   let key = Buffer.contents buf in
+  { key; hash = fnv1a key }
+
+(* Fingerprint of a bare (possibly atomic) predicate: the structural key
+   the estimator's evidence memo uses in place of built strings.  Shares
+   {!Pred.render}'s normalization, so a predicate and the same predicate
+   inside a query fingerprint agree on identity. *)
+let of_pred pred =
+  let key = "pred:" ^ render_pred pred in
   { key; hash = fnv1a key }
 
 let to_key t = t.key

@@ -28,6 +28,12 @@ val of_logical :
 (** [estimator] defaults to [""] and [confidence] to absent — callers
     caching across estimator configurations must pass both. *)
 
+val of_pred : Rq_exec.Pred.t -> t
+(** Fingerprint of a bare predicate — atomic or compound — under the same
+    normalization ({!Rq_exec.Pred.render}) the query fingerprint uses for
+    its predicates.  This is the structural key the optimizer's evidence
+    memo and the bitmap kernel share. *)
+
 val to_key : t -> string
 (** The full canonical key.  Cache lookups compare this string, so hash
     collisions can never serve a wrong plan. *)

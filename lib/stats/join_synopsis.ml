@@ -1,6 +1,18 @@
 open Rq_storage
 
-type t = { root : string; tables : string list; sample : Sample.t; root_size : int }
+type t = {
+  root : string;
+  tables : string list;
+  sample : Sample.t;
+  root_size : int;
+  (* The bitset evidence kernel over this synopsis's rows.  Lazy so that
+     synopses built but never probed (e.g. covering tables a workload
+     never touches) pay nothing; forced on the first evidence query. *)
+  kernel : Pred_index.t Lazy.t;
+}
+
+let make ~root ~tables ~sample ~root_size =
+  { root; tables; sample; root_size; kernel = lazy (Pred_index.create (Sample.rows sample)) }
 
 (* Traversal order and the FK edge used to reach each non-root table.  The
    paper assumes acyclic FK graphs; we additionally require tree-shaped
@@ -109,7 +121,7 @@ let build ?(with_replacement = true) ?(follow_fks = true) ?(lenient = false) rng
       ~population_size:(Relation.row_count root_rel)
       ~name:(root ^ "__synopsis")
   in
-  { root; tables; sample; root_size = Relation.row_count root_rel }
+  make ~root ~tables ~sample ~root_size:(Relation.row_count root_rel)
 
 let root t = t.root
 let tables t = t.tables
@@ -123,16 +135,43 @@ let with_rows t rows =
       ~population_size:(Sample.population_size t.sample)
       ~name:(t.root ^ "__synopsis")
   in
-  { t with sample }
+  (* [make], not [{ t with sample }]: the tampered synopsis must carry a
+     fresh kernel, never bitmaps built over the original rows. *)
+  make ~root:t.root ~tables:t.tables ~sample ~root_size:t.root_size
 
 let truncate t n =
   let rows = Array.of_seq (Relation.to_seq (Sample.rows t.sample)) in
   let keep = max 0 (min n (Array.length rows)) in
   with_rows t (Array.sub rows 0 keep)
 
+(* Sample rows unchanged, so sharing the kernel (and its bitmaps) is
+   sound. *)
 let with_root_size t n = { t with root_size = n }
 let covers t needed = List.for_all (fun table -> List.mem table t.tables) needed
 let sample t = t.sample
 let size t = Sample.size t.sample
 let root_size t = t.root_size
-let evidence t pred = Sample.evidence t.sample pred
+
+let evidence t pred = (Pred_index.count (Lazy.force t.kernel) pred, Sample.size t.sample)
+let evidence_scan t pred = Sample.evidence t.sample pred
+
+let matching_rows t pred =
+  let idx = Lazy.force t.kernel in
+  let bitmap = Pred_index.eval idx pred in
+  let rows = Sample.rows t.sample in
+  let n = Relation.row_count rows in
+  (* Lazily walk the bitmap: downstream consumers (GEE) are single-pass,
+     so the matching rows are never materialized. *)
+  let rec from i () =
+    if i >= n then Seq.Nil
+    else if Bitset.get bitmap i then Seq.Cons (Relation.get rows i, from (i + 1))
+    else from (i + 1) ()
+  in
+  from 0
+
+let kernel_stats t =
+  if Lazy.is_val t.kernel then Pred_index.stats (Lazy.force t.kernel)
+  else Rq_obs.Metrics.kernel_zero
+
+let set_on_evict t f = Pred_index.set_on_evict (Lazy.force t.kernel) f
+let clear_kernel t = if Lazy.is_val t.kernel then Pred_index.clear (Lazy.force t.kernel)

@@ -50,7 +50,32 @@ val root_size : t -> int
     cardinality selectivity · root_size. *)
 
 val evidence : t -> Pred.t -> int * int
-(** [(k, n)] for a predicate over qualified columns of covered tables. *)
+(** [(k, n)] for a predicate over qualified columns of covered tables.
+    Answered by the bitset evidence kernel ({!Pred_index}): each atomic
+    predicate is scanned at most once per synopsis, then combined
+    bitwise — bit-identical to {!evidence_scan}. *)
+
+val evidence_scan : t -> Pred.t -> int * int
+(** The reference row-scan implementation of {!evidence} (compile the
+    whole predicate, scan the sample).  Kept for differential testing and
+    the kernel benchmark baseline. *)
+
+val matching_rows : t -> Pred.t -> Relation.tuple Seq.t
+(** The sample rows satisfying [pred], lazily walked off the kernel's
+    satisfaction bitmap — the streaming input to GROUP-BY distinct
+    estimation; nothing is materialized. *)
+
+val kernel_stats : t -> Rq_obs.Metrics.kernel
+(** Cumulative kernel counters; all-zero if no evidence query has forced
+    the kernel yet. *)
+
+val set_on_evict : t -> (string -> unit) -> unit
+(** Install an eviction observer on the kernel's bitmap cache (forces the
+    kernel).  The callback receives the canonical atom rendering. *)
+
+val clear_kernel : t -> unit
+(** Drop any cached bitmaps (benchmark cold runs); a no-op if the kernel
+    was never forced. *)
 
 (** {2 Tamper hooks}
 

@@ -1,0 +1,84 @@
+(* A small string-keyed LRU, the shape Plan_cache uses: a hashtable plus a
+   logical clock, evicting the least-recently-used entry at capacity.  The
+   evidence and bitmap caches are bounded with this so long throughput runs
+   cannot grow memory without bound; [on_evict] lets the owner surface each
+   eviction as a trace event. *)
+
+type 'a entry = { value : 'a; mutable last_used : int }
+
+type 'a t = {
+  capacity : int;
+  entries : (string, 'a entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable on_evict : string -> unit;
+}
+
+let create ?(on_evict = fun _ -> ()) ~capacity () =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  {
+    capacity;
+    entries = Hashtbl.create (min capacity 64);
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    on_evict;
+  }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.entries
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+let set_on_evict t f = t.on_evict <- f
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let find t key =
+  match Hashtbl.find_opt t.entries key with
+  | Some entry ->
+      entry.last_used <- tick t;
+      t.hits <- t.hits + 1;
+      Some entry.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let mem t key = Hashtbl.mem t.entries key
+
+let evict_lru t =
+  if Hashtbl.length t.entries >= t.capacity then begin
+    let victim =
+      Hashtbl.fold
+        (fun key entry acc ->
+          match acc with
+          | Some (_, best) when best.last_used <= entry.last_used -> acc
+          | _ -> Some (key, entry))
+        t.entries None
+    in
+    match victim with
+    | None -> ()
+    | Some (key, _) ->
+        Hashtbl.remove t.entries key;
+        t.evictions <- t.evictions + 1;
+        t.on_evict key
+  end
+
+let insert t key value =
+  if not (Hashtbl.mem t.entries key) then evict_lru t;
+  Hashtbl.replace t.entries key { value; last_used = tick t }
+
+let find_or_add t key make =
+  match find t key with
+  | Some v -> v
+  | None ->
+      let v = make () in
+      insert t key v;
+      v
+
+let clear t = Hashtbl.reset t.entries

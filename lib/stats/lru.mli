@@ -1,0 +1,28 @@
+(** A small bounded string-keyed LRU cache (the {!Rq_optimizer.Plan_cache}
+    recipe, reusable): hashtable + logical clock, least-recently-used
+    eviction at capacity, hit/miss/eviction counters, and an eviction
+    callback for trace events. *)
+
+type 'a t
+
+val create : ?on_evict:(string -> unit) -> capacity:int -> unit -> 'a t
+(** Raises [Invalid_argument] on a non-positive capacity.  [on_evict]
+    receives the evicted key (default: ignore). *)
+
+val find : 'a t -> string -> 'a option
+(** Counts a hit (and refreshes recency) or a miss. *)
+
+val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
+(** [find], or build, insert and return (evicting the LRU entry first when
+    at capacity). *)
+
+val insert : 'a t -> string -> 'a -> unit
+val mem : 'a t -> string -> bool
+val clear : 'a t -> unit
+val set_on_evict : 'a t -> (string -> unit) -> unit
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val hits : 'a t -> int
+val misses : 'a t -> int
+val evictions : 'a t -> int

@@ -40,9 +40,15 @@ val rows : t -> Relation.t
 val size : t -> int
 val population_size : t -> int
 
+val checker : t -> Pred.t -> Relation.tuple -> bool
+(** The compiled checker for [pred] against this sample's schema, served
+    from a per-sample bounded cache keyed by the predicate's canonical
+    rendering, so repeated probes do not recompile. *)
+
 val count_matching : t -> Pred.t -> int
 (** [count_matching s pred] = k, the number of sample tuples satisfying
-    [pred] — the evidence fed to the Bayesian posterior. *)
+    [pred] — the evidence fed to the Bayesian posterior.  Uses the cached
+    compiled checker. *)
 
 val evidence : t -> Pred.t -> int * int
 (** [(k, n)]: matching count and sample size. *)

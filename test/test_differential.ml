@@ -210,6 +210,67 @@ let run_engine_differential catalog_name catalog gen () =
       (estimator_configs stats)
   done
 
+(* The kernel-vs-scan pass: the robust estimator through the bitset
+   evidence kernel must be indistinguishable from the row-scan reference —
+   identical evidence counts (k, n) on every generated predicate,
+   identical chosen plans, identical results. *)
+let run_kernel_differential catalog_name catalog gen () =
+  let rng = Rq_math.Rng.create (seed + 4) in
+  let scale = 1.0 in
+  let stats =
+    Rq_stats.Stats_store.update_statistics (Rq_math.Rng.split rng)
+      ~config:{ Rq_stats.Stats_store.default_config with sample_size = 200 }
+      catalog
+  in
+  let est () =
+    Rq_core.Robust_estimator.create
+      ~confidence:Rq_core.Confidence.(resolve default_setting)
+      ()
+  in
+  let kernel_opt = Optimizer.create ~scale stats (Cardinality.robust stats (est ())) in
+  let scan_opt =
+    Optimizer.create ~scale stats (Cardinality.robust ~kernel:false stats (est ()))
+  in
+  let qualified_pred (q : Logical.t) =
+    Pred.conj
+      (List.map
+         (fun (r : Logical.table_ref) ->
+           Pred.rename_columns (fun c -> r.Logical.table ^ "." ^ c) r.Logical.pred)
+         q.Logical.tables)
+  in
+  for i = 1 to queries_per_catalog do
+    let query = gen rng in
+    (* Evidence bit-identity on the covering synopsis. *)
+    let names = List.map (fun (r : Logical.table_ref) -> r.Logical.table) query.Logical.tables in
+    (match Rq_stats.Stats_store.synopsis_for stats names with
+    | None -> ()
+    | Some syn ->
+        let pred = qualified_pred query in
+        let kk, kn = Rq_stats.Join_synopsis.evidence syn pred in
+        let sk, sn = Rq_stats.Join_synopsis.evidence_scan syn pred in
+        if (kk, kn) <> (sk, sn) then
+          Alcotest.failf
+            "%s query %d: kernel evidence (%d, %d) <> scan evidence (%d, %d) (seed %d)\npred: %s"
+            catalog_name i kk kn sk sn seed (Pred.render pred));
+    (* Identical decisions, identical answers. *)
+    let decide label opt =
+      match Optimizer.optimize opt query with
+      | Ok d -> d
+      | Error e -> Alcotest.failf "%s query %d: %s rejected: %s" catalog_name i label e
+    in
+    let kd = decide "kernel" kernel_opt and sd = decide "scan" scan_opt in
+    Alcotest.(check string)
+      (Printf.sprintf "%s query %d: kernel and scan choose the same plan" catalog_name i)
+      (Rq_experiments.Exp_common.plan_digest sd.Optimizer.plan)
+      (Rq_experiments.Exp_common.plan_digest kd.Optimizer.plan);
+    let kres = execute catalog scale kd.Optimizer.plan in
+    let sres = execute catalog scale sd.Optimizer.plan in
+    if not (Rq_experiments.Exp_common.results_equal sres kres) then
+      fail_differential
+        ~label:(Printf.sprintf "%s query %d kernel vs scan" catalog_name i)
+        ~query ~reference:sres ~candidate:kres
+  done
+
 (* The cached-vs-uncached pass: both the freshly-inserted decision and the
    served-from-cache repeat must answer like a cold optimization. *)
 let run_cache_differential catalog_name catalog gen () =
@@ -284,5 +345,10 @@ let () =
         [
           Alcotest.test_case "tpch" `Quick (run_engine_differential "tpch" tpch gen_tpch_query);
           Alcotest.test_case "star" `Quick (run_engine_differential "star" star gen_star_query);
+        ] );
+      ( "evidence kernel matches row scan",
+        [
+          Alcotest.test_case "tpch" `Quick (run_kernel_differential "tpch" tpch gen_tpch_query);
+          Alcotest.test_case "star" `Quick (run_kernel_differential "star" star gen_star_query);
         ] );
     ]

@@ -234,6 +234,39 @@ let test_sample_ml_estimator () =
   in
   check_bool "robust keeps a floor" true (robust_est > 0.0)
 
+let test_memo_invalidated_by_fault () =
+  (* A memo shared across stores must not serve evidence cached against a
+     pre-fault synopsis: memo keys embed the per-table stats version, which
+     [Fault.apply] bumps.  The shared-memo estimate on the damaged store
+     must equal a fresh-memo estimate on the same store, and (the fault
+     being destructive) differ from the pre-damage answer. *)
+  let catalog = fixture ~rows:5000 () in
+  let stats = build_stats catalog 81 in
+  let estimator =
+    Rq_core.Robust_estimator.create ~confidence:Rq_core.Confidence.median ()
+  in
+  let memo = Cardinality.make_memo estimator in
+  let refs = [ { Logical.table = "readings"; pred = correlated_pred } ] in
+  let estimate stats' =
+    (Cardinality.robust_with ~memo stats' estimator).Cardinality.expression_cardinality refs
+  in
+  let before = estimate stats in
+  let damaged =
+    Rq_stats.Fault.apply (Rq_math.Rng.create 94) stats
+      [ Rq_stats.Fault.Truncate_synopsis { root = "readings"; keep = 0 } ]
+  in
+  let after_shared = estimate damaged in
+  let after_fresh =
+    (Cardinality.robust damaged estimator).Cardinality.expression_cardinality refs
+  in
+  check_close 1e-9 "shared memo = fresh memo on damaged store" after_fresh after_shared;
+  check_bool
+    (Printf.sprintf "stale evidence not served: before %.1f, after %.1f" before after_shared)
+    true
+    (Float.abs (before -. after_shared) > 1e-6);
+  (* The undamaged store still answers as before through the same memo. *)
+  check_close 1e-9 "original store unaffected" before (estimate stats)
+
 let test_group_count_estimates () =
   let catalog = fixture ~rows:5000 () in
   let stats = build_stats catalog 80 in
@@ -701,6 +734,8 @@ let () =
           Alcotest.test_case "threshold ordering" `Quick test_estimator_threshold_ordering;
           Alcotest.test_case "sample-ML ablation estimator" `Quick test_sample_ml_estimator;
           Alcotest.test_case "group counts" `Quick test_group_count_estimates;
+          Alcotest.test_case "fault injection invalidates shared memo" `Quick
+            test_memo_invalidated_by_fault;
         ] );
       ( "costing",
         [

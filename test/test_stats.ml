@@ -563,6 +563,190 @@ let test_refresh_after_parent_emptied () =
   | None -> Alcotest.fail "synopsis should exist"
   | Some syn -> check_int "all dangling join rows dropped" 0 (Join_synopsis.size syn)
 
+(* ------------------------------------------------------------------ *)
+(* Bitset / Lru / Pred_index: the evidence kernel                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitset_basics () =
+  List.iter
+    (fun len ->
+      let b = Bitset.create len in
+      check_int (Printf.sprintf "empty popcount len=%d" len) 0 (Bitset.popcount b);
+      check_int (Printf.sprintf "full popcount len=%d" len) len
+        (Bitset.popcount (Bitset.full len));
+      (* lognot must respect the tail mask: no phantom bits past len. *)
+      check_int (Printf.sprintf "lognot empty len=%d" len) len
+        (Bitset.popcount (Bitset.lognot b));
+      let every3 = Bitset.of_pred ~len (fun i -> i mod 3 = 0) in
+      check_int
+        (Printf.sprintf "every 3rd bit len=%d" len)
+        ((len + 2) / 3)
+        (Bitset.popcount every3);
+      let expected = List.filter (fun i -> i mod 3 = 0) (List.init len Fun.id) in
+      let seen = ref [] in
+      Bitset.iter_set (fun i -> seen := i :: !seen) every3;
+      Alcotest.(check (list int))
+        (Printf.sprintf "iter_set len=%d" len)
+        expected (List.rev !seen))
+    [ 0; 1; 63; 64; 65; 130; 200 ]
+
+let test_bitset_algebra () =
+  let len = 130 in
+  let a = Bitset.of_pred ~len (fun i -> i mod 2 = 0) in
+  let b = Bitset.of_pred ~len (fun i -> i mod 3 = 0) in
+  let both = Bitset.logand a b in
+  let either = Bitset.logor a b in
+  check_int "and = multiples of 6" (1 + ((len - 1) / 6)) (Bitset.popcount both);
+  check_int "count_and agrees" (Bitset.popcount both) (Bitset.count_and a b);
+  (* inclusion-exclusion *)
+  check_int "or = a + b - and"
+    (Bitset.popcount a + Bitset.popcount b - Bitset.popcount both)
+    (Bitset.popcount either);
+  check_bool "equal reflexive" true (Bitset.equal a a);
+  check_bool "not equal" false (Bitset.equal a b);
+  check_int "double negation" (Bitset.popcount a)
+    (Bitset.popcount (Bitset.lognot (Bitset.lognot a)))
+
+let test_lru_bounds_and_evicts () =
+  let evicted = ref [] in
+  let lru = Lru.create ~on_evict:(fun k -> evicted := k :: !evicted) ~capacity:2 () in
+  Lru.insert lru "a" 1;
+  Lru.insert lru "b" 2;
+  check_bool "a cached" true (Lru.find lru "a" <> None);
+  (* a is now most recent; inserting c must evict b. *)
+  Lru.insert lru "c" 3;
+  Alcotest.(check (list string)) "b evicted" [ "b" ] !evicted;
+  check_bool "a survives" true (Lru.mem lru "a");
+  check_bool "b gone" false (Lru.find lru "b" <> None);
+  check_int "bounded" 2 (Lru.length lru);
+  check_int "evictions counted" 1 (Lru.evictions lru);
+  check_bool "hits and misses counted" true (Lru.hits lru >= 1 && Lru.misses lru >= 1)
+
+let kernel_fixture () =
+  let schema =
+    Schema.create
+      [ { Schema.name = "q"; ty = Value.T_int }; { Schema.name = "tag"; ty = Value.T_string } ]
+  in
+  let rows =
+    Array.init 100 (fun i ->
+        [|
+          (if i mod 10 = 9 then Value.Null else v_int (i mod 20));
+          (if i mod 7 = 0 then Value.Null else Value.String (if i mod 2 = 0 then "even" else "odd"));
+        |])
+  in
+  Relation.create ~name:"kernel_fixture" ~schema rows
+
+let test_pred_index_counts () =
+  let rel = kernel_fixture () in
+  let idx = Pred_index.create rel in
+  let sample =
+    Sample.of_rows
+      ~rows:(Array.of_seq (Relation.to_seq rel))
+      ~schema:(Relation.schema rel) ~population_size:1000 ~name:"s"
+  in
+  let preds =
+    [
+      Pred.le (Expr.col "q") (Expr.int 10);
+      Pred.And [ Pred.le (Expr.col "q") (Expr.int 10); Pred.Contains (Expr.col "tag", "ev") ];
+      Pred.Or [ Pred.eq (Expr.col "q") (Expr.int 3); Pred.Contains (Expr.col "tag", "odd") ];
+      Pred.Not (Pred.le (Expr.col "q") (Expr.int 10));
+      Pred.True;
+      Pred.False;
+    ]
+  in
+  List.iter
+    (fun pred ->
+      let expected = Sample.count_matching sample pred in
+      check_int ("kernel = scan: " ^ Pred.render pred) expected (Pred_index.count idx pred);
+      (* second ask: served from cached bitmaps, same answer *)
+      check_int ("cached: " ^ Pred.render pred) expected (Pred_index.count idx pred))
+    preds;
+  let stats = Pred_index.stats idx in
+  check_bool "bitmaps were built" true (stats.Rq_obs.Metrics.bitmaps_built > 0);
+  check_bool "cache hits recorded" true (stats.Rq_obs.Metrics.bitmap_hits > 0)
+
+let test_pred_index_eviction () =
+  let rel = kernel_fixture () in
+  let idx = Pred_index.create ~capacity:2 rel in
+  let evicted = ref [] in
+  Pred_index.set_on_evict idx (fun key -> evicted := key :: !evicted);
+  let atom i = Pred.eq (Expr.col "q") (Expr.int i) in
+  List.iter (fun i -> ignore (Pred_index.count idx (atom i))) [ 1; 2; 3 ];
+  check_int "one eviction" 1 (List.length !evicted);
+  check_int "evictions in stats" 1 (Pred_index.stats idx).Rq_obs.Metrics.bitmap_evictions;
+  (* The evicted atom re-scans and still answers correctly. *)
+  check_int "evicted atom rebuilt" 5 (Pred_index.count idx (atom 1))
+
+(* Property: for arbitrary predicates (nulls, disjunctions, negations,
+   empty samples included), the kernel's bitwise evidence equals the
+   row-scan count — bit for bit, first ask and cached re-ask alike. *)
+let prop_schema =
+  Schema.create
+    [
+      { Schema.name = "a"; ty = Value.T_int };
+      { Schema.name = "b"; ty = Value.T_int };
+      { Schema.name = "s"; ty = Value.T_string };
+    ]
+
+let gen_row =
+  QCheck.Gen.(
+    let int_val = frequency [ (1, return Value.Null); (4, map (fun i -> v_int i) (int_range (-5) 5)) ] in
+    let str_val =
+      frequency
+        [ (1, return Value.Null); (4, map (fun s -> Value.String s) (oneofl [ "a"; "b"; "ab"; "ba"; "abc" ])) ]
+    in
+    map (fun ((a, b), s) -> [| a; b; s |]) (pair (pair int_val int_val) str_val))
+
+let gen_atom =
+  QCheck.Gen.(
+    oneof
+      [
+        map
+          (fun ((op, c), v) -> Pred.Cmp (op, Expr.col c, Expr.int v))
+          (pair
+             (pair (oneofl [ Pred.Eq; Pred.Ne; Pred.Lt; Pred.Le; Pred.Gt; Pred.Ge ]) (oneofl [ "a"; "b" ]))
+             (int_range (-5) 5));
+        map
+          (fun (lo, hi) -> Pred.between (Expr.col "a") (Expr.int (min lo hi)) (Expr.int (max lo hi)))
+          (pair (int_range (-5) 5) (int_range (-5) 5));
+        map (fun sub -> Pred.Contains (Expr.col "s", sub)) (oneofl [ "a"; "b"; "ab" ]);
+        (* column-to-column comparison: exercises null collapse on both sides *)
+        map (fun op -> Pred.Cmp (op, Expr.col "a", Expr.col "b")) (oneofl [ Pred.Eq; Pred.Lt ]);
+      ])
+
+let rec gen_pred depth =
+  if depth = 0 then gen_atom
+  else
+    QCheck.Gen.(
+      frequency
+        [
+          (3, gen_atom);
+          (1, return Pred.True);
+          (1, return Pred.False);
+          (2, map (fun ps -> Pred.And ps) (list_size (int_range 1 3) (gen_pred (depth - 1))));
+          (2, map (fun ps -> Pred.Or ps) (list_size (int_range 1 3) (gen_pred (depth - 1))));
+          (1, map (fun p -> Pred.Not p) (gen_pred (depth - 1)));
+        ])
+
+let prop_kernel_matches_scan =
+  QCheck.Test.make ~name:"kernel evidence = row-scan evidence" ~count:500
+    (QCheck.make
+       ~print:(fun (rows, pred) ->
+         Printf.sprintf "%d rows, pred %s" (List.length rows) (Pred.render pred))
+       QCheck.Gen.(pair (list_size (int_range 0 40) gen_row) (gen_pred 3)))
+    (fun (rows, pred) ->
+      let rel = Relation.create ~name:"prop" ~schema:prop_schema (Array.of_list rows) in
+      let sample =
+        Sample.of_rows
+          ~rows:(Array.of_list rows)
+          ~schema:prop_schema
+          ~population_size:(10 * List.length rows)
+          ~name:"prop_sample"
+      in
+      let idx = Pred_index.create rel in
+      let expected = Sample.count_matching sample pred in
+      Pred_index.count idx pred = expected && Pred_index.count idx pred = expected)
+
 let test_empty_sample_of_relation () =
   let rel =
     Relation.create ~name:"void"
@@ -651,5 +835,14 @@ let () =
             test_refresh_after_parent_emptied;
           Alcotest.test_case "empty relation yields empty sample" `Quick
             test_empty_sample_of_relation;
+        ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "bitset basics across word boundaries" `Quick test_bitset_basics;
+          Alcotest.test_case "bitset algebra" `Quick test_bitset_algebra;
+          Alcotest.test_case "lru bounds and evicts" `Quick test_lru_bounds_and_evicts;
+          Alcotest.test_case "pred_index counts match scan" `Quick test_pred_index_counts;
+          Alcotest.test_case "pred_index eviction" `Quick test_pred_index_eviction;
+          QCheck_alcotest.to_alcotest prop_kernel_matches_scan;
         ] );
     ]
