@@ -1,5 +1,6 @@
-.PHONY: all test fault-test differential bench bench-quick bench-throughput \
-        bench-exec bench-optimizer examples trace-demo clean
+.PHONY: all test fault-test differential fuzz-smoke fuzz-soak fuzz-self-test \
+        bench bench-quick bench-throughput bench-exec bench-optimizer \
+        examples trace-demo clean
 
 all:
 	dune build @all
@@ -18,6 +19,26 @@ differential: all
 	DIFF_SEED=42 dune exec test/test_differential.exe
 	DIFF_SEED=7 dune exec test/test_differential.exe
 	DIFF_SEED=1234 dune exec test/test_differential.exe
+
+# Bounded feedback-guided fuzz (the CI gate): fixed seed, the
+# pure-random control alongside, fails on any divergence, on steered
+# coverage not beating random, or on the corpus stagnating before
+# iteration 50.
+fuzz-smoke: all
+	dune exec bin/robustopt.exe -- experiment fuzz \
+	  --iterations 200 --seed 5 --baseline --require-new-after 50
+
+# Unbounded soak with a persistent corpus: Ctrl-C to stop, rerun to
+# resume from the saved cases.  Exits nonzero on the first divergence,
+# leaving a replayable .fuzz-repro behind.
+fuzz-soak: all
+	dune exec bin/robustopt.exe -- experiment fuzz \
+	  --iterations 0 --corpus-dir _fuzz_corpus
+
+# Prove the harness can actually catch a bug: perturb one estimator and
+# require the fuzzer to find, shrink, and replay the planted divergence.
+fuzz-self-test: all
+	dune exec bin/robustopt.exe -- experiment fuzz --self-test --seed 5
 
 bench:
 	dune exec bench/main.exe

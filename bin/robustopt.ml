@@ -466,10 +466,51 @@ let export_cmd =
 let experiment_cmd =
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT"
-         ~doc:"One of fig9, fig10, fig11, fig12, overhead, partial-stats, reopt.")
+         ~doc:"One of fig9, fig10, fig11, fig12, overhead, partial-stats, reopt, fuzz.")
   in
   let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced repetitions.") in
-  let run name quick =
+  let iterations_arg =
+    Arg.(value & opt (some int) None & info [ "iterations" ] ~docv:"N"
+         ~doc:"(fuzz) Mutation iterations; 0 = unbounded soak.")
+  in
+  let seed_arg =
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N"
+         ~doc:"(fuzz) Search seed (default 5).")
+  in
+  let corpus_dir_arg =
+    Arg.(value & opt (some string) None & info [ "corpus-dir" ] ~docv:"DIR"
+         ~doc:"(fuzz) Persist kept cases as DIR/*.fuzz and reload them on start.")
+  in
+  let time_budget_arg =
+    Arg.(value & opt (some float) None & info [ "time-budget" ] ~docv:"SECONDS"
+         ~doc:"(fuzz) Stop after this much wall-clock time.")
+  in
+  let replay_arg =
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE"
+         ~doc:"(fuzz) Re-run a .fuzz-repro file instead of searching; exits 1 if the \
+               divergence still reproduces.")
+  in
+  let baseline_arg =
+    Arg.(value & flag & info [ "baseline" ]
+         ~doc:"(fuzz) Also run the pure-random control; fail unless steering reaches \
+               strictly more coverage pairs.")
+  in
+  let late_after_arg =
+    Arg.(value & opt (some int) None & info [ "require-new-after" ] ~docv:"N"
+         ~doc:"(fuzz) Fail unless an unseen coverage pair is still being found after \
+               iteration N.")
+  in
+  let self_test_arg =
+    Arg.(value & flag & info [ "self-test" ]
+         ~doc:"(fuzz) Perturb one estimator's quantile and require the fuzzer to catch \
+               and shrink the planted divergence.")
+  in
+  let repro_out_arg =
+    Arg.(value & opt string "divergence.fuzz-repro" & info [ "repro-out" ] ~docv:"FILE"
+         ~doc:"(fuzz) Where to write the minimal repro on divergence.")
+  in
+  let run name quick iterations seed corpus_dir time_budget replay baseline late_after
+      self_test repro_out =
     let module E = Rq_experiments in
     match name with
     | "fig9" ->
@@ -529,9 +570,51 @@ let experiment_cmd =
           else E.Exp_reopt.default_config
         in
         print_string (E.Exp_reopt.render (E.Exp_reopt.run ~config ()))
+    | "fuzz" -> (
+        let module F = E.Exp_fuzz in
+        let config =
+          {
+            F.default_config with
+            iterations =
+              (match iterations with
+              | Some n -> n
+              | None -> if quick then 60 else F.default_config.F.iterations);
+            seed = Option.value seed ~default:F.default_config.F.seed;
+            corpus_dir;
+            time_budget;
+            baseline;
+            late_after;
+            self_test;
+            repro_file = repro_out;
+          }
+        in
+        match replay with
+        | Some file -> (
+            match F.replay config file with
+            | Error e ->
+                prerr_endline ("replay: " ^ e);
+                exit 2
+            | Ok (case, probe, recorded_pass) -> (
+                print_endline ("case: " ^ F.case_summary case);
+                match probe.F.divergence with
+                | Some d ->
+                    Printf.printf "divergence still reproduces in pass %s\ndetail: %s\n" d.F.pass
+                      d.F.detail;
+                    exit 1
+                | None ->
+                    Printf.printf "no divergence — the recorded failure (pass %s) is fixed\n"
+                      recorded_pass))
+        | None ->
+            let result = F.run ~log:print_endline ~config () in
+            print_string (F.render result);
+            if not result.F.r_ok then exit 1)
     | other -> failwith (Printf.sprintf "unknown experiment %S" other)
   in
-  let term = Term.(const run $ name_arg $ quick_arg) in
+  let term =
+    Term.(const run $ name_arg $ quick_arg $ iterations_arg $ seed_arg $ corpus_dir_arg
+          $ time_budget_arg $ replay_arg $ baseline_arg $ late_after_arg $ self_test_arg
+          $ repro_out_arg)
+  in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run one of the paper's empirical experiments (Figures 9-12).")
     term

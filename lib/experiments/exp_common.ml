@@ -109,6 +109,25 @@ let results_equal ?(tol = 1e-6) (a : Executor.result) (b : Executor.result) =
   let rows_a = reorder order_a a and rows_b = reorder order_b b in
   Array.for_all2 (fun x y -> List.for_all2 (values_close ~tol) x y) rows_a rows_b
 
+(* Field-by-field cost-counter equality (floats under a 1e-9 tolerance):
+   the engine-differential contract that streaming and materialized
+   execution of the same plan move every counter identically. *)
+let snapshots_equal (a : Cost.snapshot) (b : Cost.snapshot) =
+  a.Cost.seq_pages = b.Cost.seq_pages
+  && a.Cost.random_pages = b.Cost.random_pages
+  && a.Cost.cpu_tuples = b.Cost.cpu_tuples
+  && a.Cost.index_probes = b.Cost.index_probes
+  && a.Cost.index_entries = b.Cost.index_entries
+  && a.Cost.hash_build = b.Cost.hash_build
+  && a.Cost.hash_probe = b.Cost.hash_probe
+  && a.Cost.merge_tuples = b.Cost.merge_tuples
+  && a.Cost.sort_tuples = b.Cost.sort_tuples
+  && a.Cost.output_tuples = b.Cost.output_tuples
+  && Float.abs (a.Cost.sort_units -. b.Cost.sort_units) <= 1e-9
+  && Float.abs (a.Cost.extra_seconds -. b.Cost.extra_seconds) <= 1e-9
+  && Float.abs (a.Cost.seconds -. b.Cost.seconds)
+     <= 1e-9 *. Float.max 1.0 (Float.abs b.Cost.seconds)
+
 let count_plans labels =
   let counts = Hashtbl.create 8 in
   List.iter

@@ -57,6 +57,11 @@ val canonical_rows : Executor.result -> string array
     query yield equal arrays.  For counterexample printing; equality
     checks should use {!results_equal} (tolerant where this rounds). *)
 
+val snapshots_equal : Cost.snapshot -> Cost.snapshot -> bool
+(** Field-by-field cost-counter equality (float fields under a 1e-9
+    tolerance): the streaming-vs-materialized differential contract that
+    both engines move every counter identically for the same plan. *)
+
 val results_equal : ?tol:float -> Executor.result -> Executor.result -> bool
 (** Multiset equality of results modulo column order, row order and
     float-summation noise ([tol] is relative, default 1e-6).  The

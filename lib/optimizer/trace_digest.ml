@@ -1,0 +1,26 @@
+(* The degradation-tier transition digest the fuzzer steers on: a compact
+   token per robustness-relevant trace event, concatenated in stream order.
+   Two runs that walked the same tier chain (synopsis -> histogram -> magic
+   constants), fired the same guards and made the same reopt decisions get
+   the same digest even when row counts and q-errors differ — those carry
+   no *structural* information, so folding them in would make every mutant
+   look novel and destroy the coverage signal. *)
+
+open Rq_obs
+
+let token = function
+  | Trace.Degraded { kind; subsystem; _ } -> Some ("d:" ^ kind ^ ":" ^ subsystem)
+  | Trace.Guard_ok _ -> Some "g+"
+  | Trace.Guard_fired _ -> Some "g!"
+  | Trace.Reopt_planned _ -> Some "r?"
+  | Trace.Reopt_adopted _ -> Some "r+"
+  | Trace.Reopt_abandoned _ -> Some "r-"
+  | Trace.Plan_cache { outcome; _ } -> Some ("c:" ^ outcome)
+  | Trace.Stats_refresh _ -> Some "s"
+  (* estimator-side cache pressure depends on memo capacity and visit
+     order, not on the scenario under test: pure noise for coverage *)
+  | Trace.Cache_evicted _ -> None
+
+let of_events events = String.concat ";" (List.filter_map token events)
+
+let of_recorder recorder = of_events (Recorder.events recorder)

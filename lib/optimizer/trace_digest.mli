@@ -1,0 +1,19 @@
+(** Degradation-tier transition digests over typed trace events.
+
+    The differential fuzzer's second coverage axis (next to the structural
+    plan fingerprint): a semicolon-joined token sequence recording, in
+    stream order, which estimation tiers failed their health checks
+    ([d:kind:subsystem]), which guards passed or fired ([g+] / [g!]),
+    how mid-query re-optimization resolved ([r?] / [r+] / [r-]), plan-cache
+    outcomes ([c:outcome]) and statistics refreshes ([s]).  Numeric payloads
+    (row counts, q-errors) are deliberately dropped so the digest captures
+    the *shape* of a run's robustness behaviour, not its noise; estimator
+    cache evictions are skipped entirely. *)
+
+val token : Rq_obs.Trace.event -> string option
+(** [None] for events that carry no tier-transition information. *)
+
+val of_events : Rq_obs.Trace.event list -> string
+
+val of_recorder : Rq_obs.Recorder.t -> string
+(** Digest of the recorder's event stream so far. *)

@@ -36,8 +36,20 @@ type injection =
       (** staleness: the recorded root size is multiplied by [factor], as if
           the synopsis were built against a table that has since changed *)
   | Drop_histogram of { table : string; column : string }
+  | Dangling_fk of { root : string; break : int }
+      (** breaks referential integrity inside the synopsis: the first
+          [break] sample rows get a type-correct FK-side key that no longer
+          matches the dimension key in the same row — invisible to the
+          schema-type check, caught only by FK verification (classified
+          [Corrupt], distinct from the whole-synopsis poisoning of
+          [Corrupt_synopsis]).  No-op on single-table synopses. *)
 
 val injection_to_string : injection -> string
+
+val injection_to_json : injection -> Rq_obs.Json.t
+val injection_of_json : Rq_obs.Json.t -> (injection, string) result
+(** Round-trippable encoding used by the fuzzer's replayable [.fuzz-repro]
+    files. *)
 
 val apply : Rq_math.Rng.t -> Stats_store.t -> injection list -> Stats_store.t
 (** Copy-on-write: returns a damaged store, leaves the input untouched. *)
@@ -55,7 +67,8 @@ val verify_synopsis : Catalog.t -> Join_synopsis.t -> (unit, event) result
 (** {2 Named profiles (CLI [--fault-profile])} *)
 
 val profile_names : string list
-(** ["none"; "missing"; "truncate"; "corrupt"; "stale"; "chaos"]. *)
+(** ["none"; "missing"; "truncate"; "corrupt"; "stale"; "dangling-fk";
+    "chaos"]. *)
 
 val profile_injections :
   Rq_math.Rng.t -> Stats_store.t -> string -> (injection list, string) result

@@ -17,10 +17,10 @@ type 'a t = {
 }
 
 let create ?(on_evict = fun _ -> ()) ~capacity () =
-  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  if capacity < 0 then invalid_arg "Lru.create: capacity must be non-negative";
   {
     capacity;
-    entries = Hashtbl.create (min capacity 64);
+    entries = Hashtbl.create (min (max capacity 1) 64);
     clock = 0;
     hits = 0;
     misses = 0;
@@ -70,8 +70,17 @@ let evict_lru t =
   end
 
 let insert t key value =
-  if not (Hashtbl.mem t.entries key) then evict_lru t;
-  Hashtbl.replace t.entries key { value; last_used = tick t }
+  if t.capacity = 0 then begin
+    (* A zero-capacity cache holds nothing: the insert itself is the
+       eviction, so the counters and callback still tell the truth. *)
+    ignore value;
+    t.evictions <- t.evictions + 1;
+    t.on_evict key
+  end
+  else begin
+    if not (Hashtbl.mem t.entries key) then evict_lru t;
+    Hashtbl.replace t.entries key { value; last_used = tick t }
+  end
 
 let find_or_add t key make =
   match find t key with

@@ -6,8 +6,11 @@
 type 'a t
 
 val create : ?on_evict:(string -> unit) -> capacity:int -> unit -> 'a t
-(** Raises [Invalid_argument] on a non-positive capacity.  [on_evict]
-    receives the evicted key (default: ignore). *)
+(** Raises [Invalid_argument] on a negative capacity.  Capacity 0 is a
+    legal degenerate cache that stores nothing: every {!find} misses and
+    every {!insert} drops the value immediately, counting an eviction and
+    firing [on_evict].  [on_evict] receives the evicted key (default:
+    ignore). *)
 
 val find : 'a t -> string -> 'a option
 (** Counts a hit (and refreshes recency) or a miss. *)

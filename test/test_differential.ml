@@ -115,13 +115,26 @@ let execute catalog scale plan =
   let meter = Cost.create ~scale () in
   Executor.run catalog meter plan
 
-let fail_differential ~label ~query ~reference ~candidate =
-  Alcotest.failf
-    "%s: plan answered the same query differently (seed %d)\nquery: %s\nreference rows:\n%s\ncandidate rows:\n%s"
-    label seed
-    (Format.asprintf "%a" Logical.pp query)
+(* Every assertion message carries enough to replay the failure by hand:
+   the DIFF_SEED that drove the generator, the rendered query, and the
+   fault profile in force ("none" for the fault-free passes). *)
+let render_query query = Format.asprintf "%a" Logical.pp query
+
+let failure_context ~profile query =
+  Printf.sprintf "DIFF_SEED=%d, fault profile %s\nquery: %s" seed profile
+    (render_query query)
+
+let fail_differential ?(profile = "none") ~label ~query ~reference ~candidate () =
+  Alcotest.failf "%s: plan answered the same query differently (%s)\nreference rows:\n%s\ncandidate rows:\n%s"
+    label
+    (failure_context ~profile query)
     (String.concat "\n" (Array.to_list (Rq_experiments.Exp_common.canonical_rows reference)))
     (String.concat "\n" (Array.to_list (Rq_experiments.Exp_common.canonical_rows candidate)))
+
+let fail_rejected ?(profile = "none") ~label ~query who e =
+  Alcotest.failf "%s: %s rejected the query (%s)\nerror: %s" label who
+    (failure_context ~profile query)
+    e
 
 let run_differential catalog_name catalog gen () =
   let rng = Rq_math.Rng.create seed in
@@ -137,40 +150,30 @@ let run_differential catalog_name catalog gen () =
     let reference =
       match Optimizer.optimize oracle_opt query with
       | Ok d -> execute catalog scale d.Optimizer.plan
-      | Error e -> Alcotest.failf "%s query %d: oracle rejected: %s" catalog_name i e
+      | Error e ->
+          fail_rejected ~label:(Printf.sprintf "%s query %d" catalog_name i) ~query "oracle" e
     in
     List.iter
       (fun (name, estimator) ->
         let opt = Optimizer.create ~scale stats estimator in
         match Optimizer.optimize opt query with
-        | Error e -> Alcotest.failf "%s query %d: %s rejected: %s" catalog_name i name e
+        | Error e ->
+            fail_rejected ~label:(Printf.sprintf "%s query %d" catalog_name i) ~query name e
         | Ok d ->
             let result = execute catalog scale d.Optimizer.plan in
             if not (Rq_experiments.Exp_common.results_equal reference result) then
               fail_differential
                 ~label:(Printf.sprintf "%s query %d under %s" catalog_name i name)
-                ~query ~reference ~candidate:result)
+                ~query ~reference ~candidate:result ())
       (estimator_configs stats)
   done
 
 (* The streaming-vs-materialized pass: every chosen plan (no Limit, no
    instrumented guards, so no early exit) must produce byte-identical
-   tuples AND move every cost counter identically under both engines. *)
-let snapshots_equal (a : Cost.snapshot) (b : Cost.snapshot) =
-  a.Cost.seq_pages = b.Cost.seq_pages
-  && a.Cost.random_pages = b.Cost.random_pages
-  && a.Cost.cpu_tuples = b.Cost.cpu_tuples
-  && a.Cost.index_probes = b.Cost.index_probes
-  && a.Cost.index_entries = b.Cost.index_entries
-  && a.Cost.hash_build = b.Cost.hash_build
-  && a.Cost.hash_probe = b.Cost.hash_probe
-  && a.Cost.merge_tuples = b.Cost.merge_tuples
-  && a.Cost.sort_tuples = b.Cost.sort_tuples
-  && a.Cost.output_tuples = b.Cost.output_tuples
-  && Float.abs (a.Cost.sort_units -. b.Cost.sort_units) <= 1e-9
-  && Float.abs (a.Cost.extra_seconds -. b.Cost.extra_seconds) <= 1e-9
-  && Float.abs (a.Cost.seconds -. b.Cost.seconds)
-     <= 1e-9 *. Float.max 1.0 (Float.abs b.Cost.seconds)
+   tuples AND move every cost counter identically under both engines.
+   (Counter equality itself lives in {!Exp_common.snapshots_equal}, shared
+   with the fuzzer's degraded-reconciliation pass.) *)
+let snapshots_equal = Rq_experiments.Exp_common.snapshots_equal
 
 let run_engine_differential catalog_name catalog gen () =
   let rng = Rq_math.Rng.create (seed + 3) in
@@ -186,7 +189,8 @@ let run_engine_differential catalog_name catalog gen () =
       (fun (name, estimator) ->
         let opt = Optimizer.create ~scale stats estimator in
         match Optimizer.optimize opt query with
-        | Error e -> Alcotest.failf "%s query %d: %s rejected: %s" catalog_name i name e
+        | Error e ->
+            fail_rejected ~label:(Printf.sprintf "%s query %d" catalog_name i) ~query name e
         | Ok d ->
             let run_mode mode =
               let meter = Cost.create ~scale () in
@@ -200,11 +204,12 @@ let run_engine_differential catalog_name catalog gen () =
                 ~label:
                   (Printf.sprintf "%s query %d under %s: streaming vs materialized"
                      catalog_name i name)
-                ~query ~reference:mres ~candidate:sres;
+                ~query ~reference:mres ~candidate:sres ();
             if not (snapshots_equal ssnap msnap) then
               Alcotest.failf
-                "%s query %d under %s: cost counters diverge (seed %d)\nstreaming:    %s\nmaterialized: %s"
-                catalog_name i name seed
+                "%s query %d under %s: cost counters diverge (%s)\nstreaming:    %s\nmaterialized: %s"
+                catalog_name i name
+                (failure_context ~profile:"none" query)
                 (Format.asprintf "%a" Cost.pp_snapshot ssnap)
                 (Format.asprintf "%a" Cost.pp_snapshot msnap))
       (estimator_configs stats)
@@ -250,17 +255,21 @@ let run_kernel_differential catalog_name catalog gen () =
         let sk, sn = Rq_stats.Join_synopsis.evidence_scan syn pred in
         if (kk, kn) <> (sk, sn) then
           Alcotest.failf
-            "%s query %d: kernel evidence (%d, %d) <> scan evidence (%d, %d) (seed %d)\npred: %s"
-            catalog_name i kk kn sk sn seed (Pred.render pred));
+            "%s query %d: kernel evidence (%d, %d) <> scan evidence (%d, %d) (%s)\npred: %s"
+            catalog_name i kk kn sk sn
+            (failure_context ~profile:"none" query)
+            (Pred.render pred));
     (* Identical decisions, identical answers. *)
     let decide label opt =
       match Optimizer.optimize opt query with
       | Ok d -> d
-      | Error e -> Alcotest.failf "%s query %d: %s rejected: %s" catalog_name i label e
+      | Error e ->
+          fail_rejected ~label:(Printf.sprintf "%s query %d" catalog_name i) ~query label e
     in
     let kd = decide "kernel" kernel_opt and sd = decide "scan" scan_opt in
     Alcotest.(check string)
-      (Printf.sprintf "%s query %d: kernel and scan choose the same plan" catalog_name i)
+      (Printf.sprintf "%s query %d: kernel and scan choose the same plan (DIFF_SEED=%d)\nquery: %s"
+         catalog_name i seed (render_query query))
       (Rq_experiments.Exp_common.plan_digest sd.Optimizer.plan)
       (Rq_experiments.Exp_common.plan_digest kd.Optimizer.plan);
     let kres = execute catalog scale kd.Optimizer.plan in
@@ -268,7 +277,7 @@ let run_kernel_differential catalog_name catalog gen () =
     if not (Rq_experiments.Exp_common.results_equal sres kres) then
       fail_differential
         ~label:(Printf.sprintf "%s query %d kernel vs scan" catalog_name i)
-        ~query ~reference:sres ~candidate:kres
+        ~query ~reference:sres ~candidate:kres ()
   done
 
 (* The cached-vs-uncached pass: both the freshly-inserted decision and the
@@ -298,29 +307,87 @@ let run_cache_differential catalog_name catalog gen () =
     let uncached =
       match Optimizer.optimize opt query with
       | Ok d -> execute catalog scale d.Optimizer.plan
-      | Error e -> Alcotest.failf "%s query %d: rejected: %s" catalog_name i e
+      | Error e ->
+          fail_rejected
+            ~label:(Printf.sprintf "%s query %d" catalog_name i)
+            ~query "uncached optimizer" e
     in
     List.iter
       (fun (pass, expected_outcome) ->
         match Plan_cache.find_or_optimize cache opt ~fingerprint query with
-        | Error e -> Alcotest.failf "%s query %d (%s): rejected: %s" catalog_name i pass e
+        | Error e ->
+            fail_rejected ~label:(Printf.sprintf "%s query %d" catalog_name i) ~query pass e
         | Ok (d, outcome) ->
             if fresh then
               Alcotest.(check string)
-                (Printf.sprintf "%s query %d: %s outcome" catalog_name i pass)
+                (Printf.sprintf "%s query %d: %s outcome (DIFF_SEED=%d)\nquery: %s" catalog_name
+                   i pass seed (render_query query))
                 expected_outcome
                 (Plan_cache.outcome_to_string outcome)
             else
               Alcotest.(check string)
-                (Printf.sprintf "%s query %d: repeat always hits" catalog_name i)
+                (Printf.sprintf "%s query %d: repeat always hits (DIFF_SEED=%d)\nquery: %s"
+                   catalog_name i seed (render_query query))
                 "hit"
                 (Plan_cache.outcome_to_string outcome);
             let result = execute catalog scale d.Optimizer.plan in
             if not (Rq_experiments.Exp_common.results_equal uncached result) then
               fail_differential
                 ~label:(Printf.sprintf "%s query %d %s lookup" catalog_name i pass)
-                ~query ~reference:uncached ~candidate:result)
+                ~query ~reference:uncached ~candidate:result ())
       [ ("cold", "miss"); ("cached", "hit") ]
+  done
+
+(* The degraded-statistics pass: every named fault profile is injected
+   into the statistics and the robust optimizer must still produce a plan
+   (the degradation chain classifies, it never raises) whose answer
+   matches the healthy optimizer's.  Faults damage only the statistics —
+   never the data — so any result drift is a wrong plan, not a stale
+   read.  Failure messages carry the profile name alongside the seed and
+   the rendered query. *)
+let run_fault_differential catalog_name catalog gen () =
+  let rng = Rq_math.Rng.create (seed + 5) in
+  let scale = 1.0 in
+  let stats =
+    Rq_stats.Stats_store.update_statistics (Rq_math.Rng.split rng)
+      ~config:{ Rq_stats.Stats_store.default_config with sample_size = 200 }
+      catalog
+  in
+  let healthy = Optimizer.robust ~scale stats in
+  for i = 1 to queries_per_catalog do
+    let query = gen rng in
+    let reference =
+      match Optimizer.optimize healthy query with
+      | Ok d -> execute catalog scale d.Optimizer.plan
+      | Error e ->
+          fail_rejected
+            ~label:(Printf.sprintf "%s query %d" catalog_name i)
+            ~query "healthy optimizer" e
+    in
+    List.iter
+      (fun profile ->
+        let injections =
+          match Rq_stats.Fault.profile_injections (Rq_math.Rng.split rng) stats profile with
+          | Ok injections -> injections
+          | Error e ->
+              Alcotest.failf "%s query %d: fault profile did not expand (%s)\nerror: %s"
+                catalog_name i
+                (failure_context ~profile query)
+                e
+        in
+        let damaged = Rq_stats.Fault.apply (Rq_math.Rng.split rng) stats injections in
+        match Optimizer.optimize (Optimizer.robust ~scale damaged) query with
+        | Error e ->
+            fail_rejected ~profile
+              ~label:(Printf.sprintf "%s query %d" catalog_name i)
+              ~query "degraded optimizer" e
+        | Ok d ->
+            let result = execute catalog scale d.Optimizer.plan in
+            if not (Rq_experiments.Exp_common.results_equal reference result) then
+              fail_differential ~profile
+                ~label:(Printf.sprintf "%s query %d under fault profile %s" catalog_name i profile)
+                ~query ~reference ~candidate:result ())
+      Rq_stats.Fault.profile_names
   done
 
 let () =
@@ -350,5 +417,10 @@ let () =
         [
           Alcotest.test_case "tpch" `Quick (run_kernel_differential "tpch" tpch gen_tpch_query);
           Alcotest.test_case "star" `Quick (run_kernel_differential "star" star gen_star_query);
+        ] );
+      ( "degraded statistics still answer correctly",
+        [
+          Alcotest.test_case "tpch" `Quick (run_fault_differential "tpch" tpch gen_tpch_query);
+          Alcotest.test_case "star" `Quick (run_fault_differential "star" star gen_star_query);
         ] );
     ]

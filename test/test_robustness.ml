@@ -123,6 +123,59 @@ let test_fault_truncate () = degraded_roundtrip ~profile:"truncate" ~expected_ki
 let test_fault_corrupt () = degraded_roundtrip ~profile:"corrupt" ~expected_kind:Fault.Corrupt ()
 let test_fault_stale () = degraded_roundtrip ~profile:"stale" ~expected_kind:Fault.Stale ()
 
+let test_fault_dangling_fk () =
+  degraded_roundtrip ~profile:"dangling-fk" ~expected_kind:Fault.Corrupt ()
+
+(* Dangling_fk must be caught by the FK-consistency check specifically:
+   the damaged values stay type-correct, so a schema scan sees nothing. *)
+let test_dangling_fk_detail () =
+  let catalog = chain_catalog () in
+  let stats = fresh_stats catalog in
+  let rng = Rq_math.Rng.create 3 in
+  let damaged = Fault.apply rng stats [ Fault.Dangling_fk { root = "lineitems"; break = 4 } ] in
+  match Stats_store.synopsis damaged ~root:"lineitems" with
+  | None -> Alcotest.fail "synopsis vanished"
+  | Some syn -> (
+      match Fault.verify_synopsis catalog syn with
+      | Ok () -> Alcotest.fail "dangling FK rows passed verification"
+      | Error e ->
+          check_bool "classified corrupt" true (e.Fault.kind = Fault.Corrupt);
+          check_bool "detail names the FK" true
+            (String.length e.Fault.detail > 0
+            &&
+            let contains s sub =
+              let n = String.length s and m = String.length sub in
+              let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+              go 0
+            in
+            contains e.Fault.detail "breaks FK"))
+
+let test_injection_json_roundtrip () =
+  let injections =
+    [
+      Fault.Drop_synopsis "orders";
+      Fault.Truncate_synopsis { root = "lineitems"; keep = 2 };
+      Fault.Corrupt_synopsis "customers";
+      Fault.Skew_synopsis { root = "orders"; factor = 16.0 };
+      Fault.Drop_histogram { table = "orders"; column = "o_cid" };
+      Fault.Dangling_fk { root = "lineitems"; break = 25 };
+    ]
+  in
+  List.iter
+    (fun inj ->
+      let json = Fault.injection_to_json inj in
+      (* through the printer and parser, as a repro file would *)
+      match Rq_obs.Json.parse (Rq_obs.Json.to_string json) with
+      | Error e -> Alcotest.fail e
+      | Ok parsed -> (
+          match Fault.injection_of_json parsed with
+          | Error e -> Alcotest.fail e
+          | Ok inj' ->
+              Alcotest.(check string)
+                "injection survives JSON round-trip" (Fault.injection_to_string inj)
+                (Fault.injection_to_string inj')))
+    injections
+
 let test_fault_chaos () =
   (* Chaos mixes injections randomly; no specific kind is guaranteed, but
      the optimizer must still answer and the answer must still be right. *)
@@ -385,6 +438,9 @@ let () =
           Alcotest.test_case "truncated synopses degrade" `Quick test_fault_truncate;
           Alcotest.test_case "corrupt synopses degrade" `Quick test_fault_corrupt;
           Alcotest.test_case "stale synopses degrade" `Quick test_fault_stale;
+          Alcotest.test_case "dangling FK rows degrade" `Quick test_fault_dangling_fk;
+          Alcotest.test_case "dangling FK caught by FK check" `Quick test_dangling_fk_detail;
+          Alcotest.test_case "injection JSON round-trip" `Quick test_injection_json_roundtrip;
           Alcotest.test_case "chaos profile never aborts" `Quick test_fault_chaos;
           Alcotest.test_case "healthy synopses verify" `Quick test_verify_synopsis_healthy;
           Alcotest.test_case "apply is copy-on-write" `Quick test_fault_apply_is_copy_on_write;

@@ -677,6 +677,65 @@ let test_pred_index_eviction () =
   (* The evicted atom re-scans and still answers correctly. *)
   check_int "evicted atom rebuilt" 5 (Pred_index.count idx (atom 1))
 
+let test_lru_capacity_zero () =
+  Alcotest.check_raises "negative capacity rejected"
+    (Invalid_argument "Lru.create: capacity must be non-negative") (fun () ->
+      ignore (Lru.create ~capacity:(-1) ()));
+  let evicted = ref [] in
+  let lru = Lru.create ~on_evict:(fun k -> evicted := k :: !evicted) ~capacity:0 () in
+  Lru.insert lru "a" 1;
+  (* A zero-capacity cache is a legal degenerate: every insert is an
+     immediate eviction and every lookup a miss. *)
+  Alcotest.(check (list string)) "insert evicts immediately" [ "a" ] !evicted;
+  check_bool "nothing cached" true (Lru.find lru "a" = None);
+  check_int "length stays zero" 0 (Lru.length lru);
+  Lru.insert lru "b" 2;
+  check_int "every insert counted as eviction" 2 (Lru.evictions lru);
+  Alcotest.(check (list string)) "on_evict fired per insert" [ "b"; "a" ] !evicted;
+  check_bool "misses counted" true (Lru.misses lru >= 1);
+  check_int "no hits possible" 0 (Lru.hits lru)
+
+let test_lru_capacity_one () =
+  let evicted = ref [] in
+  let lru = Lru.create ~on_evict:(fun k -> evicted := k :: !evicted) ~capacity:1 () in
+  Lru.insert lru "a" 1;
+  check_int "no eviction yet" 0 (Lru.evictions lru);
+  Lru.insert lru "b" 2;
+  Alcotest.(check (list string)) "a evicted by b" [ "a" ] !evicted;
+  check_int "one eviction" 1 (Lru.evictions lru);
+  (* Replacing the resident key is an update, not an eviction. *)
+  Lru.insert lru "b" 3;
+  check_int "replace does not evict" 1 (Lru.evictions lru);
+  check_bool "updated value served" true (Lru.find lru "b" = Some 3);
+  Lru.insert lru "c" 4;
+  check_int "second eviction" 2 (Lru.evictions lru);
+  check_int "still bounded" 1 (Lru.length lru)
+
+let test_pred_index_combined_after_eviction () =
+  let rel = kernel_fixture () in
+  let idx = Pred_index.create ~capacity:2 rel in
+  let sample =
+    Sample.of_rows
+      ~rows:(Array.of_seq (Relation.to_seq rel))
+      ~schema:(Relation.schema rel) ~population_size:1000 ~name:"s"
+  in
+  let combined =
+    Pred.And [ Pred.le (Expr.col "q") (Expr.int 10); Pred.Contains (Expr.col "tag", "ev") ]
+  in
+  let expected = Sample.count_matching sample combined in
+  check_int "combined correct when cold" expected (Pred_index.count idx combined);
+  (* Force out one of the atoms the conjunction combines: the two slots
+     hold its atoms, so two fresh atoms evict both. *)
+  let evicted = ref [] in
+  Pred_index.set_on_evict idx (fun key -> evicted := key :: !evicted);
+  ignore (Pred_index.count idx (Pred.eq (Expr.col "q") (Expr.int 3)));
+  ignore (Pred_index.count idx (Pred.eq (Expr.col "q") (Expr.int 4)));
+  check_bool "component atoms evicted" true (List.length !evicted >= 1);
+  (* Immediately after the eviction the combined predicate must still
+     produce exact evidence (the missing bitmaps rebuild transparently). *)
+  check_int "combined correct after eviction" expected (Pred_index.count idx combined);
+  check_int "and stays correct on the cached re-ask" expected (Pred_index.count idx combined)
+
 (* Property: for arbitrary predicates (nulls, disjunctions, negations,
    empty samples included), the kernel's bitwise evidence equals the
    row-scan count — bit for bit, first ask and cached re-ask alike. *)
@@ -841,8 +900,12 @@ let () =
           Alcotest.test_case "bitset basics across word boundaries" `Quick test_bitset_basics;
           Alcotest.test_case "bitset algebra" `Quick test_bitset_algebra;
           Alcotest.test_case "lru bounds and evicts" `Quick test_lru_bounds_and_evicts;
+          Alcotest.test_case "lru capacity zero" `Quick test_lru_capacity_zero;
+          Alcotest.test_case "lru capacity one" `Quick test_lru_capacity_one;
           Alcotest.test_case "pred_index counts match scan" `Quick test_pred_index_counts;
           Alcotest.test_case "pred_index eviction" `Quick test_pred_index_eviction;
+          Alcotest.test_case "pred_index combined pred after eviction" `Quick
+            test_pred_index_combined_after_eviction;
           QCheck_alcotest.to_alcotest prop_kernel_matches_scan;
         ] );
     ]
