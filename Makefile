@@ -1,12 +1,18 @@
-.PHONY: all test fault-test differential fuzz-smoke fuzz-soak fuzz-self-test \
-        bench bench-quick bench-throughput bench-exec bench-optimizer \
-        examples trace-demo clean
+.PHONY: all test test-parallel fault-test differential fuzz-smoke fuzz-soak \
+        fuzz-self-test bench bench-quick bench-throughput bench-exec \
+        bench-optimizer examples trace-demo clean
 
 all:
 	dune build @all
 
 test: all
 	dune runtest
+
+# Only the morsel-parallel suite: domain-pool claiming discipline,
+# parallel-vs-serial parity across plan families, the mid-flight guard's
+# resumable prefix, and the sharded plan cache hammered from N domains.
+test-parallel: all
+	dune exec test/test_parallel.exe
 
 # Only the robustness suite: fault injection, degradation chain,
 # optimization budget, and guard-driven re-optimization.

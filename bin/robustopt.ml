@@ -123,6 +123,14 @@ let metrics_json_arg =
 let make_recorder ~trace ~metrics_json =
   if trace || metrics_json then Some (Rq_obs.Recorder.create ()) else None
 
+(* Bench commands surface input/configuration failures as a one-line
+   message naming the failing query, and exit nonzero — not a backtrace. *)
+let with_bench_errors f =
+  try f ()
+  with Rq_experiments.Exp_common.Bench_error { context; message } ->
+    Printf.eprintf "bench failed at %s: %s\n" context message;
+    exit 1
+
 (* Evidence-kernel counters summed over every live synopsis in the store:
    the optimizer-side work (bitmaps built vs. hit, sample rows scanned vs.
    avoided) that spans and cost meters do not see. *)
@@ -638,7 +646,11 @@ let bench_throughput_cmd =
     Arg.(value & opt string "BENCH_throughput.json" & info [ "out" ] ~docv:"FILE"
          ~doc:"Where to write the JSON report; - for none.")
   in
-  let run small seed replays out trace metrics_json =
+  let domains_arg =
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
+         ~doc:"Concurrent replay drivers over the sharded plan cache (default 4).")
+  in
+  let run small seed replays domains out trace metrics_json =
     let module E = Rq_experiments in
     let config = if small then E.Exp_throughput.small_config else E.Exp_throughput.default_config in
     let config =
@@ -647,8 +659,11 @@ let bench_throughput_cmd =
     let config =
       match replays with None -> config | Some replays -> { config with E.Exp_throughput.replays }
     in
+    let config =
+      match domains with None -> config | Some domains -> { config with E.Exp_throughput.domains }
+    in
     let recorder = make_recorder ~trace ~metrics_json in
-    let result = E.Exp_throughput.run ?obs:recorder ~config () in
+    let result = with_bench_errors (fun () -> E.Exp_throughput.run ?obs:recorder ~config ()) in
     print_string (E.Exp_throughput.render result);
     if out <> "-" then begin
       let oc = open_out out in
@@ -658,16 +673,17 @@ let bench_throughput_cmd =
       Printf.printf "wrote %s\n" out
     end;
     print_observability ~trace ~metrics_json recorder;
-    if result.E.Exp_throughput.differential_failures > 0 then exit 1
+    if not result.E.Exp_throughput.ok then exit 1
   in
   let term =
-    Term.(const run $ small_arg $ seed_arg $ replays_arg $ out_arg $ trace_arg
-          $ metrics_json_arg)
+    Term.(const run $ small_arg $ seed_arg $ replays_arg $ domains_arg $ out_arg
+          $ trace_arg $ metrics_json_arg)
   in
   Cmd.v
     (Cmd.info "bench-throughput"
        ~doc:"Replay a mixed workload through the plan cache: optimize/execute time split, \
-             hit rate, invalidations, and a differential plan-correctness check.")
+             hit rate, invalidations, a differential plan-correctness check, and a \
+             concurrent replay over a domain-sharded cache.")
     term
 
 (* ---------------- bench-exec ---------------- *)
@@ -685,13 +701,20 @@ let bench_exec_cmd =
     Arg.(value & opt string "BENCH_exec.json" & info [ "out" ] ~docv:"FILE"
          ~doc:"Where to write the JSON report; - for none.")
   in
-  let run small seed out =
+  let domains_arg =
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
+         ~doc:"Top of the morsel-parallel domains axis (default 4).")
+  in
+  let run small seed domains out =
     let module E = Rq_experiments in
     let config = if small then E.Exp_exec.small_config else E.Exp_exec.default_config in
     let config =
       match seed with None -> config | Some seed -> { config with E.Exp_exec.seed }
     in
-    let result = E.Exp_exec.run ~config () in
+    let config =
+      match domains with None -> config | Some domains -> { config with E.Exp_exec.domains }
+    in
+    let result = with_bench_errors (fun () -> E.Exp_exec.run ~config ()) in
     print_string (E.Exp_exec.render result);
     if out <> "-" then begin
       let oc = open_out out in
@@ -702,12 +725,12 @@ let bench_exec_cmd =
     end;
     if not result.E.Exp_exec.ok then exit 1
   in
-  let term = Term.(const run $ small_arg $ seed_arg $ out_arg) in
+  let term = Term.(const run $ small_arg $ seed_arg $ domains_arg $ out_arg) in
   Cmd.v
     (Cmd.info "bench-exec"
        ~doc:"Streaming vs. materialized executor: early-exit page savings on LIMIT and \
-             mid-stream guard workloads, exact counter parity on full drains, and real \
-             runtime/memory per engine.")
+             mid-stream guard workloads, exact counter parity on full drains, real \
+             runtime/memory per engine, and the morsel-parallel domains axis.")
     term
 
 (* ---------------- bench-optimizer ---------------- *)
@@ -731,7 +754,7 @@ let bench_optimizer_cmd =
     let config =
       match seed with None -> config | Some seed -> { config with E.Exp_optimizer.seed }
     in
-    let result = E.Exp_optimizer.run ~config () in
+    let result = with_bench_errors (fun () -> E.Exp_optimizer.run ~config ()) in
     print_string (E.Exp_optimizer.render result);
     if out <> "-" then begin
       let oc = open_out out in

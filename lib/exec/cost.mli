@@ -77,6 +77,12 @@ type snapshot = {
 val snapshot : t -> snapshot
 val reset : t -> unit
 
+val absorb : t -> snapshot -> unit
+(** Add every counter (and the already-scaled seconds) of the snapshot to
+    this meter.  The deterministic merge step of the morsel-parallel
+    executor: per-morsel meters are absorbed in morsel-index order, making
+    the merged totals independent of which domain ran which morsel. *)
+
 val seconds_of_counters : constants:constants -> scale:float -> snapshot -> float
 (** Recompute the snapshot's simulated seconds from its counters alone;
     matches [snapshot.seconds] up to float-summation-order error. *)

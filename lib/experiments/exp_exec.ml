@@ -13,10 +13,27 @@
 open Rq_exec
 open Rq_workload
 
-type config = { seed : int; scale_factor : float; repetitions : int }
+type config = {
+  seed : int;
+  scale_factor : float;
+  repetitions : int;
+  domains : int;              (* top of the morsel-parallel domains axis *)
+  min_scan_speedup : float;   (* gate: simulated scan-morsel speedup at [domains] *)
+}
 
-let default_config = { seed = 11; scale_factor = 0.01; repetitions = 5 }
-let small_config = { seed = 11; scale_factor = 0.003; repetitions = 2 }
+let default_config =
+  { seed = 11; scale_factor = 0.01; repetitions = 5; domains = 4; min_scan_speedup = 2.5 }
+
+let small_config =
+  {
+    default_config with
+    scale_factor = 0.003;
+    repetitions = 2;
+    (* The small catalog has only a handful of morsels per scan, so the
+       schedule cannot reach the default gate; 4 domains must still beat 1
+       comfortably. *)
+    min_scan_speedup = 1.5;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Workloads                                                           *)
@@ -132,8 +149,6 @@ type comparison = {
   wl_ok : bool;
 }
 
-type result = { config : config; comparisons : comparison list; ok : bool }
-
 let total_pages (s : Cost.snapshot) = s.Cost.seq_pages + s.Cost.random_pages
 
 let counters_equal (a : Cost.snapshot) (b : Cost.snapshot) =
@@ -147,6 +162,165 @@ let counters_equal (a : Cost.snapshot) (b : Cost.snapshot) =
   && a.Cost.merge_tuples = b.Cost.merge_tuples
   && a.Cost.sort_tuples = b.Cost.sort_tuples
   && a.Cost.output_tuples = b.Cost.output_tuples
+
+(* ------------------------------------------------------------------ *)
+(* Morsel-parallel domains axis                                        *)
+(* ------------------------------------------------------------------ *)
+
+type parallel_arm = {
+  p_domains : int;
+  makespan_s : float;  (* deterministic simulated makespan on p_domains domains *)
+  p_speedup : float;   (* makespan at 1 domain / makespan at p_domains *)
+  p_wall_ms : float;   (* real wall time of the parallel run (informational) *)
+}
+
+type parallel_check = {
+  p_name : string;
+  morsels : int;
+  identical : bool;  (* result tuples byte-identical and every cost counter
+                        equal to the serial materialized engine, at every
+                        point of the axis *)
+  recovered : bool;  (* guard workload: fired with a morsel in flight and
+                        prefix + resume replayed to the full result *)
+  arms : parallel_arm list;
+  p_ok : bool;
+}
+
+type result = {
+  config : config;
+  comparisons : comparison list;
+  parallel : parallel_check list;
+  ok : bool;
+}
+
+let domains_axis domains = List.sort_uniq compare [ 1; 2; max 1 domains ]
+
+(* One workload across the domains axis: every point must be byte-identical
+   to the serial materialized engine (results and counters); the simulated
+   makespan of the morsel schedule gives the deterministic speedup. *)
+let run_parallel_check ~scale ~axis ?(min_speedup = 0.0) catalog name plan =
+  let serial_meter = Cost.create ~scale () in
+  let serial_res = Executor.run ~mode:Executor.Materialized catalog serial_meter plan in
+  let serial_snap = Cost.snapshot serial_meter in
+  let morsels = ref 0 in
+  let all_identical = ref true in
+  let arms =
+    List.map
+      (fun d ->
+        let par = Parallel.create ~domains:d () in
+        let meter = Cost.create ~scale () in
+        let t0 = Sys.time () in
+        let res, report =
+          Fun.protect
+            ~finally:(fun () -> Parallel.shutdown par)
+            (fun () -> Parallel.run_report par catalog meter plan)
+        in
+        let wall = Sys.time () -. t0 in
+        let snap = Cost.snapshot meter in
+        if
+          not
+            (res.Executor.tuples = serial_res.Executor.tuples
+            && Exp_common.snapshots_equal snap serial_snap)
+        then all_identical := false;
+        morsels := max !morsels report.Parallel.morsels;
+        let base = Parallel.makespan ~domains:1 report in
+        let mk = Parallel.makespan ~domains:d report in
+        {
+          p_domains = d;
+          makespan_s = mk;
+          p_speedup = base /. Float.max 1e-12 mk;
+          p_wall_ms = wall *. 1000.0;
+        })
+      axis
+  in
+  let top_speedup =
+    List.fold_left (fun acc a -> Float.max acc a.p_speedup) 0.0 arms
+  in
+  {
+    p_name = name;
+    morsels = !morsels;
+    identical = !all_identical;
+    recovered = true;
+    arms;
+    p_ok = !all_identical && top_speedup >= min_speedup;
+  }
+
+(* The mid-stream robustness bar: a guard whose violating morsel is in
+   flight on another domain must still fire with a contiguous reusable
+   prefix, and [Materialized prefix; resume] must replay to exactly the
+   full unguarded result. *)
+let run_guard_recovery ~scale ~domains catalog name plan =
+  let full_meter = Cost.create ~scale () in
+  let full =
+    Executor.run ~mode:Executor.Materialized catalog full_meter (Plan.strip_guards plan)
+  in
+  let par = Parallel.create ~domains () in
+  let meter = Cost.create ~scale () in
+  let outcome =
+    Fun.protect
+      ~finally:(fun () -> Parallel.shutdown par)
+      (fun () ->
+        match Parallel.run par catalog meter plan with
+        | _ -> None
+        | exception Executor.Guard_violation v -> Some v)
+  in
+  let recovered =
+    match outcome with
+    | None -> false (* the bench guard is tuned to fire *)
+    | Some v -> (
+        let prefix =
+          Plan.Materialized
+            {
+              name = "prefix";
+              schema = v.Executor.result.Executor.schema;
+              tuples = v.Executor.result.Executor.tuples;
+              refs = [];
+            }
+        in
+        match v.Executor.resume with
+        | Some resume ->
+            let replay_meter = Cost.create ~scale () in
+            let replay =
+              Executor.run ~mode:Executor.Materialized catalog replay_meter
+                (Plan.Append [ prefix; resume ])
+            in
+            (not v.Executor.complete)
+            && replay.Executor.tuples = full.Executor.tuples
+        | None -> v.Executor.complete && v.Executor.result.Executor.tuples = full.Executor.tuples)
+  in
+  {
+    p_name = name;
+    morsels = 0;
+    identical = true;
+    recovered;
+    arms = [];
+    p_ok = recovered;
+  }
+
+let run_parallel_section config catalog ~scale =
+  let axis = domains_axis config.domains in
+  let join =
+    Plan.Hash_join
+      {
+        build = scan "orders";
+        probe = scan "lineitem";
+        build_key = "orders.o_orderkey";
+        probe_key = "lineitem.l_orderkey";
+      }
+  in
+  [
+    run_parallel_check ~scale ~axis ~min_speedup:config.min_scan_speedup catalog
+      "scan-morsel" (scan "lineitem");
+    run_parallel_check ~scale ~axis catalog "join-morsel" join;
+    run_guard_recovery ~scale ~domains:(max 1 config.domains) catalog "guard-recovery"
+      (Plan.Guard
+         {
+           input = scan "lineitem";
+           expected_rows = 8.0;
+           max_q_error = 2.0;
+           label = "parallel bench guard";
+         });
+  ]
 
 let run ?(config = default_config) () =
   let rng = Rq_math.Rng.create config.seed in
@@ -175,7 +349,15 @@ let run ?(config = default_config) () =
         { workload; streaming; materialized; pages_saved; counters_equal; wl_ok })
       (workloads ())
   in
-  { config; comparisons; ok = List.for_all (fun c -> c.wl_ok) comparisons }
+  let parallel = run_parallel_section config catalog ~scale in
+  {
+    config;
+    comparisons;
+    parallel;
+    ok =
+      List.for_all (fun c -> c.wl_ok) comparisons
+      && List.for_all (fun p -> p.p_ok) parallel;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)
@@ -218,6 +400,33 @@ let to_json r =
                    ("ok", Rq_obs.Json.Bool c.wl_ok);
                  ])
              r.comparisons) );
+      ("domains", Rq_obs.Json.Num (float_of_int r.config.domains));
+      ("min_scan_speedup", Rq_obs.Json.Num r.config.min_scan_speedup);
+      ( "parallel",
+        Rq_obs.Json.List
+          (List.map
+             (fun p ->
+               Rq_obs.Json.Obj
+                 [
+                   ("name", Rq_obs.Json.Str p.p_name);
+                   ("morsels", Rq_obs.Json.Num (float_of_int p.morsels));
+                   ("identical", Rq_obs.Json.Bool p.identical);
+                   ("recovered", Rq_obs.Json.Bool p.recovered);
+                   ( "arms",
+                     Rq_obs.Json.List
+                       (List.map
+                          (fun a ->
+                            Rq_obs.Json.Obj
+                              [
+                                ("domains", Rq_obs.Json.Num (float_of_int a.p_domains));
+                                ("makespan_seconds", Rq_obs.Json.Num a.makespan_s);
+                                ("speedup", Rq_obs.Json.Num a.p_speedup);
+                                ("wall_ms", Rq_obs.Json.Num a.p_wall_ms);
+                              ])
+                          p.arms) );
+                   ("ok", Rq_obs.Json.Bool p.p_ok);
+                 ])
+             r.parallel) );
       ("ok", Rq_obs.Json.Bool r.ok);
     ]
 
@@ -246,5 +455,24 @@ let render r =
       in
       add "%-12s   -> %s%s\n" "" verdict (if c.wl_ok then "" else "  [FAIL]"))
     r.comparisons;
+  add "morsel-parallel (domains axis, simulated makespan):\n";
+  add "%-16s %8s %8s %12s %10s %10s\n" "workload" "domains" "morsels" "makespan_s"
+    "speedup" "wall_ms";
+  List.iter
+    (fun p ->
+      List.iter
+        (fun a ->
+          add "%-16s %8d %8d %12.4f %9.2fx %10.3f\n" p.p_name a.p_domains p.morsels
+            a.makespan_s a.p_speedup a.p_wall_ms)
+        p.arms;
+      let verdict =
+        if p.arms = [] then
+          if p.recovered then "guard fired mid-morsel; prefix + resume replayed exactly"
+          else "GUARD DID NOT RECOVER"
+        else if p.identical then "results and counters identical to serial"
+        else "PARALLEL RESULT MISMATCH"
+      in
+      add "%-16s   -> %s%s\n" p.p_name verdict (if p.p_ok then "" else "  [FAIL]"))
+    r.parallel;
   add "bench-exec: %s\n" (if r.ok then "ok" else "FAILED");
   Buffer.contents b

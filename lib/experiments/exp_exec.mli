@@ -5,11 +5,26 @@
     charge strictly fewer pages), a mid-stream guard firing (streaming
     stops scanning at the first overflowing batch), and a full-drain join
     (every cost counter must be identical).  Also measures real wall time,
-    allocation and GC peak live words per engine. *)
+    allocation and GC peak live words per engine.
+
+    The [domains] axis runs the morsel-parallel engine ({!Rq_exec.Parallel})
+    over the same catalog: every point of the axis must reproduce the serial
+    materialized engine's result tuples and cost counters exactly, the
+    deterministic simulated makespan at [config.domains] must beat one
+    domain by at least [config.min_scan_speedup] on the scan-morsel
+    workload, and a guard tuned to fire mid-scan must recover via
+    [Append [Materialized prefix; resume]]. *)
 
 open Rq_exec
 
-type config = { seed : int; scale_factor : float; repetitions : int }
+type config = {
+  seed : int;
+  scale_factor : float;
+  repetitions : int;
+  domains : int;              (** top of the morsel-parallel domains axis *)
+  min_scan_speedup : float;
+      (** gate: simulated scan-morsel speedup at [domains] over one domain *)
+}
 
 val default_config : config
 val small_config : config
@@ -35,11 +50,38 @@ type comparison = {
   wl_ok : bool;
 }
 
-type result = { config : config; comparisons : comparison list; ok : bool }
+type parallel_arm = {
+  p_domains : int;
+  makespan_s : float;  (** deterministic simulated makespan on [p_domains] domains *)
+  p_speedup : float;   (** makespan at 1 domain / makespan at [p_domains] *)
+  p_wall_ms : float;   (** real wall time of the parallel run (informational) *)
+}
+
+type parallel_check = {
+  p_name : string;
+  morsels : int;
+  identical : bool;
+      (** result tuples and every cost counter identical to the serial
+          materialized engine at every point of the axis *)
+  recovered : bool;
+      (** guard workload: fired mid-morsel and prefix + resume replayed to
+          the full result *)
+  arms : parallel_arm list;
+  p_ok : bool;
+}
+
+type result = {
+  config : config;
+  comparisons : comparison list;
+  parallel : parallel_check list;
+  ok : bool;
+}
 
 val run : ?config:config -> unit -> result
-(** [ok] is false when an early-exit workload saved no pages or a
-    full-drain workload's counters diverged. *)
+(** [ok] is false when an early-exit workload saved no pages, a full-drain
+    workload's counters diverged, a parallel run failed to reproduce the
+    serial result exactly, the scan-morsel speedup gate missed, or the
+    parallel guard failed to recover. *)
 
 val to_json : result -> Rq_obs.Json.t
 val render : result -> string

@@ -109,7 +109,9 @@ let run_evidence config stats =
   let syn =
     match Rq_stats.Stats_store.synopsis_for stats [ "lineitem"; "orders"; "part" ] with
     | Some syn -> syn
-    | None -> failwith "bench-optimizer: no covering synopsis for the three-join expression"
+    | None ->
+        Exp_common.bench_error ~context:"bench-optimizer"
+          "no covering synopsis for the three-join expression"
   in
   let preds = evidence_pool () in
   let npreds = List.length preds in

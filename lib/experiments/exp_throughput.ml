@@ -25,6 +25,7 @@ type config = {
   cache_capacity : int;
   refresh_every : int;
   confidence_percent : float;
+  domains : int;  (* concurrent replay drivers over a sharded plan cache *)
 }
 
 let default_config =
@@ -37,6 +38,7 @@ let default_config =
     cache_capacity = 64;
     refresh_every = 160;
     confidence_percent = 80.0;
+    domains = 4;
   }
 
 let small_config =
@@ -162,7 +164,7 @@ let run_arm ?obs config pool steps ~cache =
             incr optimizations;
             match Optimizer.optimize opt query with
             | Ok d -> d
-            | Error e -> failwith (Printf.sprintf "%s: %s" label e))
+            | Error e -> Exp_common.bench_error ~context:label "%s" e)
         | Some cache -> (
             let fingerprint =
               Rq_sql.Fingerprint.to_key
@@ -173,7 +175,7 @@ let run_arm ?obs config pool steps ~cache =
             | Ok (d, outcome) ->
                 if outcome <> Plan_cache.Hit then incr optimizations;
                 d
-            | Error e -> failwith (Printf.sprintf "%s: %s" label e))
+            | Error e -> Exp_common.bench_error ~context:label "%s" e)
       in
       opt_seconds := !opt_seconds +. (Sys.time () -. t0);
       let digest = Exp_common.plan_digest decision.Optimizer.plan in
@@ -191,6 +193,82 @@ let run_arm ?obs config pool steps ~cache =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Concurrent replay over a sharded cache                              *)
+(* ------------------------------------------------------------------ *)
+
+type parallel = {
+  par_domains : int;
+  shard_stats : Plan_cache.stats;    (* summed over all shards *)
+  shard_lookups_ok : bool;           (* summed shard lookups = total replays *)
+  par_divergences : int;   (* steps whose plan differs from the serial cached arm *)
+  par_mismatches : int;    (* steps whose result multiset differs from it *)
+  par_optimizations : int;
+  exec_makespan : float;   (* max over domains of summed simulated exec seconds *)
+  exec_speedup : float;    (* serial summed exec seconds / makespan *)
+  par_ok : bool;
+}
+
+(* Every domain rebuilds the whole world from the same seed (identical
+   catalogs, identical maintenance RNG), handles the global steps [s] with
+   [s mod domains = d], and catches up on the refresh schedule before each
+   of its steps — so the statistics versions it sees at step [s] are
+   exactly the serial arm's.  Lookups go through the domain's private
+   shard of a {!Plan_cache.Sharded}; digests and results land in disjoint
+   slots of shared arrays, compared against the serial cached arm after
+   the join.  No recorder crosses a domain boundary. *)
+let run_parallel_replay config pool steps ~domains =
+  let n = Array.length steps in
+  let sharded =
+    Plan_cache.Sharded.create ~capacity:config.cache_capacity ~shards:domains ()
+  in
+  let digests = Array.make n "" in
+  let results : Executor.result option array = Array.make n None in
+  let worker d () =
+    let lanes = build_lanes config in
+    let confidence = Rq_core.Confidence.of_percent config.confidence_percent in
+    let shard = Plan_cache.Sharded.shard sharded d in
+    let refreshes = ref 0 in
+    let exec_seconds = ref 0.0 and optimizations = ref 0 in
+    let step = ref d in
+    while !step < n do
+      let s = !step in
+      if config.refresh_every > 0 then begin
+        let due = s / config.refresh_every in
+        while !refreshes < due do
+          Array.iter (fun l -> Rq_stats.Maintenance.refresh l.maintenance) lanes;
+          incr refreshes
+        done
+      end;
+      let lane_idx, label, query = pool.(steps.(s)) in
+      let lane = lanes.(lane_idx) in
+      let stats = Rq_stats.Maintenance.stats lane.maintenance in
+      let opt = Optimizer.robust ~scale:lane.scale ~confidence stats in
+      let fingerprint =
+        Rq_sql.Fingerprint.to_key
+          (Rq_sql.Fingerprint.of_logical
+             ~estimator:(Optimizer.estimator opt).Cardinality.name ~confidence query)
+      in
+      let decision =
+        match Plan_cache.find_or_optimize shard opt ~fingerprint query with
+        | Ok (d, outcome) ->
+            if outcome <> Plan_cache.Hit then incr optimizations;
+            d
+        | Error e -> Exp_common.bench_error ~context:label "%s" e
+      in
+      let digest = Exp_common.plan_digest decision.Optimizer.plan in
+      let seconds, result = measure_lane lane decision.Optimizer.plan digest in
+      digests.(s) <- digest;
+      results.(s) <- Some result;
+      exec_seconds := !exec_seconds +. seconds;
+      step := s + domains
+    done;
+    (!exec_seconds, !optimizations)
+  in
+  let handles = Array.init domains (fun d -> Domain.spawn (worker d)) in
+  let per_domain = Array.map Domain.join handles in
+  (sharded, digests, Array.map Option.get results, per_domain)
+
+(* ------------------------------------------------------------------ *)
 (* The bench                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -205,6 +283,8 @@ type result = {
   plan_divergences : int;     (* steps where the arms chose different plans *)
   differential_failures : int;  (* divergent plans with unequal result multisets *)
   failure_labels : string list;
+  parallel : parallel;
+  ok : bool;
 }
 
 let run ?obs ?(config = default_config) () =
@@ -232,6 +312,42 @@ let run ?obs ?(config = default_config) () =
       end)
     steps;
   let cache_stats = Plan_cache.stats cache in
+  (* The concurrent replay: the same step sequence fanned over [domains]
+     drivers, each with a private shard and a private world.  Every step's
+     result must match the serial cached arm's, merged shard counters must
+     account for every replay, and the per-domain split of simulated
+     execution seconds gives the throughput makespan. *)
+  let domains = max 1 config.domains in
+  let sharded, par_digests, par_results, per_domain =
+    run_parallel_replay config pool steps ~domains
+  in
+  let par_divergences = ref 0 and par_mismatches = ref 0 in
+  Array.iteri
+    (fun step _ ->
+      if not (String.equal cached.digests.(step) par_digests.(step)) then
+        incr par_divergences;
+      if not (Exp_common.results_equal cached.results.(step) par_results.(step)) then
+        incr par_mismatches)
+    steps;
+  let shard_stats = Plan_cache.Sharded.stats sharded in
+  let shard_lookups_ok = Plan_cache.lookups shard_stats = Array.length steps in
+  let exec_makespan =
+    Array.fold_left (fun acc (s, _) -> Float.max acc s) 0.0 per_domain
+  in
+  let par_optimizations = Array.fold_left (fun acc (_, o) -> acc + o) 0 per_domain in
+  let parallel =
+    {
+      par_domains = domains;
+      shard_stats;
+      shard_lookups_ok;
+      par_divergences = !par_divergences;
+      par_mismatches = !par_mismatches;
+      par_optimizations;
+      exec_makespan;
+      exec_speedup = cached.exec_seconds /. Float.max 1e-12 exec_makespan;
+      par_ok = !par_mismatches = 0 && shard_lookups_ok;
+    }
+  in
   {
     config;
     distinct_queries = Array.length pool;
@@ -243,6 +359,8 @@ let run ?obs ?(config = default_config) () =
     plan_divergences = !plan_divergences;
     differential_failures = !differential_failures;
     failure_labels = List.rev !failure_labels;
+    parallel;
+    ok = !differential_failures = 0 && parallel.par_ok;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -274,6 +392,24 @@ let to_json r =
       ("optimization_speedup", Rq_obs.Json.Num r.speedup);
       ("plan_divergences", Rq_obs.Json.Num (float_of_int r.plan_divergences));
       ("differential_failures", Rq_obs.Json.Num (float_of_int r.differential_failures));
+      ("domains", Rq_obs.Json.Num (float_of_int r.parallel.par_domains));
+      ( "parallel",
+        Rq_obs.Json.Obj
+          [
+            ("domains", Rq_obs.Json.Num (float_of_int r.parallel.par_domains));
+            ("shards", Plan_cache.stats_to_json r.parallel.shard_stats);
+            ("shard_lookups_ok", Rq_obs.Json.Bool r.parallel.shard_lookups_ok);
+            ( "plan_divergences",
+              Rq_obs.Json.Num (float_of_int r.parallel.par_divergences) );
+            ( "result_mismatches",
+              Rq_obs.Json.Num (float_of_int r.parallel.par_mismatches) );
+            ( "optimizations",
+              Rq_obs.Json.Num (float_of_int r.parallel.par_optimizations) );
+            ("exec_makespan_seconds", Rq_obs.Json.Num r.parallel.exec_makespan);
+            ("exec_speedup", Rq_obs.Json.Num r.parallel.exec_speedup);
+            ("ok", Rq_obs.Json.Bool r.parallel.par_ok);
+          ] );
+      ("ok", Rq_obs.Json.Bool r.ok);
     ]
 
 let render r =
@@ -296,4 +432,16 @@ let render r =
   add "differential oracle: %d plan divergences, %d failures\n" r.plan_divergences
     r.differential_failures;
   List.iter (fun l -> add "  FAIL %s\n" l) r.failure_labels;
+  let p = r.parallel in
+  let ps = p.shard_stats in
+  add "parallel replay (%d domains, sharded cache): %d divergences, %d mismatches%s\n"
+    p.par_domains p.par_divergences p.par_mismatches
+    (if p.par_ok then "" else "  [FAIL]");
+  add "  shards: %d hits, %d misses, %d invalidations, %d evictions (%s)\n"
+    ps.Plan_cache.hits ps.Plan_cache.misses ps.Plan_cache.invalidations
+    ps.Plan_cache.evictions
+    (if p.shard_lookups_ok then "lookups reconcile with replays"
+     else "LOOKUPS DO NOT RECONCILE");
+  add "  exec makespan: %.3f s over %d domains (%.2fx vs serial %.3f s)\n"
+    p.exec_makespan p.par_domains p.exec_speedup r.cached.exec_seconds;
   Buffer.contents b

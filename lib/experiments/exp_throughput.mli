@@ -7,7 +7,14 @@
     runs twice: optimizing from scratch every step, and through
     {!Rq_optimizer.Plan_cache}.  The report splits optimize vs execute
     time per arm, exposes the cache counters, and runs a differential
-    oracle over every step where the two arms chose different plans. *)
+    oracle over every step where the two arms chose different plans.
+
+    The [domains] axis then fans the same step sequence over that many
+    concurrent replay drivers on OCaml domains, each owning a private
+    shard of a {!Rq_optimizer.Plan_cache.Sharded} and a private world
+    rebuilt from the same seed: every step's result must match the serial
+    cached arm's, and the merged shard counters must account for every
+    replay. *)
 
 type config = {
   seed : int;
@@ -19,6 +26,8 @@ type config = {
   refresh_every : int;         (** force a statistics refresh on both lanes
                                    every this many steps; 0 disables *)
   confidence_percent : float;
+  domains : int;               (** concurrent replay drivers over the
+                                   sharded plan cache *)
 }
 
 val default_config : config
@@ -35,6 +44,20 @@ type arm = {
   results : Rq_exec.Executor.result array;
 }
 
+type parallel = {
+  par_domains : int;
+  shard_stats : Rq_optimizer.Plan_cache.stats;  (** summed over all shards *)
+  shard_lookups_ok : bool;  (** summed shard lookups = total replays *)
+  par_divergences : int;    (** steps whose plan differs from the serial
+                                cached arm *)
+  par_mismatches : int;     (** steps whose result multiset differs from it *)
+  par_optimizations : int;
+  exec_makespan : float;    (** max over domains of summed simulated exec
+                                seconds *)
+  exec_speedup : float;     (** serial summed exec seconds / makespan *)
+  par_ok : bool;
+}
+
 type result = {
   config : config;
   distinct_queries : int;
@@ -46,6 +69,8 @@ type result = {
   plan_divergences : int;
   differential_failures : int;
   failure_labels : string list;
+  parallel : parallel;
+  ok : bool;  (** no differential failures and [parallel.par_ok] *)
 }
 
 val run : ?obs:Rq_obs.Recorder.t -> ?config:config -> unit -> result

@@ -9,6 +9,16 @@ let stats_to_json s =
       ("evictions", Rq_obs.Json.Num (float_of_int s.evictions));
     ]
 
+let zero_stats = { hits = 0; misses = 0; invalidations = 0; evictions = 0 }
+
+let add_stats a b =
+  {
+    hits = a.hits + b.hits;
+    misses = a.misses + b.misses;
+    invalidations = a.invalidations + b.invalidations;
+    evictions = a.evictions + b.evictions;
+  }
+
 let lookups s = s.hits + s.misses + s.invalidations
 
 let hit_rate s =
@@ -18,38 +28,37 @@ let hit_rate s =
 type entry = {
   decision : Optimizer.decision;
   table_versions : (string * int) list;  (* versions of the query's tables at plan time *)
-  mutable last_used : int;               (* LRU clock tick of the last hit/insert *)
 }
 
+(* The entry store is an {!Rq_stats.Lru}: recency, capacity eviction and
+   the eviction counter live there (O(1), no victim scan); this module
+   adds the plan-cache semantics on top — stats-versioned invalidation and
+   the hit/miss/invalidated outcome counters, which are not the LRU's own
+   (a lookup that finds a version-stale entry is an invalidation, not a
+   hit or a miss). *)
 type t = {
-  capacity : int;
-  entries : (string, entry) Hashtbl.t;
-  mutable clock : int;
+  lru : entry Rq_stats.Lru.t;
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;
-  mutable evictions : int;
 }
 
 let create ?(capacity = 256) () =
   if capacity <= 0 then invalid_arg "Plan_cache.create: capacity must be positive";
-  {
-    capacity;
-    entries = Hashtbl.create (min capacity 64);
-    clock = 0;
-    hits = 0;
-    misses = 0;
-    invalidations = 0;
-    evictions = 0;
-  }
+  { lru = Rq_stats.Lru.create ~capacity (); hits = 0; misses = 0; invalidations = 0 }
 
-let capacity t = t.capacity
-let length t = Hashtbl.length t.entries
+let capacity t = Rq_stats.Lru.capacity t.lru
+let length t = Rq_stats.Lru.length t.lru
 
 let stats t =
-  { hits = t.hits; misses = t.misses; invalidations = t.invalidations; evictions = t.evictions }
+  {
+    hits = t.hits;
+    misses = t.misses;
+    invalidations = t.invalidations;
+    evictions = Rq_stats.Lru.evictions t.lru;
+  }
 
-let clear t = Hashtbl.reset t.entries
+let clear t = Rq_stats.Lru.clear t.lru
 
 (* The stored key is the caller's fingerprint plus the estimator's name.
    [Fingerprint.of_logical ?estimator] already folds the identity in when
@@ -59,10 +68,6 @@ let clear t = Hashtbl.reset t.entries
    not expose them). *)
 let compose_key opt ~fingerprint =
   fingerprint ^ "\x00est:" ^ (Optimizer.estimator opt).Cardinality.name
-
-let tick t =
-  t.clock <- t.clock + 1;
-  t.clock
 
 type outcome = Hit | Miss | Invalidated
 
@@ -83,33 +88,22 @@ let entry_valid store entry =
     (fun (table, v) -> Rq_stats.Stats_store.table_version store table = v)
     entry.table_versions
 
-let evict_lru ?obs t ~version =
-  if Hashtbl.length t.entries >= t.capacity then begin
-    let victim =
-      Hashtbl.fold
-        (fun key entry acc ->
-          match acc with
-          | Some (_, best) when best.last_used <= entry.last_used -> acc
-          | _ -> Some (key, entry))
-        t.entries None
-    in
-    match victim with
-    | None -> ()
-    | Some (key, _) ->
-        Hashtbl.remove t.entries key;
-        t.evictions <- t.evictions + 1;
-        record ?obs ~version ~fingerprint:key "evicted"
-  end
-
 let insert ?obs t opt ~key ~version query decision =
-  evict_lru ?obs t ~version;
   let store = Optimizer.stats opt in
   let table_versions =
     List.map
       (fun table -> (table, Rq_stats.Stats_store.table_version store table))
       (Logical.table_names query)
   in
-  Hashtbl.replace t.entries key { decision; table_versions; last_used = tick t }
+  (* The LRU evicts only when [key] is absent at capacity; re-inserting a
+     live key refreshes it in place, so no innocent victim is dropped.
+     The eviction hook is armed just for this insert so the trace event
+     carries this lookup's store version. *)
+  Rq_stats.Lru.set_on_evict t.lru (fun victim ->
+      record ?obs ~version ~fingerprint:victim "evicted");
+  Fun.protect
+    ~finally:(fun () -> Rq_stats.Lru.set_on_evict t.lru (fun _ -> ()))
+    (fun () -> Rq_stats.Lru.insert t.lru key { decision; table_versions })
 
 let find_or_optimize ?obs ?budget t opt ~fingerprint query =
   let key = compose_key opt ~fingerprint in
@@ -122,9 +116,8 @@ let find_or_optimize ?obs ?budget t opt ~fingerprint query =
         insert ?obs t opt ~key ~version query decision;
         Ok (decision, outcome)
   in
-  match Hashtbl.find_opt t.entries key with
+  match Rq_stats.Lru.find t.lru key with
   | Some entry when entry_valid store entry ->
-      entry.last_used <- tick t;
       t.hits <- t.hits + 1;
       record ?obs ~version ~fingerprint:key "hit";
       Ok (entry.decision, Hit)
@@ -132,7 +125,7 @@ let find_or_optimize ?obs ?budget t opt ~fingerprint query =
       (* The statistics moved under the entry: serving it could replay a
          plan chosen against a world that no longer exists.  Drop it and
          re-optimize — the cache can delay work, never correctness. *)
-      Hashtbl.remove t.entries key;
+      Rq_stats.Lru.remove t.lru key;
       t.invalidations <- t.invalidations + 1;
       record ?obs ~version ~fingerprint:key "invalidated";
       optimize_and_insert Invalidated
@@ -141,4 +134,33 @@ let find_or_optimize ?obs ?budget t opt ~fingerprint query =
       record ?obs ~version ~fingerprint:key "miss";
       optimize_and_insert Miss
 
-let mem t opt ~fingerprint = Hashtbl.mem t.entries (compose_key opt ~fingerprint)
+let mem t opt ~fingerprint = Rq_stats.Lru.mem t.lru (compose_key opt ~fingerprint)
+
+(* ------------------------------------------------------------------ *)
+(* Sharding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Sharded = struct
+  type shard = t
+  type nonrec t = { shards : shard array }
+
+  let create ?(capacity = 256) ~shards () =
+    if shards <= 0 then invalid_arg "Plan_cache.Sharded.create: shards must be positive";
+    if capacity <= 0 then
+      invalid_arg "Plan_cache.Sharded.create: capacity must be positive";
+    let per_shard = max 1 (capacity / shards) in
+    { shards = Array.init shards (fun _ -> create ~capacity:per_shard ()) }
+
+  let shards t = Array.length t.shards
+
+  let shard t i =
+    let n = Array.length t.shards in
+    t.shards.(((i mod n) + n) mod n)
+
+  let length t = Array.fold_left (fun acc s -> acc + length s) 0 t.shards
+
+  let stats t =
+    Array.fold_left (fun acc s -> add_stats acc (stats s)) zero_stats t.shards
+
+  let clear t = Array.iter clear t.shards
+end

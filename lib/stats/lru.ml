@@ -1,15 +1,21 @@
-(* A small string-keyed LRU, the shape Plan_cache uses: a hashtable plus a
-   logical clock, evicting the least-recently-used entry at capacity.  The
-   evidence and bitmap caches are bounded with this so long throughput runs
-   cannot grow memory without bound; [on_evict] lets the owner surface each
-   eviction as a trace event. *)
+(* A small string-keyed LRU: a hashtable over an intrusive doubly-linked
+   recency list, so find/insert/evict are all O(1) — no victim scan.  The
+   evidence and bitmap caches and the plan cache are bounded with this so
+   long throughput runs cannot grow memory without bound; [on_evict] lets
+   the owner surface each eviction as a trace event. *)
 
-type 'a entry = { value : 'a; mutable last_used : int }
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;  (* toward most-recent *)
+  mutable next : 'a node option;  (* toward least-recent *)
+}
 
 type 'a t = {
   capacity : int;
-  entries : (string, 'a entry) Hashtbl.t;
-  mutable clock : int;
+  entries : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;  (* most recently used *)
+  mutable tail : 'a node option;  (* least recently used *)
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -21,7 +27,8 @@ let create ?(on_evict = fun _ -> ()) ~capacity () =
   {
     capacity;
     entries = Hashtbl.create (min (max capacity 1) 64);
-    clock = 0;
+    head = None;
+    tail = None;
     hits = 0;
     misses = 0;
     evictions = 0;
@@ -35,16 +42,31 @@ let misses t = t.misses
 let evictions t = t.evictions
 let set_on_evict t f = t.on_evict <- f
 
-let tick t =
-  t.clock <- t.clock + 1;
-  t.clock
+let unlink t node =
+  (match node.prev with Some p -> p.next <- node.next | None -> t.head <- node.next);
+  (match node.next with Some n -> n.prev <- node.prev | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.prev <- None;
+  node.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let touch t node =
+  match t.head with
+  | Some h when h == node -> ()
+  | _ ->
+      unlink t node;
+      push_front t node
 
 let find t key =
   match Hashtbl.find_opt t.entries key with
-  | Some entry ->
-      entry.last_used <- tick t;
+  | Some node ->
+      touch t node;
       t.hits <- t.hits + 1;
-      Some entry.value
+      Some node.value
   | None ->
       t.misses <- t.misses + 1;
       None
@@ -52,22 +74,13 @@ let find t key =
 let mem t key = Hashtbl.mem t.entries key
 
 let evict_lru t =
-  if Hashtbl.length t.entries >= t.capacity then begin
-    let victim =
-      Hashtbl.fold
-        (fun key entry acc ->
-          match acc with
-          | Some (_, best) when best.last_used <= entry.last_used -> acc
-          | _ -> Some (key, entry))
-        t.entries None
-    in
-    match victim with
-    | None -> ()
-    | Some (key, _) ->
-        Hashtbl.remove t.entries key;
-        t.evictions <- t.evictions + 1;
-        t.on_evict key
-  end
+  match t.tail with
+  | None -> ()
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.entries node.key;
+      t.evictions <- t.evictions + 1;
+      t.on_evict node.key
 
 let insert t key value =
   if t.capacity = 0 then begin
@@ -77,10 +90,27 @@ let insert t key value =
     t.evictions <- t.evictions + 1;
     t.on_evict key
   end
-  else begin
-    if not (Hashtbl.mem t.entries key) then evict_lru t;
-    Hashtbl.replace t.entries key { value; last_used = tick t }
-  end
+  else
+    match Hashtbl.find_opt t.entries key with
+    | Some node ->
+        (* Present: refresh, never evict — re-inserting an existing key at
+           capacity must not drop an innocent victim. *)
+        node.value <- value;
+        touch t node
+    | None ->
+        if Hashtbl.length t.entries >= t.capacity then evict_lru t;
+        let node = { key; value; prev = None; next = None } in
+        Hashtbl.replace t.entries key node;
+        push_front t node
+
+let remove t key =
+  match Hashtbl.find_opt t.entries key with
+  | None -> ()
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.entries key
+      (* A deliberate drop (e.g. a version-invalidated plan), not a
+         capacity eviction: no counter bump, no [on_evict]. *)
 
 let find_or_add t key make =
   match find t key with
@@ -90,4 +120,7 @@ let find_or_add t key make =
       insert t key v;
       v
 
-let clear t = Hashtbl.reset t.entries
+let clear t =
+  Hashtbl.reset t.entries;
+  t.head <- None;
+  t.tail <- None

@@ -1,7 +1,8 @@
-(** A small bounded string-keyed LRU cache (the {!Rq_optimizer.Plan_cache}
-    recipe, reusable): hashtable + logical clock, least-recently-used
-    eviction at capacity, hit/miss/eviction counters, and an eviction
-    callback for trace events. *)
+(** A small bounded string-keyed LRU cache: a hashtable over an intrusive
+    doubly-linked recency list (find/insert/evict all O(1), no victim
+    scan), least-recently-used eviction at capacity, hit/miss/eviction
+    counters, and an eviction callback for trace events.  Backs the
+    evidence/bitmap caches and every {!Rq_optimizer.Plan_cache} shard. *)
 
 type 'a t
 
@@ -20,6 +21,15 @@ val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
     at capacity). *)
 
 val insert : 'a t -> string -> 'a -> unit
+(** Inserting a key already present refreshes its value and recency and
+    never evicts — only an insert of a {e new} key at capacity drops the
+    least-recently-used entry. *)
+
+val remove : 'a t -> string -> unit
+(** Drop the entry if present.  A deliberate removal (e.g. a
+    version-invalidated plan), not a capacity eviction: the eviction
+    counter is untouched and [on_evict] does not fire. *)
+
 val mem : 'a t -> string -> bool
 val clear : 'a t -> unit
 val set_on_evict : 'a t -> (string -> unit) -> unit

@@ -22,7 +22,12 @@ let default_params =
 let paper_lineitem_rows = 6_000_000
 
 let day_of ~year ~month ~day =
-  match Value.date_of_ymd ~year ~month ~day with Value.Date d -> d | _ -> assert false
+  match Value.date_of_ymd ~year ~month ~day with
+  | Value.Date d -> d
+  | other ->
+      invalid_arg
+        (Printf.sprintf "Tpch.day_of: %04d-%02d-%02d produced %s, not a date" year
+           month day (Value.to_string other))
 
 let date_range_start = day_of ~year:1992 ~month:1 ~day:1
 let date_range_end = day_of ~year:1998 ~month:8 ~day:2

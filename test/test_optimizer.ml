@@ -697,6 +697,32 @@ let test_cache_lru_eviction () =
     (Invalid_argument "Plan_cache.create: capacity must be positive") (fun () ->
       ignore (Plan_cache.create ~capacity:0 ()))
 
+(* Regression: re-optimizing an invalidated entry while the cache sits at
+   capacity re-inserts under the same key; that must never evict an
+   innocent sibling entry. *)
+let test_cache_reinsert_at_capacity_evicts_nothing () =
+  let catalog = fixture () in
+  let m = Rq_stats.Maintenance.create (Rq_math.Rng.create 96) catalog in
+  let cache = Plan_cache.create ~capacity:2 () in
+  let qa = cache_query ~threshold:900 () in
+  let qb = cache_query ~threshold:950 () in
+  let lookup q =
+    let opt = Optimizer.robust (Rq_stats.Maintenance.stats m) in
+    outcome_of (Plan_cache.find_or_optimize cache opt ~fingerprint:(fingerprint_of opt q) q)
+  in
+  ignore (lookup qa);
+  ignore (lookup qb);
+  check_int "cache at capacity" 2 (Plan_cache.length cache);
+  (* The refresh stales both entries; re-optimizing A re-inserts its key. *)
+  Rq_stats.Maintenance.refresh m;
+  Alcotest.(check string) "A re-optimized in place" "invalidated" (lookup qa);
+  let opt = Optimizer.robust (Rq_stats.Maintenance.stats m) in
+  check_bool "B's entry was not evicted" true
+    (Plan_cache.mem cache opt ~fingerprint:(fingerprint_of opt qb));
+  check_int "still at capacity" 2 (Plan_cache.length cache);
+  check_int "no evictions" 0 (Plan_cache.stats cache).Plan_cache.evictions;
+  Alcotest.(check string) "A now hits" "hit" (lookup qa)
+
 let test_cache_never_caches_errors () =
   let catalog = fixture () in
   let stats = build_stats catalog 95 in
@@ -766,6 +792,8 @@ let () =
           Alcotest.test_case "unrelated injection leaves hits servable" `Quick
             test_cache_survives_unrelated_injection;
           Alcotest.test_case "LRU eviction order and capacity" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "re-insert at capacity evicts nothing" `Quick
+            test_cache_reinsert_at_capacity_evicts_nothing;
           Alcotest.test_case "errors are not cached" `Quick test_cache_never_caches_errors;
         ] );
     ]

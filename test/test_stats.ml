@@ -711,6 +711,43 @@ let test_lru_capacity_one () =
   check_int "second eviction" 2 (Lru.evictions lru);
   check_int "still bounded" 1 (Lru.length lru)
 
+(* Regression: re-inserting a key that is already resident while the
+   cache is at capacity must never evict an innocent sibling — it is an
+   update plus a recency touch, nothing leaves. *)
+let test_lru_reinsert_at_capacity_evicts_nothing () =
+  let evicted = ref [] in
+  let lru = Lru.create ~on_evict:(fun k -> evicted := k :: !evicted) ~capacity:2 () in
+  Lru.insert lru "a" 1;
+  Lru.insert lru "b" 2;
+  (* Full.  Re-insert the older key with a new value. *)
+  Lru.insert lru "a" 10;
+  Alcotest.(check (list string)) "nothing evicted" [] !evicted;
+  check_int "no evictions counted" 0 (Lru.evictions lru);
+  check_int "still two entries" 2 (Lru.length lru);
+  check_bool "sibling survives" true (Lru.mem lru "b");
+  check_bool "value updated" true (Lru.find lru "a" = Some 10);
+  (* The re-insert refreshed a's recency: the next overflow victim is b. *)
+  Lru.insert lru "c" 3;
+  Alcotest.(check (list string)) "b is the LRU victim" [ "b" ] !evicted;
+  check_bool "a still resident" true (Lru.mem lru "a")
+
+let test_lru_remove_is_silent () =
+  let evicted = ref [] in
+  let lru = Lru.create ~on_evict:(fun k -> evicted := k :: !evicted) ~capacity:2 () in
+  Lru.insert lru "a" 1;
+  Lru.insert lru "b" 2;
+  (* Invalidation-style removal: no eviction count, no on_evict. *)
+  Lru.remove lru "a";
+  check_int "one entry left" 1 (Lru.length lru);
+  check_int "not an eviction" 0 (Lru.evictions lru);
+  Alcotest.(check (list string)) "on_evict not fired" [] !evicted;
+  Lru.remove lru "missing";
+  check_int "removing a stranger is a no-op" 1 (Lru.length lru);
+  (* The freed slot is usable again without evicting b. *)
+  Lru.insert lru "c" 3;
+  check_int "no eviction on refill" 0 (Lru.evictions lru);
+  check_bool "b survives" true (Lru.mem lru "b")
+
 let test_pred_index_combined_after_eviction () =
   let rel = kernel_fixture () in
   let idx = Pred_index.create ~capacity:2 rel in
@@ -902,6 +939,9 @@ let () =
           Alcotest.test_case "lru bounds and evicts" `Quick test_lru_bounds_and_evicts;
           Alcotest.test_case "lru capacity zero" `Quick test_lru_capacity_zero;
           Alcotest.test_case "lru capacity one" `Quick test_lru_capacity_one;
+          Alcotest.test_case "lru re-insert at capacity evicts nothing" `Quick
+            test_lru_reinsert_at_capacity_evicts_nothing;
+          Alcotest.test_case "lru remove is silent" `Quick test_lru_remove_is_silent;
           Alcotest.test_case "pred_index counts match scan" `Quick test_pred_index_counts;
           Alcotest.test_case "pred_index eviction" `Quick test_pred_index_eviction;
           Alcotest.test_case "pred_index combined pred after eviction" `Quick
