@@ -1,6 +1,6 @@
-.PHONY: all test test-parallel fault-test differential fuzz-smoke fuzz-soak \
-        fuzz-self-test bench bench-quick bench-throughput bench-exec \
-        bench-optimizer examples trace-demo clean
+.PHONY: all test test-parallel test-rewrite fault-test differential fuzz-smoke \
+        fuzz-soak fuzz-self-test fuzz-self-test-rewrite bench bench-quick \
+        bench-throughput bench-exec bench-optimizer examples trace-demo clean
 
 all:
 	dune build @all
@@ -13,6 +13,12 @@ test: all
 # resumable prefix, and the sharded plan cache hammered from N domains.
 test-parallel: all
 	dune exec test/test_parallel.exe
+
+# Only the logical-rewrite suite: qcheck soundness laws for every rule,
+# fixpoint idempotence, rule-order insensitivity on commuting pairs, the
+# LIMIT-pushdown page-drop assertion, and fingerprint key stability.
+test-rewrite: all
+	dune exec test/test_rewrite.exe
 
 # Only the robustness suite: fault injection, degradation chain,
 # optimization budget, and guard-driven re-optimization.
@@ -45,6 +51,11 @@ fuzz-soak: all
 # require the fuzzer to find, shrink, and replay the planted divergence.
 fuzz-self-test: all
 	dune exec bin/robustopt.exe -- experiment fuzz --self-test --seed 5
+
+# Same proof for the logical rewrite layer: plant an unsound rewrite and
+# require the rewrite pass to catch, shrink, and replay it.
+fuzz-self-test-rewrite: all
+	dune exec bin/robustopt.exe -- experiment fuzz --self-test-rewrite --seed 5
 
 bench:
 	dune exec bench/main.exe

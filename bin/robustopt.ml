@@ -228,7 +228,11 @@ let explain_cmd =
     | Error msg -> failwith msg);
     if analyze then begin
       let decision =
-        match Optimizer.optimize ?budget:opt_budget opt bound.Rq_sql.Binder.query with
+        match
+          Optimizer.optimize ?budget:opt_budget
+            ?record:(Option.map Rq_obs.Recorder.record recorder)
+            opt bound.Rq_sql.Binder.query
+        with
         | Ok d -> d
         | Error msg -> failwith msg
       in
@@ -298,7 +302,11 @@ let run_cmd =
     in
     let query = bound.Rq_sql.Binder.query in
     let decision =
-      match Optimizer.optimize ?budget:opt_budget opt query with
+      match
+        Optimizer.optimize ?budget:opt_budget
+          ?record:(Option.map Rq_obs.Recorder.record recorder)
+          opt query
+      with
       | Ok d -> d
       | Error msg -> failwith msg
     in
@@ -513,12 +521,17 @@ let experiment_cmd =
          ~doc:"(fuzz) Perturb one estimator's quantile and require the fuzzer to catch \
                and shrink the planted divergence.")
   in
+  let self_test_rewrite_arg =
+    Arg.(value & flag & info [ "self-test-rewrite" ]
+         ~doc:"(fuzz) Plant an unsound logical rewrite and require the fuzzer's rewrite \
+               pass to catch and shrink the planted divergence.")
+  in
   let repro_out_arg =
     Arg.(value & opt string "divergence.fuzz-repro" & info [ "repro-out" ] ~docv:"FILE"
          ~doc:"(fuzz) Where to write the minimal repro on divergence.")
   in
   let run name quick iterations seed corpus_dir time_budget replay baseline late_after
-      self_test repro_out =
+      self_test self_test_rewrite repro_out =
     let module E = Rq_experiments in
     match name with
     | "fig9" ->
@@ -593,6 +606,7 @@ let experiment_cmd =
             baseline;
             late_after;
             self_test;
+            self_test_rewrite;
             repro_file = repro_out;
           }
         in
@@ -621,7 +635,7 @@ let experiment_cmd =
   let term =
     Term.(const run $ name_arg $ quick_arg $ iterations_arg $ seed_arg $ corpus_dir_arg
           $ time_budget_arg $ replay_arg $ baseline_arg $ late_after_arg $ self_test_arg
-          $ repro_out_arg)
+          $ self_test_rewrite_arg $ repro_out_arg)
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run one of the paper's empirical experiments (Figures 9-12).")

@@ -49,6 +49,24 @@ let exec_scan catalog meter ~table ~access ~pred =
         let rids = Exec_common.probe_index meter idx probe in
         let fetched = Exec_common.fetch_rids meter rel rids in
         Array.of_seq (Seq.filter check (Array.to_seq fetched))
+    | Plan.Index_order { column; descending } ->
+        (* Walk the full leaf level in key order, then fetch each row by
+           RID: same charges as a whole-index probe plus per-row random
+           fetches, but the rows come out pre-sorted on [column]. *)
+        let idx = Exec_common.find_index_exn catalog ~table ~column in
+        Cost.charge_index_probes meter 1;
+        Cost.charge_index_entries meter (Index.entry_count idx);
+        Cost.charge_seq_pages meter (Index.leaf_page_count idx);
+        let rids = Index.ordered_rids idx ~descending in
+        Cost.charge_random_pages meter (Array.length rids);
+        Cost.charge_cpu_tuples meter (Array.length rids);
+        let acc = ref [] in
+        Array.iter
+          (fun rid ->
+            let tup = Relation.get rel rid in
+            if check tup then acc := tup :: !acc)
+          rids;
+        Array.of_list (List.rev !acc)
     | Plan.Index_intersect probes ->
         (match probes with
         | [] | [ _ ] -> invalid_arg "Executor: Index_intersect needs >= 2 probes"

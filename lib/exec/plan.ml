@@ -2,7 +2,11 @@ open Rq_storage
 
 type probe = { column : string; lo : Value.t option; hi : Value.t option }
 
-type access = Seq_scan | Index_range of probe | Index_intersect of probe list
+type access =
+  | Seq_scan
+  | Index_range of probe
+  | Index_intersect of probe list
+  | Index_order of { column : string; descending : bool }
 
 type agg_fn =
   | Count_star
@@ -133,7 +137,9 @@ let validate catalog plan =
                       match acc with
                       | Error _ as e -> e
                       | Ok () -> check_index table p.column (fun () -> Ok ()))
-                    (Ok ()) probes))
+                    (Ok ()) probes
+            | Index_order { column; descending = _ } ->
+                check_index table column (fun () -> Ok ())))
     | Hash_join { build; probe; build_key; probe_key } -> (
         match (go build, go probe) with
         | Ok (), Ok () ->
@@ -268,6 +274,8 @@ let pp_access fmt = function
       Format.fprintf fmt "IndexIntersect[%a]"
         (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ") pp_probe)
         ps
+  | Index_order { column; descending } ->
+      Format.fprintf fmt "IndexOrder[%s %s]" column (if descending then "DESC" else "ASC")
 
 let pp_agg fmt { fn; output_name } =
   (match fn with
@@ -360,7 +368,10 @@ let node_label = function
       | Index_range p -> Printf.sprintf "IndexRange(%s.%s)" table p.column
       | Index_intersect ps ->
           Printf.sprintf "IndexIntersect(%s: %s)" table
-            (String.concat "," (List.map (fun p -> p.column) ps)))
+            (String.concat "," (List.map (fun p -> p.column) ps))
+      | Index_order { column; descending } ->
+          Printf.sprintf "IndexOrder(%s.%s%s)" table column
+            (if descending then " desc" else ""))
   | Hash_join { build_key; probe_key; _ } ->
       Printf.sprintf "HashJoin(%s = %s)" build_key probe_key
   | Merge_join { left_key; right_key; _ } ->
@@ -385,7 +396,8 @@ let rec describe = function
       match access with
       | Seq_scan -> Printf.sprintf "Scan(%s)" table
       | Index_range _ -> Printf.sprintf "IdxRange(%s)" table
-      | Index_intersect _ -> Printf.sprintf "IdxIsect(%s)" table)
+      | Index_intersect _ -> Printf.sprintf "IdxIsect(%s)" table
+      | Index_order _ -> Printf.sprintf "IdxOrder(%s)" table)
   | Hash_join { build; probe; _ } ->
       Printf.sprintf "Hash(%s,%s)" (describe build) (describe probe)
   | Merge_join { left; right; _ } ->

@@ -23,6 +23,12 @@ type access =
   | Index_intersect of probe list
       (** probe several indexes, intersect RID sets, fetch survivors;
           requires at least two probes *)
+  | Index_order of { column : string; descending : bool }
+      (** walk the whole index in key order and fetch every row by RID:
+          emits rows exactly as a stable sort on [column] would, so a
+          Sort above it can be elided (the ORDER BY/LIMIT pushdown
+          target).  Each row costs a random page read, but under a LIMIT
+          the streaming engine stops fetching early *)
 
 type agg_fn =
   | Count_star             (** count of all rows *)

@@ -22,6 +22,14 @@ open Rq_storage
 
 let batch_rows = 1024
 
+(* First heap-fetch chunk after an index probe.  Fetches ramp up
+   geometrically to [batch_rows], so a LIMIT above an ordered index scan
+   stops after a few small chunks instead of paying for a full batch of
+   random pages — the early-exit discount the cost model applies to
+   ordered pipelines under LIMIT.  A full drain charges the same total
+   either way. *)
+let fetch_ramp_rows = 64
+
 type ctx = { catalog : Catalog.t; meter : Cost.t; obs : Rq_obs.Recorder.t option }
 
 let record ctx event =
@@ -164,6 +172,7 @@ let rid_fetch_stream ctx ~table ~pred ~probe_rids =
   let rids = ref [||] in
   let started = ref false in
   let fpos = ref 0 in
+  let chunk = ref fetch_ramp_rows in
   let next_batch () =
     if not !started then begin
       started := true;
@@ -173,7 +182,8 @@ let rid_fetch_stream ctx ~table ~pred ~probe_rids =
     let total = Array.length arr in
     let out = ref [] in
     while !out = [] && !fpos < total do
-      let stop = min total (!fpos + batch_rows) in
+      let stop = min total (!fpos + !chunk) in
+      chunk := min batch_rows (2 * !chunk);
       let k = stop - !fpos in
       Cost.charge_random_pages ctx.meter k;
       Cost.charge_cpu_tuples ctx.meter k;
@@ -197,6 +207,17 @@ let index_range_stream ctx ~table ~pred ~probe =
   let idx = Exec_common.find_index_exn ctx.catalog ~table ~column:probe.Plan.column in
   rid_fetch_stream ctx ~table ~pred ~probe_rids:(fun () ->
       Rid_set.to_array (Exec_common.probe_index ctx.meter idx probe))
+
+(* Ordered scan: pay for the whole leaf level up-front (the index walk is
+   one bulk action), then fetch rows lazily in key order — a LIMIT above
+   stops pulling and the unfetched heap pages stay uncharged. *)
+let index_order_stream ctx ~table ~pred ~column ~descending =
+  let idx = Exec_common.find_index_exn ctx.catalog ~table ~column in
+  rid_fetch_stream ctx ~table ~pred ~probe_rids:(fun () ->
+      Cost.charge_index_probes ctx.meter 1;
+      Cost.charge_index_entries ctx.meter (Index.entry_count idx);
+      Cost.charge_seq_pages ctx.meter (Index.leaf_page_count idx);
+      Index.ordered_rids idx ~descending)
 
 let index_intersect_stream ctx ~table ~pred ~probes =
   rid_fetch_stream ctx ~table ~pred ~probe_rids:(fun () ->
@@ -723,7 +744,9 @@ let rec compile ctx plan : Stream.t * span_node option =
         match access with
         | Plan.Seq_scan -> (seq_scan_stream ctx ~table ~pred ~from:0, [])
         | Plan.Index_range probe -> (index_range_stream ctx ~table ~pred ~probe, [])
-        | Plan.Index_intersect probes -> (index_intersect_stream ctx ~table ~pred ~probes, []))
+        | Plan.Index_intersect probes -> (index_intersect_stream ctx ~table ~pred ~probes, [])
+        | Plan.Index_order { column; descending } ->
+            (index_order_stream ctx ~table ~pred ~column ~descending, []))
     | Plan.Scan_resume { table; pred; from_rid } ->
         (seq_scan_stream ctx ~table ~pred ~from:from_rid, [])
     | Plan.Materialized { schema; tuples; _ } -> (materialized_stream ~schema ~tuples, [])

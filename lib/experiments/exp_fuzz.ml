@@ -43,7 +43,19 @@ type table_gene = { table : string; atoms : atom list }
 
 type shape = Total | Grouped | Projected
 
-type query_gene = { genes : table_gene list; shape : shape }
+type query_gene = {
+  genes : table_gene list;
+  shape : shape;
+  semis : table_gene list;
+      (* IN-subquery genes: each rides one of the spec's FK triples; a semi
+         whose table is already joined in FROM is dropped at compile time
+         (the logical layer rejects disguised self-joins) *)
+  order : bool;  (* ORDER BY the shape's sort column *)
+  descending : bool;
+  limit : int option;
+      (* honored only where every candidate plan emits one canonical row
+         order: single-table Projected queries without semijoins *)
+}
 
 type case = {
   workload : workload;
@@ -100,6 +112,10 @@ type spec = {
   s_group : string;        (* qualified GROUP BY column *)
   s_agg : string;          (* qualified SUM target *)
   s_projection : string list;
+  s_order : string;        (* Projected-shape sort column; in s_projection *)
+  s_semis : (string * string * string) array;
+      (* (inner table, qualified outer key, inner key) FK triples the
+         IN-subquery genes draw from *)
 }
 
 let ship_day0 = match fst Tpch.ship_window with Value.Date d -> d | _ -> 0
@@ -161,6 +177,12 @@ let tpch_spec =
     s_group = "lineitem.l_quantity";
     s_agg = "lineitem.l_extendedprice";
     s_projection = [ "lineitem.l_rowid"; "lineitem.l_extendedprice" ];
+    s_order = "lineitem.l_extendedprice";
+    s_semis =
+      [|
+        ("orders", "lineitem.l_orderkey", "o_orderkey");
+        ("part", "lineitem.l_partkey", "p_partkey");
+      |];
   }
 
 let star_spec =
@@ -194,6 +216,13 @@ let star_spec =
     s_group = "fact.f_dim1";
     s_agg = "fact.f_m1";
     s_projection = [ "fact.f_id"; "fact.f_m1" ];
+    s_order = "fact.f_m1";
+    s_semis =
+      [|
+        ("dim1", "fact.f_dim1", "d_key");
+        ("dim2", "fact.f_dim2", "d_key");
+        ("dim3", "fact.f_dim3", "d_key");
+      |];
   }
 
 let spec_of = function Tpch -> tpch_spec | Star -> star_spec
@@ -225,15 +254,44 @@ let count name = { Plan.fn = Plan.Count_star; output_name = name }
 
 let compile_case case =
   let spec = spec_of case.workload in
+  let q = case.query in
   let refs =
     List.map
       (fun g -> Logical.scan ~pred:(Pred.conj (List.map pred_of_atom g.atoms)) g.table)
-      case.query.genes
+      q.genes
   in
-  match case.query.shape with
-  | Total -> Logical.query ~aggs:[ sum spec.s_agg "total"; count "n" ] refs
-  | Grouped -> Logical.query ~group_by:[ spec.s_group ] ~aggs:[ sum spec.s_agg "total" ] refs
-  | Projected -> Logical.query ~projection:spec.s_projection refs
+  let from_tables = List.map (fun g -> g.table) q.genes in
+  let semijoins =
+    List.filter_map
+      (fun g ->
+        if List.mem g.table from_tables then None
+        else
+          Array.find_opt (fun (t, _, _) -> t = g.table) spec.s_semis
+          |> Option.map (fun (_, outer_key, inner_key) ->
+                 {
+                   Logical.outer_key;
+                   inner = Logical.scan ~pred:(Pred.conj (List.map pred_of_atom g.atoms)) g.table;
+                   inner_key;
+                 }))
+      q.semis
+  in
+  let sort col = [ { Plan.sort_column = col; descending = q.descending } ] in
+  match q.shape with
+  | Total -> Logical.query ~semijoins ~aggs:[ sum spec.s_agg "total"; count "n" ] refs
+  | Grouped ->
+      let order_by = if q.order then sort "total" else [] in
+      Logical.query ~semijoins ~group_by:[ spec.s_group ]
+        ~aggs:[ sum spec.s_agg "total" ] ~order_by refs
+  | Projected ->
+      let order_by = if q.order then sort spec.s_order else [] in
+      let limit =
+        (* every candidate plan for a single-table, semijoin-free query
+           emits one canonical row order (RID order, or the identical
+           stable-sorted order), so LIMIT stays deterministic across the
+           differential arms *)
+        if List.length q.genes = 1 && semijoins = [] then q.limit else None
+      in
+      Logical.query ~semijoins ~projection:spec.s_projection ~order_by ?limit refs
 
 (* ------------------------------------------------------------------ *)
 (* Serialization (corpus entries and .fuzz-repro files)                *)
@@ -309,20 +367,28 @@ let case_to_json case =
       ("mutations", Json.List (List.map (fun m -> Json.Str (Mutate.to_string m)) case.mutations));
       ("faults", Json.List (List.map Fault.injection_to_json case.faults));
       ( "query",
+        let gene_json g =
+          Json.Obj
+            [
+              ("table", Json.Str g.table);
+              ("atoms", Json.List (List.map atom_to_json g.atoms));
+            ]
+        in
+        let q = case.query in
         Json.Obj
-          [
-            ("shape", Json.Str (shape_to_string case.query.shape));
-            ( "tables",
-              Json.List
-                (List.map
-                   (fun g ->
-                     Json.Obj
-                       [
-                         ("table", Json.Str g.table);
-                         ("atoms", Json.List (List.map atom_to_json g.atoms));
-                       ])
-                   case.query.genes) );
-          ] );
+          ([
+             ("shape", Json.Str (shape_to_string q.shape));
+             ("tables", Json.List (List.map gene_json q.genes));
+           ]
+          (* widened-surface genes are emitted only when set, so corpora
+             written by older builds parse and vice versa *)
+          @ (if q.semis = [] then [] else [ ("semis", Json.List (List.map gene_json q.semis)) ])
+          @ (if not q.order then []
+             else [ ("order", Json.Str (if q.descending then "desc" else "asc")) ])
+          @
+          match q.limit with
+          | None -> []
+          | Some n -> [ ("limit", Json.Num (float_of_int n)) ]) );
     ]
 
 let case_of_json j =
@@ -341,18 +407,45 @@ let case_of_json j =
   let* query_j = jfield "query" j in
   let* shape_s = jstr "shape" query_j in
   let* shape = shape_of_string shape_s in
+  let gene_of_json g =
+    let* table = jstr "table" g in
+    let* atom_js = jlist "atoms" g in
+    let* atoms = map_result atom_of_json atom_js in
+    Ok { table; atoms }
+  in
   let* table_js = jlist "tables" query_j in
-  let* genes =
-    map_result
-      (fun g ->
-        let* table = jstr "table" g in
-        let* atom_js = jlist "atoms" g in
-        let* atoms = map_result atom_of_json atom_js in
-        Ok { table; atoms })
-      table_js
+  let* genes = map_result gene_of_json table_js in
+  (* optional widened-surface genes: absent in corpora from older builds *)
+  let jopt name = match query_j with Json.Obj fields -> List.assoc_opt name fields | _ -> None in
+  let* semis =
+    match jopt "semis" with
+    | None -> Ok []
+    | Some (Json.List l) -> map_result gene_of_json l
+    | Some _ -> Error "field \"semis\" must be a list"
+  in
+  let* order, descending =
+    match jopt "order" with
+    | None -> Ok (false, false)
+    | Some (Json.Str "asc") -> Ok (true, false)
+    | Some (Json.Str "desc") -> Ok (true, true)
+    | Some _ -> Error "field \"order\" must be \"asc\" or \"desc\""
+  in
+  let* limit =
+    match jopt "limit" with
+    | None -> Ok None
+    | Some (Json.Num n) -> Ok (Some (int_of_float n))
+    | Some _ -> Error "field \"limit\" must be a number"
   in
   if genes = [] then Error "query has no tables"
-  else Ok { workload; catalog_seed; mutations; faults; query = { genes; shape } }
+  else
+    Ok
+      {
+        workload;
+        catalog_seed;
+        mutations;
+        faults;
+        query = { genes; shape; semis; order; descending; limit };
+      }
 
 (* ------------------------------------------------------------------ *)
 (* Configuration                                                       *)
@@ -366,6 +459,7 @@ type config = {
   baseline : bool;             (* also run the pure-random control *)
   late_after : int option;     (* require a new pair after this iteration *)
   self_test : bool;
+  self_test_rewrite : bool;    (* plant an unsound rewrite instead *)
   repro_file : string;
   workloads : workload list;
   catalog_seeds : int list;
@@ -386,6 +480,7 @@ let default_config =
     baseline = false;
     late_after = None;
     self_test = false;
+    self_test_rewrite = false;
     repro_file = "divergence.fuzz-repro";
     workloads = [ Tpch; Star ];
     catalog_seeds = [ 0; 1 ];
@@ -502,7 +597,7 @@ let mismatch_detail reference candidate =
   in
   Printf.sprintf "reference %s vs candidate %s" (render reference) (render candidate)
 
-let run_case config ~self_test env case : (probe, string) result =
+let run_case config ~self_test ~self_test_rewrite env case : (probe, string) result =
   let query = compile_case case in
   let scale = env.e_scale in
   let stats = env.e_stats in
@@ -586,7 +681,12 @@ let run_case config ~self_test env case : (probe, string) result =
               let mres, msnap = execute ~mode:Executor.Materialized d.Optimizer.plan in
               if sres.Executor.tuples <> mres.Executor.tuples then
                 fail "engine" (mismatch_detail mres sres)
-              else if not (Exp_common.snapshots_equal ssnap msnap) then
+              else if
+                (* under LIMIT the streaming engine legitimately early-exits
+                   and reads fewer pages; only the tuples must agree *)
+                query.Logical.limit = None
+                && not (Exp_common.snapshots_equal ssnap msnap)
+              then
                 fail "engine:counters"
                   (Printf.sprintf "streaming %s\nmaterialized %s"
                      (Format.asprintf "%a" Cost.pp_snapshot ssnap)
@@ -665,12 +765,38 @@ let run_case config ~self_test env case : (probe, string) result =
                 add_plan "deg" outcome.Reopt.final_plan;
                 tier := Trace_digest.of_recorder recorder
               end);
+      (* Pass 6: the logical rewrite layer.  Optimize the query with the
+         pass list off and on; both plans must produce the same multiset of
+         rows.  The --self-test-rewrite sabotage swaps the rewritten arm's
+         input for one with a dropped filter conjunct, which this pass must
+         catch. *)
+      guarded "rewrite" (fun () ->
+          let opt = Optimizer.robust ~scale stats in
+          let rewritten_query =
+            if self_test_rewrite then Rewrite.unsound_for_tests query else query
+          in
+          match
+            ( Optimizer.optimize ~rewrite:false opt query,
+              Optimizer.optimize opt rewritten_query )
+          with
+          | Error e, _ -> fail "rewrite" ("unrewritten arm rejected: " ^ e)
+          | _, Error e -> fail "rewrite" ("rewritten arm rejected: " ^ e)
+          | Ok plain, Ok rewritten ->
+              add_plan "rw" rewritten.Optimizer.plan;
+              let pres = fst (execute plain.Optimizer.plan) in
+              let rres = fst (execute rewritten.Optimizer.plan) in
+              if not (Exp_common.results_equal pres rres) then
+                fail "rewrite"
+                  (Printf.sprintf "%s (plain %s vs rewritten %s)"
+                     (mismatch_detail pres rres)
+                     (Exp_common.plan_digest plain.Optimizer.plan)
+                     (Exp_common.plan_digest rewritten.Optimizer.plan)));
       Ok { coverage = (Buffer.contents plans, !tier); divergence = !divergence }
 
-let probe_case ?(self_test = false) config case =
+let probe_case ?(self_test = false) ?(self_test_rewrite = false) config case =
   match build_env config case with
   | Error e -> Error e
-  | Ok env -> run_case config ~self_test env case
+  | Ok env -> run_case config ~self_test ~self_test_rewrite env case
 
 (* ------------------------------------------------------------------ *)
 (* Random generation and the escalating mutator                        *)
@@ -683,14 +809,35 @@ let gen_table_gene rng ?(max_atoms = 2) ts =
   let atoms = List.init n (fun _ -> gen_atom rng (Rng.pick rng ts.t_pools)) in
   { table = ts.t_name; atoms }
 
+let gen_semi rng spec ~present =
+  let free =
+    Array.to_list spec.s_semis
+    |> List.filter (fun (t, _, _) -> not (List.mem t present))
+  in
+  match free with
+  | [] -> None
+  | _ ->
+      let t, _, _ = Rng.pick rng (Array.of_list free) in
+      table_spec spec t |> Option.map (fun ts -> gen_table_gene rng ~max_atoms:1 ts)
+
 let gen_query rng spec =
   let root = gen_table_gene rng spec.s_root in
   let sats =
     Array.to_list spec.s_satellites
     |> List.filter_map (fun ts -> if Rng.bool rng then Some (gen_table_gene rng ~max_atoms:1 ts) else None)
   in
+  let genes = root :: sats in
+  let semis =
+    if Rng.int rng 3 = 0 then
+      match gen_semi rng spec ~present:(List.map (fun g -> g.table) genes) with
+      | Some s -> [ s ]
+      | None -> []
+    else []
+  in
   let shape = Rng.pick rng [| Total; Grouped; Projected |] in
-  { genes = root :: sats; shape }
+  let order = shape <> Total && Rng.int rng 3 = 0 in
+  let limit = if Rng.int rng 4 = 0 then Some (1 + Rng.int rng 20) else None in
+  { genes; shape; semis; order; descending = order && Rng.bool rng; limit }
 
 (* Faults and data mutations target tables the query actually touches:
    damage elsewhere leaves both the plan and the tier digest unchanged, so
@@ -740,7 +887,7 @@ let nudge_literal rng = function
 let mutate_query rng spec q =
   let genes = Array.of_list q.genes in
   let pick_gene () = Rng.int rng (Array.length genes) in
-  match Rng.int rng 6 with
+  match Rng.int rng 9 with
   | 0 -> (
       (* redraw or nudge one literal *)
       let i = pick_gene () in
@@ -804,6 +951,29 @@ let mutate_query rng spec q =
           let j = Rng.int rng (List.length sats) in
           { q with genes = root :: List.filteri (fun k _ -> k <> j) sats }
       | [] -> q)
+  | 5 -> (
+      (* add or drop an IN-subquery gene *)
+      match q.semis with
+      | _ :: _ when Rng.bool rng ->
+          let j = Rng.int rng (List.length q.semis) in
+          { q with semis = List.filteri (fun k _ -> k <> j) q.semis }
+      | _ -> (
+          let present = List.map (fun g -> g.table) (q.genes @ q.semis) in
+          match gen_semi rng spec ~present with
+          | Some s when List.length q.semis < 2 -> { q with semis = q.semis @ [ s ] }
+          | _ -> q))
+  | 6 ->
+      (* toggle or flip the ORDER BY gene *)
+      if not q.order then { q with order = true; descending = Rng.bool rng }
+      else if Rng.bool rng then { q with descending = not q.descending }
+      else { q with order = false }
+  | 7 -> (
+      (* set, nudge or clear LIMIT *)
+      match q.limit with
+      | None -> { q with limit = Some (1 + Rng.int rng 20) }
+      | Some n ->
+          if Rng.bool rng then { q with limit = None }
+          else { q with limit = Some (max 1 (n + Rng.int rng 11 - 5)) })
   | _ ->
       let shapes = List.filter (fun s -> s <> q.shape) [ Total; Grouped; Projected ] in
       { q with shape = Rng.pick rng (Array.of_list shapes) }
@@ -862,6 +1032,15 @@ let shrink_candidates case =
           (fun j _ -> with_query { q with genes = root :: List.filteri (fun k _ -> k <> j) sats })
           sats
     | _ -> []
+  in
+  let drop_semis =
+    List.mapi
+      (fun j _ -> with_query { q with semis = List.filteri (fun k _ -> k <> j) q.semis })
+      q.semis
+  in
+  let drop_order = if q.order then [ with_query { q with order = false } ] else [] in
+  let drop_limit =
+    if q.limit <> None then [ with_query { q with limit = None } ] else []
   in
   let simplify_shape = if q.shape <> Total then [ with_query { q with shape = Total } ] else [] in
   let drop_mutations =
@@ -937,10 +1116,11 @@ let shrink_candidates case =
                 g.atoms))
          q.genes)
   in
-  (* most aggressive first: whole tables, then whole faults/mutations,
-     then conjuncts, then literal values *)
-  drop_tables @ simplify_shape @ drop_mutations @ drop_faults @ weaken_mutations @ weaken_faults
-  @ drop_atoms @ shrink_literals
+  (* most aggressive first: whole tables and subqueries, then decoration
+     (ORDER BY / LIMIT), then whole faults/mutations, then conjuncts, then
+     literal values *)
+  drop_tables @ drop_semis @ drop_order @ drop_limit @ simplify_shape @ drop_mutations
+  @ drop_faults @ weaken_mutations @ weaken_faults @ drop_atoms @ shrink_literals
 
 let shrink ~probe ~config case0 (div0 : divergence) =
   let reproduces case =
@@ -974,13 +1154,14 @@ let shrink ~probe ~config case0 (div0 : divergence) =
 
 let repro_format = "robustopt-fuzz-repro/1"
 
-let repro_to_json ~seed ~iteration ~self_test case (d : divergence) =
+let repro_to_json ~seed ~iteration ~self_test ~self_test_rewrite case (d : divergence) =
   Json.Obj
     [
       ("format", Json.Str repro_format);
       ("seed", Json.Num (float_of_int seed));
       ("iteration", Json.Num (float_of_int iteration));
       ("self_test", Json.Bool self_test);
+      ("self_test_rewrite", Json.Bool self_test_rewrite);
       ("divergence", Json.Obj [ ("pass", Json.Str d.pass); ("detail", Json.Str d.detail) ]);
       ("case", case_to_json case);
     ]
@@ -993,8 +1174,9 @@ let read_file path =
   let ic = open_in path in
   Fun.protect ~finally:(fun () -> close_in ic) (fun () -> In_channel.input_all ic)
 
-let write_repro path ~seed ~iteration ~self_test case d =
-  write_file path (Json.to_string (repro_to_json ~seed ~iteration ~self_test case d) ^ "\n")
+let write_repro path ~seed ~iteration ~self_test ~self_test_rewrite case d =
+  write_file path
+    (Json.to_string (repro_to_json ~seed ~iteration ~self_test ~self_test_rewrite case d) ^ "\n")
 
 let load_repro path =
   let* json = Json.parse (read_file path) in
@@ -1003,13 +1185,15 @@ let load_repro path =
   else
     let* case_j = jfield "case" json in
     let* case = case_of_json case_j in
-    let self_test = match jfield "self_test" json with Ok (Json.Bool b) -> b | _ -> false in
+    let jbool name = match jfield name json with Ok (Json.Bool b) -> b | _ -> false in
+    let self_test = jbool "self_test" in
+    let self_test_rewrite = jbool "self_test_rewrite" in
     let pass = match jfield "divergence" json with Ok d -> Result.value ~default:"" (jstr "pass" d) | Error _ -> "" in
-    Ok (case, self_test, pass)
+    Ok (case, self_test, self_test_rewrite, pass)
 
 let replay config path =
-  let* case, self_test, expected_pass = load_repro path in
-  let* probe = probe_case ~self_test config case in
+  let* case, self_test, self_test_rewrite, expected_pass = load_repro path in
+  let* probe = probe_case ~self_test ~self_test_rewrite config case in
   Ok (case, probe, expected_pass)
 
 (* ------------------------------------------------------------------ *)
@@ -1077,10 +1261,11 @@ let run ?(log = fun (_ : string) -> ()) ?(config = default_config) () =
   let start = Sys.time () in
   let rng = Rng.create config.seed in
   let self_test = config.self_test in
+  let self_test_rewrite = config.self_test_rewrite in
   let probes = ref 0 in
   let probe case =
     incr probes;
-    probe_case ~self_test config case
+    probe_case ~self_test ~self_test_rewrite config case
   in
   let seen = Hashtbl.create 256 in
   let corpus = ref [] in
@@ -1103,7 +1288,8 @@ let run ?(log = fun (_ : string) -> ()) ?(config = default_config) () =
       | Ok { divergence = Some d'; _ } when d'.pass = d.pass -> d'
       | _ -> d
     in
-    write_repro config.repro_file ~seed:config.seed ~iteration ~self_test shrunk final_d;
+    write_repro config.repro_file ~seed:config.seed ~iteration ~self_test ~self_test_rewrite
+      shrunk final_d;
     let reproduced =
       match replay config config.repro_file with
       | Ok (_, { divergence = Some d'; _ }, _) -> d'.pass = d.pass
@@ -1185,7 +1371,7 @@ let run ?(log = fun (_ : string) -> ()) ?(config = default_config) () =
       for _ = 1 to n do
         if not (out_of_time ()) then begin
           let case = gen_case brng config in
-          match probe_case ~self_test config case with
+          match probe_case ~self_test ~self_test_rewrite config case with
           | Ok { divergence = None; coverage } -> Hashtbl.replace bseen (coverage_key coverage) ()
           | Ok { divergence = Some d; _ } ->
               (* a divergence is a divergence, whoever finds it *)
@@ -1197,16 +1383,22 @@ let run ?(log = fun (_ : string) -> ()) ?(config = default_config) () =
     end
   in
   let pairs = Hashtbl.length seen in
+  let caught_by prefix f =
+    (* a clean catch: the divergence must surface in the targeted pass, not
+       as a crash elsewhere — "crash:kernel" deliberately does not count *)
+    let n = String.length prefix in
+    String.length f.f_divergence.pass >= n
+    && String.sub f.f_divergence.pass 0 n = prefix
+    && f.f_tables <= 3 && f.f_reproduced
+  in
   let ok =
-    if self_test then
-      match !found with
-      | Some f ->
-          (* the planted sabotage must be caught by the kernel pass,
-             shrunk to at most 3 tables, and replay red *)
-          String.length f.f_divergence.pass >= 6
-          && String.sub f.f_divergence.pass 0 6 = "kernel"
-          && f.f_tables <= 3 && f.f_reproduced
-      | None -> false
+    (* rewrite sabotage takes precedence when both self-tests are armed:
+       the planted unsound rewrite fires on every case, so it is the one
+       the run must catch first *)
+    if self_test_rewrite then
+      match !found with Some f -> caught_by "rewrite" f | None -> false
+    else if self_test then
+      match !found with Some f -> caught_by "kernel" f | None -> false
     else
       !found = None
       && (match config.late_after with None -> true | Some n -> !last_new > n)
@@ -1221,7 +1413,7 @@ let run ?(log = fun (_ : string) -> ()) ?(config = default_config) () =
     r_last_new_pair = !last_new;
     r_kept_by_level = (kept.(0), kept.(1), kept.(2));
     r_found = !found;
-    r_self_test = self_test;
+    r_self_test = self_test || self_test_rewrite;
     r_ok = ok;
     r_seconds = Sys.time () -. start;
   }

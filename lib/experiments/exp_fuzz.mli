@@ -3,9 +3,10 @@
     An evolutionary loop over (data-state mutation, stats-fault profile,
     query) genomes, each executed through every differential pass the repo
     has: four estimators vs the exact oracle, cached-vs-cold optimization,
-    streaming-vs-materialized execution, evidence-kernel-vs-row-scan, and a
+    streaming-vs-materialized execution, evidence-kernel-vs-row-scan, a
     degrading-estimator pass over deliberately faulted statistics with
-    guard-driven re-optimization and span/meter reconciliation.
+    guard-driven re-optimization and span/meter reconciliation, and a
+    rewritten-vs-unrewritten plan pass over the logical rewrite layer.
 
     Coverage is the (structural plan fingerprint x degradation-tier
     transition digest) pair; a mutant joins the corpus only if its pair is
@@ -31,8 +32,17 @@ type table_gene = { table : string; atoms : atom list }
 
 type shape = Total | Grouped | Projected
 
-type query_gene = { genes : table_gene list; shape : shape }
-(** [genes] is never empty; its head is the workload's root table. *)
+type query_gene = {
+  genes : table_gene list;
+  shape : shape;
+  semis : table_gene list;     (** IN-subquery (semijoin) genes over FK edges *)
+  order : bool;                (** emit an ORDER BY clause *)
+  descending : bool;
+  limit : int option;          (** only honoured where results are deterministic *)
+}
+(** [genes] is never empty; its head is the workload's root table.  [semis]
+    name tables that must not also appear in [genes] — the compiler drops
+    any that do. *)
 
 type case = {
   workload : workload;
@@ -60,6 +70,8 @@ type config = {
   late_after : int option;     (** require an unseen pair after this iteration *)
   self_test : bool;            (** plant an estimator perturbation; the run
                                    only passes if the fuzzer catches it *)
+  self_test_rewrite : bool;    (** plant an unsound logical rewrite instead;
+                                   the rewrite pass must catch it *)
   repro_file : string;
   workloads : workload list;
   catalog_seeds : int list;
@@ -81,7 +93,8 @@ type probe = { coverage : string * string; divergence : divergence option }
 (** [coverage] = (concatenated structural plan digests, tier-transition
     digest). *)
 
-val probe_case : ?self_test:bool -> config -> case -> (probe, string) result
+val probe_case :
+  ?self_test:bool -> ?self_test_rewrite:bool -> config -> case -> (probe, string) result
 (** Run one case through every pass.  [Error] means the case itself is
     invalid (the oracle rejected the query, or a mutation could not apply)
     — not a divergence. *)
@@ -120,7 +133,9 @@ val run : ?log:(string -> unit) -> ?config:config -> unit -> result
 (** [r_ok] means: no divergence (plus the [late_after] and [baseline]
     checks when configured) — or, under [self_test], that the planted
     perturbation was caught by the kernel pass, shrunk to at most three
-    tables, and its repro file replays red. *)
+    tables, and its repro file replays red.  Under [self_test_rewrite]
+    (which takes precedence) the catch must come from the rewrite pass
+    instead. *)
 
 val replay : config -> string -> (case * probe * string, string) Stdlib.result
 (** Re-run a [.fuzz-repro] file; returns the case, the fresh probe and the

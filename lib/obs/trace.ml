@@ -8,6 +8,7 @@ type event =
   | Stats_refresh of { tables : string list }
   | Plan_cache of { outcome : string; fingerprint : string; version : int }
   | Cache_evicted of { cache : string; key : string }
+  | Rewrite_applied of { rule : string; detail : string }
 
 (* Fingerprints are canonical query renderings and can run long; traces
    only need enough of one to tell entries apart. *)
@@ -35,6 +36,7 @@ let to_string = function
       Printf.sprintf "plan-cache: %s %s (stats v%d)" outcome (abbreviate fingerprint) version
   | Cache_evicted { cache; key } ->
       Printf.sprintf "cache-evicted: %s dropped %s" cache (abbreviate key)
+  | Rewrite_applied { rule; detail } -> Printf.sprintf "rewrite: %s %s" rule detail
 
 let to_json event =
   let obj kind fields = Json.Obj (("event", Json.Str kind) :: fields) in
@@ -74,3 +76,5 @@ let to_json event =
         ]
   | Cache_evicted { cache; key } ->
       obj "cache_evicted" [ ("cache", Json.Str cache); ("key", Json.Str key) ]
+  | Rewrite_applied { rule; detail } ->
+      obj "rewrite_applied" [ ("rule", Json.Str rule); ("detail", Json.Str detail) ]

@@ -34,6 +34,9 @@ type event =
       (** a bounded estimator-side cache (evidence memo, per-synopsis
           bitmap index, group-count memo) dropped its LRU entry under
           capacity pressure *)
+  | Rewrite_applied of { rule : string; detail : string }
+      (** one logical-rewrite rule fired during the pre-enumeration
+          fixpoint pass; [detail] says what the rule changed *)
 
 val to_string : event -> string
 (** One line, ["event-name: details"]. *)

@@ -117,6 +117,19 @@ let estimate catalog ?(constants = Cost.default_constants) ?(scale = 1.0) est pl
         | Plan.Index_range probe ->
             let pcost, entries = probe_cost table probe in
             { cost = pcost +. rand_fetch entries; card }
+        | Plan.Index_order { column; descending = _ } ->
+            (* Full leaf-level walk plus a random fetch per row: expensive
+               in isolation, but the pipeline streams in key order, so a
+               LIMIT above pays only its surfaced fraction (see below). *)
+            let idx = index_of table column in
+            {
+              cost =
+                c.Cost.index_probe_s
+                +. (float_of_int (Index.entry_count idx) *. c.Cost.cpu_index_entry_s)
+                +. seq_pages (Index.leaf_page_count idx)
+                +. rand_fetch rows;
+              card;
+            }
         | Plan.Index_intersect probes ->
             let pcosts = List.map (probe_cost table) probes in
             let probes_cost = List.fold_left (fun acc (pc, _) -> acc +. pc) 0.0 pcosts in
@@ -262,7 +275,22 @@ let estimate catalog ?(constants = Cost.default_constants) ?(scale = 1.0) est pl
     | Plan.Limit (input, n) ->
         let i = go input in
         let card = Float.min i.card (float_of_int n) in
-        { cost = i.cost +. (card *. c.Cost.cpu_tuple_s); card }
+        (* A pipeline of order-preserving operators over an ordered index
+           scan streams without blocking, so a satisfied LIMIT stops
+           pulling: only the surfaced fraction of the input is paid for.
+           Any other input (sorts, joins, aggregates block; plain scans
+           are cheap anyway) keeps the conservative full cost. *)
+        let rec ordered_pipeline = function
+          | Plan.Scan { access = Plan.Index_order _; _ } -> true
+          | Plan.Filter (p, _) | Plan.Project (p, _) -> ordered_pipeline p
+          | _ -> false
+        in
+        let input_cost =
+          if ordered_pipeline input then
+            i.cost *. Float.min 1.0 (float_of_int n /. Float.max 1.0 i.card)
+          else i.cost
+        in
+        { cost = input_cost +. (card *. c.Cost.cpu_tuple_s); card }
     | Plan.Guard { input; _ } ->
         (* Guard cost model mirrors execution: one cpu-tuple inspection per
            materialized row. *)

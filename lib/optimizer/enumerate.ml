@@ -67,7 +67,7 @@ let rec subsets = function
       let without = subsets rest in
       without @ List.map (fun s -> x :: s) without
 
-let access_paths catalog ({ Logical.table; pred } : Logical.table_ref) =
+let access_paths ?ordered catalog ({ Logical.table; pred } : Logical.table_ref) =
   let scan access = Plan.Scan { table; access; pred } in
   let indexed_ranges =
     List.filter
@@ -83,7 +83,13 @@ let access_paths catalog ({ Logical.table; pred } : Logical.table_ref) =
     |> List.filter (fun s -> List.length s >= 2)
     |> List.map (fun s -> scan (Plan.Index_intersect s))
   in
-  scan Plan.Seq_scan :: (singles @ intersections)
+  let ordered_scans =
+    match ordered with
+    | Some (column, descending) when Catalog.find_index catalog ~table ~column <> None ->
+        [ scan (Plan.Index_order { column; descending }) ]
+    | _ -> []
+  in
+  (scan Plan.Seq_scan :: (singles @ intersections)) @ ordered_scans
 
 (* ------------------------------------------------------------------ *)
 (* Join enumeration                                                    *)
@@ -260,7 +266,23 @@ let star_plans catalog query ~cost_fn ~best_single =
                base remaining)
       |> List.sort (fun a b -> Float.compare (cost_fn a) (cost_fn b))
 
+(* When the rewrite layer marked the query [index_order], offer an ordered
+   index scan over the (single) table's ORDER BY column; [wrap_top] elides
+   the Sort when this access path wins the costing race. *)
+let ordered_access query =
+  if not query.Logical.index_order then None
+  else
+    match (query.Logical.tables, query.Logical.order_by) with
+    | [ { Logical.table; _ } ], [ { Plan.sort_column; descending } ] ->
+        let prefix = table ^ "." in
+        let pl = String.length prefix in
+        if String.length sort_column > pl && String.sub sort_column 0 pl = prefix then
+          Some (String.sub sort_column pl (String.length sort_column - pl), descending)
+        else None
+    | _ -> None
+
 let join_plans catalog ~cost_fn query =
+  let ordered = ordered_access query in
   let subsets_list = Logical.connected_subsets catalog query in
   let all_tables = List.sort String.compare (Logical.table_names query) in
   (* Canonical table-set encoding for the DP table: bit i = i-th table in
@@ -286,7 +308,7 @@ let join_plans catalog ~cost_fn query =
     (fun tables ->
       let candidates =
         match tables with
-        | [ single ] -> access_paths catalog (ref_of query single)
+        | [ single ] -> access_paths ?ordered catalog (ref_of query single)
         | _ ->
             List.concat_map
               (fun (left, right) ->
@@ -304,7 +326,7 @@ let join_plans catalog ~cost_fn query =
       | None -> ())
     subsets_list;
   match all_tables with
-  | [ single ] -> access_paths catalog (ref_of query single)
+  | [ single ] -> access_paths ?ordered catalog (ref_of query single)
   | _ -> (
       let dp_best = Hashtbl.find_opt best (mask_of all_tables) in
       let best_single table =
@@ -318,11 +340,60 @@ let join_plans catalog ~cost_fn query =
       | Some plan -> plan :: stars
       | None -> stars)
 
-let wrap_top (query : Logical.t) plan =
+let qualified_columns catalog table =
+  List.map
+    (fun (c : Schema.column) -> table ^ "." ^ c.Schema.name)
+    (Schema.columns (Relation.schema (Catalog.find_table catalog table)))
+
+(* A semijoin lowers onto existing plan nodes: the inner side becomes a
+   distinct-key build (Aggregate with no aggregate functions), the outer
+   plan probes it, and a Project restores the outer schema that the
+   hash join widened.  Hash-join null-key skipping gives exactly the
+   IN/EXISTS row-dropping semantics, and the distinct build keeps outer
+   multiplicity. *)
+let lower_semijoin plan outer_columns (sj : Logical.semijoin) =
+  let inner_key = sj.Logical.inner.Logical.table ^ "." ^ sj.Logical.inner_key in
+  let build =
+    Plan.Aggregate
+      {
+        input =
+          Plan.Scan
+            {
+              table = sj.Logical.inner.Logical.table;
+              access = Plan.Seq_scan;
+              pred = sj.Logical.inner.Logical.pred;
+            };
+        group_by = [ inner_key ];
+        aggs = [];
+      }
+  in
+  Plan.Project
+    ( Plan.Hash_join
+        { build; probe = plan; build_key = inner_key; probe_key = sj.Logical.outer_key },
+      outer_columns )
+
+let wrap_top catalog (query : Logical.t) plan =
+  let with_residual =
+    match query.Logical.residual with
+    | Pred.True -> plan
+    | residual -> Plan.Filter (plan, residual)
+  in
+  let with_semijoins =
+    match query.Logical.semijoins with
+    | [] -> with_residual
+    | sjs ->
+        let outer_columns =
+          List.concat_map
+            (fun (r : Logical.table_ref) -> qualified_columns catalog r.Logical.table)
+            query.Logical.tables
+        in
+        List.fold_left (fun p sj -> lower_semijoin p outer_columns sj) with_residual sjs
+  in
   let with_agg =
-    if query.Logical.aggs = [] && query.Logical.group_by = [] then plan
+    if query.Logical.aggs = [] && query.Logical.group_by = [] then with_semijoins
     else
-      Plan.Aggregate { input = plan; group_by = query.Logical.group_by; aggs = query.Logical.aggs }
+      Plan.Aggregate
+        { input = with_semijoins; group_by = query.Logical.group_by; aggs = query.Logical.aggs }
   in
   let with_projection =
     match query.Logical.projection with
@@ -330,9 +401,25 @@ let wrap_top (query : Logical.t) plan =
         Plan.Project (with_agg, cols)
     | _ -> with_agg
   in
+  (* The Sort is elided when the plan below already delivers the requested
+     order: an ordered index scan matching the single sort key, with only
+     order-preserving operators (Filter, Project) above it.  [Index.ordered_rids]
+     tie-breaks identically to the stable Sort, so the outputs are equal,
+     not merely equivalent. *)
+  let sort_elided =
+    query.Logical.semijoins = []
+    &&
+    match (query.Logical.order_by, plan) with
+    | ( [ { Plan.sort_column; descending } ],
+        Plan.Scan
+          { table; access = Plan.Index_order { column = o_col; descending = o_desc }; _ } ) ->
+        o_desc = descending && String.equal sort_column (table ^ "." ^ o_col)
+    | _ -> false
+  in
   let with_order =
     match query.Logical.order_by with
     | [] -> with_projection
+    | _ when sort_elided -> with_projection
     | keys -> Plan.Sort { input = with_projection; keys }
   in
   match query.Logical.limit with

@@ -20,10 +20,13 @@ val sargable_ranges : Pred.t -> (string * Value.t option * Value.t option) list
     conjuncts (equality becomes a degenerate range); multiple conjuncts on
     one column are intersected.  Only constant-foldable bounds qualify. *)
 
-val access_paths : Catalog.t -> Logical.table_ref -> Plan.t list
+val access_paths :
+  ?ordered:string * bool -> Catalog.t -> Logical.table_ref -> Plan.t list
 (** All access paths for one table: always a seq scan; an index-range scan
     per indexed sargable column; an index intersection per subset (size >=
-    2) of indexed sargable columns. *)
+    2) of indexed sargable columns.  [?ordered:(column, descending)] adds
+    an ordered index scan candidate when that column is indexed (used for
+    ORDER BY/LIMIT pushdown). *)
 
 val join_candidates :
   Catalog.t -> Logical.t ->
@@ -48,5 +51,9 @@ val join_plans :
     plus, for star-shaped queries, every semijoin/hybrid alternative.
     Singleton queries return all access paths. *)
 
-val wrap_top : Logical.t -> Plan.t -> Plan.t
-(** Adds the query's aggregation and projection above a join plan. *)
+val wrap_top : Catalog.t -> Logical.t -> Plan.t -> Plan.t
+(** Adds everything above the join: residual filter, semijoin lowering
+    (distinct-build hash joins plus a schema-restoring projection),
+    aggregation, projection, ORDER BY and LIMIT.  The Sort is elided when
+    the underlying plan is an ordered index scan that already delivers the
+    single requested sort key. *)

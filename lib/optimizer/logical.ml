@@ -3,19 +3,45 @@ open Rq_exec
 
 type table_ref = { table : string; pred : Pred.t }
 
+type semijoin = { outer_key : string; inner : table_ref; inner_key : string }
+
+type scalar = {
+  s_expr : Expr.t;
+  s_cmp : Pred.cmp;
+  s_agg : Plan.agg_fn;
+  s_table : string;
+  s_pred : Pred.t;
+}
+
 type t = {
   tables : table_ref list;
+  residual : Pred.t;
+  semijoins : semijoin list;
+  scalars : scalar list;
   group_by : string list;
   aggs : Plan.agg list;
   projection : string list option;
   order_by : Plan.sort_key list;
   limit : int option;
+  index_order : bool;
 }
 
 let scan ?(pred = Pred.True) table = { table; pred }
 
-let query ?(group_by = []) ?(aggs = []) ?projection ?(order_by = []) ?limit tables =
-  { tables; group_by; aggs; projection; order_by; limit }
+let query ?(residual = Pred.True) ?(semijoins = []) ?(scalars = []) ?(group_by = [])
+    ?(aggs = []) ?projection ?(order_by = []) ?limit ?(index_order = false) tables =
+  {
+    tables;
+    residual;
+    semijoins;
+    scalars;
+    group_by;
+    aggs;
+    projection;
+    order_by;
+    limit;
+    index_order;
+  }
 
 let table_names t = List.map (fun r -> r.table) t.tables
 
@@ -53,7 +79,7 @@ let is_connected catalog names =
       visit first;
       List.for_all (Hashtbl.mem visited) names
 
-let validate catalog t =
+let rec validate catalog t =
   let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
   if t.tables = [] then fail "query references no tables"
   else begin
@@ -85,9 +111,95 @@ let validate catalog t =
                 fail "join graph is not connected"
               else if List.length names > 1 && root catalog t = None then
                 fail "join graph has no unique root relation"
-              else Ok ())
+              else validate_extensions catalog t)
     end
   end
+
+(* Checks on the widened surface: the residual predicate, semijoins and
+   scalar subqueries all reference base tables through qualified
+   ["table.column"] names (residual/outer side) or a private inner table
+   with unqualified names (semijoin/scalar inner side). *)
+and validate_extensions catalog t =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let names = table_names t in
+  let qualified_ok c =
+    match String.index_opt c '.' with
+    | None -> false
+    | Some i ->
+        let table = String.sub c 0 i in
+        let column = String.sub c (i + 1) (String.length c - i - 1) in
+        List.mem table names
+        && Schema.mem (Relation.schema (Catalog.find_table catalog table)) column
+  in
+  let inner_ok ({ table; pred } : table_ref) k =
+    match Catalog.find_table_opt catalog table with
+    | None -> fail "unknown table %s" table
+    | Some rel ->
+        let schema = Relation.schema rel in
+        if List.exists (fun c -> not (Schema.mem schema c)) (Pred.columns pred) then
+          fail "predicate on %s references unknown columns" table
+        else k schema
+  in
+  match List.find_opt (fun c -> not (qualified_ok c)) (Pred.columns t.residual) with
+  | Some c -> fail "residual predicate references unknown column %s" c
+  | None -> (
+      let bad_semijoin =
+        List.find_map
+          (fun { outer_key; inner; inner_key } ->
+            if not (qualified_ok outer_key) then
+              Some (Printf.sprintf "semijoin outer key %s is not a query column" outer_key)
+            else if List.mem inner.table names then
+              (* The lowered semijoin would re-scan a joined table and
+                 collide on qualified column names (a disguised self-join). *)
+              Some
+                (Printf.sprintf "semijoin over %s, which is already joined in FROM"
+                   inner.table)
+            else
+              match
+                inner_ok inner (fun schema ->
+                    if Schema.mem schema inner_key then Ok ()
+                    else fail "semijoin inner key %s.%s does not exist" inner.table inner_key)
+              with
+              | Ok () -> None
+              | Error e -> Some e)
+          t.semijoins
+      in
+      match bad_semijoin with
+      | Some e -> Error e
+      | None -> (
+          let agg_columns = function
+            | Plan.Count_star -> []
+            | Plan.Count e | Plan.Sum e | Plan.Avg e | Plan.Min e | Plan.Max e ->
+                Expr.columns e
+          in
+          let bad_scalar =
+            List.find_map
+              (fun { s_expr; s_cmp = _; s_agg; s_table; s_pred } ->
+                match
+                  inner_ok { table = s_table; pred = s_pred } (fun schema ->
+                      let inner_cols =
+                        List.map (fun c -> s_table ^ "." ^ c)
+                          (List.map (fun (col : Schema.column) -> col.Schema.name)
+                             (Schema.columns schema))
+                      in
+                      match
+                        List.find_opt
+                          (fun c -> not (List.mem c inner_cols))
+                          (agg_columns s_agg)
+                      with
+                      | Some c -> fail "scalar aggregate references %s outside %s" c s_table
+                      | None -> (
+                          match
+                            List.find_opt (fun c -> not (qualified_ok c)) (Expr.columns s_expr)
+                          with
+                          | Some c -> fail "scalar comparison references unknown column %s" c
+                          | None -> Ok ()))
+                with
+                | Ok () -> None
+                | Error e -> Some e)
+              t.scalars
+          in
+          match bad_scalar with Some e -> Error e | None -> Ok ()))
 
 let combined_predicate t =
   Pred.conj

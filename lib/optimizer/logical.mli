@@ -11,21 +11,52 @@ open Rq_exec
 
 type table_ref = { table : string; pred : Pred.t }
 
+type semijoin = { outer_key : string; inner : table_ref; inner_key : string }
+(** [outer_key IN (SELECT inner_key FROM inner.table WHERE inner.pred)]:
+    keep outer rows with at least one inner match (IN and EXISTS both
+    normalize to this form at bind time).  [outer_key] is qualified; the
+    inner side uses the inner table's own unqualified names.  The inner
+    table must not also appear in FROM (a disguised self-join). *)
+
+type scalar = {
+  s_expr : Expr.t;     (** qualified outer-side expression *)
+  s_cmp : Pred.cmp;
+  s_agg : Plan.agg_fn; (** over [s_table]-qualified columns *)
+  s_table : string;
+  s_pred : Pred.t;     (** on [s_table]'s base schema, unqualified *)
+}
+(** [s_expr s_cmp (SELECT s_agg FROM s_table WHERE s_pred)]: an
+    uncorrelated single-aggregate scalar subquery comparison.  The
+    rewrite pass folds it to a constant; enumeration refuses queries that
+    still carry one. *)
+
 type t = {
   tables : table_ref list;
       (** joined pairwise along the catalog's FK edges; must be connected *)
+  residual : Pred.t;
+      (** conjuncts over qualified columns of several tables, applied
+          above the join (the binder parks multi-table and redundant
+          FK-equality conjuncts here; rewrite pushes what it can down) *)
+  semijoins : semijoin list;
+  scalars : scalar list;
   group_by : string list;
   aggs : Plan.agg list;   (** empty = no aggregation *)
   projection : string list option;  (** [None] = all columns *)
   order_by : Plan.sort_key list;    (** applied to the final output *)
   limit : int option;
+  index_order : bool;
+      (** set by the ORDER BY/LIMIT pushdown rule: [order_by] is a single
+          indexed key of a single-table query, so enumeration offers an
+          ordered index scan and the top-level Sort is elided when that
+          access path wins *)
 }
 
 val scan : ?pred:Pred.t -> string -> table_ref
 
 val query :
+  ?residual:Pred.t -> ?semijoins:semijoin list -> ?scalars:scalar list ->
   ?group_by:string list -> ?aggs:Plan.agg list -> ?projection:string list ->
-  ?order_by:Plan.sort_key list -> ?limit:int ->
+  ?order_by:Plan.sort_key list -> ?limit:int -> ?index_order:bool ->
   table_ref list -> t
 
 val table_names : t -> string list

@@ -33,16 +33,26 @@ type decision = {
   estimated_card : float;
   alternatives : (string * float) list;
   degraded : Rq_stats.Fault.event list;
+  rewrites : (string * int) list;
 }
 
 (* Internal: unwound when the enumeration budget runs out. *)
 exception Budget_hit
 
-let optimize ?budget t query =
+let optimize ?budget ?(rewrite = true) ?record t query =
   let catalog = Rq_stats.Stats_store.catalog t.stats in
   match Logical.validate catalog query with
   | Error _ as e -> e
   | Ok () ->
+      let query, rewrites =
+        if rewrite then
+          let q, report = Rewrite.rewrite ?record catalog query in
+          (q, report.Rewrite.applied)
+        else (query, [])
+      in
+      if query.Logical.scalars <> [] then
+        Error "scalar subqueries require the rewrite pass (rewrite:false given)"
+      else
       let raw_cost_fn plan =
         Costing.plan_cost catalog ~constants:t.constants ~scale:t.scale t.estimator plan
       in
@@ -60,7 +70,9 @@ let optimize ?budget t query =
          wrapping agrees — we rank the wrapped plans to keep the invariant
          obvious. *)
       let wrapped =
-        try List.map (Enumerate.wrap_top query) (Enumerate.join_plans catalog ~cost_fn query)
+        try
+          List.map (Enumerate.wrap_top catalog query)
+            (Enumerate.join_plans catalog ~cost_fn query)
         with Budget_hit -> (
           degraded :=
             [
@@ -74,7 +86,7 @@ let optimize ?budget t query =
               };
             ];
           match Enumerate.left_deep_plan catalog query with
-          | Some p -> [ Enumerate.wrap_top query p ]
+          | Some p -> [ Enumerate.wrap_top catalog query p ]
           | None -> [])
       in
       (match wrapped with
@@ -101,10 +113,11 @@ let optimize ?budget t query =
               estimated_card = estimate.Costing.card;
               alternatives;
               degraded = !degraded;
+              rewrites;
             })
 
-let optimize_exn ?budget t query =
-  match optimize ?budget t query with
+let optimize_exn ?budget ?rewrite ?record t query =
+  match optimize ?budget ?rewrite ?record t query with
   | Ok d -> d
   | Error msg -> invalid_arg ("Optimizer.optimize_exn: " ^ msg)
 

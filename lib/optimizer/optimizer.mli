@@ -41,17 +41,36 @@ type decision = {
       (** degradations hit during this optimization; currently the
           budget-exhaustion event (estimator-tier events flow through the
           [log] callback of {!Cardinality.degrading}) *)
+  rewrites : (string * int) list;
+      (** rewrite rules applied before enumeration (rule name ->
+          application count); empty when [rewrite:false] *)
 }
 
-val optimize : ?budget:int -> t -> Logical.t -> (decision, string) result
-(** Validates, enumerates, costs, picks.  [Error] reports validation
-    failures.  [budget] caps the number of candidate-cost evaluations the
-    enumeration may spend; when exceeded, the search is abandoned and the
-    deterministic left-deep fallback plan ({!Enumerate.left_deep_plan}) is
-    returned instead, with a [Budget_exceeded] event in [degraded] — an
-    optimizer that is late is a failure mode, not an excuse to not answer. *)
+val optimize :
+  ?budget:int ->
+  ?rewrite:bool ->
+  ?record:(Rq_obs.Trace.event -> unit) ->
+  t ->
+  Logical.t ->
+  (decision, string) result
+(** Validates, rewrites ({!Rewrite.rewrite}, on by default — pass
+    [~rewrite:false] to skip), enumerates, costs, picks.  [Error] reports
+    validation failures, and queries still carrying scalar subqueries when
+    the rewrite pass is disabled.  [record] receives the
+    [Rewrite_applied] trace events.  [budget] caps the number of
+    candidate-cost evaluations the enumeration may spend; when exceeded,
+    the search is abandoned and the deterministic left-deep fallback plan
+    ({!Enumerate.left_deep_plan}) is returned instead, with a
+    [Budget_exceeded] event in [degraded] — an optimizer that is late is a
+    failure mode, not an excuse to not answer. *)
 
-val optimize_exn : ?budget:int -> t -> Logical.t -> decision
+val optimize_exn :
+  ?budget:int ->
+  ?rewrite:bool ->
+  ?record:(Rq_obs.Trace.event -> unit) ->
+  t ->
+  Logical.t ->
+  decision
 
 val explain : t -> Logical.t -> (string, string) result
 (** Human-readable report: chosen plan tree, estimated cost/cardinality,

@@ -204,7 +204,7 @@ let execute_plan ?(threshold = 4.0) ?(max_reopts = 2) ?obs ?mode opt query start
           let adopt joined =
             events :=
               { label; expected_rows; actual_rows; q_error; replanned = true } :: !events;
-            let full = Enumerate.wrap_top query joined in
+            let full = Enumerate.wrap_top catalog query joined in
             trace
               (Rq_obs.Trace.Reopt_adopted
                  { attempt = reopts + 1; plan = Plan.describe full });

@@ -17,6 +17,7 @@ let token = function
   | Trace.Reopt_abandoned _ -> Some "r-"
   | Trace.Plan_cache { outcome; _ } -> Some ("c:" ^ outcome)
   | Trace.Stats_refresh _ -> Some "s"
+  | Trace.Rewrite_applied { rule; _ } -> Some ("w:" ^ rule)
   (* estimator-side cache pressure depends on memo capacity and visit
      order, not on the scenario under test: pure noise for coverage *)
   | Trace.Cache_evicted _ -> None

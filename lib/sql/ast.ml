@@ -12,6 +12,8 @@ and binop = Add | Sub | Mul | Div
 
 type cmp = Eq | Ne | Lt | Le | Gt | Ge
 
+type agg_kind = Count_star | Sum | Avg | Min | Max
+
 type condition =
   | Cmp of cmp * expr * expr
   | Between of expr * expr * expr
@@ -19,8 +21,22 @@ type condition =
   | And of condition list
   | Or of condition list
   | Not of condition
+  | In_subquery of expr * subquery
+      (* expr IN (SELECT col FROM t [WHERE ...]); the subquery item must
+         be a single column *)
+  | Exists of subquery
+      (* EXISTS (SELECT * FROM t [WHERE ...]); the correlation equality
+         lives inside the subquery's WHERE *)
+  | Cmp_scalar of cmp * expr * subquery
+      (* expr op (SELECT AGG(e) FROM t [WHERE ...]); the subquery item
+         must be an aggregate *)
 
-type agg_kind = Count_star | Sum | Avg | Min | Max
+and subquery = { sub_item : sub_item; sub_from : string; sub_where : condition option }
+
+and sub_item =
+  | Sub_star                          (* SELECT * — EXISTS only *)
+  | Sub_column of column              (* SELECT col — IN only *)
+  | Sub_agg of agg_kind * expr option (* SELECT AGG(e) — scalar comparison only *)
 
 type select_item =
   | Star
@@ -74,3 +90,30 @@ let rec pp_condition fmt = function
            pp_condition)
         cs
   | Not c -> Format.fprintf fmt "NOT %a" pp_condition c
+  | In_subquery (e, sub) -> Format.fprintf fmt "%a IN %a" pp_expr e pp_subquery sub
+  | Exists sub -> Format.fprintf fmt "EXISTS %a" pp_subquery sub
+  | Cmp_scalar (op, e, sub) ->
+      Format.fprintf fmt "%a %s %a" pp_expr e (cmp_symbol op) pp_subquery sub
+
+and pp_subquery fmt { sub_item; sub_from; sub_where } =
+  let pp_item fmt = function
+    | Sub_star -> Format.pp_print_string fmt "*"
+    | Sub_column c -> pp_column fmt c
+    | Sub_agg (kind, arg) ->
+        let name =
+          match kind with
+          | Count_star -> "COUNT"
+          | Sum -> "SUM"
+          | Avg -> "AVG"
+          | Min -> "MIN"
+          | Max -> "MAX"
+        in
+        (match arg with
+        | None -> Format.fprintf fmt "%s(*)" name
+        | Some e -> Format.fprintf fmt "%s(%a)" name pp_expr e)
+  in
+  Format.fprintf fmt "(SELECT %a FROM %s" pp_item sub_item sub_from;
+  (match sub_where with
+  | Some c -> Format.fprintf fmt " WHERE %a" pp_condition c
+  | None -> ());
+  Format.pp_print_string fmt ")"

@@ -1,7 +1,8 @@
 (** Abstract syntax for the supported SQL subset: single-block
     SELECT-FROM-WHERE-GROUP BY with aggregates, conjunctive/disjunctive
-    predicates, BETWEEN, LIKE, arithmetic, date literals, and optimizer
-    hints. *)
+    predicates, BETWEEN, LIKE, arithmetic, date literals, ORDER BY/LIMIT,
+    IN/EXISTS semijoin subqueries, scalar aggregate subqueries, and
+    optimizer hints. *)
 
 type column = { table : string option; name : string }
 
@@ -17,6 +18,8 @@ and binop = Add | Sub | Mul | Div
 
 type cmp = Eq | Ne | Lt | Le | Gt | Ge
 
+type agg_kind = Count_star | Sum | Avg | Min | Max
+
 type condition =
   | Cmp of cmp * expr * expr
   | Between of expr * expr * expr
@@ -24,8 +27,22 @@ type condition =
   | And of condition list
   | Or of condition list
   | Not of condition
+  | In_subquery of expr * subquery
+      (** [expr IN (SELECT col FROM t [WHERE ...])]; item must be
+          {!Sub_column} *)
+  | Exists of subquery
+      (** [EXISTS (SELECT * FROM t [WHERE ...])]; the correlation
+          equality lives inside the subquery's WHERE *)
+  | Cmp_scalar of cmp * expr * subquery
+      (** [expr op (SELECT AGG(e) FROM t [WHERE ...])]; item must be
+          {!Sub_agg} *)
 
-type agg_kind = Count_star | Sum | Avg | Min | Max
+and subquery = { sub_item : sub_item; sub_from : string; sub_where : condition option }
+
+and sub_item =
+  | Sub_star
+  | Sub_column of column
+  | Sub_agg of agg_kind * expr option
 
 type select_item =
   | Star

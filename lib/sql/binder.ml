@@ -132,6 +132,8 @@ let rec convert_condition catalog tables = function
   | Ast.And cs -> Pred.conj (List.map (convert_condition catalog tables) cs)
   | Ast.Or cs -> Pred.Or (List.map (convert_condition catalog tables) cs)
   | Ast.Not c -> Pred.Not (convert_condition catalog tables c)
+  | Ast.In_subquery _ | Ast.Exists _ | Ast.Cmp_scalar _ ->
+      fail "subqueries are only supported as top-level WHERE conjuncts"
 
 let owner_of_qualified c =
   match String.index_opt c '.' with
@@ -144,47 +146,147 @@ let strip_qualifier table c =
   then String.sub c (String.length prefix) (String.length c - String.length prefix)
   else c
 
-(* An equality conjunct between two tables is accepted iff it matches a
-   declared FK edge (the join is then implied; the conjunct is dropped). *)
-let is_fk_join_conjunct catalog conjunct =
-  match conjunct with
-  | Pred.Cmp (Pred.Eq, Expr.Col a, Expr.Col b) -> (
-      let ta = owner_of_qualified a and tb = owner_of_qualified b in
-      let matches x tx y ty =
-        match Catalog.fk_edge catalog ~from_table:tx ~to_table:ty with
-        | Some fk ->
-            String.equal (strip_qualifier tx x) fk.Catalog.from_column
-            && String.equal (strip_qualifier ty y) fk.Catalog.to_column
-        | None -> false
-      in
-      (not (String.equal ta tb)) && (matches a ta b tb || matches b tb a ta))
-  | _ -> false
-
-let split_where catalog tables pred =
+(* Single-table conjuncts attach to their table (unqualified); anything
+   spanning several tables — explicit FK join equalities included — lands
+   in the residual, where the rewrite layer absorbs FK equalities and
+   pushes down whatever later simplification makes single-table. *)
+let split_where tables pred =
   let per_table = Hashtbl.create 8 in
+  let residual = ref [] in
   List.iter (fun t -> Hashtbl.replace per_table t []) tables;
   List.iter
     (fun conjunct ->
-      if not (is_fk_join_conjunct catalog conjunct) then begin
-        let owners =
-          List.sort_uniq String.compare (List.map owner_of_qualified (Pred.columns conjunct))
-        in
-        match owners with
-        | [] ->
-            (* Constant conjunct: attach to the first table. *)
-            let t = List.hd tables in
-            Hashtbl.replace per_table t (conjunct :: Hashtbl.find per_table t)
-        | [ t ] ->
-            let local = Pred.rename_columns (strip_qualifier t) conjunct in
-            Hashtbl.replace per_table t (local :: Hashtbl.find per_table t)
-        | _ ->
-            fail "predicate %s spans multiple tables and is not a foreign-key join"
-              (Format.asprintf "%a" Pred.pp conjunct)
-      end)
+      let owners =
+        List.sort_uniq String.compare (List.map owner_of_qualified (Pred.columns conjunct))
+      in
+      match owners with
+      | [] ->
+          (* Constant conjunct: attach to the first table. *)
+          let t = List.hd tables in
+          Hashtbl.replace per_table t (conjunct :: Hashtbl.find per_table t)
+      | [ t ] ->
+          let local = Pred.rename_columns (strip_qualifier t) conjunct in
+          Hashtbl.replace per_table t (local :: Hashtbl.find per_table t)
+      | _ -> residual := conjunct :: !residual)
     (Pred.conjuncts pred);
-  List.map
-    (fun t -> { Logical.table = t; pred = Pred.conj (List.rev (Hashtbl.find per_table t)) })
-    tables
+  let refs =
+    List.map
+      (fun t -> { Logical.table = t; pred = Pred.conj (List.rev (Hashtbl.find per_table t)) })
+      tables
+  in
+  (refs, Pred.conj (List.rev !residual))
+
+(* ------------------------------------------------------------------ *)
+(* Subquery binding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec top_conjuncts = function
+  | Ast.And cs -> List.concat_map top_conjuncts cs
+  | c -> [ c ]
+
+let require_table catalog name =
+  if Catalog.find_table_opt catalog name = None then fail "unknown table %s" name
+
+let bind_inner_pred catalog sub_from sub_where =
+  match sub_where with
+  | None -> Pred.True
+  | Some c ->
+      Pred.rename_columns (strip_qualifier sub_from)
+        (convert_condition catalog [ sub_from ] c)
+
+let bind_in_subquery catalog tables lhs (sub : Ast.subquery) =
+  require_table catalog sub.Ast.sub_from;
+  let outer_key =
+    match lhs with
+    | Ast.Column c ->
+        let t, n = resolve_column catalog tables c in
+        t ^ "." ^ n
+    | _ -> fail "IN requires a plain column on the left"
+  in
+  let inner_key =
+    match sub.Ast.sub_item with
+    | Ast.Sub_column { Ast.table; name } ->
+        (match table with
+        | Some t when not (String.equal t sub.Ast.sub_from) ->
+            fail "subquery selects a column of %s, not its FROM table" t
+        | _ -> ());
+        ignore (column_type catalog sub.Ast.sub_from name);
+        name
+    | _ -> fail "IN subquery must select a single column"
+  in
+  {
+    Logical.outer_key;
+    inner =
+      {
+        Logical.table = sub.Ast.sub_from;
+        pred = bind_inner_pred catalog sub.Ast.sub_from sub.Ast.sub_where;
+      };
+    inner_key;
+  }
+
+(* EXISTS correlates through exactly one equality conjunct between the
+   subquery table and an outer column; the remaining conjuncts must be
+   local to the subquery table.  The result is the same semijoin IN
+   produces — the two spellings are deliberately indistinguishable
+   downstream. *)
+let bind_exists catalog tables (sub : Ast.subquery) =
+  (match sub.Ast.sub_item with
+  | Ast.Sub_star -> ()
+  | _ -> fail "EXISTS subquery must select *");
+  require_table catalog sub.Ast.sub_from;
+  let inner = sub.Ast.sub_from in
+  let classify c =
+    match c with
+    | Ast.Cmp (Ast.Eq, Ast.Column a, Ast.Column b) -> (
+        let ta, na = resolve_column catalog (inner :: tables) a in
+        let tb, nb = resolve_column catalog (inner :: tables) b in
+        if String.equal ta inner && List.mem tb tables then Either.Left (tb ^ "." ^ nb, na)
+        else if String.equal tb inner && List.mem ta tables then
+          Either.Left (ta ^ "." ^ na, nb)
+        else Either.Right c)
+    | c -> Either.Right c
+  in
+  let correlations, local =
+    List.partition_map classify
+      (match sub.Ast.sub_where with None -> [] | Some c -> top_conjuncts c)
+  in
+  match correlations with
+  | [ (outer_key, inner_key) ] ->
+      let pred_ast = match local with [] -> None | cs -> Some (Ast.And cs) in
+      {
+        Logical.outer_key;
+        inner = { Logical.table = inner; pred = bind_inner_pred catalog inner pred_ast };
+        inner_key;
+      }
+  | [] -> fail "EXISTS subquery must correlate with an outer column (%s.k = outer.k)" inner
+  | _ -> fail "EXISTS supports exactly one correlation equality"
+
+let bind_scalar catalog tables op lhs (sub : Ast.subquery) =
+  require_table catalog sub.Ast.sub_from;
+  let kind, arg =
+    match sub.Ast.sub_item with
+    | Ast.Sub_agg (k, a) -> (k, a)
+    | _ -> fail "a comparison subquery must select a single aggregate"
+  in
+  let conv_inner e = convert_expr catalog [ sub.Ast.sub_from ] ~want_date:false e in
+  let s_agg =
+    match (kind, arg) with
+    | Ast.Count_star, None -> Rq_exec.Plan.Count_star
+    | Ast.Count_star, Some e -> Rq_exec.Plan.Count (conv_inner e)
+    | Ast.Sum, Some e -> Rq_exec.Plan.Sum (conv_inner e)
+    | Ast.Avg, Some e -> Rq_exec.Plan.Avg (conv_inner e)
+    | Ast.Min, Some e -> Rq_exec.Plan.Min (conv_inner e)
+    | Ast.Max, Some e -> Rq_exec.Plan.Max (conv_inner e)
+    | _, None -> fail "aggregate requires an argument"
+  in
+  let want_date = expr_is_date catalog tables lhs in
+  {
+    Logical.s_expr = convert_expr catalog tables ~want_date lhs;
+    s_cmp = convert_cmp op;
+    s_agg;
+    s_table = sub.Ast.sub_from;
+    s_pred = bind_inner_pred catalog sub.Ast.sub_from sub.Ast.sub_where;
+  }
 
 let convert_agg catalog tables index (kind, arg, alias) =
   let output_name =
@@ -212,12 +314,28 @@ let bind catalog (statement : Ast.statement) =
       (fun t ->
         if Catalog.find_table_opt catalog t = None then fail "unknown table %s" t)
       tables;
-    let where =
-      match statement.Ast.where with
-      | None -> Pred.True
-      | Some c -> convert_condition catalog tables c
+    let plain, semijoins, scalars =
+      let conjuncts =
+        match statement.Ast.where with None -> [] | Some c -> top_conjuncts c
+      in
+      List.fold_left
+        (fun (plain, sjs, scs) c ->
+          match c with
+          | Ast.In_subquery (lhs, sub) ->
+              (plain, bind_in_subquery catalog tables lhs sub :: sjs, scs)
+          | Ast.Exists sub -> (plain, bind_exists catalog tables sub :: sjs, scs)
+          | Ast.Cmp_scalar (op, lhs, sub) ->
+              (plain, sjs, bind_scalar catalog tables op lhs sub :: scs)
+          | Ast.Not (Ast.In_subquery _ | Ast.Exists _) ->
+              fail "NOT IN / NOT EXISTS (antijoins) are not supported"
+          | c -> (c :: plain, sjs, scs))
+        ([], [], []) conjuncts
     in
-    let refs = split_where catalog tables where in
+    let semijoins = List.rev semijoins and scalars = List.rev scalars in
+    let where =
+      Pred.conj (List.rev_map (convert_condition catalog tables) plain)
+    in
+    let refs, residual = split_where tables where in
     let group_by =
       List.map
         (fun c ->
@@ -297,7 +415,8 @@ let bind catalog (statement : Ast.statement) =
     | Some n when n < 0 -> fail "LIMIT must be non-negative"
     | _ -> ());
     let query =
-      Logical.query ~group_by ~aggs ?projection ~order_by ?limit:statement.Ast.limit refs
+      Logical.query ~residual ~semijoins ~scalars ~group_by ~aggs ?projection ~order_by
+        ?limit:statement.Ast.limit refs
     in
     (match Logical.validate catalog query with
     | Ok () -> ()

@@ -2,10 +2,15 @@
     a logical query plus the per-query confidence hint.
 
     Restrictions enforced here mirror the paper's query model (Sec. 3.2):
-    joins must follow declared foreign-key edges (explicit equi-join
-    predicates that match an FK edge are accepted and absorbed; any other
-    cross-table predicate is rejected), and every WHERE conjunct must
-    reference a single table.  String literals compared with date columns
+    joins must follow declared foreign-key edges.  Single-table WHERE
+    conjuncts are attached to their table; cross-table conjuncts
+    (including explicit FK equi-join predicates) land in the logical
+    query's residual, where the rewrite layer pushes down or absorbs what
+    it can.  [expr IN (SELECT col FROM t ...)] and correlated
+    [EXISTS (SELECT * FROM t WHERE t.k = outer.k ...)] become semijoins;
+    [expr op (SELECT AGG(e) FROM t ...)] becomes a scalar-subquery
+    comparison folded by the rewrite pass.  NOT IN / NOT EXISTS
+    (antijoins) are rejected.  String literals compared with date columns
     are coerced to dates ('YYYY-MM-DD' or 'MM/DD/YY'). *)
 
 open Rq_storage

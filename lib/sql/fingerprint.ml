@@ -46,7 +46,33 @@ let fnv1a s =
     s;
   Int64.to_int (Int64.shift_right_logical !h 1)
 
+let render_semijoin (sj : Logical.semijoin) =
+  Printf.sprintf "%s in %s(%s)[%s]" sj.Logical.outer_key sj.Logical.inner.Logical.table
+    sj.Logical.inner_key
+    (render_pred sj.Logical.inner.Logical.pred)
+
+let render_scalar (s : Logical.scalar) =
+  let cmp =
+    match s.Logical.s_cmp with
+    | Pred.Eq -> "="
+    | Pred.Ne -> "<>"
+    | Pred.Lt -> "<"
+    | Pred.Le -> "<="
+    | Pred.Gt -> ">"
+    | Pred.Ge -> ">="
+  in
+  Printf.sprintf "%s %s %s:%s[%s]" (render_expr s.Logical.s_expr) cmp
+    (render_agg_fn s.Logical.s_agg) s.Logical.s_table
+    (render_pred s.Logical.s_pred)
+
 let of_logical ?(estimator = "") ?confidence (q : Logical.t) =
+  (* Canonicalize first (the pure rewrite rules): differently spelled but
+     identical queries — folded constants, pushed-down filters, shadowed
+     projections — share one cache key.  [index_order] is deliberately NOT
+     part of the key: it is a physical-plan knob the rewrite layer sets,
+     not query semantics, and cache keys are computed before the optimizer
+     rewrites anyway. *)
+  let q = Rewrite.canonical q in
   let buf = Buffer.create 256 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   (* Join structure is determined by the table *set* (the catalog's FK
@@ -60,6 +86,14 @@ let of_logical ?(estimator = "") ?confidence (q : Logical.t) =
     (fun (r : Logical.table_ref) ->
       add "t:%s[%s];" r.Logical.table (render_pred r.Logical.pred))
     tables;
+  add "r:%s;" (render_pred q.Logical.residual);
+  (* Semijoin order is irrelevant (they conjoin); scalar order is not
+     normalized — scalar comparisons land in the residual after rewriting,
+     and the canonicalizer cannot execute them, so identity stays
+     spelling-faithful. *)
+  add "s:%s;"
+    (String.concat "," (List.sort String.compare (List.map render_semijoin q.Logical.semijoins)));
+  add "q:%s;" (String.concat "," (List.map render_scalar q.Logical.scalars));
   (* Grouping/projection/order shape the output schema, so they stay
      verbatim (order significant). *)
   add "g:%s;" (String.concat "," q.Logical.group_by);

@@ -56,7 +56,8 @@ let expect_ident state what =
 
 let keywords =
   [ "select"; "from"; "where"; "group"; "by"; "and"; "or"; "not"; "between"; "like";
-    "as"; "sum"; "avg"; "min"; "max"; "count"; "date"; "order"; "asc"; "desc"; "limit" ]
+    "as"; "sum"; "avg"; "min"; "max"; "count"; "date"; "order"; "asc"; "desc"; "limit";
+    "in"; "exists" ]
 
 let is_reserved name = List.mem (String.lowercase_ascii name) keywords
 
@@ -147,6 +148,21 @@ let cmp_of_symbol = function
   | ">=" -> Some Ast.Ge
   | _ -> None
 
+let parse_agg_kind name =
+  match String.lowercase_ascii name with
+  | "sum" -> Some Ast.Sum
+  | "avg" -> Some Ast.Avg
+  | "min" -> Some Ast.Min
+  | "max" -> Some Ast.Max
+  | "count" -> Some Ast.Count_star
+  | _ -> None
+
+(* Is the cursor looking at "( select ..."?  Distinguishes a scalar
+   subquery on the right of a comparison from arithmetic grouping. *)
+let at_subquery state =
+  Token.equal (peek state) (Token.Symbol "(")
+  && Token.is_keyword state.tokens.(state.pos + 1) "select"
+
 let rec parse_condition state = parse_or state
 
 and parse_or state =
@@ -165,6 +181,7 @@ and parse_and state =
 
 and parse_atom state =
   if accept_keyword state "not" then Ast.Not (parse_atom state)
+  else if accept_keyword state "exists" then Ast.Exists (parse_subquery state)
   else if
     (* A parenthesis opens either a nested condition or an arithmetic
        grouping; try the condition first and fall back on failure. *)
@@ -199,23 +216,54 @@ and parse_comparison state =
         state.pos <- state.pos - 1;
         fail state "expected pattern string after LIKE"
   end
+  else if accept_keyword state "in" then Ast.In_subquery (lhs, parse_subquery state)
   else begin
     match peek state with
     | Token.Symbol s when cmp_of_symbol s <> None ->
         advance state;
-        let rhs = parse_expr state in
-        Ast.Cmp (Option.get (cmp_of_symbol s), lhs, rhs)
+        let op = Option.get (cmp_of_symbol s) in
+        if at_subquery state then Ast.Cmp_scalar (op, lhs, parse_subquery state)
+        else Ast.Cmp (op, lhs, parse_expr state)
     | _ -> fail state "expected comparison operator"
   end
 
-let parse_agg_kind name =
-  match String.lowercase_ascii name with
-  | "sum" -> Some Ast.Sum
-  | "avg" -> Some Ast.Avg
-  | "min" -> Some Ast.Min
-  | "max" -> Some Ast.Max
-  | "count" -> Some Ast.Count_star
-  | _ -> None
+(* "( SELECT item FROM table [WHERE cond] )" — single table, no nesting
+   beyond the condition's own subqueries. *)
+and parse_subquery state =
+  expect_symbol state "(";
+  expect_keyword state "select";
+  let sub_item =
+    if accept_symbol state "*" then Ast.Sub_star
+    else begin
+      match peek state with
+      | Token.Ident name
+        when parse_agg_kind name <> None
+             && Token.equal state.tokens.(state.pos + 1) (Token.Symbol "(") ->
+          advance state;
+          advance state;
+          let kind = Option.get (parse_agg_kind name) in
+          let arg =
+            if accept_symbol state "*" then begin
+              if kind <> Ast.Count_star then fail state "only COUNT accepts *";
+              None
+            end
+            else Some (parse_expr state)
+          in
+          expect_symbol state ")";
+          let kind = if arg = None then Ast.Count_star else kind in
+          Ast.Sub_agg (kind, arg)
+      | _ ->
+          let first = expect_ident state "subquery column" in
+          Ast.Sub_column (parse_column state first)
+    end
+  in
+  expect_keyword state "from";
+  let sub_from = expect_ident state "subquery table name" in
+  let sub_where =
+    if accept_keyword state "where" then Some (parse_condition state) else None
+  in
+  expect_symbol state ")";
+  { Ast.sub_item; sub_from; sub_where }
 
 let parse_alias state =
   if accept_keyword state "as" then Some (expect_ident state "alias") else None

@@ -79,6 +79,34 @@ let probe_range_count t ~lo ~hi =
 
 let probe_eq t v = probe_range t ~lo:(Some v) ~hi:(Some v)
 
+(* RIDs in key order, exactly as a stable sort of the heap on this column
+   would emit them.  Ascending: keys ascend with Nulls first and equal-key
+   ties in RID order — precisely the stored entry order.  Descending: a
+   stable sort under the negated comparator keeps Nulls last and preserves
+   the input (RID) order *within* each equal-key run, so we reverse the
+   order of the runs but not the runs themselves. *)
+let ordered_rids t ~descending =
+  if not descending then Array.copy t.rids
+  else begin
+    let n = Array.length t.keys in
+    let out = Array.make n 0 in
+    let written = ref 0 in
+    let hi = ref n in
+    while !hi > 0 do
+      let key = t.keys.(!hi - 1) in
+      let lo = ref (!hi - 1) in
+      while !lo > 0 && Value.compare t.keys.(!lo - 1) key = 0 do
+        decr lo
+      done;
+      for i = !lo to !hi - 1 do
+        out.(!written) <- t.rids.(i);
+        incr written
+      done;
+      hi := !lo
+    done;
+    out
+  end
+
 let min_key t =
   (* Smallest non-null key. *)
   let start = upper_bound t Value.Null in

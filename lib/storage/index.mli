@@ -28,5 +28,11 @@ val probe_range : t -> lo:Value.t option -> hi:Value.t option -> Rid_set.t
 val probe_range_count : t -> lo:Value.t option -> hi:Value.t option -> int
 (** Cardinality of [probe_range] without materializing it. *)
 
+val ordered_rids : t -> descending:bool -> int array
+(** Every RID in key order, ties in RID order — byte-identical to the
+    order a stable sort of the heap on this column produces (ascending:
+    Nulls first; descending: Nulls last, equal-key runs keep RID order).
+    The ordered-scan access path walks this instead of sorting. *)
+
 val min_key : t -> Value.t option
 val max_key : t -> Value.t option

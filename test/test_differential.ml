@@ -390,6 +390,174 @@ let run_fault_differential catalog_name catalog gen () =
       Rq_stats.Fault.profile_names
   done
 
+(* ------------------------------------------------------------------ *)
+(* The rewrite pass                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Decorate base queries with the widened surface the rewrite layer
+   handles: ORDER BY, LIMIT (single-table only — multi-table LIMIT ties
+   are plan-order-sensitive), FK-edge semijoins, and residual conjuncts
+   restating an FK join.  Scalar subqueries are excluded here because the
+   unrewritten arm cannot execute them (their laws live in test_rewrite). *)
+let widen_tpch rng (q : Logical.t) =
+  let bool () = Rq_math.Rng.bool rng in
+  let names = Logical.table_names q in
+  let q =
+    if q.Logical.aggs = [] then
+      {
+        q with
+        Logical.order_by =
+          [ { Plan.sort_column = "lineitem.l_extendedprice"; descending = bool () } ];
+      }
+    else if q.Logical.group_by <> [] && bool () then
+      { q with Logical.order_by = [ { Plan.sort_column = "revenue"; descending = bool () } ] }
+    else q
+  in
+  let q =
+    match names with
+    | [ _ ] when q.Logical.aggs = [] && bool () ->
+        { q with Logical.limit = Some (1 + Rq_math.Rng.int rng 20) }
+    | _ -> q
+  in
+  let q =
+    (* The semijoin's inner table must not already be joined in FROM. *)
+    let orders_free = not (List.mem "orders" names) in
+    let part_free = not (List.mem "part" names) in
+    if bool () && (orders_free || part_free) then
+      let sj =
+        if orders_free && (bool () || not part_free) then
+          {
+            Logical.outer_key = "lineitem.l_orderkey";
+            inner =
+              Logical.scan
+                ~pred:
+                  (Pred.gt (Expr.col "o_totalprice")
+                     (Expr.float (Rq_math.Rng.float rng 200_000.0)))
+                "orders";
+            inner_key = "o_orderkey";
+          }
+        else
+          {
+            Logical.outer_key = "lineitem.l_partkey";
+            inner =
+              Logical.scan
+                ~pred:(Pred.lt (Expr.col "p_size") (Expr.int (1 + Rq_math.Rng.int rng 50)))
+                "part";
+            inner_key = "p_partkey";
+          }
+      in
+      { q with Logical.semijoins = [ sj ] }
+    else q
+  in
+  if List.mem "orders" names && bool () then
+    {
+      q with
+      Logical.residual =
+        Pred.Cmp (Pred.Eq, Expr.col "lineitem.l_orderkey", Expr.col "orders.o_orderkey");
+    }
+  else q
+
+let widen_star rng (q : Logical.t) =
+  let bool () = Rq_math.Rng.bool rng in
+  let names = Logical.table_names q in
+  let q =
+    if q.Logical.aggs = [] then
+      { q with Logical.order_by = [ { Plan.sort_column = "fact.f_id"; descending = bool () } ] }
+    else if q.Logical.group_by <> [] && bool () then
+      { q with Logical.order_by = [ { Plan.sort_column = "total"; descending = bool () } ] }
+    else q
+  in
+  let q =
+    match names with
+    | [ _ ] when q.Logical.aggs = [] && bool () ->
+        { q with Logical.limit = Some (1 + Rq_math.Rng.int rng 20) }
+    | _ -> q
+  in
+  let q =
+    let free =
+      List.filter (fun n -> not (List.mem (Printf.sprintf "dim%d" n) names)) [ 1; 2; 3 ]
+    in
+    if bool () && free <> [] then
+      let n = List.nth free (Rq_math.Rng.int rng (List.length free)) in
+      let sj =
+        {
+          Logical.outer_key = Printf.sprintf "fact.f_dim%d" n;
+          inner =
+            Logical.scan
+              ~pred:(Pred.lt (Expr.col "d_filter") (Expr.int (1 + Rq_math.Rng.int rng 10)))
+              (Printf.sprintf "dim%d" n);
+          inner_key = "d_key";
+        }
+      in
+      { q with Logical.semijoins = [ sj ] }
+    else q
+  in
+  if List.mem "dim1" names && bool () then
+    {
+      q with
+      Logical.residual = Pred.Cmp (Pred.Eq, Expr.col "fact.f_dim1", Expr.col "dim1.d_key");
+    }
+  else q
+
+(* Rewritten vs unrewritten: the same widened query optimized with the
+   rewrite layer on and off, under every estimator; the chosen plans may
+   differ (their digests go into the failure message) but the answers may
+   not — on the materialized engine, the streaming engine, and the morsel
+   engine at 1, 2 and 4 domains. *)
+let run_rewrite_differential catalog_name catalog gen widen () =
+  let rng = Rq_math.Rng.create (seed + 6) in
+  let scale = 1.0 in
+  let stats =
+    Rq_stats.Stats_store.update_statistics (Rq_math.Rng.split rng)
+      ~config:{ Rq_stats.Stats_store.default_config with sample_size = 200 }
+      catalog
+  in
+  let pools = List.map (fun domains -> Parallel.create ~domains ()) [ 1; 2; 4 ] in
+  Fun.protect
+    ~finally:(fun () -> List.iter Parallel.shutdown pools)
+    (fun () ->
+      for i = 1 to queries_per_catalog do
+        let query = widen rng (gen rng) in
+        List.iter
+          (fun (name, estimator) ->
+            let opt = Optimizer.create ~scale stats estimator in
+            let decide ~rewrite who =
+              match Optimizer.optimize ~rewrite opt query with
+              | Ok d -> d
+              | Error e ->
+                  fail_rejected ~label:(Printf.sprintf "%s query %d" catalog_name i) ~query
+                    who e
+            in
+            let plain = decide ~rewrite:false (name ^ " without rewrites") in
+            let rewritten = decide ~rewrite:true (name ^ " with rewrites") in
+            let digests =
+              Printf.sprintf "unrewritten plan %s, rewritten plan %s"
+                (Rq_experiments.Exp_common.plan_digest plain.Optimizer.plan)
+                (Rq_experiments.Exp_common.plan_digest rewritten.Optimizer.plan)
+            in
+            let reference = execute catalog scale plain.Optimizer.plan in
+            let check engine candidate =
+              if not (Rq_experiments.Exp_common.results_equal reference candidate) then
+                fail_differential
+                  ~label:
+                    (Printf.sprintf "%s query %d under %s, %s engine (%s)" catalog_name i
+                       name engine digests)
+                  ~query ~reference ~candidate ()
+            in
+            check "materialized" (execute catalog scale rewritten.Optimizer.plan);
+            let meter = Cost.create ~scale () in
+            check "streaming"
+              (Executor.run ~mode:Executor.Streaming catalog meter rewritten.Optimizer.plan);
+            List.iter
+              (fun pool ->
+                let meter = Cost.create ~scale () in
+                check
+                  (Printf.sprintf "morsel(%d domains)" (Parallel.domains pool))
+                  (Parallel.run pool catalog meter rewritten.Optimizer.plan))
+              pools)
+          (estimator_configs stats)
+      done)
+
 let () =
   let rng = Rq_math.Rng.create (seed + 2) in
   let tpch_params = { Tpch.default_params with scale_factor = 0.003 } in
@@ -422,5 +590,12 @@ let () =
         [
           Alcotest.test_case "tpch" `Quick (run_fault_differential "tpch" tpch gen_tpch_query);
           Alcotest.test_case "star" `Quick (run_fault_differential "star" star gen_star_query);
+        ] );
+      ( "rewrites preserve results",
+        [
+          Alcotest.test_case "tpch" `Quick
+            (run_rewrite_differential "tpch" tpch gen_tpch_query widen_tpch);
+          Alcotest.test_case "star" `Quick
+            (run_rewrite_differential "star" star gen_star_query widen_star);
         ] );
     ]

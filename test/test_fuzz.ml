@@ -88,6 +88,10 @@ let test_json_roundtrip_dense () =
               };
             ];
           shape = F.Grouped;
+          semis = [ { F.table = "orders"; atoms = [] } ];
+          order = true;
+          descending = true;
+          limit = Some 7;
         };
     }
 
@@ -271,6 +275,38 @@ let test_self_test_run_and_replay () =
           check_bool "shrunk case is small" true (List.length case.F.query.F.genes <= 3));
       Sys.remove found.F.f_repro_path
 
+(* Same end-to-end contract for the planted unsound rewrite: the rewrite
+   pass must catch it, the shrink must keep the catch in that pass, and
+   the repro file must replay red with the flag restored from disk. *)
+let test_self_test_rewrite_run_and_replay () =
+  let config =
+    { tiny_config with
+      F.self_test_rewrite = true;
+      iterations = 40;
+      seed = 7;
+      repro_file =
+        Filename.concat (Filename.get_temp_dir_name ()) "test-fuzz-rewrite.fuzz-repro";
+    }
+  in
+  let result = F.run ~config () in
+  check_bool "rewrite self-test run passes" true result.F.r_ok;
+  match result.F.r_found with
+  | None -> Alcotest.fail "rewrite self-test run reported no divergence"
+  | Some found ->
+      check_bool
+        (Printf.sprintf "caught by the rewrite pass, got %s" found.F.f_divergence.F.pass)
+        true
+        (String.length found.F.f_divergence.F.pass >= 7
+        && String.sub found.F.f_divergence.F.pass 0 7 = "rewrite");
+      check_bool "repro file replays red" true found.F.f_reproduced;
+      (match F.replay config found.F.f_repro_path with
+      | Error e -> Alcotest.failf "replay failed: %s" e
+      | Ok (_, probe, recorded_pass) ->
+          check_bool "replayed case still diverges" true (probe.F.divergence <> None);
+          check_string "replay reports the recorded pass" found.F.f_divergence.F.pass
+            recorded_pass);
+      Sys.remove found.F.f_repro_path
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -296,5 +332,7 @@ let () =
             test_self_test_plants_divergence;
           Alcotest.test_case "self-test run shrinks and replays" `Quick
             test_self_test_run_and_replay;
+          Alcotest.test_case "rewrite self-test run shrinks and replays" `Quick
+            test_self_test_rewrite_run_and_replay;
         ] );
     ]

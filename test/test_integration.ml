@@ -46,7 +46,7 @@ let all_plans catalog stats query =
   List.concat_map
     (fun est -> Enumerate.join_plans catalog ~cost_fn:(cost_fn est) query)
     estimators
-  |> List.map (Enumerate.wrap_top query)
+  |> List.map (Enumerate.wrap_top catalog query)
 
 let agg_equal catalog plans =
   match plans with

@@ -244,11 +244,22 @@ let test_binder_fk_join_absorbed () =
   check_bool "emp predicate empty" true (pred_of "emp" = Pred.True);
   check_bool "dept predicate retained" true (pred_of "dept" <> Pred.True)
 
-let test_binder_non_fk_join_rejected () =
+let test_binder_non_fk_conjunct_residual () =
+  (* A cross-table conjunct that is not an FK equality is kept as a
+     residual filter above the (FK-implied) join instead of being
+     rejected. *)
   let catalog = sql_catalog () in
-  let msg = bind_err catalog "SELECT COUNT(*) FROM emp, dept WHERE salary = d_id" in
-  check_bool "explains the restriction" true
-    (String.length msg > 0)
+  let bound = bind_ok catalog "SELECT COUNT(*) FROM emp, dept WHERE salary = d_id" in
+  let q = bound.Binder.query in
+  check_int "two tables" 2 (List.length q.Rq_optimizer.Logical.tables);
+  check_bool "residual retained" true (q.Rq_optimizer.Logical.residual <> Pred.True);
+  List.iter
+    (fun (r : Rq_optimizer.Logical.table_ref) ->
+      check_bool "per-table predicates untouched" true (r.Rq_optimizer.Logical.pred = Pred.True))
+    q.Rq_optimizer.Logical.tables;
+  (* But a conjunct over a table absent from FROM still fails. *)
+  let msg = bind_err catalog "SELECT COUNT(*) FROM emp WHERE salary = d_id" in
+  check_bool "explains the failure" true (String.length msg > 0)
 
 let test_binder_date_coercion () =
   let catalog = sql_catalog () in
@@ -615,7 +626,8 @@ let () =
         [
           Alcotest.test_case "single table" `Quick test_binder_single_table;
           Alcotest.test_case "FK join absorbed" `Quick test_binder_fk_join_absorbed;
-          Alcotest.test_case "non-FK join rejected" `Quick test_binder_non_fk_join_rejected;
+          Alcotest.test_case "non-FK conjunct residual" `Quick
+            test_binder_non_fk_conjunct_residual;
           Alcotest.test_case "date coercion" `Quick test_binder_date_coercion;
           Alcotest.test_case "date arithmetic" `Quick test_binder_date_arithmetic;
           Alcotest.test_case "LIKE handling" `Quick test_binder_like;
