@@ -1,6 +1,6 @@
 .PHONY: all test test-parallel test-rewrite fault-test differential fuzz-smoke \
         fuzz-soak fuzz-self-test fuzz-self-test-rewrite bench bench-quick \
-        bench-throughput bench-exec bench-optimizer examples trace-demo clean
+        bench-throughput bench-exec bench-optimizer storage-gate examples trace-demo clean
 
 all:
 	dune build @all
@@ -78,6 +78,18 @@ bench-exec: all
 # evidence beats both cold and the row scan.
 bench-optimizer: all
 	dune exec bin/robustopt.exe -- bench-optimizer
+
+# Paged-storage gate (the CI `storage` job): bench-exec --small with a
+# 256-page buffer pool under a 2 GiB virtual-memory cap.  The bench exits
+# nonzero unless zone-skip page accounting balances and the pool reports
+# hit/miss traffic; the ulimit proves the chunked heap keeps the resident
+# set bounded.  Runs the prebuilt binary so the cap applies to the bench,
+# not the compiler.
+storage-gate:
+	dune build bin/robustopt.exe
+	bash -c 'ulimit -v 2097152; \
+	  ./_build/default/bin/robustopt.exe bench-exec --small \
+	    --buffer-pool-pages 256 --out -' > /dev/null
 
 examples:
 	dune exec examples/quickstart.exe

@@ -719,7 +719,19 @@ let bench_exec_cmd =
     Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
          ~doc:"Top of the morsel-parallel domains axis (default 4).")
   in
-  let run small seed domains out =
+  let scale_arg =
+    Arg.(value & opt (some float) None & info [ "scale" ] ~docv:"SF"
+         ~doc:"TPC-H scale factor (default 0.01; 1.0 is the paper's 6M-row \
+               lineitem).  Scales >= 0.1 drop to one repetition unless the \
+               default is overridden by --small.")
+  in
+  let pool_arg =
+    Arg.(value & opt (some int) None & info [ "buffer-pool-pages" ] ~docv:"PAGES"
+         ~doc:"Cap the global buffer pool at this many 8 KiB pages (rounded \
+               down to whole chunks).  Capping well below the data size \
+               exercises out-of-core execution.")
+  in
+  let run small seed domains scale pool_pages out =
     let module E = Rq_experiments in
     let config = if small then E.Exp_exec.small_config else E.Exp_exec.default_config in
     let config =
@@ -727,6 +739,19 @@ let bench_exec_cmd =
     in
     let config =
       match domains with None -> config | Some domains -> { config with E.Exp_exec.domains }
+    in
+    let config =
+      match scale with
+      | None -> config
+      | Some scale_factor ->
+          (* Big catalogs: one repetition is already minutes of work. *)
+          let repetitions = if scale_factor >= 0.1 then 1 else config.E.Exp_exec.repetitions in
+          { config with E.Exp_exec.scale_factor; repetitions }
+    in
+    let config =
+      match pool_pages with
+      | None -> config
+      | Some buffer_pool_pages -> { config with E.Exp_exec.buffer_pool_pages }
     in
     let result = with_bench_errors (fun () -> E.Exp_exec.run ~config ()) in
     print_string (E.Exp_exec.render result);
@@ -739,7 +764,9 @@ let bench_exec_cmd =
     end;
     if not result.E.Exp_exec.ok then exit 1
   in
-  let term = Term.(const run $ small_arg $ seed_arg $ domains_arg $ out_arg) in
+  let term =
+    Term.(const run $ small_arg $ seed_arg $ domains_arg $ scale_arg $ pool_arg $ out_arg)
+  in
   Cmd.v
     (Cmd.info "bench-exec"
        ~doc:"Streaming vs. materialized executor: early-exit page savings on LIMIT and \

@@ -34,6 +34,7 @@ type t = {
   mutable seconds : float;
   mutable seq_pages : int;
   mutable random_pages : int;
+  mutable pages_skipped : int;
   mutable cpu_tuples : int;
   mutable index_probes : int;
   mutable index_entries : int;
@@ -54,6 +55,7 @@ let create ?(constants = default_constants) ?(scale = 1.0) () =
     seconds = 0.0;
     seq_pages = 0;
     random_pages = 0;
+    pages_skipped = 0;
     cpu_tuples = 0;
     index_probes = 0;
     index_entries = 0;
@@ -78,6 +80,11 @@ let charge_seq_pages t n =
 let charge_random_pages t n =
   t.random_pages <- t.random_pages + n;
   add t (float_of_int n *. t.constants.random_page_read_s)
+
+(* Pages a zone map proved the scan need not read: pure bookkeeping, zero
+   simulated seconds — skipping is the whole point — but counted so tests
+   can assert read + skipped = total and benches can report the savings. *)
+let charge_pages_skipped t n = t.pages_skipped <- t.pages_skipped + n
 
 let charge_cpu_tuples t n =
   t.cpu_tuples <- t.cpu_tuples + n;
@@ -122,6 +129,7 @@ type snapshot = {
   seconds : float;
   seq_pages : int;
   random_pages : int;
+  pages_skipped : int;
   cpu_tuples : int;
   index_probes : int;
   index_entries : int;
@@ -139,6 +147,7 @@ let snapshot (t : t) =
     seconds = t.seconds;
     seq_pages = t.seq_pages;
     random_pages = t.random_pages;
+    pages_skipped = t.pages_skipped;
     cpu_tuples = t.cpu_tuples;
     index_probes = t.index_probes;
     index_entries = t.index_entries;
@@ -160,6 +169,7 @@ let absorb (t : t) (s : snapshot) =
   t.seconds <- t.seconds +. s.seconds;
   t.seq_pages <- t.seq_pages + s.seq_pages;
   t.random_pages <- t.random_pages + s.random_pages;
+  t.pages_skipped <- t.pages_skipped + s.pages_skipped;
   t.cpu_tuples <- t.cpu_tuples + s.cpu_tuples;
   t.index_probes <- t.index_probes + s.index_probes;
   t.index_entries <- t.index_entries + s.index_entries;
@@ -175,6 +185,7 @@ let reset (t : t) =
   t.seconds <- 0.0;
   t.seq_pages <- 0;
   t.random_pages <- 0;
+  t.pages_skipped <- 0;
   t.cpu_tuples <- 0;
   t.index_probes <- 0;
   t.index_entries <- 0;
@@ -205,6 +216,7 @@ let to_metrics (s : snapshot) =
     Rq_obs.Metrics.seconds = s.seconds;
     seq_pages = s.seq_pages;
     random_pages = s.random_pages;
+    pages_skipped = s.pages_skipped;
     cpu_tuples = s.cpu_tuples;
     index_probes = s.index_probes;
     index_entries = s.index_entries;
@@ -218,5 +230,7 @@ let to_metrics (s : snapshot) =
   }
 
 let pp_snapshot fmt s =
-  Format.fprintf fmt "%.4f s (seq=%d pages, rand=%d pages, cpu=%d tuples, probes=%d, entries=%d)"
-    s.seconds s.seq_pages s.random_pages s.cpu_tuples s.index_probes s.index_entries
+  Format.fprintf fmt
+    "%.4f s (seq=%d pages, rand=%d pages, skipped=%d pages, cpu=%d tuples, probes=%d, entries=%d)"
+    s.seconds s.seq_pages s.random_pages s.pages_skipped s.cpu_tuples s.index_probes
+    s.index_entries

@@ -39,6 +39,11 @@ val scale : t -> float
 
 val charge_seq_pages : t -> int -> unit
 val charge_random_pages : t -> int -> unit
+val charge_pages_skipped : t -> int -> unit
+(** Pages of chunks a zone map let the scan skip entirely: counter only,
+    zero simulated seconds.  Deterministic (pruning depends only on data
+    and predicate), so it participates in counter-parity checks. *)
+
 val charge_cpu_tuples : t -> int -> unit
 val charge_index_entries : t -> int -> unit
 val charge_index_probes : t -> int -> unit
@@ -57,6 +62,7 @@ type snapshot = {
   seconds : float;        (** total simulated time, scale applied *)
   seq_pages : int;
   random_pages : int;
+  pages_skipped : int;    (** pages of zone-map-skipped chunks (free) *)
   cpu_tuples : int;
   index_probes : int;
   index_entries : int;    (** index entries touched by range/eq probes *)

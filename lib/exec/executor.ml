@@ -33,16 +33,34 @@ let meter_metrics ctx = Cost.to_metrics (Cost.snapshot ctx.meter)
 let record ctx event =
   match ctx.obs with None -> () | Some r -> Rq_obs.Recorder.record r event
 
+(* Chunked sequential scan shared by Seq_scan, Scan_resume and the
+   star-semijoin dimension scans: per-task charges from the shared planner
+   (zone-map-skipped chunks cost pages_skipped only), per-chunk bitmap
+   filtering for the rest, matches emitted in RID order. *)
+let scan_chunks meter rel ~pred ?(from = 0) emit =
+  let match_chunk = Chunk_scan.matcher (Relation.schema rel) pred in
+  List.iter
+    (fun (t : Chunk_scan.task) ->
+      if t.skip then Cost.charge_pages_skipped meter t.pages
+      else begin
+        Cost.charge_seq_pages meter t.pages;
+        Cost.charge_cpu_tuples meter (t.hi - t.lo);
+        let base = Relation.chunk_start rel t.ci in
+        Relation.with_chunk rel t.ci (fun chunk ->
+            match_chunk chunk (fun r tup ->
+                let rid = base + r in
+                if rid >= t.lo then emit rid tup))
+      end)
+    (Chunk_scan.tasks ~from rel pred)
+
 let exec_scan catalog meter ~table ~access ~pred =
   let rel = Catalog.find_table catalog table in
   let check = Pred.compile (Relation.schema rel) pred in
   let matching =
     match access with
     | Plan.Seq_scan ->
-        Cost.charge_seq_pages meter (Relation.page_count rel);
-        Cost.charge_cpu_tuples meter (Relation.row_count rel);
         let acc = ref [] in
-        Relation.iter (fun _ tup -> if check tup then acc := tup :: !acc) rel;
+        scan_chunks meter rel ~pred (fun _rid tup -> acc := tup :: !acc);
         Array.of_list (List.rev !acc)
     | Plan.Index_range probe ->
         let idx = Exec_common.find_index_exn catalog ~table ~column:probe.Plan.column in
@@ -120,14 +138,8 @@ and exec_node ctx plan =
       let rel = Catalog.find_table catalog table in
       let n = Relation.row_count rel in
       let from = min (max 0 from_rid) n in
-      Cost.charge_seq_pages meter (Exec_common.resume_pages rel ~from);
-      Cost.charge_cpu_tuples meter (n - from);
-      let check = Pred.compile (Relation.schema rel) pred in
       let acc = ref [] in
-      for rid = from to n - 1 do
-        let tup = Relation.get rel rid in
-        if check tup then acc := tup :: !acc
-      done;
+      scan_chunks meter rel ~pred ~from (fun _rid tup -> acc := tup :: !acc);
       {
         schema = Exec_common.qualified_schema catalog table;
         tuples = Array.of_list (List.rev !acc);
@@ -350,9 +362,6 @@ and exec_star_semijoin catalog meter ~fact ~fact_pred ~dims =
     List.map
       (fun { Plan.dim_table; dim_pred; fact_fk } ->
         let dim_rel = Catalog.find_table catalog dim_table in
-        Cost.charge_seq_pages meter (Relation.page_count dim_rel);
-        Cost.charge_cpu_tuples meter (Relation.row_count dim_rel);
-        let check = Pred.compile (Relation.schema dim_rel) dim_pred in
         let pk =
           match Catalog.primary_key catalog dim_table with
           | Some pk -> pk
@@ -361,13 +370,9 @@ and exec_star_semijoin catalog meter ~fact ~fact_pred ~dims =
         let pk_pos = Schema.index_of (Relation.schema dim_rel) pk in
         let lookup = Hashtbl.create 64 in
         let keys = ref [] in
-        Relation.iter
-          (fun _ tup ->
-            if check tup then begin
-              Hashtbl.replace lookup tup.(pk_pos) tup;
-              keys := tup.(pk_pos) :: !keys
-            end)
-          dim_rel;
+        scan_chunks meter dim_rel ~pred:dim_pred (fun _rid tup ->
+            Hashtbl.replace lookup tup.(pk_pos) tup;
+            keys := tup.(pk_pos) :: !keys);
         Cost.charge_hash_build meter (Hashtbl.length lookup);
         let idx = Exec_common.find_index_exn catalog ~table:fact ~column:fact_fk in
         let rid_chunks =

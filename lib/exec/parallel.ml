@@ -57,15 +57,17 @@ let record ctx event =
 
 let morsel_target_rows = 4 * Stream_exec.batch_rows
 
+(* Morsels are a whole number of storage chunks (themselves a whole number
+   of pages), so every morsel boundary after the first sits on a chunk —
+   hence page — boundary: chunk tasks never straddle morsels and page
+   charges telescope. *)
 let morsel_rows rel =
-  let rpp = Relation.rows_per_page rel in
-  rpp * max 1 ((morsel_target_rows + rpp - 1) / rpp)
-
-let pages_upto rpp pos = if pos = 0 then 0 else ((pos - 1) / rpp) + 1
+  let rpc = Relation.rows_per_chunk rel in
+  rpc * max 1 ((morsel_target_rows + rpc - 1) / rpc)
 
 (* Row ranges covering [from, row_count), split at absolute multiples of
    the morsel size.  Aligning to the absolute grid (not to [from]) keeps
-   every boundary after the first on a page boundary, so page charges
+   every boundary after the first on a chunk boundary, so page charges
    telescope. *)
 let morsel_bounds rel ~from =
   let n = Relation.row_count rel in
@@ -79,18 +81,25 @@ let morsel_bounds rel ~from =
   done;
   Array.of_list (List.rev !acc)
 
-(* One morsel: scan rows [lo, hi), charging a private meter exactly as the
-   serial engine charges that row range. *)
-let scan_morsel ~rel ~check ~constants ~scale (lo, hi) =
+(* One morsel: its chunk tasks, charging a private meter exactly as the
+   serial engine charges that row range — zone-map-skipped chunks cost
+   pages_skipped only, read chunks are pinned from the buffer pool and
+   filtered through the shared per-chunk bitmap matcher. *)
+let scan_morsel ~rel ~match_chunk ~constants ~scale tasks =
   let meter = Cost.create ~constants ~scale () in
-  let rpp = Relation.rows_per_page rel in
-  Cost.charge_seq_pages meter (pages_upto rpp hi - (lo / rpp));
-  Cost.charge_cpu_tuples meter (hi - lo);
   let out = ref [] in
-  for rid = lo to hi - 1 do
-    let tup = Relation.get rel rid in
-    if check tup then out := tup :: !out
-  done;
+  List.iter
+    (fun (t : Chunk_scan.task) ->
+      if t.skip then Cost.charge_pages_skipped meter t.pages
+      else begin
+        Cost.charge_seq_pages meter t.pages;
+        Cost.charge_cpu_tuples meter (t.hi - t.lo);
+        let base = Relation.chunk_start rel t.ci in
+        Relation.with_chunk rel t.ci (fun chunk ->
+            match_chunk chunk (fun r tup ->
+                if base + r >= t.lo then out := tup :: !out))
+      end)
+    tasks;
   (Array.of_list (List.rev !out), Cost.snapshot meter)
 
 let absorb ctx (snap : Cost.snapshot) =
@@ -135,16 +144,29 @@ let with_unit_span ctx ~label f =
 
 let scan_setup ctx ~table ~pred ~from =
   let rel = Catalog.find_table ctx.catalog table in
-  let check = Pred.compile (Relation.schema rel) pred in
+  let match_chunk = Chunk_scan.matcher (Relation.schema rel) pred in
   let bounds = morsel_bounds rel ~from in
+  (* Partition the shared chunk-task plan by morsel: tasks and bounds are
+     both in RID order and morsel boundaries are chunk-aligned, so one
+     pass assigns each task to the morsel holding its first row. *)
+  let groups = Array.make (Array.length bounds) [] in
+  let mi = ref 0 in
+  List.iter
+    (fun (t : Chunk_scan.task) ->
+      while t.lo >= snd bounds.(!mi) do
+        incr mi
+      done;
+      groups.(!mi) <- t :: groups.(!mi))
+    (Chunk_scan.tasks ~from rel pred);
+  let groups = Array.map List.rev groups in
   let constants = Cost.constants ctx.meter and scale = Cost.scale ctx.meter in
-  (rel, bounds, fun range -> scan_morsel ~rel ~check ~constants ~scale range)
+  (rel, bounds, fun i -> scan_morsel ~rel ~match_chunk ~constants ~scale groups.(i))
 
 (* Plain parallel scan: all morsels, merged in morsel order. *)
 let run_scan_unit ctx ~table ~pred ~from =
   let _, bounds, morsel = scan_setup ctx ~table ~pred ~from in
   let parts =
-    Domain_pool.run ctx.pool (Array.length bounds) (fun i -> morsel bounds.(i))
+    Domain_pool.run ctx.pool (Array.length bounds) (fun i -> morsel i)
   in
   Array.iter (fun (_, snap) -> absorb ctx snap) parts;
   {
@@ -168,7 +190,7 @@ let run_guarded_scan_unit ctx ~table ~pred ~from ~expected_rows ~max_q_error ~la
   let seen = Atomic.make 0 in
   let parts =
     Domain_pool.run_prefix ctx.pool (Array.length bounds) (fun i ->
-        let ((tuples, _) as part) = morsel bounds.(i) in
+        let ((tuples, _) as part) = morsel i in
         let matched = Array.length tuples in
         let total = Atomic.fetch_and_add seen matched + matched in
         if float_of_int total > overflow_bound then `Stop part else `Done part)

@@ -126,33 +126,69 @@ let finish_batch ctx out =
 (* Leaf operators                                                      *)
 (* ------------------------------------------------------------------ *)
 
-(* Sequential scan starting at [from] (0 for a whole-table scan): charges
-   CPU per source row scanned and each heap page the first time a row on
-   it is touched, so a full drain charges exactly page_count pages and
-   row_count tuples, and stopping early leaves the tail pages unread. *)
+(* Sequential scan starting at [from] (0 for a whole-table scan), walking
+   the shared chunk-task plan: a zone-map-skipped chunk charges
+   pages_skipped (free) and is stepped over whole; a read chunk is pulled
+   pinned from the buffer pool and sliced into batches, charging CPU per
+   source row and each heap page the first time a row on it is touched.
+   A full drain thus charges exactly the planner's read-page/read-row
+   totals (= page_count/row_count when nothing prunes), and stopping
+   early leaves the tail pages unread.  Matching rows inside a read chunk
+   come from a per-chunk bitmap computed once per chunk. *)
 let seq_scan_stream ctx ~table ~pred ~from =
   let rel = Catalog.find_table ctx.catalog table in
-  let check = Pred.compile (Relation.schema rel) pred in
   let n = Relation.row_count rel in
   let from = min (max 0 from) n in
   let rpp = Relation.rows_per_page rel in
-  let start_pages = from / rpp in
-  let pages_upto pos = if pos = 0 then 0 else ((pos - 1) / rpp) + 1 in
+  let bitmap = Chunk_scan.bitmap (Relation.schema rel) pred in
+  let tasks = ref (Chunk_scan.tasks ~from rel pred) in
   let pos = ref from in
-  let pages_charged = ref 0 in
+  (* Absolute index of the next page to charge; starts at the page holding
+     [from], so a resume re-reads the split page (as before). *)
+  let page_frontier = ref (from / rpp) in
+  (* Per-chunk bitmap cache: (chunk index, bits). *)
+  let cached_bits = ref (-1, None) in
   let next_batch () =
     let out = ref [] in
-    while !out = [] && !pos < n do
-      let stop = min n (!pos + batch_rows) in
-      Cost.charge_cpu_tuples ctx.meter (stop - !pos);
-      let pages_now = pages_upto stop - start_pages in
-      Cost.charge_seq_pages ctx.meter (pages_now - !pages_charged);
-      pages_charged := pages_now;
-      for rid = !pos to stop - 1 do
-        let tup = Relation.get rel rid in
-        if check tup then out := tup :: !out
-      done;
-      pos := stop
+    while !out = [] && !tasks <> [] do
+      match !tasks with
+      | [] -> ()
+      | t :: rest ->
+          if t.Chunk_scan.skip then begin
+            Cost.charge_pages_skipped ctx.meter t.pages;
+            page_frontier := Chunk_scan.pages_upto rpp t.hi;
+            pos := t.hi;
+            tasks := rest
+          end
+          else begin
+            let stop = min t.hi (!pos + batch_rows) in
+            Cost.charge_cpu_tuples ctx.meter (stop - !pos);
+            let pages_now = Chunk_scan.pages_upto rpp stop in
+            if pages_now > !page_frontier then begin
+              Cost.charge_seq_pages ctx.meter (pages_now - !page_frontier);
+              page_frontier := pages_now
+            end;
+            let base = Relation.chunk_start rel t.ci in
+            Relation.with_chunk rel t.ci (fun chunk ->
+                let bits =
+                  match (bitmap, !cached_bits) with
+                  | None, _ -> None
+                  | Some _, (ci, bits) when ci = t.ci -> bits
+                  | Some bm, _ ->
+                      let bits = Some (bm chunk) in
+                      cached_bits := (t.ci, bits);
+                      bits
+                in
+                for rid = !pos to stop - 1 do
+                  let r = rid - base in
+                  let keep =
+                    match bits with None -> true | Some b -> Bitset.get b r
+                  in
+                  if keep then out := Chunk.get chunk r :: !out
+                done);
+            pos := stop;
+            if stop >= t.hi then tasks := rest
+          end
     done;
     match !out with [] -> None | rows -> Some (Array.of_list (List.rev rows))
   in
@@ -435,9 +471,6 @@ let star_semijoin_stream ctx ~fact ~fact_pred ~dims =
           List.map
             (fun { Plan.dim_table; dim_pred; fact_fk } ->
               let dim_rel = Catalog.find_table catalog dim_table in
-              Cost.charge_seq_pages meter (Relation.page_count dim_rel);
-              Cost.charge_cpu_tuples meter (Relation.row_count dim_rel);
-              let check = Pred.compile (Relation.schema dim_rel) dim_pred in
               let pk =
                 match Catalog.primary_key catalog dim_table with
                 | Some pk -> pk
@@ -448,13 +481,22 @@ let star_semijoin_stream ctx ~fact ~fact_pred ~dims =
               let pk_pos = Schema.index_of (Relation.schema dim_rel) pk in
               let lookup = Hashtbl.create 64 in
               let keys = ref [] in
-              Relation.iter
-                (fun _ tup ->
-                  if check tup then begin
-                    Hashtbl.replace lookup tup.(pk_pos) tup;
-                    keys := tup.(pk_pos) :: !keys
+              let match_chunk =
+                Chunk_scan.matcher (Relation.schema dim_rel) dim_pred
+              in
+              List.iter
+                (fun (t : Chunk_scan.task) ->
+                  if t.skip then Cost.charge_pages_skipped meter t.pages
+                  else begin
+                    Cost.charge_seq_pages meter t.pages;
+                    Cost.charge_cpu_tuples meter (t.hi - t.lo);
+                    Relation.with_chunk dim_rel t.ci
+                      (fun chunk ->
+                        match_chunk chunk (fun _r tup ->
+                            Hashtbl.replace lookup tup.(pk_pos) tup;
+                            keys := tup.(pk_pos) :: !keys))
                   end)
-                dim_rel;
+                (Chunk_scan.tasks dim_rel dim_pred);
               Cost.charge_hash_build meter (Hashtbl.length lookup);
               let idx = Exec_common.find_index_exn catalog ~table:fact ~column:fact_fk in
               let rid_chunks =

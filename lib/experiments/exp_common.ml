@@ -120,6 +120,7 @@ let results_equal ?(tol = 1e-6) (a : Executor.result) (b : Executor.result) =
 let snapshots_equal (a : Cost.snapshot) (b : Cost.snapshot) =
   a.Cost.seq_pages = b.Cost.seq_pages
   && a.Cost.random_pages = b.Cost.random_pages
+  && a.Cost.pages_skipped = b.Cost.pages_skipped
   && a.Cost.cpu_tuples = b.Cost.cpu_tuples
   && a.Cost.index_probes = b.Cost.index_probes
   && a.Cost.index_entries = b.Cost.index_entries

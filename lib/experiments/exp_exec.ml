@@ -19,10 +19,19 @@ type config = {
   repetitions : int;
   domains : int;              (* top of the morsel-parallel domains axis *)
   min_scan_speedup : float;   (* gate: simulated scan-morsel speedup at [domains] *)
+  buffer_pool_pages : int;    (* global pool capacity in 8 KiB pages; 0 keeps
+                                 the process default *)
 }
 
 let default_config =
-  { seed = 11; scale_factor = 0.01; repetitions = 5; domains = 4; min_scan_speedup = 2.5 }
+  {
+    seed = 11;
+    scale_factor = 0.01;
+    repetitions = 5;
+    domains = 4;
+    min_scan_speedup = 2.5;
+    buffer_pool_pages = 0;
+  }
 
 let small_config =
   {
@@ -45,11 +54,22 @@ type workload = {
   early_exit : bool;
       (* streaming is expected to charge strictly fewer pages; otherwise
          every counter must be identical *)
+  zone_skip : bool;
+      (* zone maps must skip whole chunks: pages_skipped > 0 and
+         seq_pages + pages_skipped = the table's page count *)
 }
 
 let scan table = Plan.Scan { table; access = Plan.Seq_scan; pred = Pred.True }
 
-let workloads () =
+(* lineitem is clustered on l_orderkey, so a narrow l_orderkey band makes
+   most chunks' zone maps disprove the predicate outright — the
+   chunk-skipping workload. *)
+let zone_skip_pred catalog =
+  let orders = Rq_storage.Catalog.find_table catalog "orders" in
+  Pred.lt (Expr.col "l_orderkey")
+    (Expr.int (max 1 (Rq_storage.Relation.row_count orders / 8)))
+
+let workloads catalog =
   let join =
     Plan.Hash_join
       {
@@ -59,10 +79,12 @@ let workloads () =
         probe_key = "lineitem.l_orderkey";
       }
   in
+  let base = { name = ""; plan = Plan.Limit (join, 1); early_exit = false; zone_skip = false } in
   [
-    { name = "limit-scan"; plan = Plan.Limit (scan "lineitem", 100); early_exit = true };
-    { name = "limit-join"; plan = Plan.Limit (join, 50); early_exit = true };
+    { base with name = "limit-scan"; plan = Plan.Limit (scan "lineitem", 100); early_exit = true };
+    { base with name = "limit-join"; plan = Plan.Limit (join, 50); early_exit = true };
     {
+      base with
       name = "guard-fire";
       plan =
         Plan.Guard
@@ -74,7 +96,15 @@ let workloads () =
           };
       early_exit = true;
     };
-    { name = "full-drain"; plan = join; early_exit = false };
+    { base with name = "full-drain"; plan = join };
+    {
+      base with
+      name = "zone-skip";
+      plan =
+        Plan.Scan
+          { table = "lineitem"; access = Plan.Seq_scan; pred = zone_skip_pred catalog };
+      zone_skip = true;
+    };
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -154,6 +184,7 @@ let total_pages (s : Cost.snapshot) = s.Cost.seq_pages + s.Cost.random_pages
 let counters_equal (a : Cost.snapshot) (b : Cost.snapshot) =
   a.Cost.seq_pages = b.Cost.seq_pages
   && a.Cost.random_pages = b.Cost.random_pages
+  && a.Cost.pages_skipped = b.Cost.pages_skipped
   && a.Cost.cpu_tuples = b.Cost.cpu_tuples
   && a.Cost.index_probes = b.Cost.index_probes
   && a.Cost.index_entries = b.Cost.index_entries
@@ -190,6 +221,9 @@ type result = {
   config : config;
   comparisons : comparison list;
   parallel : parallel_check list;
+  buffer_pool : Rq_storage.Buffer_pool.stats;
+      (* global pool traffic over the whole bench (stats reset after the
+         catalog is generated, so this is query-time behaviour) *)
   ok : bool;
 }
 
@@ -312,6 +346,11 @@ let run_parallel_section config catalog ~scale =
     run_parallel_check ~scale ~axis ~min_speedup:config.min_scan_speedup catalog
       "scan-morsel" (scan "lineitem");
     run_parallel_check ~scale ~axis catalog "join-morsel" join;
+    (* Chunk-aligned morsels + zone maps: skipped-page counters must land
+       identically however morsels are scheduled. *)
+    run_parallel_check ~scale ~axis catalog "scan-skip-morsel"
+      (Plan.Scan
+         { table = "lineitem"; access = Plan.Seq_scan; pred = zone_skip_pred catalog });
     run_guard_recovery ~scale ~domains:(max 1 config.domains) catalog "guard-recovery"
       (Plan.Guard
          {
@@ -323,10 +362,18 @@ let run_parallel_section config catalog ~scale =
   ]
 
 let run ?(config = default_config) () =
+  if config.buffer_pool_pages > 0 then
+    Rq_storage.Buffer_pool.configure ~capacity_pages:config.buffer_pool_pages;
   let rng = Rq_math.Rng.create config.seed in
   let params = { Tpch.default_params with scale_factor = config.scale_factor } in
   let catalog = Tpch.generate rng ~params () in
   let scale = Tpch.cost_scale catalog in
+  (* Pool traffic from generation and index builds is load noise; what the
+     report cares about is the hit rate the bench queries see. *)
+  Rq_storage.Buffer_pool.reset_stats Rq_storage.Buffer_pool.global;
+  let lineitem_pages =
+    Rq_storage.Relation.page_count (Rq_storage.Catalog.find_table catalog "lineitem")
+  in
   let comparisons =
     List.map
       (fun workload ->
@@ -343,20 +390,33 @@ let run ?(config = default_config) () =
         in
         let counters_equal = counters_equal streaming.snapshot materialized.snapshot in
         let wl_ok =
-          if workload.early_exit then pages_saved > 0
+          if workload.zone_skip then
+            counters_equal
+            && streaming.rows = materialized.rows
+            && materialized.snapshot.Cost.pages_skipped > 0
+            && materialized.snapshot.Cost.seq_pages
+               + materialized.snapshot.Cost.pages_skipped
+               = lineitem_pages
+          else if workload.early_exit then pages_saved > 0
           else counters_equal && streaming.rows = materialized.rows
         in
         { workload; streaming; materialized; pages_saved; counters_equal; wl_ok })
-      (workloads ())
+      (workloads catalog)
   in
   let parallel = run_parallel_section config catalog ~scale in
+  let buffer_pool = Rq_storage.Buffer_pool.global_stats () in
+  (* The chunk path is the only road to data: a bench that reports no pool
+     traffic is not measuring the storage layer it claims to. *)
+  let pool_ok = buffer_pool.Rq_storage.Buffer_pool.hits + buffer_pool.Rq_storage.Buffer_pool.misses > 0 in
   {
     config;
     comparisons;
     parallel;
+    buffer_pool;
     ok =
       List.for_all (fun c -> c.wl_ok) comparisons
-      && List.for_all (fun p -> p.p_ok) parallel;
+      && List.for_all (fun p -> p.p_ok) parallel
+      && pool_ok;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -369,6 +429,7 @@ let arm_to_json (a : arm) =
       ("simulated_seconds", Rq_obs.Json.Num a.snapshot.Cost.seconds);
       ("seq_pages", Rq_obs.Json.Num (float_of_int a.snapshot.Cost.seq_pages));
       ("random_pages", Rq_obs.Json.Num (float_of_int a.snapshot.Cost.random_pages));
+      ("pages_skipped", Rq_obs.Json.Num (float_of_int a.snapshot.Cost.pages_skipped));
       ("cpu_tuples", Rq_obs.Json.Num (float_of_int a.snapshot.Cost.cpu_tuples));
       ("rows", Rq_obs.Json.Num (float_of_int a.rows));
       ("guard_fired", Rq_obs.Json.Bool a.fired);
@@ -427,6 +488,20 @@ let to_json r =
                    ("ok", Rq_obs.Json.Bool p.p_ok);
                  ])
              r.parallel) );
+      ("buffer_pool_pages", Rq_obs.Json.Num (float_of_int r.config.buffer_pool_pages));
+      ( "buffer_pool",
+        (let s = r.buffer_pool in
+         Rq_obs.Json.Obj
+           [
+             ("hits", Rq_obs.Json.Num (float_of_int s.Rq_storage.Buffer_pool.hits));
+             ("misses", Rq_obs.Json.Num (float_of_int s.Rq_storage.Buffer_pool.misses));
+             ("evictions", Rq_obs.Json.Num (float_of_int s.Rq_storage.Buffer_pool.evictions));
+             ("hit_rate", Rq_obs.Json.Num (Rq_storage.Buffer_pool.hit_rate s));
+             ( "capacity_chunks",
+               Rq_obs.Json.Num (float_of_int s.Rq_storage.Buffer_pool.capacity_chunks) );
+             ( "resident_chunks",
+               Rq_obs.Json.Num (float_of_int s.Rq_storage.Buffer_pool.resident_chunks) );
+           ]) );
       ("ok", Rq_obs.Json.Bool r.ok);
     ]
 
@@ -447,7 +522,13 @@ let render r =
       arm_row "streaming" c.streaming;
       arm_row "materialized" c.materialized;
       let verdict =
-        if c.workload.early_exit then
+        if c.workload.zone_skip then
+          if c.wl_ok then
+            Printf.sprintf "zone maps skipped %d pages (read %d, zero charge on skips)"
+              c.materialized.snapshot.Cost.pages_skipped
+              c.materialized.snapshot.Cost.seq_pages
+          else "ZONE MAPS SKIPPED NOTHING (or page accounting broke)"
+        else if c.workload.early_exit then
           Printf.sprintf "%d pages saved%s" c.pages_saved
             (if c.streaming.fired then " (guard fired mid-stream)" else "")
         else if c.counters_equal then "all counters identical"
@@ -474,5 +555,12 @@ let render r =
       in
       add "%-16s   -> %s%s\n" p.p_name verdict (if p.p_ok then "" else "  [FAIL]"))
     r.parallel;
+  let s = r.buffer_pool in
+  add
+    "buffer pool: %d hits / %d misses (hit rate %.3f), %d evictions, %d/%d chunks \
+     resident\n"
+    s.Rq_storage.Buffer_pool.hits s.Rq_storage.Buffer_pool.misses
+    (Rq_storage.Buffer_pool.hit_rate s) s.Rq_storage.Buffer_pool.evictions
+    s.Rq_storage.Buffer_pool.resident_chunks s.Rq_storage.Buffer_pool.capacity_chunks;
   add "bench-exec: %s\n" (if r.ok then "ok" else "FAILED");
   Buffer.contents b

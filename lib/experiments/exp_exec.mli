@@ -24,13 +24,24 @@ type config = {
   domains : int;              (** top of the morsel-parallel domains axis *)
   min_scan_speedup : float;
       (** gate: simulated scan-morsel speedup at [domains] over one domain *)
+  buffer_pool_pages : int;
+      (** global buffer-pool capacity in 8 KiB pages; 0 keeps the process
+          default.  Capping it well below the data size is how the bench
+          demonstrates out-of-core execution. *)
 }
 
 val default_config : config
 val small_config : config
 (** CI-sized: smaller catalog, fewer repetitions. *)
 
-type workload = { name : string; plan : Plan.t; early_exit : bool }
+type workload = {
+  name : string;
+  plan : Plan.t;
+  early_exit : bool;
+  zone_skip : bool;
+      (** the scan must skip whole chunks via zone maps: [pages_skipped > 0]
+          and [seq_pages + pages_skipped] = the table's page count *)
+}
 
 type arm = {
   snapshot : Cost.snapshot;
@@ -74,14 +85,19 @@ type result = {
   config : config;
   comparisons : comparison list;
   parallel : parallel_check list;
+  buffer_pool : Rq_storage.Buffer_pool.stats;
+      (** global pool traffic over the bench queries (reset after catalog
+          generation) — hits, misses, evictions, hit rate *)
   ok : bool;
 }
 
 val run : ?config:config -> unit -> result
 (** [ok] is false when an early-exit workload saved no pages, a full-drain
-    workload's counters diverged, a parallel run failed to reproduce the
-    serial result exactly, the scan-morsel speedup gate missed, or the
-    parallel guard failed to recover. *)
+    workload's counters diverged, the zone-skip workload skipped nothing
+    (or its read + skipped pages missed the table's page count), a parallel
+    run failed to reproduce the serial result exactly, the scan-morsel
+    speedup gate missed, the parallel guard failed to recover, or the
+    buffer pool reported no traffic at all. *)
 
 val to_json : result -> Rq_obs.Json.t
 val render : result -> string

@@ -63,6 +63,10 @@ type case = {
   mutations : Mutate.t list;
   faults : Fault.injection list;
   query : query_gene;
+  pool_pages : int option;
+      (* buffer-pool-capacity gene: cap the global pool (in 8 KiB pages)
+         while the case's passes run.  Eviction pressure must never change
+         answers — a tiny pool only re-faults chunks. *)
 }
 
 let workload_to_string = function Tpch -> "tpch" | Star -> "star"
@@ -361,11 +365,17 @@ let atom_of_json j =
 
 let case_to_json case =
   Json.Obj
-    [
+    ([
       ("workload", Json.Str (workload_to_string case.workload));
       ("catalog_seed", Json.Num (float_of_int case.catalog_seed));
       ("mutations", Json.List (List.map (fun m -> Json.Str (Mutate.to_string m)) case.mutations));
       ("faults", Json.List (List.map Fault.injection_to_json case.faults));
+    ]
+    @ (* emitted only when set, so corpora from older builds round-trip *)
+    (match case.pool_pages with
+    | None -> []
+    | Some n -> [ ("pool_pages", Json.Num (float_of_int n)) ])
+    @ [
       ( "query",
         let gene_json g =
           Json.Obj
@@ -389,7 +399,7 @@ let case_to_json case =
           match q.limit with
           | None -> []
           | Some n -> [ ("limit", Json.Num (float_of_int n)) ]) );
-    ]
+    ])
 
 let case_of_json j =
   let* workload_s = jstr "workload" j in
@@ -436,6 +446,13 @@ let case_of_json j =
     | Some (Json.Num n) -> Ok (Some (int_of_float n))
     | Some _ -> Error "field \"limit\" must be a number"
   in
+  (* optional top-level gene: absent in corpora from older builds *)
+  let* pool_pages =
+    match (match j with Json.Obj fields -> List.assoc_opt "pool_pages" fields | _ -> None) with
+    | None -> Ok None
+    | Some (Json.Num n) -> Ok (Some (int_of_float n))
+    | Some _ -> Error "field \"pool_pages\" must be a number"
+  in
   if genes = [] then Error "query has no tables"
   else
     Ok
@@ -445,6 +462,7 @@ let case_of_json j =
         mutations;
         faults;
         query = { genes; shape; semis; order; descending; limit };
+        pool_pages;
       }
 
 (* ------------------------------------------------------------------ *)
@@ -796,7 +814,21 @@ let run_case config ~self_test ~self_test_rewrite env case : (probe, string) res
 let probe_case ?(self_test = false) ?(self_test_rewrite = false) config case =
   match build_env config case with
   | Error e -> Error e
-  | Ok env -> run_case config ~self_test ~self_test_rewrite env case
+  | Ok env -> (
+      match case.pool_pages with
+      | None -> run_case config ~self_test ~self_test_rewrite env case
+      | Some pages ->
+          (* Apply the buffer-pool-capacity gene for the duration of the
+             probe, then restore the previous capacity: a starved pool must
+             only add fault-ins, never change an answer. *)
+          let before =
+            (Rq_storage.Buffer_pool.global_stats ()).Rq_storage.Buffer_pool.capacity_chunks
+            * Rq_storage.Page.pages_per_chunk
+          in
+          Rq_storage.Buffer_pool.configure ~capacity_pages:pages;
+          Fun.protect
+            ~finally:(fun () -> Rq_storage.Buffer_pool.configure ~capacity_pages:before)
+            (fun () -> run_case config ~self_test ~self_test_rewrite env case))
 
 (* ------------------------------------------------------------------ *)
 (* Random generation and the escalating mutator                        *)
@@ -875,7 +907,10 @@ let gen_case rng config =
      steered loop must win on search order, not on a larger gene pool *)
   let faults = if Rng.int rng 4 = 0 then [ gen_fault rng spec tables ] else [] in
   let mutations = if Rng.int rng 6 = 0 then [ gen_mutation rng spec tables ] else [] in
-  { workload; catalog_seed; mutations; faults; query }
+  let pool_pages =
+    if Rng.int rng 6 = 0 then Some (Rng.pick rng [| 64; 256; 2048 |]) else None
+  in
+  { workload; catalog_seed; mutations; faults; query; pool_pages }
 
 let cap_list n l = if List.length l > n then List.tl l else l
 
@@ -992,7 +1027,15 @@ let mutate_case rng ~level _config case =
            transition sequences no single injection can produce *)
         { case with faults = cap_list 3 (case.faults @ [ gen_fault rng spec tables ]) }
   | _ ->
-      if case.mutations <> [] && Rng.int rng 4 = 0 then
+      if Rng.int rng 5 = 0 then
+        (* toggle or tighten the buffer-pool-capacity gene *)
+        { case with
+          pool_pages =
+            (match case.pool_pages with
+            | None -> Some (Rng.pick rng [| 64; 256; 2048 |])
+            | Some n -> if Rng.bool rng then None else Some (max 16 (n / 4)));
+        }
+      else if case.mutations <> [] && Rng.int rng 4 = 0 then
         let j = Rng.int rng (List.length case.mutations) in
         { case with mutations = List.filteri (fun k _ -> k <> j) case.mutations }
       else { case with mutations = cap_list 3 (case.mutations @ [ gen_mutation rng spec tables ]) }
@@ -1047,6 +1090,9 @@ let shrink_candidates case =
     List.mapi
       (fun j _ -> { case with mutations = List.filteri (fun k _ -> k <> j) case.mutations })
       case.mutations
+  in
+  let drop_pool =
+    if case.pool_pages <> None then [ { case with pool_pages = None } ] else []
   in
   let weaken_mutations =
     List.concat
@@ -1120,7 +1166,8 @@ let shrink_candidates case =
      (ORDER BY / LIMIT), then whole faults/mutations, then conjuncts, then
      literal values *)
   drop_tables @ drop_semis @ drop_order @ drop_limit @ simplify_shape @ drop_mutations
-  @ drop_faults @ weaken_mutations @ weaken_faults @ drop_atoms @ shrink_literals
+  @ drop_pool @ drop_faults @ weaken_mutations @ weaken_faults @ drop_atoms
+  @ shrink_literals
 
 let shrink ~probe ~config case0 (div0 : divergence) =
   let reproduces case =

@@ -50,6 +50,11 @@ type case = {
   mutations : Mutate.t list;          (** applied to the catalog, in order *)
   faults : Rq_stats.Fault.injection list;  (** applied to the statistics *)
   query : query_gene;
+  pool_pages : int option;
+      (** buffer-pool-capacity gene: global pool capped at this many pages
+          (restored afterwards) while the case's passes run — eviction
+          pressure must never change an answer.  Emitted to JSON only when
+          set, so older corpora round-trip. *)
 }
 
 val workload_to_string : workload -> string

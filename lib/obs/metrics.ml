@@ -2,6 +2,7 @@ type t = {
   seconds : float;
   seq_pages : int;
   random_pages : int;
+  pages_skipped : int;
   cpu_tuples : int;
   index_probes : int;
   index_entries : int;
@@ -19,6 +20,7 @@ let zero =
     seconds = 0.0;
     seq_pages = 0;
     random_pages = 0;
+    pages_skipped = 0;
     cpu_tuples = 0;
     index_probes = 0;
     index_entries = 0;
@@ -36,6 +38,7 @@ let map2 fi ff a b =
     seconds = ff a.seconds b.seconds;
     seq_pages = fi a.seq_pages b.seq_pages;
     random_pages = fi a.random_pages b.random_pages;
+    pages_skipped = fi a.pages_skipped b.pages_skipped;
     cpu_tuples = fi a.cpu_tuples b.cpu_tuples;
     index_probes = fi a.index_probes b.index_probes;
     index_entries = fi a.index_entries b.index_entries;
@@ -53,6 +56,7 @@ let sub = map2 ( - ) ( -. )
 
 let approx_equal ?(tolerance = 1e-9) a b =
   a.seq_pages = b.seq_pages && a.random_pages = b.random_pages
+  && a.pages_skipped = b.pages_skipped
   && a.cpu_tuples = b.cpu_tuples && a.index_probes = b.index_probes
   && a.index_entries = b.index_entries && a.hash_build = b.hash_build
   && a.hash_probe = b.hash_probe && a.merge_tuples = b.merge_tuples
@@ -67,6 +71,7 @@ let to_json m =
       ("seconds", Json.Num m.seconds);
       ("seq_pages", Json.Num (float_of_int m.seq_pages));
       ("random_pages", Json.Num (float_of_int m.random_pages));
+      ("pages_skipped", Json.Num (float_of_int m.pages_skipped));
       ("cpu_tuples", Json.Num (float_of_int m.cpu_tuples));
       ("index_probes", Json.Num (float_of_int m.index_probes));
       ("index_entries", Json.Num (float_of_int m.index_entries));
@@ -129,6 +134,53 @@ let kernel_to_json k =
       ("rows_scan_avoided", Json.Num (float_of_int k.rows_scan_avoided));
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Buffer-pool counters                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Residency accounting for the chunk buffer pool.  Deliberately separate
+   from the simulated-cost record above: under the morsel-parallel executor
+   which domain faults a chunk in first is a race, so hit/miss/eviction
+   totals are schedule-dependent and must not participate in the
+   deterministic counter-parity checks (pages_skipped, by contrast, is
+   deterministic and lives in [t]). *)
+type pool = {
+  pool_hits : int;        (* pins served from the residency table *)
+  pool_misses : int;      (* pins that faulted the chunk in *)
+  pool_evictions : int;   (* unpinned chunks dropped by LRU pressure *)
+  pool_capacity_chunks : int;
+  pool_resident_chunks : int;
+}
+
+let pool_zero =
+  {
+    pool_hits = 0;
+    pool_misses = 0;
+    pool_evictions = 0;
+    pool_capacity_chunks = 0;
+    pool_resident_chunks = 0;
+  }
+
+let pool_hit_rate p =
+  let total = p.pool_hits + p.pool_misses in
+  if total = 0 then 0.0 else float_of_int p.pool_hits /. float_of_int total
+
+let pool_to_json p =
+  Json.Obj
+    [
+      ("hits", Json.Num (float_of_int p.pool_hits));
+      ("misses", Json.Num (float_of_int p.pool_misses));
+      ("evictions", Json.Num (float_of_int p.pool_evictions));
+      ("hit_rate", Json.Num (pool_hit_rate p));
+      ("capacity_chunks", Json.Num (float_of_int p.pool_capacity_chunks));
+      ("resident_chunks", Json.Num (float_of_int p.pool_resident_chunks));
+    ]
+
+let pp_pool fmt p =
+  Format.fprintf fmt "hits=%d misses=%d evictions=%d hit_rate=%.3f resident=%d/%d"
+    p.pool_hits p.pool_misses p.pool_evictions (pool_hit_rate p)
+    p.pool_resident_chunks p.pool_capacity_chunks
+
 let pp_kernel fmt k =
   Format.fprintf fmt
     "evidence=%d bitmaps=%d hits=%d evictions=%d rows_scanned=%d rows_avoided=%d"
@@ -140,6 +192,7 @@ let pp fmt m =
   let field name v = if v <> 0 then Format.fprintf fmt " %s=%d" name v in
   field "seq" m.seq_pages;
   field "rand" m.random_pages;
+  field "skipped" m.pages_skipped;
   field "cpu" m.cpu_tuples;
   field "probes" m.index_probes;
   field "entries" m.index_entries;

@@ -110,8 +110,13 @@ let estimate catalog ?(constants = Cost.default_constants) ?(scale = 1.0) est pl
         let card = card_of [ { Logical.table; pred } ] in
         match access with
         | Plan.Seq_scan ->
+            (* The scan cost reads zone-map prunability through the same
+               task planner the engines execute: skipped chunks cost
+               nothing, so the estimate and the meter agree exactly. *)
+            let read_pages, _skipped, read_rows = Chunk_scan.totals rel pred in
             {
-              cost = seq_pages (Relation.page_count rel) +. (rows *. c.Cost.cpu_tuple_s);
+              cost =
+                seq_pages read_pages +. (float_of_int read_rows *. c.Cost.cpu_tuple_s);
               card;
             }
         | Plan.Index_range probe ->
@@ -152,10 +157,16 @@ let estimate catalog ?(constants = Cost.default_constants) ?(scale = 1.0) est pl
         (* The resumed tail scans (n - from) rows; its cardinality is the
            full scan's estimate scaled by the unscanned fraction. *)
         let frac = float_of_int (n - from) /. float_of_int (max 1 n) in
+        let read_pages, read_rows =
+          List.fold_left
+            (fun (p, r) (t : Chunk_scan.task) ->
+              if t.skip then (p, r) else (p + t.pages, r + (t.hi - t.lo)))
+            (0, 0)
+            (Chunk_scan.tasks ~from rel pred)
+        in
         {
           cost =
-            seq_pages (Exec_common.resume_pages rel ~from)
-            +. (float_of_int (n - from) *. c.Cost.cpu_tuple_s);
+            seq_pages read_pages +. (float_of_int read_rows *. c.Cost.cpu_tuple_s);
           card = card_of [ { Logical.table; pred } ] *. frac;
         }
     | Plan.Append parts ->
@@ -232,9 +243,12 @@ let estimate catalog ?(constants = Cost.default_constants) ?(scale = 1.0) est pl
                   [ { Logical.table = fact; pred = Pred.True };
                     { Logical.table = dim_table; pred = dim_pred } ]
               in
+              let dim_read_pages, _, dim_read_rows =
+                Chunk_scan.totals dim_rel dim_pred
+              in
               acc
-              +. seq_pages (Relation.page_count dim_rel)
-              +. (dim_rows *. c.Cost.cpu_tuple_s)
+              +. seq_pages dim_read_pages
+              +. (float_of_int dim_read_rows *. c.Cost.cpu_tuple_s)
               +. (qualifying *. c.Cost.hash_build_s)
               +. (qualifying *. c.Cost.index_probe_s)
               +. (semijoin_entries *. c.Cost.cpu_index_entry_s)

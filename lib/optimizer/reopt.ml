@@ -195,6 +195,19 @@ let execute_plan ?(threshold = 4.0) ?(max_reopts = 2) ?obs ?mode opt query start
           in
           (res, plain, reopts)
         in
+        (* A guard inside a semijoin (or scalar-subquery) build fires over a
+           table that is not a FROM-list leaf.  Its checkpoint must not seed
+           the join-tree continuation: re-joining the inner table would both
+           change multiplicity (IN/EXISTS drops duplicates, a join keeps
+           them) and duplicate the inner columns once [wrap_top] lowers the
+           semijoin again on top.  The feedback observation is still
+           recorded, so a full replan below re-costs the build accurately. *)
+        let in_from t =
+          List.exists
+            (fun (r : Logical.table_ref) -> String.equal r.Logical.table t)
+            query.Logical.tables
+        in
+        let checkpointable = covered <> [] && List.for_all in_from covered in
         if reopts >= max_reopts then
           finish_plain ~replanned:false ~reason:"re-optimization budget exhausted" plan
         else begin
@@ -223,6 +236,19 @@ let execute_plan ?(threshold = 4.0) ?(max_reopts = 2) ?obs ?mode opt query start
                     sub_refs;
               }
           in
+          let replan_full () =
+            match Enumerate.join_plans catalog ~cost_fn query with
+            | [] -> finish_plain ~replanned:false ~reason:"no full replan available" plan
+            | first :: rest_plans ->
+                let best =
+                  List.fold_left
+                    (fun acc p -> if cost_fn p < cost_fn acc then p else acc)
+                    first rest_plans
+                in
+                adopt best
+          in
+          if not checkpointable then replan_full ()
+          else
           match (complete, resume) with
           | true, _ -> (
               (* The whole subplan output is in hand: continue from it. *)
@@ -241,20 +267,11 @@ let execute_plan ?(threshold = 4.0) ?(max_reopts = 2) ?obs ?mode opt query start
                   finish_plain ~replanned:false
                     ~reason:"no continuation (disconnected remainder)" plan
               | Some joined -> adopt joined)
-          | false, None -> (
+          | false, None ->
               (* Mid-stream firing with a non-resumable prefix (index fetch,
                  join output): the partial rows cannot be completed, so
                  replan the whole query under the corrected estimator. *)
-              match Enumerate.join_plans catalog ~cost_fn query with
-              | [] ->
-                  finish_plain ~replanned:false ~reason:"no full replan available" plan
-              | first :: rest_plans ->
-                  let best =
-                    List.fold_left
-                      (fun acc p -> if cost_fn p < cost_fn acc then p else acc)
-                      first rest_plans
-                  in
-                  adopt best)
+              replan_full ()
         end
   in
   let result, final_plan, reoptimizations = attempt initial 0 in

@@ -153,7 +153,7 @@ let parse_script input =
 let schema_of_def def =
   Schema.create (List.map (fun { name; ty; _ } -> { Schema.name; ty }) def.columns)
 
-let build_catalog ~statements ~rows_for =
+let build_catalog ~statements ~relation_for =
   try
     let catalog = Catalog.create () in
     let tables =
@@ -162,16 +162,15 @@ let build_catalog ~statements ~rows_for =
     List.iter
       (fun def ->
         let schema = schema_of_def def in
-        let rows =
-          match rows_for ~table_name:def.table_name ~schema with
-          | Ok rows -> rows
+        let rel =
+          match relation_for ~table_name:def.table_name ~schema with
+          | Ok rel -> rel
           | Error msg -> fail "loading %s: %s" def.table_name msg
         in
         let primary_key =
           List.find_opt (fun c -> c.primary_key) def.columns |> Option.map (fun c -> c.name)
         in
-        Catalog.add_table catalog ?primary_key ?clustered_by:def.clustered_by
-          (Relation.create ~name:def.table_name ~schema rows))
+        Catalog.add_table catalog ?primary_key ?clustered_by:def.clustered_by rel)
       tables;
     List.iter
       (fun def ->

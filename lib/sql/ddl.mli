@@ -37,8 +37,10 @@ val parse_script : string -> (statement list, string) result
 
 val build_catalog :
   statements:statement list ->
-  rows_for:(table_name:string -> schema:Schema.t -> (Relation.tuple array, string) result) ->
+  relation_for:(table_name:string -> schema:Schema.t -> (Relation.t, string) result) ->
   (Catalog.t, string) result
-(** Creates tables (fetching each table's rows through [rows_for]), then
-    declares foreign keys, then builds indexes — so FK targets exist
-    regardless of statement order among CREATE TABLEs. *)
+(** Creates tables (fetching each table's relation through
+    [relation_for], which may stream rows into a {!Relation.Builder}
+    rather than materialize an array), then declares foreign keys, then
+    builds indexes — so FK targets exist regardless of statement order
+    among CREATE TABLEs. *)

@@ -1,119 +1,1 @@
-(* Fixed-length bitsets packed as little-endian int64 words in Bytes.
-
-   The evidence kernel's data plane: one bit per synopsis row.  Boolean
-   predicate structure maps onto word-wise AND/OR/NOT and evidence counts
-   onto popcount, so combining cached atomic bitmaps costs O(n/64) words
-   instead of O(n) row evaluations. *)
-
-type t = { len : int; words : Bytes.t }
-
-let word_count len = (len + 63) lsr 6
-
-let length t = t.len
-let words t = word_count t.len
-
-let get_word t i = Bytes.get_int64_le t.words (i lsl 3)
-let set_word t i v = Bytes.set_int64_le t.words (i lsl 3) v
-
-(* Bits past [len] in the last word must stay zero: popcount and equal
-   read whole words and never mask.  [lognot] is the only operation that
-   can set them; it re-masks the tail. *)
-let tail_mask len =
-  let used = len land 63 in
-  if used = 0 then -1L else Int64.sub (Int64.shift_left 1L used) 1L
-
-let create len =
-  if len < 0 then invalid_arg "Bitset.create: negative length";
-  { len; words = Bytes.make (8 * word_count len) '\000' }
-
-let full len =
-  let t = create len in
-  let w = word_count len in
-  for i = 0 to w - 1 do
-    set_word t i (-1L)
-  done;
-  if w > 0 then set_word t (w - 1) (tail_mask len);
-  t
-
-let check_index t i =
-  if i < 0 || i >= t.len then
-    invalid_arg (Printf.sprintf "Bitset: index %d out of range [0, %d)" i t.len)
-
-let set t i =
-  check_index t i;
-  let w = i lsr 6 and b = i land 63 in
-  set_word t w (Int64.logor (get_word t w) (Int64.shift_left 1L b))
-
-let get t i =
-  check_index t i;
-  let w = i lsr 6 and b = i land 63 in
-  Int64.logand (Int64.shift_right_logical (get_word t w) b) 1L <> 0L
-
-let check_same_length op a b =
-  if a.len <> b.len then
-    invalid_arg (Printf.sprintf "Bitset.%s: lengths differ (%d vs %d)" op a.len b.len)
-
-let map2 op f a b =
-  check_same_length op a b;
-  let out = create a.len in
-  for i = 0 to word_count a.len - 1 do
-    set_word out i (f (get_word a i) (get_word b i))
-  done;
-  out
-
-let logand a b = map2 "logand" Int64.logand a b
-let logor a b = map2 "logor" Int64.logor a b
-
-let lognot a =
-  let out = create a.len in
-  let w = word_count a.len in
-  for i = 0 to w - 1 do
-    set_word out i (Int64.lognot (get_word a i))
-  done;
-  if w > 0 then set_word out (w - 1) (Int64.logand (get_word out (w - 1)) (tail_mask a.len));
-  out
-
-(* SWAR popcount (Hacker's Delight fig. 5-2): no hardware popcnt from
-   OCaml, but 64 bits fold in a handful of int64 ops. *)
-let popcount64 x =
-  let open Int64 in
-  let x = sub x (logand (shift_right_logical x 1) 0x5555555555555555L) in
-  let x = add (logand x 0x3333333333333333L) (logand (shift_right_logical x 2) 0x3333333333333333L) in
-  let x = logand (add x (shift_right_logical x 4)) 0x0f0f0f0f0f0f0f0fL in
-  to_int (shift_right_logical (mul x 0x0101010101010101L) 56)
-
-let popcount t =
-  let acc = ref 0 in
-  for i = 0 to word_count t.len - 1 do
-    acc := !acc + popcount64 (get_word t i)
-  done;
-  !acc
-
-let count_and a b =
-  check_same_length "count_and" a b;
-  let acc = ref 0 in
-  for i = 0 to word_count a.len - 1 do
-    acc := !acc + popcount64 (Int64.logand (get_word a i) (get_word b i))
-  done;
-  !acc
-
-let equal a b = a.len = b.len && Bytes.equal a.words b.words
-
-let iter_set f t =
-  for i = 0 to word_count t.len - 1 do
-    let w = ref (get_word t i) in
-    (* Peel off the lowest set bit each round: iteration cost tracks the
-       popcount, not the universe size. *)
-    while !w <> 0L do
-      let lowest = Int64.logand !w (Int64.neg !w) in
-      f ((i lsl 6) + popcount64 (Int64.sub lowest 1L));
-      w := Int64.logxor !w lowest
-    done
-  done
-
-let of_pred ~len pred =
-  let t = create len in
-  for i = 0 to len - 1 do
-    if pred i then set t i
-  done;
-  t
+include Rq_storage.Bitset

@@ -1,126 +1,1 @@
-(* A small string-keyed LRU: a hashtable over an intrusive doubly-linked
-   recency list, so find/insert/evict are all O(1) — no victim scan.  The
-   evidence and bitmap caches and the plan cache are bounded with this so
-   long throughput runs cannot grow memory without bound; [on_evict] lets
-   the owner surface each eviction as a trace event. *)
-
-type 'a node = {
-  key : string;
-  mutable value : 'a;
-  mutable prev : 'a node option;  (* toward most-recent *)
-  mutable next : 'a node option;  (* toward least-recent *)
-}
-
-type 'a t = {
-  capacity : int;
-  entries : (string, 'a node) Hashtbl.t;
-  mutable head : 'a node option;  (* most recently used *)
-  mutable tail : 'a node option;  (* least recently used *)
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
-  mutable on_evict : string -> unit;
-}
-
-let create ?(on_evict = fun _ -> ()) ~capacity () =
-  if capacity < 0 then invalid_arg "Lru.create: capacity must be non-negative";
-  {
-    capacity;
-    entries = Hashtbl.create (min (max capacity 1) 64);
-    head = None;
-    tail = None;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
-    on_evict;
-  }
-
-let capacity t = t.capacity
-let length t = Hashtbl.length t.entries
-let hits t = t.hits
-let misses t = t.misses
-let evictions t = t.evictions
-let set_on_evict t f = t.on_evict <- f
-
-let unlink t node =
-  (match node.prev with Some p -> p.next <- node.next | None -> t.head <- node.next);
-  (match node.next with Some n -> n.prev <- node.prev | None -> t.tail <- node.prev);
-  node.prev <- None;
-  node.next <- None
-
-let push_front t node =
-  node.prev <- None;
-  node.next <- t.head;
-  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
-  t.head <- Some node
-
-let touch t node =
-  match t.head with
-  | Some h when h == node -> ()
-  | _ ->
-      unlink t node;
-      push_front t node
-
-let find t key =
-  match Hashtbl.find_opt t.entries key with
-  | Some node ->
-      touch t node;
-      t.hits <- t.hits + 1;
-      Some node.value
-  | None ->
-      t.misses <- t.misses + 1;
-      None
-
-let mem t key = Hashtbl.mem t.entries key
-
-let evict_lru t =
-  match t.tail with
-  | None -> ()
-  | Some node ->
-      unlink t node;
-      Hashtbl.remove t.entries node.key;
-      t.evictions <- t.evictions + 1;
-      t.on_evict node.key
-
-let insert t key value =
-  if t.capacity = 0 then begin
-    (* A zero-capacity cache holds nothing: the insert itself is the
-       eviction, so the counters and callback still tell the truth. *)
-    ignore value;
-    t.evictions <- t.evictions + 1;
-    t.on_evict key
-  end
-  else
-    match Hashtbl.find_opt t.entries key with
-    | Some node ->
-        (* Present: refresh, never evict — re-inserting an existing key at
-           capacity must not drop an innocent victim. *)
-        node.value <- value;
-        touch t node
-    | None ->
-        if Hashtbl.length t.entries >= t.capacity then evict_lru t;
-        let node = { key; value; prev = None; next = None } in
-        Hashtbl.replace t.entries key node;
-        push_front t node
-
-let remove t key =
-  match Hashtbl.find_opt t.entries key with
-  | None -> ()
-  | Some node ->
-      unlink t node;
-      Hashtbl.remove t.entries key
-      (* A deliberate drop (e.g. a version-invalidated plan), not a
-         capacity eviction: no counter bump, no [on_evict]. *)
-
-let find_or_add t key make =
-  match find t key with
-  | Some v -> v
-  | None ->
-      let v = make () in
-      insert t key v;
-      v
-
-let clear t =
-  Hashtbl.reset t.entries;
-  t.head <- None;
-  t.tail <- None
+include Rq_storage.Lru

@@ -1,0 +1,28 @@
+(** Immutable columnar chunks: a fixed-size run of rows stored column-major
+    (one [Value.t array] per column), the unit of buffer-pool residency and
+    zone-map granularity.  A chunk spans a whole number of pages
+    ({!Page.pages_per_chunk}), so chunk boundaries are page-aligned. *)
+
+type t
+
+val of_tuples : Value.t array array -> t
+(** Seal a non-empty row-major slice into a chunk (copies into columns). *)
+
+val of_rows : arity:int -> (int -> int -> Value.t) -> int -> t
+(** [of_rows ~arity value n]: chunk of [n] rows where cell [(r,c)] is
+    [value r c] — builds column-major directly, without a row-major copy. *)
+
+val n_rows : t -> int
+val n_columns : t -> int
+
+val value : t -> col:int -> row:int -> Value.t
+
+val column : t -> int -> Value.t array
+(** The backing column array — do not mutate. *)
+
+val get : t -> int -> Value.t array
+(** Materialize one row as a fresh tuple. *)
+
+val iter : (int -> Value.t array -> unit) -> t -> unit
+(** Rows in order, each materialized as a fresh tuple; the row index is
+    chunk-relative. *)

@@ -1,70 +1,125 @@
-let parse input =
-  let n = String.length input in
-  let rows = ref [] in
+exception Csv_error of string
+exception Row_error of string
+
+(* The scanner proper, over any character source with one slot of pushback
+   (all the grammar needs: the "" escape and the CRLF pair are the only
+   two-character lookaheads).  [emit] receives each completed row; it may
+   raise to abort.  Offsets in errors count consumed characters, matching
+   the historical string-indexed messages. *)
+let scan ~next ~emit =
+  let peeked = ref None in
+  let pos = ref 0 in
+  let getc () =
+    match !peeked with
+    | Some _ as r ->
+        peeked := None;
+        incr pos;
+        r
+    | None -> (
+        match next () with
+        | Some _ as r ->
+            incr pos;
+            r
+        | None -> None)
+  in
+  let peekc () =
+    match !peeked with
+    | Some _ as r -> r
+    | None -> (
+        match next () with
+        | Some c ->
+            peeked := Some c;
+            Some c
+        | None -> None)
+  in
+  let fail i msg = raise (Csv_error (Printf.sprintf "offset %d: %s" i msg)) in
   let fields = ref [] in
   let buf = Buffer.create 32 in
-  let error = ref None in
-  let fail i msg = error := Some (Printf.sprintf "offset %d: %s" i msg) in
   let flush_field () =
     fields := Buffer.contents buf :: !fields;
     Buffer.clear buf
   in
   let flush_row () =
     flush_field ();
-    rows := List.rev !fields :: !rows;
+    emit (List.rev !fields);
     fields := []
   in
-  let i = ref 0 in
   (* Tracks whether the current (possibly empty) field has consumed any
      character yet — needed to drop a trailing newline without emitting a
      phantom empty row. *)
   let row_started = ref false in
-  while !error = None && !i < n do
-    let c = input.[!i] in
-    if c = '"' then begin
-      if Buffer.length buf > 0 then fail !i "quote inside unquoted field"
-      else begin
+  let rec loop () =
+    match getc () with
+    | None -> ()
+    | Some '"' ->
+        if Buffer.length buf > 0 then fail (!pos - 1) "quote inside unquoted field";
         (* Quoted field: scan to the closing quote, honoring "" escapes. *)
-        incr i;
-        let closed = ref false in
-        while (not !closed) && !error = None do
-          if !i >= n then fail !i "unterminated quoted field"
-          else if input.[!i] = '"' then
-            if !i + 1 < n && input.[!i + 1] = '"' then begin
-              Buffer.add_char buf '"';
-              i := !i + 2
-            end
-            else begin
-              closed := true;
-              incr i
-            end
-          else begin
-            Buffer.add_char buf input.[!i];
-            incr i
-          end
-        done;
-        row_started := true
-      end
-    end
-    else if c = ',' then begin
-      flush_field ();
-      row_started := true;
-      incr i
-    end
-    else if c = '\n' || c = '\r' then begin
-      if !row_started || Buffer.length buf > 0 then flush_row ();
-      row_started := false;
-      (* Swallow a CRLF pair. *)
-      if c = '\r' && !i + 1 < n && input.[!i + 1] = '\n' then i := !i + 2 else incr i
-    end
+        let rec quoted () =
+          match getc () with
+          | None -> fail !pos "unterminated quoted field"
+          | Some '"' -> (
+              match peekc () with
+              | Some '"' ->
+                  ignore (getc ());
+                  Buffer.add_char buf '"';
+                  quoted ()
+              | _ -> ())
+          | Some c ->
+              Buffer.add_char buf c;
+              quoted ()
+        in
+        quoted ();
+        row_started := true;
+        loop ()
+    | Some ',' ->
+        flush_field ();
+        row_started := true;
+        loop ()
+    | Some (('\n' | '\r') as c) ->
+        if !row_started || Buffer.length buf > 0 then flush_row ();
+        row_started := false;
+        (* Swallow a CRLF pair. *)
+        (if c = '\r' then
+           match peekc () with Some '\n' -> ignore (getc ()) | _ -> ());
+        loop ()
+    | Some c ->
+        Buffer.add_char buf c;
+        row_started := true;
+        loop ()
+  in
+  loop ();
+  if !row_started || Buffer.length buf > 0 then flush_row ()
+
+let parse input =
+  let n = String.length input in
+  let i = ref 0 in
+  let next () =
+    if !i >= n then None
     else begin
-      Buffer.add_char buf c;
-      row_started := true;
-      incr i
+      let c = input.[!i] in
+      incr i;
+      Some c
     end
-  done;
-  if !error = None && (!row_started || Buffer.length buf > 0) then flush_row ();
-  match !error with Some msg -> Error msg | None -> Ok (List.rev !rows)
+  in
+  let rows = ref [] in
+  match scan ~next ~emit:(fun row -> rows := row :: !rows) with
+  | () -> Ok (List.rev !rows)
+  | exception Csv_error msg -> Error msg
+
+let fold_rows ic ~init f =
+  let next () =
+    match input_char ic with c -> Some c | exception End_of_file -> None
+  in
+  let acc = ref init in
+  let emit row =
+    match f !acc row with
+    | Ok a -> acc := a
+    | Error msg -> raise (Row_error msg)
+  in
+  match scan ~next ~emit with
+  | () -> Ok !acc
+  | exception Csv_error msg -> Error msg
+  | exception Row_error msg -> Error msg
 
 let needs_quoting field =
   String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') field

@@ -9,6 +9,15 @@ val parse : string -> (string list list, string) result
     Errors report the offset of the offending character (e.g. a stray
     quote inside an unquoted field). *)
 
+val fold_rows :
+  in_channel -> init:'a -> ('a -> string list -> ('a, string) result) -> ('a, string) result
+(** Stream rows from a channel without slurping the file: each completed
+    row is folded through [f] as soon as its terminating newline is read,
+    so memory stays O(row), not O(file) — what makes a TPC-H SF 1 load
+    constant-memory.  Same grammar, offsets and error messages as {!parse}
+    (offsets count consumed characters).  An [Error] from [f] aborts the
+    fold and is returned as-is. *)
+
 val render : string list list -> string
 (** Inverse of [parse]: fields containing commas, quotes or newlines are
     quoted; everything round-trips. *)

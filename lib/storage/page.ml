@@ -1,0 +1,12 @@
+(* Single source of truth for page geometry (shared by the cost model, zone
+   maps and morsel alignment).  A chunk is a fixed whole number of pages, so
+   chunk boundaries are always page-aligned and per-chunk page charges
+   telescope exactly. *)
+
+let size_bytes = 8192
+
+let rows_per_page schema = max 1 (size_bytes / max 1 (Schema.row_bytes schema))
+
+let pages_per_chunk = 16
+
+let rows_per_chunk schema = pages_per_chunk * rows_per_page schema

@@ -1,0 +1,17 @@
+(** Page geometry: the single source of truth shared by the cost model
+    ([Relation.rows_per_page]), zone maps (chunk extents) and morsel
+    alignment in the parallel executor. *)
+
+val size_bytes : int
+(** 8192, a conventional DBMS page size. *)
+
+val rows_per_page : Schema.t -> int
+(** [max 1 (size_bytes / row_bytes)] — at least 1 even for very wide rows. *)
+
+val pages_per_chunk : int
+(** Chunks are a fixed whole number of pages (16), so chunk boundaries are
+    page-aligned and per-chunk sequential-page charges telescope exactly
+    across morsels. *)
+
+val rows_per_chunk : Schema.t -> int
+(** [pages_per_chunk * rows_per_page schema]. *)

@@ -1,53 +1,226 @@
+(* Relations as sequences of immutable columnar chunks.
+
+   A relation no longer owns a row array: rows live in fixed-size
+   column-major chunks ({!Chunk}), each spanning a whole number of pages
+   ({!Page.pages_per_chunk}) and summarized by an always-resident zone map
+   ({!Zone_map}).  Chunk payloads are reached exclusively through the
+   process-wide buffer pool ({!Buffer_pool.global}): every access pins the
+   chunk (faulting it in from the heap store or the spill file on a miss)
+   and unpins it when done, so a capped pool bounds resident data while
+   pins keep in-flight chunks safe from eviction.
+
+   [Builder] grows a relation row-by-row with only the current chunk
+   buffered; with [~spill:true] sealed chunks are marshalled to a temp
+   file, which is what lets a TPC-H SF 1 lineitem (~6M rows) exist without
+   ~6M tuples live on the OCaml heap. *)
+
 type tuple = Value.t array
+
+type store =
+  | Heap of Chunk.t array
+  | Spill of { path : string; offsets : int array }
 
 type t = {
   name : string;
   schema : Schema.t;
-  tuples : tuple array;
+  n_rows : int;
   rows_per_page : int;
+  rows_per_chunk : int;
+  zone_maps : Zone_map.t array;
+  store : store;
+  id : int;
 }
 
-let page_size_bytes = 8192
+let page_size_bytes = Page.size_bytes
+
+let next_id = Atomic.make 0
+
+let pool_key t ci = Printf.sprintf "%s/%d#%d" t.name t.id ci
+
+let load_chunk t ci =
+  match t.store with
+  | Heap chunks -> chunks.(ci)
+  | Spill { path; offsets } ->
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          seek_in ic offsets.(ci);
+          (Marshal.from_channel ic : Chunk.t))
+
+let with_chunk t ci f =
+  let key = pool_key t ci in
+  let chunk = Buffer_pool.pin Buffer_pool.global ~key ~load:(fun () -> load_chunk t ci) in
+  Fun.protect
+    ~finally:(fun () -> Buffer_pool.unpin Buffer_pool.global ~key)
+    (fun () -> f chunk)
+
+(* -- Builder ------------------------------------------------------------- *)
+
+module Builder = struct
+  type rel = t
+
+  type sink =
+    | To_heap of Chunk.t list ref  (* sealed chunks, reversed *)
+    | To_spill of { path : string; oc : out_channel; offsets : int list ref }
+
+  type t = {
+    b_name : string;
+    b_schema : Schema.t;
+    arity : int;
+    chunk_capacity : int;
+    buf : tuple array;  (* current chunk's rows, row-major *)
+    mutable buf_len : int;
+    mutable rows : int;
+    mutable zone_maps : Zone_map.t list;  (* reversed *)
+    sink : sink;
+    mutable finished : bool;
+  }
+
+  let create ?(spill = false) ~name ~schema () =
+    let chunk_capacity = Page.rows_per_chunk schema in
+    let sink =
+      if spill then begin
+        let path = Filename.temp_file "rq_spill_" ".chunks" in
+        at_exit (fun () -> if Sys.file_exists path then Sys.remove path);
+        To_spill { path; oc = open_out_bin path; offsets = ref [] }
+      end
+      else To_heap (ref [])
+    in
+    {
+      b_name = name;
+      b_schema = schema;
+      arity = Schema.arity schema;
+      chunk_capacity;
+      buf = Array.make chunk_capacity [||];
+      buf_len = 0;
+      rows = 0;
+      zone_maps = [];
+      sink;
+      finished = false;
+    }
+
+  let row_count b = b.rows
+
+  let seal b =
+    if b.buf_len > 0 then begin
+      let n = b.buf_len in
+      let chunk = Chunk.of_rows ~arity:b.arity (fun r c -> b.buf.(r).(c)) n in
+      b.zone_maps <- Zone_map.of_chunk chunk :: b.zone_maps;
+      (match b.sink with
+      | To_heap chunks -> chunks := chunk :: !chunks
+      | To_spill { oc; offsets; _ } ->
+          offsets := pos_out oc :: !offsets;
+          Marshal.to_channel oc chunk []);
+      Array.fill b.buf 0 n [||];
+      b.buf_len <- 0
+    end
+
+  let add_row b tup =
+    if b.finished then invalid_arg "Relation.Builder.add_row: already finished";
+    if Array.length tup <> b.arity then
+      invalid_arg
+        (Printf.sprintf "Relation.create %s: tuple %d has arity %d, schema has %d"
+           b.b_name b.rows (Array.length tup) b.arity);
+    b.buf.(b.buf_len) <- tup;
+    b.buf_len <- b.buf_len + 1;
+    b.rows <- b.rows + 1;
+    if b.buf_len = b.chunk_capacity then seal b
+
+  let finish b =
+    if b.finished then invalid_arg "Relation.Builder.finish: already finished";
+    seal b;
+    b.finished <- true;
+    let store =
+      match b.sink with
+      | To_heap chunks -> Heap (Array.of_list (List.rev !chunks))
+      | To_spill { path; oc; offsets } ->
+          close_out oc;
+          Spill { path; offsets = Array.of_list (List.rev !offsets) }
+    in
+    {
+      name = b.b_name;
+      schema = b.b_schema;
+      n_rows = b.rows;
+      rows_per_page = Page.rows_per_page b.b_schema;
+      rows_per_chunk = b.chunk_capacity;
+      zone_maps = Array.of_list (List.rev b.zone_maps);
+      store;
+      id = Atomic.fetch_and_add next_id 1;
+    }
+end
 
 let create ~name ~schema tuples =
-  let arity = Schema.arity schema in
-  Array.iteri
-    (fun i tup ->
-      if Array.length tup <> arity then
-        invalid_arg
-          (Printf.sprintf "Relation.create %s: tuple %d has arity %d, schema has %d"
-             name i (Array.length tup) arity))
-    tuples;
-  let rows_per_page = max 1 (page_size_bytes / max 1 (Schema.row_bytes schema)) in
-  { name; schema; tuples; rows_per_page }
+  let b = Builder.create ~name ~schema () in
+  Array.iter (fun tup -> Builder.add_row b tup) tuples;
+  Builder.finish b
+
+(* -- Geometry ------------------------------------------------------------ *)
 
 let name t = t.name
 let schema t = t.schema
-let row_count t = Array.length t.tuples
+let row_count t = t.n_rows
 let rows_per_page t = t.rows_per_page
+let rows_per_chunk t = t.rows_per_chunk
 
 let page_count t =
-  let rows = row_count t in
-  if rows = 0 then 0 else ((rows - 1) / t.rows_per_page) + 1
+  if t.n_rows = 0 then 0 else ((t.n_rows - 1) / t.rows_per_page) + 1
+
+let chunk_count t = Array.length t.zone_maps
+
+let chunk_start t ci = ci * t.rows_per_chunk
+
+let chunk_row_count t ci = Zone_map.n_rows t.zone_maps.(ci)
+
+let zone_map t ci = t.zone_maps.(ci)
+
+(* -- Row access (all through the buffer pool) ---------------------------- *)
 
 let get t rid =
-  if rid < 0 || rid >= Array.length t.tuples then
+  if rid < 0 || rid >= t.n_rows then
     invalid_arg (Printf.sprintf "Relation.get %s: rid %d out of range" t.name rid);
-  t.tuples.(rid)
+  let ci = rid / t.rows_per_chunk in
+  with_chunk t ci (fun chunk -> Chunk.get chunk (rid mod t.rows_per_chunk))
 
-let column_value t rid col = (get t rid).(Schema.index_of t.schema col)
+let column_value t rid col =
+  if rid < 0 || rid >= t.n_rows then
+    invalid_arg (Printf.sprintf "Relation.get %s: rid %d out of range" t.name rid);
+  let ci = rid / t.rows_per_chunk in
+  with_chunk t ci (fun chunk ->
+      Chunk.value chunk ~col:(Schema.index_of t.schema col)
+        ~row:(rid mod t.rows_per_chunk))
 
-let iter f t = Array.iteri f t.tuples
+let iter f t =
+  for ci = 0 to chunk_count t - 1 do
+    let base = chunk_start t ci in
+    with_chunk t ci (Chunk.iter (fun r tup -> f (base + r) tup))
+  done
 
 let fold f init t =
   let acc = ref init in
-  Array.iteri (fun rid tup -> acc := f !acc rid tup) t.tuples;
+  iter (fun rid tup -> acc := f !acc rid tup) t;
   !acc
 
-let to_seq t = Array.to_seq t.tuples
+let to_seq t =
+  (* One chunk pinned and materialized at a time, so draining a spilled
+     relation never holds more than a chunk of tuples live. *)
+  let n_chunks = chunk_count t in
+  let rec chunk_seq ci () =
+    if ci >= n_chunks then Seq.Nil
+    else
+      let rows = with_chunk t ci (fun chunk ->
+          Array.init (Chunk.n_rows chunk) (Chunk.get chunk))
+      in
+      let rec row_seq r () =
+        if r >= Array.length rows then chunk_seq (ci + 1) ()
+        else Seq.Cons (rows.(r), row_seq (r + 1))
+      in
+      row_seq 0 ()
+  in
+  chunk_seq 0
 
 let filter_count t pred =
-  Array.fold_left (fun acc tup -> if pred tup then acc + 1 else acc) 0 t.tuples
+  fold (fun acc _rid tup -> if pred tup then acc + 1 else acc) 0 t
 
 let pp_brief fmt t =
   Format.fprintf fmt "%s[%d rows, %d pages] %a" t.name (row_count t) (page_count t)

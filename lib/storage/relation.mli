@@ -1,21 +1,43 @@
-(** In-memory relations (heap tables).
+(** Relations as sequences of immutable columnar chunks.
 
-    A relation is an immutable array of tuples plus page geometry used by the
-    cost-accounting executor: rows are laid out in fixed-size pages so that a
-    sequential scan costs [page_count] sequential reads while fetching one
-    row by RID costs one random read (paper Sec. 2.1's seq-scan vs.
-    index-intersection asymmetry). *)
+    Rows live in fixed-size column-major chunks ({!Chunk}) of
+    [Page.rows_per_chunk] rows — a whole number of 8 KiB pages each — every
+    chunk summarized by an always-resident zone map ({!Zone_map}).  Chunk
+    payloads are reached only through the process-wide buffer pool
+    ({!Buffer_pool.global}), so a capped pool bounds resident data; with a
+    spilling {!Builder} the rows themselves live in a temp file and a
+    TPC-H SF 1 table can exist without its tuples on the OCaml heap.
+
+    Page geometry is unchanged from the row-array era: a sequential scan
+    costs [page_count] sequential reads, one RID fetch costs one random
+    read (paper Sec. 2.1's seq-scan vs. index-intersection asymmetry). *)
 
 type tuple = Value.t array
 
 type t
 
 val page_size_bytes : int
-(** 8192, a conventional DBMS page size. *)
+(** [Page.size_bytes] (8192) — re-exported for compatibility. *)
 
 val create : name:string -> schema:Schema.t -> tuple array -> t
 (** Validates tuple arity (not per-value types, which generators guarantee).
-    The tuple array is owned by the relation afterwards. *)
+    Chunks are sealed in heap storage; the input array is not retained. *)
+
+(** Row-at-a-time construction with only the current chunk buffered.
+    [~spill:true] marshals each sealed chunk to a temp file (removed at
+    exit), so building and holding a relation needs O(chunk) heap. *)
+module Builder : sig
+  type rel = t
+  type t
+
+  val create : ?spill:bool -> name:string -> schema:Schema.t -> unit -> t
+  val add_row : t -> tuple -> unit
+  (** Raises [Invalid_argument] on an arity mismatch (same message as
+      {!val:create}) or after {!finish}. *)
+
+  val row_count : t -> int
+  val finish : t -> rel
+end
 
 val name : t -> string
 val schema : t -> Schema.t
@@ -23,18 +45,37 @@ val row_count : t -> int
 val page_count : t -> int
 
 val rows_per_page : t -> int
-(** At least 1 even for very wide rows. *)
+(** [Page.rows_per_page (schema t)] — at least 1 even for very wide rows. *)
+
+val rows_per_chunk : t -> int
+(** [Page.rows_per_chunk (schema t)]: nominal rows per chunk; every chunk
+    but the last is full. *)
+
+val chunk_count : t -> int
+val chunk_start : t -> int -> int
+(** First RID of a chunk ([ci * rows_per_chunk]). *)
+
+val chunk_row_count : t -> int -> int
+val zone_map : t -> int -> Zone_map.t
+(** Zone maps are resident metadata: consulting them never touches the
+    buffer pool. *)
+
+val with_chunk : t -> int -> (Chunk.t -> 'a) -> 'a
+(** [with_chunk t ci f] pins chunk [ci] in the global buffer pool (faulting
+    it in on a miss), runs [f], and unpins — the only road to chunk data. *)
 
 val get : t -> int -> tuple
 (** Tuple by RID (0-based); raises [Invalid_argument] out of range. *)
 
 val column_value : t -> int -> string -> Value.t
-(** [column_value t rid col]. *)
+(** [column_value t rid col] — a single-cell columnar read. *)
 
 val iter : (int -> tuple -> unit) -> t -> unit
 val fold : ('a -> int -> tuple -> 'a) -> 'a -> t -> 'a
 
 val to_seq : t -> tuple Seq.t
+(** One chunk pinned and materialized at a time: draining a spilled
+    relation holds at most a chunk of tuples live. *)
 
 val filter_count : t -> (tuple -> bool) -> int
 (** Number of tuples satisfying a predicate (used on samples, where the

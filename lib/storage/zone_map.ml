@@ -1,0 +1,44 @@
+(* Per-chunk, per-column min/max + null-count summaries.  Zone maps are
+   tiny (a few Values per chunk) and always resident — only chunk payloads
+   go through the buffer pool — so the optimizer and the executors can
+   consult them without faulting data in. *)
+
+type col_stats = {
+  lo : Value.t;  (* min over non-null values; Null when the column is all null *)
+  hi : Value.t;  (* max over non-null values; Null when the column is all null *)
+  nulls : int;
+}
+
+type t = { n_rows : int; cols : col_stats array }
+
+let n_rows t = t.n_rows
+let arity t = Array.length t.cols
+let column t c = t.cols.(c)
+
+let of_chunk chunk =
+  let arity = Chunk.n_columns chunk in
+  let n = Chunk.n_rows chunk in
+  let cols =
+    Array.init arity (fun c ->
+        let col = Chunk.column chunk c in
+        let lo = ref Value.Null and hi = ref Value.Null and nulls = ref 0 in
+        Array.iter
+          (fun v ->
+            if Value.is_null v then incr nulls
+            else begin
+              if Value.is_null !lo || Value.compare v !lo < 0 then lo := v;
+              if Value.is_null !hi || Value.compare v !hi > 0 then hi := v
+            end)
+          col;
+        { lo = !lo; hi = !hi; nulls = !nulls })
+  in
+  { n_rows = n; cols }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>zone[%d rows:" t.n_rows;
+  Array.iteri
+    (fun i cs ->
+      Format.fprintf fmt "%s %a..%a/%d nulls" (if i = 0 then "" else ";")
+        Value.pp cs.lo Value.pp cs.hi cs.nulls)
+    t.cols;
+  Format.fprintf fmt "]@]"

@@ -1,0 +1,21 @@
+(** Per-chunk zone maps: min/max over the non-null values plus a null count
+    for every column.  Computed once when a chunk is sealed and kept
+    resident (only chunk payloads are paged through the buffer pool), they
+    let scans skip whole chunks whose value range disproves the predicate
+    and let the optimizer cost that skipping ahead of execution. *)
+
+type col_stats = {
+  lo : Value.t;  (** min over non-null values; [Null] when all-null *)
+  hi : Value.t;  (** max over non-null values; [Null] when all-null *)
+  nulls : int;
+}
+
+type t
+
+val of_chunk : Chunk.t -> t
+
+val n_rows : t -> int
+val arity : t -> int
+val column : t -> int -> col_stats
+
+val pp : Format.formatter -> t -> unit

@@ -119,19 +119,26 @@ let generate rng ?(params = default_params) () =
     let bucket = search 0 (buckets - 1) in
     bucket + (buckets * Rq_math.Rng.int rng parts_per_bucket)
   in
-  let orders_tuples =
-    Array.init order_rows (fun k ->
-        [|
-          Value.Int k;
-          Value.Int (Rq_math.Rng.int rng (max 1 (order_rows / 10)));
-          Value.Date (date_range_start + Rq_math.Rng.int rng (date_range_end - date_range_start));
-          Value.Float (1000.0 +. Rq_math.Rng.float rng 300_000.0);
-        |])
-  in
+  let orders_builder = Relation.Builder.create ~name:"orders" ~schema:orders_schema () in
+  for k = 0 to order_rows - 1 do
+    Relation.Builder.add_row orders_builder
+      [|
+        Value.Int k;
+        Value.Int (Rq_math.Rng.int rng (max 1 (order_rows / 10)));
+        Value.Date (date_range_start + Rq_math.Rng.int rng (date_range_end - date_range_start));
+        Value.Float (1000.0 +. Rq_math.Rng.float rng 300_000.0);
+      |]
+  done;
   (* lineitem rows are emitted in order-key order, so the heap is clustered
      on l_orderkey (the paper's physical design) while l_rowid stays a
-     simple unique key. *)
-  let lineitem_buf = ref [] in
+     simple unique key.  Rows stream straight into a chunk builder — never
+     a whole-table array — and past ~1M rows each sealed chunk spills to a
+     temp file, so generating SF 1 (6M rows) needs O(chunk) heap for the
+     table payload. *)
+  let spill = lineitem_rows >= 1_000_000 in
+  let lineitem_builder =
+    Relation.Builder.create ~spill ~name:"lineitem" ~schema:lineitem_schema ()
+  in
   let rowid = ref 0 in
   let order_index = ref 0 in
   while !rowid < lineitem_rows do
@@ -148,7 +155,7 @@ let generate rng ?(params = default_params) () =
     for _ = 1 to count do
       let ship = date_range_start + Rq_math.Rng.int rng (date_range_end - date_range_start - 100) in
       let receipt = ship + 1 + Rq_math.Rng.int rng params.receipt_delay_days in
-      lineitem_buf :=
+      Relation.Builder.add_row lineitem_builder
         [|
           Value.Int !rowid;
           Value.Int orderkey;
@@ -157,19 +164,17 @@ let generate rng ?(params = default_params) () =
           Value.Float (900.0 +. Rq_math.Rng.float rng 100_000.0);
           Value.Date ship;
           Value.Date receipt;
-        |]
-        :: !lineitem_buf;
+        |];
       incr rowid
     done
   done;
-  let lineitem_tuples = Array.of_list (List.rev !lineitem_buf) in
   let catalog = Catalog.create () in
   Catalog.add_table catalog ~primary_key:"p_partkey"
     (Relation.create ~name:"part" ~schema:part_schema part_tuples);
   Catalog.add_table catalog ~primary_key:"o_orderkey"
-    (Relation.create ~name:"orders" ~schema:orders_schema orders_tuples);
+    (Relation.Builder.finish orders_builder);
   Catalog.add_table catalog ~primary_key:"l_rowid" ~clustered_by:"l_orderkey"
-    (Relation.create ~name:"lineitem" ~schema:lineitem_schema lineitem_tuples);
+    (Relation.Builder.finish lineitem_builder);
   Catalog.add_foreign_key catalog
     { from_table = "lineitem"; from_column = "l_orderkey"; to_table = "orders"; to_column = "o_orderkey" };
   Catalog.add_foreign_key catalog

@@ -558,6 +558,195 @@ let run_rewrite_differential catalog_name catalog gen widen () =
           (estimator_configs stats)
       done)
 
+(* ------------------------------------------------------------------ *)
+(* Zone-map pruning is invisible                                       *)
+(* ------------------------------------------------------------------ *)
+
+let with_prune enabled f =
+  let saved = !Prune.enabled in
+  Prune.enabled := enabled;
+  Fun.protect ~finally:(fun () -> Prune.enabled := saved) f
+
+let check_prune_invisible ~label catalog scale plan =
+  List.iter
+    (fun (engine, mode) ->
+      let run enabled =
+        with_prune enabled (fun () ->
+            let meter = Cost.create ~scale () in
+            let res = Executor.run ~mode catalog meter plan in
+            (res, Cost.snapshot meter))
+      in
+      let pres, psnap = run true in
+      let fres, fsnap = run false in
+      if pres.Executor.tuples <> fres.Executor.tuples then
+        Alcotest.failf
+          "%s (%s engine): pruned scan answered differently\npruned:\n%s\nfull:\n%s" label
+          engine
+          (String.concat "\n" (Array.to_list (Rq_experiments.Exp_common.canonical_rows pres)))
+          (String.concat "\n" (Array.to_list (Rq_experiments.Exp_common.canonical_rows fres)));
+      if fsnap.Cost.pages_skipped <> 0 then
+        Alcotest.failf "%s (%s engine): unpruned run reported %d skipped pages" label engine
+          fsnap.Cost.pages_skipped;
+      if psnap.Cost.seq_pages + psnap.Cost.pages_skipped <> fsnap.Cost.seq_pages then
+        Alcotest.failf
+          "%s (%s engine): page accounting broke: pruned read %d + skipped %d <> full read %d"
+          label engine psnap.Cost.seq_pages psnap.Cost.pages_skipped fsnap.Cost.seq_pages)
+    [ ("materialized", Executor.Materialized); ("streaming", Executor.Streaming) ]
+
+(* Generated queries under every estimator: each chosen plan must answer
+   identically with chunk pruning on and off, and the pruned run's
+   read + skipped sequential pages must equal the unpruned run's read
+   pages (a skipped chunk charges zero read pages and zero seconds). *)
+let run_prune_differential catalog_name catalog gen () =
+  let rng = Rq_math.Rng.create (seed + 7) in
+  let scale = 1.0 in
+  let stats =
+    Rq_stats.Stats_store.update_statistics (Rq_math.Rng.split rng)
+      ~config:{ Rq_stats.Stats_store.default_config with sample_size = 200 }
+      catalog
+  in
+  for i = 1 to queries_per_catalog do
+    let query = gen rng in
+    List.iter
+      (fun (name, estimator) ->
+        let opt = Optimizer.create ~scale stats estimator in
+        match Optimizer.optimize opt query with
+        | Error e ->
+            fail_rejected ~label:(Printf.sprintf "%s query %d" catalog_name i) ~query name e
+        | Ok d ->
+            check_prune_invisible
+              ~label:
+                (Printf.sprintf "%s query %d under %s (%s)" catalog_name i name
+                   (failure_context ~profile:"none" query))
+              catalog scale d.Optimizer.plan)
+      (estimator_configs stats)
+  done
+
+(* Fixed plans covering every plan family, with predicates over clustered
+   columns so zone maps genuinely skip chunks (asserted on the seq-scan
+   family): pruning must be invisible in the answers of all of them. *)
+let run_prune_families tpch star () =
+  let scale = 1.0 in
+  let li pred = Plan.Scan { table = "lineitem"; access = Plan.Seq_scan; pred } in
+  let band = Pred.lt (Expr.col "l_orderkey") (Expr.int 300) in
+  let orders_band =
+    Plan.Scan
+      {
+        table = "orders";
+        access = Plan.Seq_scan;
+        pred = Pred.lt (Expr.col "o_orderkey") (Expr.int 300);
+      }
+  in
+  let families =
+    [
+      ("seq-scan", tpch, li band);
+      ( "index-range",
+        tpch,
+        Plan.Scan
+          {
+            table = "lineitem";
+            access = Plan.Index_range { column = "l_orderkey"; lo = None; hi = Some (Rq_storage.Value.Int 300) };
+            pred = band;
+          } );
+      ( "index-intersect",
+        tpch,
+        Plan.Scan
+          {
+            table = "lineitem";
+            access =
+              Plan.Index_intersect
+                [
+                  { column = "l_orderkey"; lo = None; hi = Some (Rq_storage.Value.Int 300) };
+                  { column = "l_partkey"; lo = Some (Rq_storage.Value.Int 0); hi = Some (Rq_storage.Value.Int 2000) };
+                ];
+            pred = band;
+          } );
+      ( "hash-join",
+        tpch,
+        Plan.Hash_join
+          {
+            build = orders_band;
+            probe = li band;
+            build_key = "orders.o_orderkey";
+            probe_key = "lineitem.l_orderkey";
+          } );
+      ( "merge-join",
+        tpch,
+        Plan.Merge_join
+          {
+            left = li band;
+            right = orders_band;
+            left_key = "lineitem.l_orderkey";
+            right_key = "orders.o_orderkey";
+          } );
+      ( "indexed-nl-join",
+        tpch,
+        Plan.Indexed_nl_join
+          {
+            outer = li band;
+            outer_key = "lineitem.l_orderkey";
+            inner_table = "orders";
+            inner_key = "o_orderkey";
+            inner_pred = Pred.True;
+          } );
+      ( "star-semijoin",
+        star,
+        Plan.Star_semijoin
+          {
+            fact = "fact";
+            fact_pred = Pred.lt (Expr.col "f_id") (Expr.int 500);
+            dims =
+              List.map
+                (fun i ->
+                  {
+                    Plan.dim_table = Printf.sprintf "dim%d" i;
+                    dim_pred = Pred.eq (Expr.col "d_filter") (Expr.int 0);
+                    fact_fk = Printf.sprintf "f_dim%d" i;
+                  })
+                [ 1; 2; 3 ];
+          } );
+      ( "agg-filter-project-sort",
+        tpch,
+        Plan.Sort
+          {
+            input =
+              Plan.Aggregate
+                {
+                  input =
+                    Plan.Project
+                      ( Plan.Filter (li band, Pred.True),
+                        [ "lineitem.l_quantity"; "lineitem.l_extendedprice" ] );
+                  group_by = [ "lineitem.l_quantity" ];
+                  aggs =
+                    [
+                      { Plan.fn = Plan.Count_star; output_name = "n" };
+                      { Plan.fn = Plan.Sum (Expr.col "lineitem.l_extendedprice"); output_name = "rev" };
+                    ];
+                };
+            keys = [ { Plan.sort_column = "n"; descending = true } ];
+          } );
+      ( "guard-pass",
+        tpch,
+        Plan.Guard
+          { input = li band; expected_rows = 2000.0; max_q_error = 1e9; label = "wide" } );
+    ]
+  in
+  List.iter
+    (fun (name, cat, plan) ->
+      (match Plan.validate cat plan with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail (name ^ ": fixture plan invalid: " ^ msg));
+      check_prune_invisible ~label:name cat scale plan)
+    families;
+  (* The fixture must actually prune: the clustered band leaves most
+     lineitem chunks disprovable by their zone maps. *)
+  with_prune true (fun () ->
+      let meter = Cost.create ~scale () in
+      ignore (Executor.run tpch meter (li band));
+      let snap = Cost.snapshot meter in
+      if snap.Cost.pages_skipped = 0 then
+        Alcotest.fail "seq-scan family: zone maps skipped no pages on the clustered band")
+
 let () =
   let rng = Rq_math.Rng.create (seed + 2) in
   let tpch_params = { Tpch.default_params with scale_factor = 0.003 } in
@@ -597,5 +786,11 @@ let () =
             (run_rewrite_differential "tpch" tpch gen_tpch_query widen_tpch);
           Alcotest.test_case "star" `Quick
             (run_rewrite_differential "star" star gen_star_query widen_star);
+        ] );
+      ( "zone-map pruning is invisible",
+        [
+          Alcotest.test_case "tpch" `Quick (run_prune_differential "tpch" tpch gen_tpch_query);
+          Alcotest.test_case "star" `Quick (run_prune_differential "star" star gen_star_query);
+          Alcotest.test_case "plan families" `Quick (run_prune_families tpch star);
         ] );
     ]

@@ -93,6 +93,7 @@ let test_json_roundtrip_dense () =
           descending = true;
           limit = Some 7;
         };
+      pool_pages = Some 256;
     }
 
 let test_json_rejects_garbage () =

@@ -15,9 +15,11 @@ let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 let check_float = Alcotest.(check (float 1e-9))
 
-(* orders <- lineitems, big enough that a lineitems scan spans several
-   morsels (morsel = 4 stream batches of 1024 rows, page-aligned). *)
-let fixture ?(lineitems = 20_000) () =
+(* orders <- lineitems, big enough that a lineitems scan spans more
+   morsels than the pool has domains (morsel = one column chunk of 5456
+   rows for this 24-byte schema), so a guarded batch can stop before
+   every morsel is claimed. *)
+let fixture ?(lineitems = 30_000) () =
   let rng = Rq_math.Rng.create 23 in
   let catalog = Catalog.create () in
   let orders = 400 in

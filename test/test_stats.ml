@@ -563,6 +563,40 @@ let test_refresh_after_parent_emptied () =
   | None -> Alcotest.fail "synopsis should exist"
   | Some syn -> check_int "all dangling join rows dropped" 0 (Join_synopsis.size syn)
 
+(* ---- chunk profiles (zone-map-derived physical stats) ---- *)
+
+let test_chunk_profiles_recorded () =
+  (* Three chunks of the 24-byte schema (rows_per_chunk = 5456): [k] is
+     monotone across chunk boundaries (zone-clustered), [r] interleaves. *)
+  let rows = 12_000 in
+  let schema =
+    Schema.create
+      [
+        { Schema.name = "k"; ty = Value.T_int };
+        { Schema.name = "r"; ty = Value.T_int };
+        { Schema.name = "z"; ty = Value.T_int };
+      ]
+  in
+  let catalog = Catalog.create () in
+  Catalog.add_table catalog ~primary_key:"k"
+    (Relation.create ~name:"t" ~schema
+       (Array.init rows (fun i -> [| v_int i; v_int (i * 7919 mod rows); v_int 0 |])));
+  let stats = Stats_store.update_statistics (Rq_math.Rng.create 57) catalog in
+  match Stats_store.chunk_stats stats "t" with
+  | None -> Alcotest.fail "chunk profile missing for t"
+  | Some p ->
+      check_int "chunks" 3 p.Stats_store.chunks;
+      check_int "rows" rows p.rows;
+      let rel = Catalog.find_table catalog "t" in
+      check_int "pages agree with the relation" (Relation.page_count rel) p.pages;
+      check_bool "monotone column detected as clustered" true
+        (List.mem "k" p.clustered_columns);
+      check_bool "interleaved column is not" false (List.mem "r" p.clustered_columns);
+      (* A constant column's zones all overlap at a point; lo = prev hi is
+         still consistent with clustering (ties allowed). *)
+      check_bool "constant column counts as clustered" true (List.mem "z" p.clustered_columns);
+      check_bool "unknown table has no profile" true (Stats_store.chunk_stats stats "nope" = None)
+
 (* ------------------------------------------------------------------ *)
 (* Bitset / Lru / Pred_index: the evidence kernel                      *)
 (* ------------------------------------------------------------------ *)
@@ -932,6 +966,8 @@ let () =
           Alcotest.test_case "empty relation yields empty sample" `Quick
             test_empty_sample_of_relation;
         ] );
+      ( "chunk profiles",
+        [ Alcotest.test_case "recorded at rebuild" `Quick test_chunk_profiles_recorded ] );
       ( "kernel",
         [
           Alcotest.test_case "bitset basics across word boundaries" `Quick test_bitset_basics;

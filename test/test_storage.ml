@@ -305,6 +305,311 @@ let test_csv_typed_conversion () =
   | Error e -> Alcotest.fail e
 
 (* ------------------------------------------------------------------ *)
+(* Page geometry                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_page_geometry () =
+  check_int "8 KiB pages" 8192 Page.size_bytes;
+  check_int "Relation re-exports the constant" Page.size_bytes Relation.page_size_bytes;
+  check_int "32-byte rows -> 256 per page" 256 (Page.rows_per_page sample_schema);
+  check_int "16 pages per chunk" 16 Page.pages_per_chunk;
+  check_int "rows per chunk" (16 * 256) (Page.rows_per_chunk sample_schema);
+  (* Very wide rows still fit one per page. *)
+  let wide =
+    Schema.create (List.init 2000 (fun i -> { Schema.name = Printf.sprintf "c%d" i; ty = Value.T_int }))
+  in
+  check_int "wide rows clamp to 1" 1 (Page.rows_per_page wide)
+
+(* ------------------------------------------------------------------ *)
+(* Chunk and Zone_map                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_chunk_roundtrip () =
+  let rows = Array.init 7 (fun i -> [| v_int i; Value.String (string_of_int i); Value.Date i |]) in
+  let chunk = Chunk.of_tuples rows in
+  check_int "rows" 7 (Chunk.n_rows chunk);
+  check_int "columns" 3 (Chunk.n_columns chunk);
+  check_bool "get materializes the row" true (Chunk.get chunk 3 = rows.(3));
+  check_bool "value addresses column-major" true (Chunk.value chunk ~col:2 ~row:5 = Value.Date 5);
+  let seen = ref [] in
+  Chunk.iter (fun r tup -> seen := (r, tup.(0)) :: !seen) chunk;
+  check_bool "iter in order" true
+    (List.rev !seen = List.init 7 (fun i -> (i, v_int i)));
+  (* of_rows builds the same chunk without a row-major copy. *)
+  let chunk' = Chunk.of_rows ~arity:3 (fun r c -> rows.(r).(c)) 7 in
+  check_bool "of_rows agrees" true
+    (Array.init 7 (Chunk.get chunk') = Array.init 7 (Chunk.get chunk))
+
+let test_zone_map_stats () =
+  let rows =
+    [|
+      [| v_int 5; Value.Null; Value.Null |];
+      [| v_int (-2); Value.String "m"; Value.Null |];
+      [| v_int 9; Value.String "a"; Value.Null |];
+    |]
+  in
+  let zm = Zone_map.of_chunk (Chunk.of_tuples rows) in
+  check_int "rows" 3 (Zone_map.n_rows zm);
+  check_int "arity" 3 (Zone_map.arity zm);
+  let c0 = Zone_map.column zm 0 in
+  check_bool "int min/max" true (c0.Zone_map.lo = v_int (-2) && c0.hi = v_int 9);
+  check_int "no nulls" 0 c0.nulls;
+  let c1 = Zone_map.column zm 1 in
+  check_bool "string min/max skip nulls" true
+    (c1.Zone_map.lo = Value.String "a" && c1.hi = Value.String "m");
+  check_int "one null" 1 c1.nulls;
+  let c2 = Zone_map.column zm 2 in
+  check_bool "all-null column is unconstrained" true
+    (Value.is_null c2.Zone_map.lo && Value.is_null c2.hi);
+  check_int "all rows null" 3 c2.nulls
+
+(* ------------------------------------------------------------------ *)
+(* Buffer pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let tiny_chunk tag = Chunk.of_tuples [| [| v_int tag |] |]
+
+let test_buffer_pool_hits_and_eviction () =
+  (* 2 chunks of capacity (32 pages / 16 per chunk). *)
+  let pool = Buffer_pool.create ~capacity_pages:32 () in
+  let loads = ref 0 in
+  let load tag () = incr loads; tiny_chunk tag in
+  let pin k tag = Buffer_pool.pin pool ~key:k ~load:(load tag) in
+  ignore (pin "a" 0);
+  Buffer_pool.unpin pool ~key:"a";
+  ignore (pin "a" 0);
+  Buffer_pool.unpin pool ~key:"a";
+  check_int "second pin was a hit" 1 !loads;
+  ignore (pin "b" 1);
+  Buffer_pool.unpin pool ~key:"b";
+  ignore (pin "c" 2);
+  Buffer_pool.unpin pool ~key:"c";
+  (* a was least recently unpinned: inserting c at capacity evicted it. *)
+  ignore (pin "a" 0);
+  Buffer_pool.unpin pool ~key:"a";
+  check_int "a was reloaded after eviction" 4 !loads;
+  let s = Buffer_pool.stats pool in
+  check_int "capacity in chunks" 2 s.Buffer_pool.capacity_chunks;
+  check_int "hits" 1 s.hits;
+  check_int "misses" 4 s.misses;
+  check_bool "evictions happened" true (s.evictions >= 2);
+  check_int "resident bounded by capacity" 2 s.resident_chunks;
+  Alcotest.(check (float 1e-9)) "hit rate" 0.2 (Buffer_pool.hit_rate s)
+
+let test_buffer_pool_pins_block_eviction () =
+  let pool = Buffer_pool.create ~capacity_pages:16 () in
+  (* capacity 1 chunk *)
+  let a = Buffer_pool.pin pool ~key:"a" ~load:(fun () -> tiny_chunk 0) in
+  (* While a is pinned, other chunks stream through without touching it. *)
+  ignore (Buffer_pool.pin pool ~key:"b" ~load:(fun () -> tiny_chunk 1));
+  Buffer_pool.unpin pool ~key:"b";
+  let loads = ref 0 in
+  let a' = Buffer_pool.pin pool ~key:"a" ~load:(fun () -> incr loads; tiny_chunk 9) in
+  check_int "pinned chunk never faulted" 0 !loads;
+  check_bool "same chunk back" true (a == a');
+  Buffer_pool.unpin pool ~key:"a";
+  Buffer_pool.unpin pool ~key:"a";
+  check_bool "unpin of unpinned key raises" true
+    (try Buffer_pool.unpin pool ~key:"a"; false with Invalid_argument _ -> true)
+
+let test_buffer_pool_resize_and_reset () =
+  let pool = Buffer_pool.create ~capacity_pages:64 () in
+  for i = 0 to 3 do
+    let k = Printf.sprintf "k%d" i in
+    ignore (Buffer_pool.pin pool ~key:k ~load:(fun () -> tiny_chunk i));
+    Buffer_pool.unpin pool ~key:k
+  done;
+  let before = Buffer_pool.stats pool in
+  check_int "four resident" 4 before.Buffer_pool.resident_chunks;
+  Buffer_pool.set_capacity_pages pool 16;
+  let after = Buffer_pool.stats pool in
+  check_int "resize drops unpinned chunks" 0 after.Buffer_pool.resident_chunks;
+  check_int "resize keeps miss counter" before.misses after.misses;
+  check_int "capacity floor is one chunk" 1
+    (Buffer_pool.stats (Buffer_pool.create ~capacity_pages:3 ())).Buffer_pool.capacity_chunks;
+  Buffer_pool.reset_stats pool;
+  let zeroed = Buffer_pool.stats pool in
+  check_int "reset zeroes hits" 0 zeroed.Buffer_pool.hits;
+  check_int "reset zeroes misses" 0 zeroed.misses;
+  check_int "reset zeroes evictions" 0 zeroed.evictions;
+  Alcotest.(check (float 0.0)) "no traffic -> rate 0" 0.0 (Buffer_pool.hit_rate zeroed)
+
+(* ------------------------------------------------------------------ *)
+(* Relation builder (heap and spill)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let builder_rows n =
+  Array.init n (fun i ->
+      [|
+        v_int i;
+        (if i mod 97 = 0 then Value.Null else Value.String (Printf.sprintf "r%d" i));
+        Value.Date (i mod 400);
+      |])
+
+let check_same_relation label expected rel =
+  check_int (label ^ ": row count") (Array.length expected) (Relation.row_count rel);
+  Array.iteri
+    (fun i row ->
+      if Relation.get rel i <> row then Alcotest.failf "%s: row %d differs" label i)
+    expected
+
+let test_builder_heap_matches_create () =
+  let rows = builder_rows 10_000 in
+  let b = Relation.Builder.create ~name:"built" ~schema:sample_schema () in
+  Array.iter (Relation.Builder.add_row b) rows;
+  check_int "running count" 10_000 (Relation.Builder.row_count b);
+  let rel = Relation.Builder.finish b in
+  check_same_relation "heap" rows rel;
+  (* Spans several chunks, each with a zone map. *)
+  check_bool "several chunks" true (Relation.chunk_count rel > 1);
+  let zm = Relation.zone_map rel 0 in
+  let c0 = Zone_map.column zm 0 in
+  check_bool "first chunk id range" true
+    (c0.Zone_map.lo = v_int 0 && c0.hi = v_int (Relation.chunk_row_count rel 0 - 1))
+
+let test_builder_spill_roundtrip () =
+  let rows = builder_rows 12_345 in
+  let b = Relation.Builder.create ~spill:true ~name:"spilled" ~schema:sample_schema () in
+  Array.iter (Relation.Builder.add_row b) rows;
+  let rel = Relation.Builder.finish b in
+  check_same_relation "spill" rows rel;
+  check_int "chunk starts tile the heap" (Array.length rows)
+    (List.init (Relation.chunk_count rel) (Relation.chunk_row_count rel)
+    |> List.fold_left ( + ) 0)
+
+(* ------------------------------------------------------------------ *)
+(* Streaming CSV reader                                                *)
+(* ------------------------------------------------------------------ *)
+
+let with_csv_channel text f =
+  let path = Filename.temp_file "rq_csv" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc text;
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> f ic))
+
+let fold_rows_result text =
+  with_csv_channel text (fun ic ->
+      Csv.fold_rows ic ~init:[] (fun acc fields -> Ok (fields :: acc)))
+  |> Result.map List.rev
+
+let prop_csv_fold_rows_matches_parse =
+  let doc_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map
+            (fun rows -> Csv.render rows)
+            (list_size (int_range 0 6)
+               (list_size (int_range 1 4)
+                  (oneof [ string_size (int_range 0 6); return "a,b"; return "q\"q"; return "x\ny" ])));
+          (* Raw text, including malformed quoting: error parity matters too. *)
+          string_size (int_range 0 40);
+        ])
+  in
+  QCheck.Test.make ~name:"fold_rows sees exactly what parse sees" ~count:300
+    (QCheck.make doc_gen) (fun text ->
+      match (Csv.parse text, fold_rows_result text) with
+      | Ok a, Ok b -> a = b
+      | Error a, Error b -> a = b
+      | _ -> false)
+
+let test_csv_fold_rows_early_abort () =
+  let result =
+    with_csv_channel "a,b\nc,d\ne,f\n" (fun ic ->
+        Csv.fold_rows ic ~init:0 (fun n _ -> if n = 1 then Error "stop" else Ok (n + 1)))
+  in
+  check_bool "callback error aborts the fold" true (result = Error "stop")
+
+(* ------------------------------------------------------------------ *)
+(* Zone-map pruning law                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A skip decision must be justified: whenever [Prune.chunk_may_match]
+   says no row can match, compiled row-at-a-time evaluation over the very
+   same chunk finds no match either — across null-bearing data and the
+   whole predicate grammar (including Not, Or, Between and Contains). *)
+
+let prune_schema =
+  Schema.create
+    [
+      { Schema.name = "a"; ty = Value.T_int };
+      { Schema.name = "b"; ty = Value.T_int };
+      { Schema.name = "s"; ty = Value.T_string };
+    ]
+
+let gen_prune_cell =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, return Value.Null);
+        (6, map (fun i -> Value.Int i) (int_range (-20) 20));
+      ])
+
+let gen_prune_rows =
+  QCheck.Gen.(
+    list_size (int_range 1 24)
+      (map2
+         (fun ab s -> [| fst ab; snd ab; s |])
+         (pair gen_prune_cell gen_prune_cell)
+         (oneof
+            [
+              return Value.Null;
+              map (fun i -> Value.String (Printf.sprintf "s%d" i)) (int_range 0 5);
+            ])))
+
+let gen_prune_pred =
+  let open QCheck.Gen in
+  let open Rq_exec in
+  let expr = oneof [ return (Expr.col "a"); return (Expr.col "b"); map Expr.int (int_range (-25) 25) ] in
+  let atom =
+    oneof
+      [
+        map2 (fun c (l, r) -> Pred.Cmp (c, l, r))
+          (oneofl [ Pred.Eq; Pred.Ne; Pred.Lt; Pred.Le; Pred.Gt; Pred.Ge ])
+          (pair expr expr);
+        map2 (fun e (l, h) -> Pred.Between (e, Expr.int (min l h), Expr.int (max l h)))
+          expr
+          (pair (int_range (-25) 25) (int_range (-25) 25));
+        map (fun i -> Pred.Contains (Expr.col "s", Printf.sprintf "s%d" i)) (int_range 0 6);
+        oneofl [ Pred.True; Pred.False ];
+      ]
+  in
+  let rec pred depth =
+    if depth = 0 then atom
+    else
+      frequency
+        [
+          (3, atom);
+          (1, map (fun ps -> Pred.And ps) (list_size (int_range 1 3) (pred (depth - 1))));
+          (1, map (fun ps -> Pred.Or ps) (list_size (int_range 1 3) (pred (depth - 1))));
+          (1, map (fun p -> Pred.Not p) (pred (depth - 1)));
+        ]
+  in
+  pred 2
+
+let prop_zone_map_skip_is_sound =
+  QCheck.Test.make ~name:"zone-map skip implies no matching row" ~count:2000
+    (QCheck.make QCheck.Gen.(pair gen_prune_rows gen_prune_pred))
+    (fun (rows, pred) ->
+      let chunk = Chunk.of_tuples (Array.of_list rows) in
+      let zm = Zone_map.of_chunk chunk in
+      let may_match = Rq_exec.Prune.chunk_may_match prune_schema zm pred in
+      let matcher = Rq_exec.Pred.compile prune_schema pred in
+      let any_row_matches =
+        let found = ref false in
+        Chunk.iter (fun _ tup -> if matcher tup then found := true) chunk;
+        !found
+      in
+      (* Soundness: a skip may never hide a matching row.  (Completeness is
+         not required — may_match=true with zero matches is fine.) *)
+      may_match || not any_row_matches)
+
+(* ------------------------------------------------------------------ *)
 (* Catalog                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -470,8 +775,28 @@ let () =
           Alcotest.test_case "quoting" `Quick test_csv_quoting;
           Alcotest.test_case "CRLF and blank lines" `Quick test_csv_crlf_and_blank_lines;
           Alcotest.test_case "typed conversion" `Quick test_csv_typed_conversion;
+          Alcotest.test_case "fold_rows early abort" `Quick test_csv_fold_rows_early_abort;
         ]
-        @ qcheck [ prop_csv_roundtrip ] );
+        @ qcheck [ prop_csv_roundtrip; prop_csv_fold_rows_matches_parse ] );
+      ( "page geometry",
+        [ Alcotest.test_case "one constant everywhere" `Quick test_page_geometry ] );
+      ( "chunk",
+        [
+          Alcotest.test_case "columnar roundtrip" `Quick test_chunk_roundtrip;
+          Alcotest.test_case "zone-map stats" `Quick test_zone_map_stats;
+        ]
+        @ qcheck [ prop_zone_map_skip_is_sound ] );
+      ( "buffer pool",
+        [
+          Alcotest.test_case "hits and LRU eviction" `Quick test_buffer_pool_hits_and_eviction;
+          Alcotest.test_case "pins block eviction" `Quick test_buffer_pool_pins_block_eviction;
+          Alcotest.test_case "resize and reset" `Quick test_buffer_pool_resize_and_reset;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "heap matches create" `Quick test_builder_heap_matches_create;
+          Alcotest.test_case "spill roundtrip" `Quick test_builder_spill_roundtrip;
+        ] );
       ( "catalog",
         [
           Alcotest.test_case "tables" `Quick test_catalog_tables;
