@@ -731,7 +731,15 @@ let bench_exec_cmd =
                down to whole chunks).  Capping well below the data size \
                exercises out-of-core execution.")
   in
-  let run small seed domains scale pool_pages out =
+  let vectorize_arg =
+    Arg.(value & opt (enum [ ("on", true); ("off", false) ]) true
+         & info [ "vectorize" ] ~docv:"on|off"
+         ~doc:"Data plane of the streaming engine outside the vectorized \
+               comparison section (which always runs both planes): \
+               column-major vector batches with selection bitsets (on, the \
+               default) or row-at-a-time tuple batches (off).")
+  in
+  let run small seed domains scale pool_pages vectorize out =
     let module E = Rq_experiments in
     let config = if small then E.Exp_exec.small_config else E.Exp_exec.default_config in
     let config =
@@ -744,16 +752,23 @@ let bench_exec_cmd =
       match scale with
       | None -> config
       | Some scale_factor ->
-          (* Big catalogs: one repetition is already minutes of work. *)
+          (* Big catalogs: one repetition is already minutes of work, and
+             holding both engines' result sets for the exact tuple compare
+             costs ~1 GB at scale 1 — the digest compare keeps only one
+             result live at a time. *)
           let repetitions = if scale_factor >= 0.1 then 1 else config.E.Exp_exec.repetitions in
-          { config with E.Exp_exec.scale_factor; repetitions }
+          let exact_compare = scale_factor < 0.1 in
+          { config with E.Exp_exec.scale_factor; repetitions; exact_compare }
     in
     let config =
       match pool_pages with
       | None -> config
       | Some buffer_pool_pages -> { config with E.Exp_exec.buffer_pool_pages }
     in
-    let result = with_bench_errors (fun () -> E.Exp_exec.run ~config ()) in
+    let result =
+      with_bench_errors (fun () ->
+          Rq_exec.Vectorize.with_vectorize vectorize (fun () -> E.Exp_exec.run ~config ()))
+    in
     print_string (E.Exp_exec.render result);
     if out <> "-" then begin
       let oc = open_out out in
@@ -765,13 +780,16 @@ let bench_exec_cmd =
     if not result.E.Exp_exec.ok then exit 1
   in
   let term =
-    Term.(const run $ small_arg $ seed_arg $ domains_arg $ scale_arg $ pool_arg $ out_arg)
+    Term.(
+      const run $ small_arg $ seed_arg $ domains_arg $ scale_arg $ pool_arg
+      $ vectorize_arg $ out_arg)
   in
   Cmd.v
     (Cmd.info "bench-exec"
        ~doc:"Streaming vs. materialized executor: early-exit page savings on LIMIT and \
              mid-stream guard workloads, exact counter parity on full drains, real \
-             runtime/memory per engine, and the morsel-parallel domains axis.")
+             runtime/memory per engine, the morsel-parallel domains axis, and the \
+             vectorized-vs-row data plane comparison.")
     term
 
 (* ---------------- bench-optimizer ---------------- *)

@@ -17,6 +17,12 @@ val create : Schema.t -> group_by:string list -> aggs:Plan.agg list -> t
 
 val feed : t -> Relation.tuple array -> unit
 
+val feed_cols : t -> Value.t array array -> Bitset.t -> unit
+(** Columnar feed for the vectorized plane: visits the selected rows of the
+    batch's column arrays in ascending order, building the same keys and
+    applying the same accumulator updates as {!feed} — so mixing planes
+    still yields byte-identical finalize order. *)
+
 val finalize : t -> Relation.tuple list
 (** Output rows (group key columns then aggregate columns), in the group
     hash's fold order; a single row for grand-total aggregation even on

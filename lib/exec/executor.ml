@@ -46,7 +46,7 @@ let scan_chunks meter rel ~pred ?(from = 0) emit =
         Cost.charge_seq_pages meter t.pages;
         Cost.charge_cpu_tuples meter (t.hi - t.lo);
         let base = Relation.chunk_start rel t.ci in
-        Relation.with_chunk rel t.ci (fun chunk ->
+        Relation.with_chunk ~seq:true rel t.ci (fun chunk ->
             match_chunk chunk (fun r tup ->
                 let rid = base + r in
                 if rid >= t.lo then emit rid tup))

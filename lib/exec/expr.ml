@@ -83,6 +83,32 @@ and compile_binop schema op a b =
 
 let eval schema expr tuple = compile schema expr tuple
 
+(* Columnar compilation: the same tree, but evaluated against a batch's
+   column arrays at a physical row index — no tuple is materialized.  Kept
+   structurally parallel to [compile] so both planes compute bit-identical
+   values (same operations in the same order). *)
+type compiled_cols = Value.t array array -> int -> Value.t
+
+let rec compile_cols schema = function
+  | Col name ->
+      let pos = Schema.index_of schema name in
+      fun cols r -> cols.(pos).(r)
+  | Const v -> fun _ _ -> v
+  | Add (a, b) -> compile_cols_binop schema `Add a b
+  | Sub (a, b) -> compile_cols_binop schema `Sub a b
+  | Mul (a, b) -> compile_cols_binop schema `Mul a b
+  | Div (a, b) -> compile_cols_binop schema `Div a b
+  | Add_days (a, days) ->
+      let fa = compile_cols schema a in
+      fun cols r -> (
+        match fa cols r with
+        | Value.Null -> Value.Null
+        | v -> Value.add_days v days)
+
+and compile_cols_binop schema op a b =
+  let fa = compile_cols schema a and fb = compile_cols schema b in
+  fun cols r -> arith op (fa cols r) (fb cols r)
+
 (* Canonical one-line rendering for structural keys (evidence memos, plan
    fingerprints).  Unlike [pp], the output never depends on a formatter
    margin: equal expressions render identically everywhere. *)

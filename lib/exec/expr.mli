@@ -38,6 +38,14 @@ val compile : Schema.t -> t -> compiled
 
 val eval : Schema.t -> t -> Relation.tuple -> Value.t
 
+type compiled_cols = Value.t array array -> int -> Value.t
+(** Columnar form: evaluate at physical row [r] of a batch's column arrays
+    without materializing a tuple. *)
+
+val compile_cols : Schema.t -> t -> compiled_cols
+(** Same operations in the same order as {!compile}, so both planes compute
+    bit-identical values. *)
+
 val render : t -> string
 (** Canonical one-line rendering for structural keys.  Unlike {!pp}, the
     output never depends on formatter state: equal expressions render

@@ -95,7 +95,7 @@ let scan_morsel ~rel ~match_chunk ~constants ~scale tasks =
         Cost.charge_seq_pages meter t.pages;
         Cost.charge_cpu_tuples meter (t.hi - t.lo);
         let base = Relation.chunk_start rel t.ci in
-        Relation.with_chunk rel t.ci (fun chunk ->
+        Relation.with_chunk ~seq:true rel t.ci (fun chunk ->
             match_chunk chunk (fun r tup ->
                 if base + r >= t.lo then out := tup :: !out))
       end)

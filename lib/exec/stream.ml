@@ -38,3 +38,26 @@ let make ?close ?progress ?resume ~schema next_batch =
     progress = Option.value progress ~default:(fun () -> 0.0);
     resume = Option.value resume ~default:no_resume;
   }
+
+(* The vectorized twin of the protocol: identical contract, but batches are
+   column-major {!Vbatch.t}s whose selection bitset is never empty (the
+   no-empty-batches invariant, stated over logical rows).  Consumers may
+   keep batches; producers never mutate emitted columns. *)
+module Vec = struct
+  type t = {
+    schema : Schema.t;
+    next_batch : unit -> Vbatch.t option;
+    close : unit -> unit;
+    progress : unit -> float;
+    resume : unit -> Plan.t option;
+  }
+
+  let make ?close ?progress ?resume ~schema next_batch =
+    {
+      schema;
+      next_batch;
+      close = Option.value close ~default:(fun () -> ());
+      progress = Option.value progress ~default:(fun () -> 0.0);
+      resume = Option.value resume ~default:no_resume;
+    }
+end

@@ -68,6 +68,27 @@ let wrap_spans ctx node (op : Stream.t) =
   in
   { op with Stream.next_batch }
 
+(* Same accumulation for the vectorized plane; rows are logical (selected)
+   rows, so span row counts match the row plane batch for batch. *)
+let wrap_vspans ctx node (op : Stream.Vec.t) =
+  let next_batch () =
+    let before = meter_metrics ctx in
+    match op.Stream.Vec.next_batch () with
+    | r ->
+        node.sp_total <-
+          Rq_obs.Metrics.add node.sp_total (Rq_obs.Metrics.sub (meter_metrics ctx) before);
+        (match r with
+        | Some vb -> node.sp_rows <- node.sp_rows + Vbatch.selected vb
+        | None -> ());
+        r
+    | exception e ->
+        node.sp_total <-
+          Rq_obs.Metrics.add node.sp_total (Rq_obs.Metrics.sub (meter_metrics ctx) before);
+        node.sp_aborted <- true;
+        raise e
+  in
+  { op with Stream.Vec.next_batch }
+
 let rec finalize_span node =
   let children = List.map finalize_span node.sp_children in
   let self =
@@ -169,7 +190,7 @@ let seq_scan_stream ctx ~table ~pred ~from =
               page_frontier := pages_now
             end;
             let base = Relation.chunk_start rel t.ci in
-            Relation.with_chunk rel t.ci (fun chunk ->
+            Relation.with_chunk ~seq:true rel t.ci (fun chunk ->
                 let bits =
                   match (bitmap, !cached_bits) with
                   | None, _ -> None
@@ -490,7 +511,7 @@ let star_semijoin_stream ctx ~fact ~fact_pred ~dims =
                   else begin
                     Cost.charge_seq_pages meter t.pages;
                     Cost.charge_cpu_tuples meter (t.hi - t.lo);
-                    Relation.with_chunk dim_rel t.ci
+                    Relation.with_chunk ~seq:true dim_rel t.ci
                       (fun chunk ->
                         match_chunk chunk (fun _r tup ->
                             Hashtbl.replace lookup tup.(pk_pos) tup;
@@ -773,6 +794,408 @@ let append_stream ~schema parts =
     next_batch
 
 (* ------------------------------------------------------------------ *)
+(* Vectorized operators                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The vectorized plane carries {!Vbatch.t}s — column slices plus a
+   selection bitset — between operators, materializing tuples only at
+   breaker boundaries (hash builds, sorts, merge inputs) and final output.
+
+   Counter parity is structural, not coincidental: every vectorized
+   operator charges the same counter the same amount at the same point in
+   the pull sequence as its row twin, denominated in logical (selected)
+   rows.  The scan emits one batch per (chunk ∩ batch_rows window), exactly
+   the row scan's slicing, so per-batch logical counts — and hence guard
+   fire points, progress fractions and resume positions — are identical
+   between planes.  Plane conversions charge nothing: representation is
+   free in the cost model. *)
+
+let stream_of_vec (vop : Stream.Vec.t) =
+  Stream.make ~schema:vop.Stream.Vec.schema ~close:vop.Stream.Vec.close
+    ~progress:vop.Stream.Vec.progress ~resume:vop.Stream.Vec.resume (fun () ->
+      match vop.Stream.Vec.next_batch () with
+      | None -> None
+      | Some vb -> Some (Vbatch.to_tuples vb))
+
+let vec_of_stream (op : Stream.t) =
+  Stream.Vec.make ~schema:op.Stream.schema ~close:op.Stream.close
+    ~progress:op.Stream.progress ~resume:op.Stream.resume (fun () ->
+      match op.Stream.next_batch () with
+      | None -> None
+      | Some b -> Some (Vbatch.of_tuples b))
+
+let drain_all_vec (vop : Stream.Vec.t) =
+  let acc = ref [] in
+  let rec go () =
+    match vop.Stream.Vec.next_batch () with
+    | Some vb ->
+        acc := Vbatch.to_tuples vb :: !acc;
+        go ()
+    | None -> ()
+  in
+  go ();
+  Array.concat (List.rev !acc)
+
+(* Identical control flow and charge sites to [seq_scan_stream]; the only
+   difference is what a window becomes: instead of materializing matching
+   rows with [Chunk.get], the chunk's column arrays are shared zero-copy
+   and the window's matches become the selection ([bitmap ∧ window]).
+   Zero-match windows are stepped over (charged, not emitted) exactly as
+   the row scan's empty-out windows are. *)
+let seq_scan_vstream ctx ~table ~pred ~from =
+  let rel = Catalog.find_table ctx.catalog table in
+  let n = Relation.row_count rel in
+  let from = min (max 0 from) n in
+  let rpp = Relation.rows_per_page rel in
+  let bitmap = Chunk_scan.bitmap (Relation.schema rel) pred in
+  let tasks = ref (Chunk_scan.tasks ~from rel pred) in
+  let pos = ref from in
+  let page_frontier = ref (from / rpp) in
+  let cached_bits = ref (-1, None) in
+  let next_batch () =
+    let out = ref None in
+    while !out = None && !tasks <> [] do
+      match !tasks with
+      | [] -> ()
+      | t :: rest ->
+          if t.Chunk_scan.skip then begin
+            Cost.charge_pages_skipped ctx.meter t.pages;
+            page_frontier := Chunk_scan.pages_upto rpp t.hi;
+            pos := t.hi;
+            tasks := rest
+          end
+          else begin
+            let stop = min t.hi (!pos + batch_rows) in
+            Cost.charge_cpu_tuples ctx.meter (stop - !pos);
+            let pages_now = Chunk_scan.pages_upto rpp stop in
+            if pages_now > !page_frontier then begin
+              Cost.charge_seq_pages ctx.meter (pages_now - !page_frontier);
+              page_frontier := pages_now
+            end;
+            let base = Relation.chunk_start rel t.ci in
+            Relation.with_chunk ~seq:true rel t.ci (fun chunk ->
+                let bits =
+                  match (bitmap, !cached_bits) with
+                  | None, _ -> None
+                  | Some _, (ci, bits) when ci = t.ci -> bits
+                  | Some bm, _ ->
+                      let bits = Some (bm chunk) in
+                      cached_bits := (t.ci, bits);
+                      bits
+                in
+                let lo = !pos - base and hi = stop - base in
+                let sel =
+                  match bits with
+                  | None -> Bitset.window (Chunk.n_rows chunk) ~lo ~hi
+                  | Some b -> Bitset.inter_window b ~lo ~hi
+                in
+                if Bitset.popcount sel > 0 then
+                  out := Some (Vbatch.of_chunk chunk ~sel));
+            pos := stop;
+            if stop >= t.hi then tasks := rest
+          end
+    done;
+    !out
+  in
+  Stream.Vec.make
+    ~schema:(Exec_common.qualified_schema ctx.catalog table)
+    ~progress:(fun () ->
+      if n = from then 1.0 else float_of_int (!pos - from) /. float_of_int (n - from))
+    ~resume:(fun () ->
+      if !pos >= n then None else Some (Plan.Scan_resume { table; pred; from_rid = !pos }))
+    next_batch
+
+let materialized_vstream ~schema ~tuples =
+  let arr = ref tuples in
+  let emit = slice_emitter arr in
+  let n = Array.length tuples in
+  let emitted = ref 0 in
+  Stream.Vec.make ~schema
+    ~progress:(fun () -> if n = 0 then 1.0 else float_of_int !emitted /. float_of_int n)
+    (fun () ->
+      match emit () with
+      | Some b ->
+          emitted := !emitted + Array.length b;
+          Some (Vbatch.of_tuples b)
+      | None -> None)
+
+(* Predicate atoms run as per-column bitmap kernels over the batch's
+   physical rows; the result ANDs into the selection.  Rows already
+   deselected are evaluated by the kernel but never observed — the charge
+   is the arriving logical rows, same as the row filter's batch length. *)
+let filter_vstream ctx ~(iop : Stream.Vec.t) ~pred =
+  let bitmap = Chunk_scan.bitmap iop.Stream.Vec.schema pred in
+  let drained = ref false in
+  let next_batch () =
+    let out = ref None in
+    while !out = None && not !drained do
+      match iop.Stream.Vec.next_batch () with
+      | None -> drained := true
+      | Some vb ->
+          Cost.charge_cpu_tuples ctx.meter (Vbatch.selected vb);
+          let sel =
+            match bitmap with
+            | None -> vb.Vbatch.sel
+            | Some bm -> Bitset.logand vb.Vbatch.sel (bm (Vbatch.chunk_view vb))
+          in
+          if Bitset.popcount sel > 0 then out := Some { vb with Vbatch.sel }
+    done;
+    !out
+  in
+  Stream.Vec.make ~schema:iop.Stream.Vec.schema ~progress:iop.Stream.Vec.progress
+    next_batch
+
+(* Projection drops column references — no per-row work at all. *)
+let project_vstream ctx ~(iop : Stream.Vec.t) ~cols =
+  let positions =
+    Array.of_list (List.map (Schema.index_of iop.Stream.Vec.schema) cols)
+  in
+  let schema = Schema.project iop.Stream.Vec.schema cols in
+  let next_batch () =
+    match iop.Stream.Vec.next_batch () with
+    | None -> None
+    | Some vb ->
+        Cost.charge_cpu_tuples ctx.meter (Vbatch.selected vb);
+        Some (Vbatch.project vb positions)
+  in
+  Stream.Vec.make ~schema ~progress:iop.Stream.Vec.progress next_batch
+
+let limit_vstream ctx ~(iop : Stream.Vec.t) ~n =
+  let remaining = ref (max 0 n) in
+  let next_batch () =
+    if !remaining <= 0 then None
+    else
+      match iop.Stream.Vec.next_batch () with
+      | None ->
+          remaining := 0;
+          None
+      | Some vb ->
+          let k = Vbatch.selected vb in
+          let keep = min !remaining k in
+          Cost.charge_cpu_tuples ctx.meter keep;
+          remaining := !remaining - keep;
+          Some (if keep = k then vb else Vbatch.take vb keep)
+  in
+  Stream.Vec.make ~schema:iop.Stream.Vec.schema ~progress:iop.Stream.Vec.progress
+    next_batch
+
+let guard_vstream ctx ~(iop : Stream.Vec.t) ~input_plan ~expected_rows ~max_q_error
+    ~label =
+  let count = ref 0 in
+  let buffered = ref [] in
+  let drained = ref false in
+  let overflow_bound = max_q_error *. Float.max expected_rows 0.5 in
+  let fire ~complete q =
+    record ctx
+      (Rq_obs.Trace.Guard_fired
+         { label; expected_rows; actual_rows = !count; q_error = q });
+    (* The carried partial result materializes only now, when the guard
+       fires — the one point the vectorized plane must hand tuples to
+       recovery.  [buffered] is newest-first, so rev_map restores arrival
+       order. *)
+    let result =
+      {
+        Exec_common.schema = iop.Stream.Vec.schema;
+        tuples = Array.concat (List.rev_map Vbatch.to_tuples !buffered);
+      }
+    in
+    raise
+      (Exec_common.Guard_violation
+         {
+           label;
+           expected_rows;
+           actual_rows = !count;
+           q_error = q;
+           result;
+           subplan = input_plan;
+           complete;
+           progress = (if complete then 1.0 else iop.Stream.Vec.progress ());
+           resume = (if complete then None else iop.Stream.Vec.resume ());
+         })
+  in
+  let next_batch () =
+    if !drained then None
+    else
+      match iop.Stream.Vec.next_batch () with
+      | Some vb ->
+          let k = Vbatch.selected vb in
+          Cost.charge_cpu_tuples ctx.meter k;
+          count := !count + k;
+          buffered := vb :: !buffered;
+          if float_of_int !count > overflow_bound then
+            fire ~complete:false (Plan.q_error ~expected:expected_rows ~actual:!count)
+          else Some vb
+      | None ->
+          drained := true;
+          let q = Plan.q_error ~expected:expected_rows ~actual:!count in
+          if q > max_q_error then fire ~complete:true q
+          else begin
+            record ctx
+              (Rq_obs.Trace.Guard_ok
+                 { label; expected_rows; actual_rows = !count; q_error = q });
+            None
+          end
+  in
+  Stream.Vec.make ~schema:iop.Stream.Vec.schema ~progress:iop.Stream.Vec.progress
+    ~resume:iop.Stream.Vec.resume next_batch
+
+(* Build side materializes (a hash table is a breaker); probing reads the
+   key column directly at each selected index and the output batch is
+   assembled column-major.  One output batch per match-bearing probe batch,
+   matches in probe order × build-input order — the row join's order. *)
+let hash_join_vstream ctx ~(bop : Stream.Vec.t) ~(pop : Stream.Vec.t) ~build_key
+    ~probe_key =
+  let schema = Schema.concat bop.Stream.Vec.schema pop.Stream.Vec.schema in
+  let bpos = Schema.index_of bop.Stream.Vec.schema build_key in
+  let ppos = Schema.index_of pop.Stream.Vec.schema probe_key in
+  let barity = Schema.arity bop.Stream.Vec.schema in
+  let table = ref None in
+  let ensure_table () =
+    match !table with
+    | Some t -> t
+    | None ->
+        let build_rows = drain_all_vec bop in
+        let n = Array.length build_rows in
+        (* Columnarize the build side once; buckets hold build row indices
+           (in build-input order) so probing is one [find_opt] plus an
+           allocation-free walk over an int array per probe row. *)
+        let bcols =
+          Array.init barity (fun c -> Array.init n (fun r -> build_rows.(r).(c)))
+        in
+        let grouped = Hashtbl.create (max 16 n) in
+        for r = 0 to n - 1 do
+          let key = build_rows.(r).(bpos) in
+          if not (Value.is_null key) then
+            match Hashtbl.find_opt grouped key with
+            | Some l -> Hashtbl.replace grouped key (r :: l)
+            | None -> Hashtbl.replace grouped key [ r ]
+        done;
+        let buckets = Hashtbl.create (Hashtbl.length grouped) in
+        Hashtbl.iter
+          (fun key l -> Hashtbl.replace buckets key (Array.of_list (List.rev l)))
+          grouped;
+        Cost.charge_hash_build ctx.meter n;
+        let t = (bcols, buckets) in
+        table := Some t;
+        t
+  in
+  let drained = ref false in
+  let next_batch () =
+    let bcols, buckets = ensure_table () in
+    let result = ref None in
+    while !result = None && not !drained do
+      match pop.Stream.Vec.next_batch () with
+      | None -> drained := true
+      | Some vb ->
+          let selected = Vbatch.selected vb in
+          Cost.charge_hash_probe ctx.meter selected;
+          let pcols = vb.Vbatch.cols in
+          let pkey = pcols.(ppos) in
+          (* Growable parallel index arrays (build row, probe row): matches
+             land in probe order × build-input order, the row join's output
+             order. *)
+          let cap = ref (max 16 selected) and len = ref 0 in
+          let bis = ref (Array.make !cap 0) and pis = ref (Array.make !cap 0) in
+          let push r i =
+            if !len = !cap then begin
+              let cap' = 2 * !cap in
+              let bis' = Array.make cap' 0 and pis' = Array.make cap' 0 in
+              Array.blit !bis 0 bis' 0 !len;
+              Array.blit !pis 0 pis' 0 !len;
+              bis := bis';
+              pis := pis';
+              cap := cap'
+            end;
+            !bis.(!len) <- r;
+            !pis.(!len) <- i;
+            incr len
+          in
+          Bitset.iter_set
+            (fun i ->
+              let key = pkey.(i) in
+              if not (Value.is_null key) then
+                match Hashtbl.find_opt buckets key with
+                | Some rows -> Array.iter (fun r -> push r i) rows
+                | None -> ())
+            vb.Vbatch.sel;
+          let k = !len in
+          if k > 0 then begin
+            let bis = !bis and pis = !pis in
+            let parity = Array.length pcols in
+            let cols = Array.make (barity + parity) [||] in
+            for c = 0 to barity - 1 do
+              let src = bcols.(c) in
+              let dst = Array.make k src.(bis.(0)) in
+              for j = 1 to k - 1 do
+                dst.(j) <- src.(bis.(j))
+              done;
+              cols.(c) <- dst
+            done;
+            for c = 0 to parity - 1 do
+              let src = pcols.(c) in
+              let dst = Array.make k src.(pis.(0)) in
+              for j = 1 to k - 1 do
+                dst.(j) <- src.(pis.(j))
+              done;
+              cols.(barity + c) <- dst
+            done;
+            Cost.charge_output_tuples ctx.meter k;
+            result := Some { Vbatch.cols; n_rows = k; sel = Bitset.full k }
+          end
+    done;
+    !result
+  in
+  Stream.Vec.make ~schema ~progress:pop.Stream.Vec.progress next_batch
+
+let aggregate_vstream ctx ~plan ~(iop : Stream.Vec.t) ~group_by ~aggs =
+  let out_schema = Plan.schema_of ctx.catalog plan in
+  let rows = ref [||] in
+  let started = ref false in
+  let emit = slice_emitter rows in
+  let next_batch () =
+    if not !started then begin
+      started := true;
+      let agg = Agg.create iop.Stream.Vec.schema ~group_by ~aggs in
+      let rec pull () =
+        match iop.Stream.Vec.next_batch () with
+        | Some vb ->
+            Cost.charge_hash_build ctx.meter (Vbatch.selected vb);
+            Agg.feed_cols agg vb.Vbatch.cols vb.Vbatch.sel;
+            pull ()
+        | None -> ()
+      in
+      pull ();
+      let out = Agg.finalize agg in
+      Cost.charge_output_tuples ctx.meter (List.length out);
+      rows := Array.of_list out
+    end;
+    match emit () with None -> None | Some b -> Some (Vbatch.of_tuples b)
+  in
+  Stream.Vec.make ~schema:out_schema
+    ~progress:(fun () -> if !started then 1.0 else 0.0)
+    next_batch
+
+let append_vstream ~schema parts =
+  let rem = ref parts in
+  let done_parts = ref 0 in
+  let total = List.length parts in
+  let rec next_batch () =
+    match !rem with
+    | [] -> None
+    | (op : Stream.Vec.t) :: rest -> (
+        match op.Stream.Vec.next_batch () with
+        | Some vb -> Some vb
+        | None ->
+            rem := rest;
+            incr done_parts;
+            next_batch ())
+  in
+  Stream.Vec.make ~schema
+    ~progress:(fun () ->
+      if total = 0 then 1.0 else float_of_int !done_parts /. float_of_int total)
+    next_batch
+
+(* ------------------------------------------------------------------ *)
 (* Compilation                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -849,18 +1272,118 @@ let rec compile ctx plan : Stream.t * span_node option =
       in
       (wrap_spans ctx node op, Some node)
 
+(* The vectorized compilation.  Scans, filter/project/limit/guard,
+   hash join, aggregate, append and materialized leaves run natively on
+   vector batches; index access paths, merge join, indexed-NL join, star
+   semijoin and sort reuse the row implementations with their inputs and
+   outputs converted at the operator boundary (they materialize tuples
+   internally anyway, so a native rewrite would buy nothing).  The span
+   tree mirrors [compile]'s exactly. *)
+let rec compile_vec ctx plan : Stream.Vec.t * span_node option =
+  let op, child_spans =
+    match plan with
+    | Plan.Scan { table; access; pred } -> (
+        match access with
+        | Plan.Seq_scan -> (seq_scan_vstream ctx ~table ~pred ~from:0, [])
+        | Plan.Index_range probe ->
+            (vec_of_stream (index_range_stream ctx ~table ~pred ~probe), [])
+        | Plan.Index_intersect probes ->
+            (vec_of_stream (index_intersect_stream ctx ~table ~pred ~probes), [])
+        | Plan.Index_order { column; descending } ->
+            (vec_of_stream (index_order_stream ctx ~table ~pred ~column ~descending), []))
+    | Plan.Scan_resume { table; pred; from_rid } ->
+        (seq_scan_vstream ctx ~table ~pred ~from:from_rid, [])
+    | Plan.Materialized { schema; tuples; _ } -> (materialized_vstream ~schema ~tuples, [])
+    | Plan.Hash_join { build; probe; build_key; probe_key } ->
+        let bop, bspan = compile_vec ctx build in
+        let pop, pspan = compile_vec ctx probe in
+        (hash_join_vstream ctx ~bop ~pop ~build_key ~probe_key, [ bspan; pspan ])
+    | Plan.Merge_join { left; right; left_key; right_key } ->
+        let lop, lspan = compile_vec ctx left in
+        let rop, rspan = compile_vec ctx right in
+        ( vec_of_stream
+            (merge_join_stream ctx ~left_plan:left ~right_plan:right
+               ~lop:(stream_of_vec lop) ~rop:(stream_of_vec rop) ~left_key ~right_key),
+          [ lspan; rspan ] )
+    | Plan.Indexed_nl_join { outer; outer_key; inner_table; inner_key; inner_pred } ->
+        let oop, ospan = compile_vec ctx outer in
+        ( vec_of_stream
+            (inl_join_stream ctx ~oop:(stream_of_vec oop) ~outer_key ~inner_table
+               ~inner_key ~inner_pred),
+          [ ospan ] )
+    | Plan.Star_semijoin { fact; fact_pred; dims } ->
+        (vec_of_stream (star_semijoin_stream ctx ~fact ~fact_pred ~dims), [])
+    | Plan.Filter (input, pred) ->
+        let iop, ispan = compile_vec ctx input in
+        (filter_vstream ctx ~iop ~pred, [ ispan ])
+    | Plan.Project (input, cols) ->
+        let iop, ispan = compile_vec ctx input in
+        (project_vstream ctx ~iop ~cols, [ ispan ])
+    | Plan.Sort { input; keys } ->
+        let iop, ispan = compile_vec ctx input in
+        (vec_of_stream (sort_stream ctx ~iop:(stream_of_vec iop) ~keys), [ ispan ])
+    | Plan.Limit (input, n) ->
+        let iop, ispan = compile_vec ctx input in
+        (limit_vstream ctx ~iop ~n, [ ispan ])
+    | Plan.Aggregate { input; group_by; aggs } ->
+        let iop, ispan = compile_vec ctx input in
+        (aggregate_vstream ctx ~plan ~iop ~group_by ~aggs, [ ispan ])
+    | Plan.Guard { input; expected_rows; max_q_error; label } ->
+        let iop, ispan = compile_vec ctx input in
+        ( guard_vstream ctx ~iop ~input_plan:input ~expected_rows ~max_q_error ~label,
+          [ ispan ] )
+    | Plan.Append parts ->
+        let compiled = List.map (compile_vec ctx) parts in
+        let schema =
+          match compiled with
+          | [] -> invalid_arg "Executor: Append needs at least one input"
+          | (op, _) :: _ -> op.Stream.Vec.schema
+        in
+        (append_vstream ~schema (List.map fst compiled), List.map snd compiled)
+  in
+  match ctx.obs with
+  | None -> (op, None)
+  | Some _ ->
+      let node =
+        {
+          sp_label = Plan.node_label plan;
+          sp_rows = 0;
+          sp_total = Rq_obs.Metrics.zero;
+          sp_aborted = false;
+          sp_children = List.filter_map Fun.id child_spans;
+        }
+      in
+      (wrap_vspans ctx node op, Some node)
+
 let run ?obs catalog meter plan =
   let ctx = { catalog; meter; obs } in
-  let op, span = compile ctx plan in
-  let attach () =
-    match (ctx.obs, span) with
-    | Some r, Some node -> Rq_obs.Recorder.attach_span r (finalize_span node)
-    | _ -> ()
-  in
-  match drain_all op with
-  | tuples ->
-      attach ();
-      { Exec_common.schema = op.Stream.schema; tuples }
-  | exception e ->
-      attach ();
-      raise e
+  if !Vectorize.enabled then begin
+    let vop, span = compile_vec ctx plan in
+    let attach () =
+      match (ctx.obs, span) with
+      | Some r, Some node -> Rq_obs.Recorder.attach_span r (finalize_span node)
+      | _ -> ()
+    in
+    match drain_all_vec vop with
+    | tuples ->
+        attach ();
+        { Exec_common.schema = vop.Stream.Vec.schema; tuples }
+    | exception e ->
+        attach ();
+        raise e
+  end
+  else begin
+    let op, span = compile ctx plan in
+    let attach () =
+      match (ctx.obs, span) with
+      | Some r, Some node -> Rq_obs.Recorder.attach_span r (finalize_span node)
+      | _ -> ()
+    in
+    match drain_all op with
+    | tuples ->
+        attach ();
+        { Exec_common.schema = op.Stream.schema; tuples }
+    | exception e ->
+        attach ();
+        raise e
+  end

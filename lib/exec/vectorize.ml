@@ -1,0 +1,12 @@
+(* Global toggle for the vectorized (column-major batch) data plane in the
+   streaming engine.  On by default; the row-at-a-time path stays as the
+   comparison arm — the differential suite, the fuzzer's [vectorize] gene
+   and the bench's vectorized section all re-run identical plans with the
+   knob off and assert byte-identical results and cost counters. *)
+
+let enabled = ref true
+
+let with_vectorize value f =
+  let saved = !enabled in
+  enabled := value;
+  Fun.protect ~finally:(fun () -> enabled := saved) f

@@ -1,0 +1,14 @@
+(** Global toggle for the streaming engine's vectorized data plane.
+
+    With [enabled := true] (the default) {!Stream_exec.run} compiles plans
+    to column-major vector batches carrying a selection bitset; with
+    [false] it compiles to the original row-at-a-time operators.  The two
+    planes are observationally identical — same result tuples in the same
+    order, same {!Cost} counters, same guard fire points and resume plans —
+    so the knob only moves wall clock and allocation. *)
+
+val enabled : bool ref
+
+val with_vectorize : bool -> (unit -> 'a) -> 'a
+(** Run a thunk with the toggle set, restoring the previous value even on
+    exceptions — how tests and benches pin one data plane per arm. *)

@@ -19,8 +19,15 @@ type config = {
   repetitions : int;
   domains : int;              (* top of the morsel-parallel domains axis *)
   min_scan_speedup : float;   (* gate: simulated scan-morsel speedup at [domains] *)
+  min_vec_speedup : float;    (* gate: vectorized wall-clock speedup over the
+                                 row plane on the gated vectorized workloads *)
   buffer_pool_pages : int;    (* global pool capacity in 8 KiB pages; 0 keeps
                                  the process default *)
+  exact_compare : bool;       (* compare parallel arms against the serial
+                                 engine tuple-by-tuple; off at bench scale,
+                                 where holding both engines' result sets
+                                 doubles peak memory and an order-insensitive
+                                 multiset digest suffices *)
 }
 
 let default_config =
@@ -30,7 +37,9 @@ let default_config =
     repetitions = 5;
     domains = 4;
     min_scan_speedup = 2.5;
+    min_vec_speedup = 1.5;
     buffer_pool_pages = 0;
+    exact_compare = true;
   }
 
 let small_config =
@@ -217,10 +226,36 @@ type parallel_check = {
   p_ok : bool;
 }
 
+(* Vectorized-vs-row data plane.  Both arms are the same streaming engine —
+   only the data plane differs ({!Vectorize.enabled} on vs. off) — so cost
+   counters must be byte-identical and the result multisets equal; the
+   gated workloads must additionally show a real wall-clock win (median of
+   repetitions, which a single outlier repetition cannot tilt). *)
+
+type vec_arm = {
+  v_snapshot : Cost.snapshot;
+  v_rows : int;
+  v_wall_ms : float;      (* median wall-clock per run *)
+  v_allocated_mb : float; (* mean bytes allocated per run *)
+}
+
+type vec_comparison = {
+  v_name : string;
+  v_plan : Plan.t;
+  v_vec : vec_arm;
+  v_row : vec_arm;
+  v_speedup : float;       (* row median wall / vec median wall *)
+  v_counters_equal : bool;
+  v_rows_equal : bool;     (* result multiset digests equal *)
+  v_gated : bool;          (* the speedup gate applies to this workload *)
+  v_ok : bool;
+}
+
 type result = {
   config : config;
   comparisons : comparison list;
   parallel : parallel_check list;
+  vectorized : vec_comparison list;
   buffer_pool : Rq_storage.Buffer_pool.stats;
       (* global pool traffic over the whole bench (stats reset after the
          catalog is generated, so this is query-time behaviour) *)
@@ -232,10 +267,18 @@ let domains_axis domains = List.sort_uniq compare [ 1; 2; max 1 domains ]
 (* One workload across the domains axis: every point must be byte-identical
    to the serial materialized engine (results and counters); the simulated
    makespan of the morsel schedule gives the deterministic speedup. *)
-let run_parallel_check ~scale ~axis ?(min_speedup = 0.0) catalog name plan =
+let run_parallel_check ~scale ~axis ?(min_speedup = 0.0) ~exact catalog name plan =
   let serial_meter = Cost.create ~scale () in
-  let serial_res = Executor.run ~mode:Executor.Materialized catalog serial_meter plan in
-  let serial_snap = Cost.snapshot serial_meter in
+  (* The serial result's tuples survive this binding only under [exact]:
+     at bench scale the row set dies here and every arm compares against
+     the streaming multiset digest instead, so the two engines' results
+     are never live at once. *)
+  let serial_snap, serial_digest, serial_tuples =
+    let res = Executor.run ~mode:Executor.Materialized catalog serial_meter plan in
+    ( Cost.snapshot serial_meter,
+      Exp_common.result_digest res,
+      if exact then Some res.Executor.tuples else None )
+  in
   let morsels = ref 0 in
   let all_identical = ref true in
   let arms =
@@ -251,11 +294,14 @@ let run_parallel_check ~scale ~axis ?(min_speedup = 0.0) catalog name plan =
         in
         let wall = Sys.time () -. t0 in
         let snap = Cost.snapshot meter in
-        if
-          not
-            (res.Executor.tuples = serial_res.Executor.tuples
-            && Exp_common.snapshots_equal snap serial_snap)
-        then all_identical := false;
+        let rows_match =
+          match serial_tuples with
+          | Some tuples -> res.Executor.tuples = tuples
+          | None ->
+              Exp_common.digests_equal (Exp_common.result_digest res) serial_digest
+        in
+        if not (rows_match && Exp_common.snapshots_equal snap serial_snap) then
+          all_identical := false;
         morsels := max !morsels report.Parallel.morsels;
         let base = Parallel.makespan ~domains:1 report in
         let mk = Parallel.makespan ~domains:d report in
@@ -283,10 +329,19 @@ let run_parallel_check ~scale ~axis ?(min_speedup = 0.0) catalog name plan =
    flight on another domain must still fire with a contiguous reusable
    prefix, and [Materialized prefix; resume] must replay to exactly the
    full unguarded result. *)
-let run_guard_recovery ~scale ~domains catalog name plan =
+let run_guard_recovery ~scale ~domains ~exact catalog name plan =
   let full_meter = Cost.create ~scale () in
-  let full =
-    Executor.run ~mode:Executor.Materialized catalog full_meter (Plan.strip_guards plan)
+  let full_digest, full_tuples =
+    let full =
+      Executor.run ~mode:Executor.Materialized catalog full_meter (Plan.strip_guards plan)
+    in
+    ( Exp_common.result_digest full,
+      if exact then Some full.Executor.tuples else None )
+  in
+  let replay_matches (res : Executor.result) =
+    match full_tuples with
+    | Some tuples -> res.Executor.tuples = tuples
+    | None -> Exp_common.digests_equal (Exp_common.result_digest res) full_digest
   in
   let par = Parallel.create ~domains () in
   let meter = Cost.create ~scale () in
@@ -318,9 +373,8 @@ let run_guard_recovery ~scale ~domains catalog name plan =
               Executor.run ~mode:Executor.Materialized catalog replay_meter
                 (Plan.Append [ prefix; resume ])
             in
-            (not v.Executor.complete)
-            && replay.Executor.tuples = full.Executor.tuples
-        | None -> v.Executor.complete && v.Executor.result.Executor.tuples = full.Executor.tuples)
+            (not v.Executor.complete) && replay_matches replay
+        | None -> v.Executor.complete && replay_matches v.Executor.result)
   in
   {
     p_name = name;
@@ -342,16 +396,18 @@ let run_parallel_section config catalog ~scale =
         probe_key = "lineitem.l_orderkey";
       }
   in
+  let exact = config.exact_compare in
   [
-    run_parallel_check ~scale ~axis ~min_speedup:config.min_scan_speedup catalog
+    run_parallel_check ~scale ~axis ~min_speedup:config.min_scan_speedup ~exact catalog
       "scan-morsel" (scan "lineitem");
-    run_parallel_check ~scale ~axis catalog "join-morsel" join;
+    run_parallel_check ~scale ~axis ~exact catalog "join-morsel" join;
     (* Chunk-aligned morsels + zone maps: skipped-page counters must land
        identically however morsels are scheduled. *)
-    run_parallel_check ~scale ~axis catalog "scan-skip-morsel"
+    run_parallel_check ~scale ~axis ~exact catalog "scan-skip-morsel"
       (Plan.Scan
          { table = "lineitem"; access = Plan.Seq_scan; pred = zone_skip_pred catalog });
-    run_guard_recovery ~scale ~domains:(max 1 config.domains) catalog "guard-recovery"
+    run_guard_recovery ~scale ~domains:(max 1 config.domains) ~exact catalog
+      "guard-recovery"
       (Plan.Guard
          {
            input = scan "lineitem";
@@ -360,6 +416,125 @@ let run_parallel_section config catalog ~scale =
            label = "parallel bench guard";
          });
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Vectorized-vs-row data plane                                        *)
+(* ------------------------------------------------------------------ *)
+
+let median walls =
+  let b = Array.copy walls in
+  Array.sort compare b;
+  b.(Array.length b / 2)
+
+let run_vec_arm ~vectorize ~scale ~repetitions catalog plan =
+  Rq_exec.Vectorize.with_vectorize vectorize (fun () ->
+      (* Level the heap before each arm: the earlier bench sections leave a
+         large major heap whose collection costs would otherwise bleed
+         unevenly into whichever arm runs first. *)
+      Gc.compact ();
+      let walls = Array.make (max 1 repetitions) 0.0 in
+      let last = ref None in
+      let a0 = Gc.allocated_bytes () in
+      for i = 0 to Array.length walls - 1 do
+        let meter = Cost.create ~scale () in
+        let t0 = Unix.gettimeofday () in
+        let res = Executor.run ~mode:Executor.Streaming catalog meter plan in
+        walls.(i) <- Unix.gettimeofday () -. t0;
+        last :=
+          Some
+            ( Cost.snapshot meter,
+              Array.length res.Executor.tuples,
+              Exp_common.result_digest res )
+      done;
+      let allocated =
+        (Gc.allocated_bytes () -. a0) /. float_of_int (Array.length walls)
+      in
+      let snapshot, rows, digest = Option.get !last in
+      ( {
+          v_snapshot = snapshot;
+          v_rows = rows;
+          v_wall_ms = median walls *. 1000.0;
+          v_allocated_mb = allocated /. (1024.0 *. 1024.0);
+        },
+        digest ))
+
+(* Full-drain shapes where late materialization has something to save: the
+   gated pair are a narrow projection over a full scan and a join with
+   projections pushed to both inputs — in the vectorized plane the scans
+   and projections are zero-copy and tuples exist only at the final output
+   (and the join's build side).  The ungated pair (selective filter,
+   grouped aggregation) are held to counter and result equality and
+   reported for the record. *)
+let vec_workloads () =
+  let narrow =
+    [ "lineitem.l_orderkey"; "lineitem.l_quantity"; "lineitem.l_extendedprice" ]
+  in
+  let pushed_join =
+    Plan.Project
+      ( Plan.Hash_join
+          {
+            build =
+              Plan.Project (scan "orders", [ "orders.o_orderkey"; "orders.o_orderdate" ]);
+            probe =
+              Plan.Project
+                (scan "lineitem", [ "lineitem.l_orderkey"; "lineitem.l_extendedprice" ]);
+            build_key = "orders.o_orderkey";
+            probe_key = "lineitem.l_orderkey";
+          },
+        [ "orders.o_orderdate"; "lineitem.l_extendedprice" ] )
+  in
+  [
+    ("full-drain", Plan.Project (scan "lineitem", narrow), true);
+    ("join", pushed_join, true);
+    ( "filter-drain",
+      Plan.Project
+        ( Plan.Filter
+            (scan "lineitem", Pred.lt (Expr.col "lineitem.l_quantity") (Expr.float 25.0)),
+          narrow ),
+      false );
+    ( "agg-drain",
+      Plan.Aggregate
+        {
+          input = scan "lineitem";
+          group_by = [ "lineitem.l_partkey" ];
+          aggs =
+            [
+              {
+                Plan.fn = Plan.Sum (Expr.col "lineitem.l_extendedprice");
+                output_name = "revenue";
+              };
+            ];
+        },
+      false );
+  ]
+
+let run_vectorized_section config catalog ~scale =
+  (* Three repetitions minimum so the median is a real middle even when the
+     configured repetition count is bench-scale-clamped to one. *)
+  let repetitions = max 3 config.repetitions in
+  List.map
+    (fun (name, plan, gated) ->
+      let vec, vec_digest = run_vec_arm ~vectorize:true ~scale ~repetitions catalog plan in
+      let row, row_digest = run_vec_arm ~vectorize:false ~scale ~repetitions catalog plan in
+      let speedup = row.v_wall_ms /. Float.max 1e-9 vec.v_wall_ms in
+      let counters_equal = Exp_common.snapshots_equal vec.v_snapshot row.v_snapshot in
+      let rows_equal =
+        vec.v_rows = row.v_rows && Exp_common.digests_equal vec_digest row_digest
+      in
+      {
+        v_name = name;
+        v_plan = plan;
+        v_vec = vec;
+        v_row = row;
+        v_speedup = speedup;
+        v_counters_equal = counters_equal;
+        v_rows_equal = rows_equal;
+        v_gated = gated;
+        v_ok =
+          counters_equal && rows_equal
+          && ((not gated) || speedup >= config.min_vec_speedup);
+      })
+    (vec_workloads ())
 
 let run ?(config = default_config) () =
   if config.buffer_pool_pages > 0 then
@@ -404,6 +579,7 @@ let run ?(config = default_config) () =
       (workloads catalog)
   in
   let parallel = run_parallel_section config catalog ~scale in
+  let vectorized = run_vectorized_section config catalog ~scale in
   let buffer_pool = Rq_storage.Buffer_pool.global_stats () in
   (* The chunk path is the only road to data: a bench that reports no pool
      traffic is not measuring the storage layer it claims to. *)
@@ -412,10 +588,12 @@ let run ?(config = default_config) () =
     config;
     comparisons;
     parallel;
+    vectorized;
     buffer_pool;
     ok =
       List.for_all (fun c -> c.wl_ok) comparisons
       && List.for_all (fun p -> p.p_ok) parallel
+      && List.for_all (fun v -> v.v_ok) vectorized
       && pool_ok;
   }
 
@@ -488,6 +666,38 @@ let to_json r =
                    ("ok", Rq_obs.Json.Bool p.p_ok);
                  ])
              r.parallel) );
+      ("min_vec_speedup", Rq_obs.Json.Num r.config.min_vec_speedup);
+      ( "vectorized",
+        Rq_obs.Json.List
+          (List.map
+             (fun v ->
+               let varm (a : vec_arm) =
+                 Rq_obs.Json.Obj
+                   [
+                     ("wall_ms_median", Rq_obs.Json.Num a.v_wall_ms);
+                     ("allocated_mb", Rq_obs.Json.Num a.v_allocated_mb);
+                     ("rows", Rq_obs.Json.Num (float_of_int a.v_rows));
+                     ( "cpu_tuples",
+                       Rq_obs.Json.Num (float_of_int a.v_snapshot.Cost.cpu_tuples) );
+                     ( "seq_pages",
+                       Rq_obs.Json.Num (float_of_int a.v_snapshot.Cost.seq_pages) );
+                     ( "output_tuples",
+                       Rq_obs.Json.Num (float_of_int a.v_snapshot.Cost.output_tuples) );
+                   ]
+               in
+               Rq_obs.Json.Obj
+                 [
+                   ("name", Rq_obs.Json.Str v.v_name);
+                   ("plan", Rq_obs.Json.Str (Plan.describe v.v_plan));
+                   ("vectorized", varm v.v_vec);
+                   ("row", varm v.v_row);
+                   ("speedup", Rq_obs.Json.Num v.v_speedup);
+                   ("counters_equal", Rq_obs.Json.Bool v.v_counters_equal);
+                   ("rows_equal", Rq_obs.Json.Bool v.v_rows_equal);
+                   ("gated", Rq_obs.Json.Bool v.v_gated);
+                   ("ok", Rq_obs.Json.Bool v.v_ok);
+                 ])
+             r.vectorized) );
       ("buffer_pool_pages", Rq_obs.Json.Num (float_of_int r.config.buffer_pool_pages));
       ( "buffer_pool",
         (let s = r.buffer_pool in
@@ -555,6 +765,21 @@ let render r =
       in
       add "%-16s   -> %s%s\n" p.p_name verdict (if p.p_ok then "" else "  [FAIL]"))
     r.parallel;
+  add "vectorized vs row data plane (median wall of %d+ reps):\n"
+    (max 3 r.config.repetitions);
+  add "%-14s %12s %12s %9s %10s %10s\n" "workload" "vec_ms" "row_ms" "speedup"
+    "counters" "rows";
+  List.iter
+    (fun v ->
+      add "%-14s %12.3f %12.3f %8.2fx %10s %10s%s\n" v.v_name v.v_vec.v_wall_ms
+        v.v_row.v_wall_ms v.v_speedup
+        (if v.v_counters_equal then "equal" else "MISMATCH")
+        (if v.v_rows_equal then "equal" else "MISMATCH")
+        (if v.v_ok then ""
+         else if v.v_gated then
+           Printf.sprintf "  [FAIL: need >= %.2fx]" r.config.min_vec_speedup
+         else "  [FAIL]"))
+    r.vectorized;
   let s = r.buffer_pool in
   add
     "buffer pool: %d hits / %d misses (hit rate %.3f), %d evictions, %d/%d chunks \

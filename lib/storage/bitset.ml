@@ -117,3 +117,69 @@ let of_pred ~len pred =
     if pred i then set t i
   done;
   t
+
+(* -- Range windows (the vectorized scan's selection slices) -------------- *)
+
+(* Mask for the bits of word [w] that fall inside [lo, hi), where the word
+   covers rows [w*64, w*64+64). *)
+let word_window_mask w ~lo ~hi =
+  let base = w lsl 6 in
+  let a = max 0 (lo - base) and b = min 64 (hi - base) in
+  if a >= b then 0L
+  else
+    let ones_below n = if n >= 64 then -1L else Int64.sub (Int64.shift_left 1L n) 1L in
+    Int64.logand (ones_below b) (Int64.lognot (ones_below a))
+
+let check_range name len ~lo ~hi =
+  if lo < 0 || hi > len || lo > hi then
+    invalid_arg (Printf.sprintf "Bitset.%s: range [%d, %d) out of [0, %d]" name lo hi len)
+
+let window len ~lo ~hi =
+  check_range "window" len ~lo ~hi;
+  let t = create len in
+  if lo < hi then begin
+    let w0 = lo lsr 6 and w1 = (hi - 1) lsr 6 in
+    for w = w0 to w1 do
+      set_word t w (word_window_mask w ~lo ~hi)
+    done
+  end;
+  t
+
+let inter_window b ~lo ~hi =
+  check_range "inter_window" b.len ~lo ~hi;
+  let out = create b.len in
+  if lo < hi then begin
+    let w0 = lo lsr 6 and w1 = (hi - 1) lsr 6 in
+    for w = w0 to w1 do
+      set_word out w (Int64.logand (get_word b w) (word_window_mask w ~lo ~hi))
+    done
+  end;
+  out
+
+(* Keep only the first [k] set bits (a LIMIT cutting a selection short). *)
+let take b k =
+  let out = create b.len in
+  let remaining = ref (max 0 k) in
+  let nw = word_count b.len in
+  let w = ref 0 in
+  while !remaining > 0 && !w < nw do
+    let word = get_word b !w in
+    let c = popcount64 word in
+    if c <= !remaining then begin
+      set_word out !w word;
+      remaining := !remaining - c
+    end
+    else begin
+      (* Peel the lowest set bit until the quota is spent. *)
+      let rest = ref word and keep = ref 0L in
+      for _ = 1 to !remaining do
+        let lowest = Int64.logand !rest (Int64.neg !rest) in
+        keep := Int64.logor !keep lowest;
+        rest := Int64.logxor !rest lowest
+      done;
+      set_word out !w !keep;
+      remaining := 0
+    end;
+    incr w
+  done;
+  out

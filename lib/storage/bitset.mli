@@ -40,3 +40,17 @@ val equal : t -> t -> bool
 val iter_set : (int -> unit) -> t -> unit
 (** Calls [f] on each set bit in ascending order; cost is proportional to
     the number of set bits plus the word count. *)
+
+val window : int -> lo:int -> hi:int -> t
+(** [window len ~lo ~hi] has exactly the bits in [lo, hi) set — the
+    selection a scan batch covering that row range starts from.  Raises on
+    an out-of-bounds or inverted range. *)
+
+val inter_window : t -> lo:int -> hi:int -> t
+(** [inter_window b ~lo ~hi] is [logand b (window (length b) ~lo ~hi)]
+    without materializing the window — restricting a per-chunk predicate
+    bitmap to one batch's row range costs only the range's words. *)
+
+val take : t -> int -> t
+(** [take b k] keeps the first [k] set bits of [b] (all of them when
+    [k >= popcount b]) — a LIMIT cutting a selection short. *)

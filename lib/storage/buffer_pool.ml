@@ -15,7 +15,15 @@
    parity counters — they surface through {!stats} into the observability
    layer's pool record and the bench report instead. *)
 
-type entry = { chunk : Chunk.t; mutable pins : int }
+type entry = {
+  chunk : Chunk.t;
+  mutable pins : int;
+  mutable seq : bool;
+      (* every pin so far came from a sequential scan: on unpin the chunk
+         enters the LRU at the cold end (scan-resistant insertion) instead
+         of displacing recently-used chunks.  Any non-sequential pin
+         promotes the entry for good. *)
+}
 
 type stats = {
   hits : int;
@@ -50,17 +58,20 @@ let locked pool f =
   Mutex.lock pool.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock pool.mutex) f
 
-let pin pool ~key ~load =
+let pin ?(seq = false) pool ~key ~load =
   (* The load runs outside the lock only on a miss; re-check afterwards in
      case another domain faulted the same chunk in concurrently. *)
+  let hit e =
+    if e.pins = 0 then Lru.remove pool.lru key;
+    e.pins <- e.pins + 1;
+    if not seq then e.seq <- false;
+    pool.hits <- pool.hits + 1;
+    e.chunk
+  in
   let resident_hit =
     locked pool (fun () ->
         match Hashtbl.find_opt pool.resident key with
-        | Some e ->
-            if e.pins = 0 then Lru.remove pool.lru key;
-            e.pins <- e.pins + 1;
-            pool.hits <- pool.hits + 1;
-            Some e.chunk
+        | Some e -> Some (hit e)
         | None -> None)
   in
   match resident_hit with
@@ -71,13 +82,10 @@ let pin pool ~key ~load =
           match Hashtbl.find_opt pool.resident key with
           | Some e ->
               (* Lost the race: another domain loaded it first. *)
-              if e.pins = 0 then Lru.remove pool.lru key;
-              e.pins <- e.pins + 1;
-              pool.hits <- pool.hits + 1;
-              e.chunk
+              hit e
           | None ->
               pool.misses <- pool.misses + 1;
-              Hashtbl.replace pool.resident key { chunk; pins = 1 };
+              Hashtbl.replace pool.resident key { chunk; pins = 1; seq };
               chunk)
 
 let unpin pool ~key =
@@ -89,8 +97,13 @@ let unpin pool ~key =
             invalid_arg (Printf.sprintf "Buffer_pool.unpin %s: not pinned" key);
           e.pins <- e.pins - 1;
           (* Entering the LRU at capacity evicts the least-recently-unpinned
-             chunk (the on_evict hook drops it from the residency table). *)
-          if e.pins = 0 then Lru.insert pool.lru key ())
+             chunk (the on_evict hook drops it from the residency table).
+             Chunks only ever pinned by sequential scans enter at the cold
+             end instead, so a table sweep larger than the pool recycles one
+             slot rather than flushing every hot chunk. *)
+          if e.pins = 0 then
+            if e.seq then Lru.insert_cold pool.lru key ()
+            else Lru.insert pool.lru key ())
 
 let drop_unpinned pool =
   Lru.clear pool.lru  (* clear does not fire on_evict; sweep by pin count *)

@@ -25,9 +25,16 @@ val create : ?capacity_pages:int -> unit -> t
 (** Capacity is given in pages and rounded down to whole chunks, minimum 1
     chunk ([max 1 (capacity_pages / Page.pages_per_chunk)]). *)
 
-val pin : t -> key:string -> load:(unit -> Chunk.t) -> Chunk.t
+val pin : ?seq:bool -> t -> key:string -> load:(unit -> Chunk.t) -> Chunk.t
 (** Return the chunk for [key], loading it on a miss ([load] runs outside
-    the pool lock).  The chunk stays resident until the matching {!unpin}. *)
+    the pool lock).  The chunk stays resident until the matching {!unpin}.
+
+    [~seq:true] marks the pin as part of a sequential scan: a chunk whose
+    pins were {e all} sequential enters the LRU at the cold end on unpin
+    (scan-resistant insertion), so a sweep larger than the pool recycles a
+    single slot instead of evicting every recently-used chunk.  Any
+    non-sequential pin — a point lookup, an index fetch — permanently
+    promotes the chunk to normal (hot-end) treatment. *)
 
 val unpin : t -> key:string -> unit
 (** Release one pin; at zero pins the chunk becomes an eviction candidate.

@@ -15,6 +15,20 @@ let value t ~col ~row = t.columns.(col).(row)
 
 let column t col = t.columns.(col)
 
+let columns t = t.columns
+
+(* Zero-copy view over existing column arrays: the vectorized executor
+   wraps a batch's columns back into a chunk so the per-chunk bitmap
+   kernels run on it unchanged.  The caller keeps ownership. *)
+let of_columns ~n_rows columns =
+  if n_rows < 0 then invalid_arg "Chunk.of_columns: negative n_rows";
+  Array.iter
+    (fun col ->
+      if Array.length col < n_rows then
+        invalid_arg "Chunk.of_columns: column shorter than n_rows")
+    columns;
+  { n_rows; columns }
+
 let get t row =
   Array.init (Array.length t.columns) (fun c -> t.columns.(c).(row))
 

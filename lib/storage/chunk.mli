@@ -20,6 +20,16 @@ val value : t -> col:int -> row:int -> Value.t
 val column : t -> int -> Value.t array
 (** The backing column array — do not mutate. *)
 
+val columns : t -> Value.t array array
+(** All backing column arrays, zero-copy — do not mutate.  The arrays stay
+    valid after the chunk is unpinned or evicted (eviction only drops the
+    pool's reference; the GC keeps shared columns alive). *)
+
+val of_columns : n_rows:int -> Value.t array array -> t
+(** Zero-copy view over caller-owned column arrays (each of length at least
+    [n_rows]), so columnar batches can run the per-chunk predicate kernels.
+    Raises if a column is shorter than [n_rows]. *)
+
 val get : t -> int -> Value.t array
 (** Materialize one row as a fresh tuple. *)
 

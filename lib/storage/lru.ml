@@ -54,6 +54,12 @@ let push_front t node =
   (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
   t.head <- Some node
 
+let push_back t node =
+  node.next <- None;
+  node.prev <- t.tail;
+  (match t.tail with Some tl -> tl.next <- Some node | None -> t.head <- Some node);
+  t.tail <- Some node
+
 let touch t node =
   match t.head with
   | Some h when h == node -> ()
@@ -102,6 +108,30 @@ let insert t key value =
         let node = { key; value; prev = None; next = None } in
         Hashtbl.replace t.entries key node;
         push_front t node
+
+(* Scan-resistant insertion: the entry goes in at the LRU end, so it is the
+   next eviction victim instead of displacing the recency list's hot head.
+   A sweep larger than the cache then churns through one slot — at most one
+   previously-resident entry is lost to the whole sweep (the true LRU paid
+   to open the slot) — while everything recently touched survives.  A
+   [find] on a cold entry promotes it to the head like any other hit. *)
+let insert_cold t key value =
+  if t.capacity = 0 then begin
+    ignore value;
+    t.evictions <- t.evictions + 1;
+    t.on_evict key
+  end
+  else
+    match Hashtbl.find_opt t.entries key with
+    | Some node ->
+        (* Present: refresh in place.  No touch — a cold re-insert must not
+           promote the entry it refreshes. *)
+        node.value <- value
+    | None ->
+        if Hashtbl.length t.entries >= t.capacity then evict_lru t;
+        let node = { key; value; prev = None; next = None } in
+        Hashtbl.replace t.entries key node;
+        push_back t node
 
 let remove t key =
   match Hashtbl.find_opt t.entries key with

@@ -25,6 +25,15 @@ val insert : 'a t -> string -> 'a -> unit
     never evicts — only an insert of a {e new} key at capacity drops the
     least-recently-used entry. *)
 
+val insert_cold : 'a t -> string -> 'a -> unit
+(** Scan-resistant insert: the entry enters at the {e least}-recently-used
+    end, making it the next eviction victim instead of displacing the hot
+    head — a sequential sweep larger than the cache churns through one slot
+    and costs at most one previously-resident entry.  A later {!find}
+    promotes it normally.  Inserting a key already present refreshes its
+    value in place without changing its recency.  At capacity 0 behaves
+    like {!insert} (immediate drop). *)
+
 val remove : 'a t -> string -> unit
 (** Drop the entry if present.  A deliberate removal (e.g. a
     version-invalidated plan), not a capacity eviction: the eviction

@@ -48,9 +48,11 @@ let load_chunk t ci =
           seek_in ic offsets.(ci);
           (Marshal.from_channel ic : Chunk.t))
 
-let with_chunk t ci f =
+let with_chunk ?(seq = false) t ci f =
   let key = pool_key t ci in
-  let chunk = Buffer_pool.pin Buffer_pool.global ~key ~load:(fun () -> load_chunk t ci) in
+  let chunk =
+    Buffer_pool.pin ~seq Buffer_pool.global ~key ~load:(fun () -> load_chunk t ci)
+  in
   Fun.protect
     ~finally:(fun () -> Buffer_pool.unpin Buffer_pool.global ~key)
     (fun () -> f chunk)
@@ -193,7 +195,7 @@ let column_value t rid col =
 let iter f t =
   for ci = 0 to chunk_count t - 1 do
     let base = chunk_start t ci in
-    with_chunk t ci (Chunk.iter (fun r tup -> f (base + r) tup))
+    with_chunk ~seq:true t ci (Chunk.iter (fun r tup -> f (base + r) tup))
   done
 
 let fold f init t =
@@ -208,7 +210,7 @@ let to_seq t =
   let rec chunk_seq ci () =
     if ci >= n_chunks then Seq.Nil
     else
-      let rows = with_chunk t ci (fun chunk ->
+      let rows = with_chunk ~seq:true t ci (fun chunk ->
           Array.init (Chunk.n_rows chunk) (Chunk.get chunk))
       in
       let rec row_seq r () =

@@ -60,9 +60,12 @@ val zone_map : t -> int -> Zone_map.t
 (** Zone maps are resident metadata: consulting them never touches the
     buffer pool. *)
 
-val with_chunk : t -> int -> (Chunk.t -> 'a) -> 'a
+val with_chunk : ?seq:bool -> t -> int -> (Chunk.t -> 'a) -> 'a
 (** [with_chunk t ci f] pins chunk [ci] in the global buffer pool (faulting
-    it in on a miss), runs [f], and unpins — the only road to chunk data. *)
+    it in on a miss), runs [f], and unpins — the only road to chunk data.
+    [~seq:true] marks the pin as part of a sequential scan, which makes the
+    chunk a scan-resistant (cold-end) LRU entry on unpin; see
+    {!Buffer_pool.pin}. *)
 
 val get : t -> int -> tuple
 (** Tuple by RID (0-based); raises [Invalid_argument] out of range. *)

@@ -94,7 +94,36 @@ let test_json_roundtrip_dense () =
           limit = Some 7;
         };
       pool_pages = Some 256;
+      vectorize = false;
     }
+
+(* A corpus entry written before the data-plane gene existed has no
+   "vectorize" field: it must parse as [true] (the engine default the old
+   build actually ran). *)
+let test_json_pre_gene_defaults_vectorized () =
+  let old_json =
+    Json.Obj
+      [
+        ("workload", Json.Str "tpch");
+        ("catalog_seed", Json.Num 1.0);
+        ("mutations", Json.List []);
+        ("faults", Json.List []);
+        ( "query",
+          Json.Obj
+            [
+              ("shape", Json.Str "total");
+              ( "tables",
+                Json.List
+                  [
+                    Json.Obj
+                      [ ("table", Json.Str "lineitem"); ("atoms", Json.List []) ];
+                  ] );
+            ] );
+      ]
+  in
+  match F.case_of_json old_json with
+  | Error e -> Alcotest.failf "pre-gene corpus entry rejected: %s" e
+  | Ok case -> Alcotest.(check bool) "defaults to the vectorized plane" true case.F.vectorize
 
 let test_json_rejects_garbage () =
   List.iter
@@ -316,6 +345,8 @@ let () =
           Alcotest.test_case "generated cases round-trip" `Quick test_json_roundtrip_generated;
           Alcotest.test_case "dense handcrafted case round-trips" `Quick
             test_json_roundtrip_dense;
+          Alcotest.test_case "pre-gene corpora default to the vectorized plane" `Quick
+            test_json_pre_gene_defaults_vectorized;
           Alcotest.test_case "garbage rejected" `Quick test_json_rejects_garbage;
         ] );
       ( "mutation",

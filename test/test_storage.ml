@@ -434,6 +434,50 @@ let test_buffer_pool_resize_and_reset () =
   check_int "reset zeroes evictions" 0 zeroed.evictions;
   Alcotest.(check (float 0.0)) "no traffic -> rate 0" 0.0 (Buffer_pool.hit_rate zeroed)
 
+(* Scan resistance: chunks pinned only by sequential scans enter the LRU
+   at the cold end, so one big sweep recycles a single slot instead of
+   flushing the working set.  The hot chunk of a repeated small-table
+   lookup must still be resident after a scan larger than the pool. *)
+let test_buffer_pool_scan_resistance () =
+  (* 3 chunks of capacity. *)
+  let pool = Buffer_pool.create ~capacity_pages:48 () in
+  let hot_loads = ref 0 in
+  let pin_hot () =
+    ignore
+      (Buffer_pool.pin pool ~key:"hot" ~load:(fun () -> incr hot_loads; tiny_chunk 0));
+    Buffer_pool.unpin pool ~key:"hot"
+  in
+  (* Point lookups (non-sequential pins): hot-end treatment. *)
+  pin_hot ();
+  pin_hot ();
+  check_int "lookup chunk loaded once" 1 !hot_loads;
+  (* A sequential sweep several times the pool size... *)
+  for i = 0 to 9 do
+    let k = Printf.sprintf "sweep%d" i in
+    ignore (Buffer_pool.pin pool ~key:k ~load:(fun () -> tiny_chunk (100 + i)) ~seq:true);
+    Buffer_pool.unpin pool ~key:k
+  done;
+  (* ...evicts its own cold-end predecessors, not the hot chunk. *)
+  pin_hot ();
+  check_int "lookup chunk survived the sweep" 1 !hot_loads;
+  let s = Buffer_pool.stats pool in
+  check_bool "sweep chunks recycled one slot" true (s.Buffer_pool.evictions >= 7);
+  (* A single non-sequential pin permanently promotes a chunk: after a
+     point lookup touches a sweep chunk, the next sweep evicts around it
+     too. *)
+  ignore (Buffer_pool.pin pool ~key:"sweep9" ~load:(fun () -> tiny_chunk 109));
+  Buffer_pool.unpin pool ~key:"sweep9";
+  let reloads = ref 0 in
+  for i = 10 to 19 do
+    let k = Printf.sprintf "sweep%d" i in
+    ignore (Buffer_pool.pin pool ~key:k ~load:(fun () -> tiny_chunk (100 + i)) ~seq:true);
+    Buffer_pool.unpin pool ~key:k
+  done;
+  ignore
+    (Buffer_pool.pin pool ~key:"sweep9" ~load:(fun () -> incr reloads; tiny_chunk 109));
+  Buffer_pool.unpin pool ~key:"sweep9";
+  check_int "promoted chunk survived the next sweep" 0 !reloads
+
 (* ------------------------------------------------------------------ *)
 (* Relation builder (heap and spill)                                   *)
 (* ------------------------------------------------------------------ *)
@@ -791,6 +835,8 @@ let () =
           Alcotest.test_case "hits and LRU eviction" `Quick test_buffer_pool_hits_and_eviction;
           Alcotest.test_case "pins block eviction" `Quick test_buffer_pool_pins_block_eviction;
           Alcotest.test_case "resize and reset" `Quick test_buffer_pool_resize_and_reset;
+          Alcotest.test_case "sequential sweeps don't flush lookup chunks" `Quick
+            test_buffer_pool_scan_resistance;
         ] );
       ( "builder",
         [

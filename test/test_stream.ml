@@ -461,6 +461,231 @@ let test_reopt_mid_stream_correctness () =
   check_bool "same answer as a trusted plan" true
     (Rq_experiments.Exp_common.results_equal streaming.Reopt.result reference)
 
+(* ------------------------------------------------------------------ *)
+(* Vectorized-vs-row data plane laws (qcheck)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The streaming engine carries two data planes: the default vectorized
+   one (column-major batches + selection bitsets) and the row-at-a-time
+   one behind [Vectorize.enabled := false].  The law is total parity:
+   byte-identical tuples and identical cost counters on random
+   null-bearing data, including empty selections (predicates matching
+   nothing), whole chunks disproved by zone maps, and relations sized to
+   straddle batch-window and chunk boundaries. *)
+
+(* Five 20-byte string pads push row_bytes to 124, so a chunk holds
+   [16 * (8192 / 124)] = 1056 rows — just above [Stream_exec.batch_rows]
+   (1024).  A ~2 200-row table therefore exercises batch splits inside a
+   chunk AND multi-chunk scans without being slow to generate. *)
+let vec_schema =
+  Schema.create
+    ({ Schema.name = "t_id"; ty = Value.T_int }
+    :: { Schema.name = "t_k"; ty = Value.T_int }
+    :: { Schema.name = "t_v"; ty = Value.T_float }
+    :: List.map
+         (fun i -> { Schema.name = Printf.sprintf "t_s%d" i; ty = Value.T_string })
+         [ 1; 2; 3; 4; 5 ])
+
+let vec_chunk_rows = Page.rows_per_chunk vec_schema
+
+type vec_case = {
+  vc_seed : int;
+  vc_big : int;   (* big-table rows *)
+  vc_dim : int;   (* dim-table rows *)
+  vc_plan : int;  (* plan family pick *)
+  vc_c : int;     (* clustered band bound (can be <= 0: empty selection) *)
+  vc_k : int;     (* scattered key bound *)
+  vc_limit : int;
+}
+
+let render_vec_case c =
+  Printf.sprintf "{seed=%d; big=%d; dim=%d; plan=%d; c=%d; k=%d; limit=%d}" c.vc_seed
+    c.vc_big c.vc_dim c.vc_plan c.vc_c c.vc_k c.vc_limit
+
+let gen_vec_case : vec_case QCheck.Gen.t =
+  let open QCheck.Gen in
+  let boundary_sizes =
+    oneofl
+      [
+        1;
+        Stream_exec.batch_rows;
+        Stream_exec.batch_rows + 1;
+        vec_chunk_rows;
+        vec_chunk_rows + 1;
+        (2 * vec_chunk_rows) + 17;
+      ]
+  in
+  int_bound 1_000_000 >>= fun vc_seed ->
+  oneof [ boundary_sizes; int_range 1 ((2 * vec_chunk_rows) + 300) ] >>= fun vc_big ->
+  int_range 1 60 >>= fun vc_dim ->
+  int_bound 7 >>= fun vc_plan ->
+  int_range (-1) (2 * vec_chunk_rows) >>= fun vc_c ->
+  int_bound 40 >>= fun vc_k ->
+  oneofl [ 1; 7; Stream_exec.batch_rows; Stream_exec.batch_rows + 1; max_int / 2 ]
+  >>= fun vc_limit -> return { vc_seed; vc_big; vc_dim; vc_plan; vc_c; vc_k; vc_limit }
+
+(* Clustered ascending t_id (so the band predicate disproves whole chunks
+   by zone map), null-bearing t_k and t_v (1 in 8). *)
+let vec_case_catalog c =
+  let rng = Rq_math.Rng.create c.vc_seed in
+  let pad () =
+    String.init (1 + Rq_math.Rng.int rng 6) (fun _ -> Char.chr (97 + Rq_math.Rng.int rng 26))
+  in
+  let maybe_null v = if Rq_math.Rng.int rng 8 = 0 then Value.Null else v in
+  let catalog = Catalog.create () in
+  Catalog.add_table catalog ~primary_key:"t_id"
+    (Relation.create ~name:"big" ~schema:vec_schema
+       (Array.init c.vc_big (fun i ->
+            [|
+              v_int i;
+              maybe_null (v_int (Rq_math.Rng.int rng 40));
+              maybe_null (Value.Float (Rq_math.Rng.float rng 100.0));
+              Value.String (pad ());
+              Value.String (pad ());
+              Value.String (pad ());
+              Value.String (pad ());
+              Value.String (pad ());
+            |])));
+  Catalog.add_table catalog ~primary_key:"d_id"
+    (Relation.create ~name:"dim"
+       ~schema:
+         (Schema.create
+            [
+              { Schema.name = "d_id"; ty = Value.T_int };
+              { Schema.name = "d_k"; ty = Value.T_int };
+            ])
+       (Array.init c.vc_dim (fun i ->
+            [| v_int i; maybe_null (v_int (Rq_math.Rng.int rng 40)) |])));
+  catalog
+
+let vec_case_plan c =
+  let scan pred = Plan.Scan { table = "big"; access = Plan.Seq_scan; pred } in
+  let band = Pred.lt (Expr.col "t_id") (Expr.int c.vc_c) in
+  let keyp = Pred.le (Expr.col "t_k") (Expr.int c.vc_k) in
+  match c.vc_plan with
+  | 0 -> scan band (* zone-skipped chunks; empty when c <= 0 *)
+  | 1 -> scan keyp (* scattered selection with null keys *)
+  | 2 -> Plan.Filter (scan band, Pred.le (Expr.col "big.t_k") (Expr.int c.vc_k))
+  | 3 -> Plan.Project (scan keyp, [ "big.t_k"; "big.t_v" ])
+  | 4 -> Plan.Limit (scan Pred.True, c.vc_limit)
+  | 5 ->
+      Plan.Hash_join
+        {
+          build = Plan.Scan { table = "dim"; access = Plan.Seq_scan; pred = Pred.True };
+          probe = scan keyp;
+          build_key = "dim.d_k";
+          probe_key = "big.t_k";
+        }
+  | 6 ->
+      Plan.Aggregate
+        {
+          input = scan band;
+          group_by = [ "big.t_k" ];
+          aggs =
+            [
+              { Plan.fn = Plan.Count_star; output_name = "n" };
+              { Plan.fn = Plan.Sum (Expr.col "big.t_v"); output_name = "s" };
+            ];
+        }
+  | _ ->
+      (* every batch drained with an empty selection, under a guard *)
+      Plan.Guard
+        {
+          input = Plan.Filter (scan Pred.True, Pred.False);
+          expected_rows = 1.0;
+          max_q_error = 1e12;
+          label = "empty";
+        }
+
+let run_plane enabled catalog plan =
+  Vectorize.with_vectorize enabled (fun () ->
+      let meter = Cost.create ~scale:2.0 () in
+      let res = Executor.run ~mode:Executor.Streaming catalog meter plan in
+      (res, Cost.snapshot meter))
+
+let planes_agree ~label catalog plan =
+  let vres, vsnap = run_plane true catalog plan in
+  let rres, rsnap = run_plane false catalog plan in
+  if vres.Executor.tuples <> rres.Executor.tuples then
+    QCheck.Test.fail_reportf "%s: planes returned different tuples (%d vec vs %d row)" label
+      (Array.length vres.Executor.tuples)
+      (Array.length rres.Executor.tuples)
+  else if not (Rq_experiments.Exp_common.snapshots_equal vsnap rsnap) then
+    QCheck.Test.fail_reportf "%s: counters diverge\nvec: %s\nrow: %s" label
+      (Format.asprintf "%a" Cost.pp_snapshot vsnap)
+      (Format.asprintf "%a" Cost.pp_snapshot rsnap)
+  else true
+
+let vec_parity_law =
+  QCheck.Test.make ~name:"vectorized plane = row plane (tuples + counters)" ~count:48
+    (QCheck.make ~print:render_vec_case gen_vec_case)
+    (fun c ->
+      let catalog = vec_case_catalog c in
+      let plan = vec_case_plan c in
+      (match Plan.validate catalog plan with
+      | Ok () -> ()
+      | Error msg -> QCheck.Test.fail_reportf "generator produced invalid plan: %s" msg);
+      planes_agree ~label:(render_vec_case c) catalog plan)
+
+(* Deterministic edge sweep: the named boundary shapes, each through every
+   plan family.  Redundant with the law above in expectation; pinned here
+   so a regression names the exact shape. *)
+let test_vec_edge_shapes () =
+  List.iter
+    (fun (shape, c) ->
+      List.iter
+        (fun plan_pick ->
+          let c = { c with vc_plan = plan_pick } in
+          let catalog = vec_case_catalog c in
+          let plan = vec_case_plan c in
+          ignore (planes_agree ~label:(Printf.sprintf "%s/plan%d" shape plan_pick) catalog plan))
+        [ 0; 1; 2; 3; 4; 5; 6; 7 ])
+    [
+      ( "single-row",
+        { vc_seed = 3; vc_big = 1; vc_dim = 1; vc_plan = 0; vc_c = 1; vc_k = 20; vc_limit = 1 }
+      );
+      ( "empty-selection",
+        {
+          vc_seed = 5;
+          vc_big = vec_chunk_rows + 1;
+          vc_dim = 8;
+          vc_plan = 0;
+          vc_c = -1;
+          vc_k = 0;
+          vc_limit = 7;
+        } );
+      ( "batch-boundary",
+        {
+          vc_seed = 7;
+          vc_big = Stream_exec.batch_rows + 1;
+          vc_dim = 8;
+          vc_plan = 0;
+          vc_c = Stream_exec.batch_rows;
+          vc_k = 20;
+          vc_limit = Stream_exec.batch_rows;
+        } );
+      ( "chunk-boundary",
+        {
+          vc_seed = 11;
+          vc_big = vec_chunk_rows;
+          vc_dim = 8;
+          vc_plan = 0;
+          vc_c = vec_chunk_rows - 1;
+          vc_k = 20;
+          vc_limit = vec_chunk_rows;
+        } );
+      ( "multi-chunk-band",
+        {
+          vc_seed = 13;
+          vc_big = (2 * vec_chunk_rows) + 17;
+          vc_dim = 16;
+          vc_plan = 0;
+          vc_c = vec_chunk_rows / 2;
+          vc_k = 20;
+          vc_limit = 100;
+        } );
+    ]
+
 let () =
   Alcotest.run "stream"
     [
@@ -490,5 +715,11 @@ let () =
             test_hash_join_duplicate_key_order;
           Alcotest.test_case "mid-stream reopt returns the right answer" `Quick
             test_reopt_mid_stream_correctness;
+        ] );
+      ( "vectorized",
+        [
+          QCheck_alcotest.to_alcotest vec_parity_law;
+          Alcotest.test_case "boundary shapes through every family" `Quick
+            test_vec_edge_shapes;
         ] );
     ]
